@@ -1,0 +1,107 @@
+//===- bench/BenchUtil.h - Shared benchmark helpers -------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the benchmark harnesses: environment-variable knobs,
+/// evaluator construction, and kernel timing that prefers natively compiled
+/// code and falls back to the VM (announcing which substrate ran, so the
+/// printed tables are self-describing).
+///
+/// Environment knobs:
+///   SPL_MAXLG=<k>        largest FFT size 2^k for fig4/fig5 (default 20)
+///   SPL_ACC_MAXLG=<k>    largest size for the accuracy figure (default 18)
+///   SPL_SEARCH=<mode>    opcount | vmtime (candidate cost; default opcount)
+///   SPL_NO_NATIVE=1      never invoke the system C compiler
+///   SPL_NATIVE_FIG2=1    time Figure 2's 135 variants natively (slow)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_BENCH_BENCHUTIL_H
+#define SPL_BENCH_BENCHUTIL_H
+
+#include "perf/KernelRunner.h"
+#include "perf/Metrics.h"
+#include "search/DPSearch.h"
+#include "support/Timer.h"
+#include "vm/Executor.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <string>
+
+namespace spl {
+namespace bench {
+
+inline std::int64_t envInt(const char *Name, std::int64_t Default) {
+  const char *V = std::getenv(Name);
+  return V ? std::atoll(V) : Default;
+}
+
+inline bool envFlag(const char *Name) {
+  const char *V = std::getenv(Name);
+  return V && V[0] && V[0] != '0';
+}
+
+inline bool nativeAllowed() {
+  return !envFlag("SPL_NO_NATIVE") && perf::NativeModule::available();
+}
+
+/// Times a final program: natively when possible, otherwise in the VM.
+struct KernelTime {
+  double Seconds = 0;
+  bool Native = false;
+};
+
+inline KernelTime timeFinal(const icode::Program &Final, int Repeats = 3) {
+  KernelTime Out;
+  if (nativeAllowed()) {
+    std::string Err;
+    if (auto K = perf::CompiledKernel::create(Final, &Err)) {
+      Out.Seconds = K->time(Repeats);
+      Out.Native = true;
+      return Out;
+    }
+    std::fprintf(stderr, "note: native compile failed (%s); using the VM\n",
+                 Err.c_str());
+  }
+  vm::Executor VM(Final);
+  std::mt19937 Gen(3);
+  std::uniform_real_distribution<double> Dist(-1, 1);
+  std::vector<double> X(VM.inputLen()), Y(VM.outputLen(), 0.0);
+  for (double &V : X)
+    V = Dist(Gen);
+  Out.Seconds = timeBestOf([&] { VM.runReal(X.data(), Y.data()); }, Repeats);
+  return Out;
+}
+
+/// Builds the evaluator selected by SPL_SEARCH.
+inline std::unique_ptr<search::Evaluator>
+makeEvaluator(Diagnostics &Diags, std::int64_t UnrollThreshold = 64) {
+  driver::CompilerOptions Opts;
+  Opts.UnrollThreshold = UnrollThreshold;
+  const char *Mode = std::getenv("SPL_SEARCH");
+  if (Mode && std::string(Mode) == "vmtime")
+    return std::make_unique<search::VMTimeEvaluator>(Diags, Opts, 2);
+  return std::make_unique<search::OpCountEvaluator>(Diags, Opts);
+}
+
+/// Header lines every harness prints, so tables are self-describing.
+inline void printPreamble(const char *Experiment, const char *PaperRef) {
+  std::printf("== %s ==\n", Experiment);
+  std::printf("reproduces: %s\n", PaperRef);
+  std::printf("substrate: %s; search cost: %s\n\n",
+              nativeAllowed() ? "natively compiled generated C (cc -O2)"
+                              : "i-code VM (no C compiler found)",
+              std::getenv("SPL_SEARCH") ? std::getenv("SPL_SEARCH")
+                                        : "opcount");
+}
+
+} // namespace bench
+} // namespace spl
+
+#endif // SPL_BENCH_BENCHUTIL_H

@@ -1,0 +1,121 @@
+//===- bench/bench_micro_kernels.cpp - google-benchmark micro kernels ----------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Micro-benchmarks (google-benchmark) of the moving parts behind the
+/// figures: baseline strategies, codelets, the i-code VM, and the template
+/// expansion + optimization pipeline itself. Handy for spotting regressions
+/// in any component without re-running the figure harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Codelets.h"
+#include "baseline/Kernels.h"
+#include "driver/Compiler.h"
+#include "gen/Rules.h"
+#include "vm/Executor.h"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+using namespace spl;
+
+namespace {
+
+std::vector<baseline::C> randomComplex(std::int64_t N) {
+  std::mt19937 Gen(41);
+  std::uniform_real_distribution<double> Dist(-1, 1);
+  std::vector<baseline::C> V(N);
+  for (auto &X : V)
+    X = baseline::C(Dist(Gen), Dist(Gen));
+  return V;
+}
+
+void BM_BaselineCodelet(benchmark::State &State) {
+  std::int64_t N = State.range(0);
+  auto X = randomComplex(N);
+  std::vector<baseline::C> Y(N);
+  for (auto _ : State) {
+    baseline::codelet(N, X.data(), 1, Y.data());
+    benchmark::DoNotOptimize(Y.data());
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_BaselineCodelet)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_BaselineStockham4(benchmark::State &State) {
+  std::int64_t N = State.range(0);
+  baseline::StockhamRadix4 T(N);
+  auto X = randomComplex(N);
+  std::vector<baseline::C> Y(N);
+  for (auto _ : State) {
+    T.run(X.data(), Y.data());
+    benchmark::DoNotOptimize(Y.data());
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_BaselineStockham4)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_BaselineRecursive(benchmark::State &State) {
+  std::int64_t N = State.range(0);
+  baseline::RecursiveCT T(N, 32);
+  auto X = randomComplex(N);
+  std::vector<baseline::C> Y(N);
+  for (auto _ : State) {
+    T.run(X.data(), Y.data());
+    benchmark::DoNotOptimize(Y.data());
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_BaselineRecursive)->Arg(256)->Arg(4096)->Arg(65536);
+
+/// Compiles F_N (right-most binary, fully expanded) once per benchmark
+/// setup; the loop measures the VM.
+void BM_VMExecuteFFT(benchmark::State &State) {
+  std::int64_t N = State.range(0);
+  Diagnostics Diags;
+  driver::Compiler Compiler(Diags);
+  DirectiveState Dirs;
+  Dirs.SubName = "bm";
+  driver::CompilerOptions Opts;
+  Opts.UnrollThreshold = 64;
+  Opts.EmitCode = false;
+  auto Unit = Compiler.compileFormula(gen::recursiveFFT(N), Dirs, Opts);
+  if (!Unit) {
+    State.SkipWithError("compilation failed");
+    return;
+  }
+  vm::Executor VM(Unit->Final);
+  std::vector<double> X(VM.inputLen(), 0.5), Y(VM.outputLen(), 0.0);
+  for (auto _ : State) {
+    VM.runReal(X.data(), Y.data());
+    benchmark::DoNotOptimize(Y.data());
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_VMExecuteFFT)->Arg(64)->Arg(1024);
+
+void BM_CompilePipeline(benchmark::State &State) {
+  std::int64_t N = State.range(0);
+  FormulaRef F = gen::recursiveFFT(N);
+  Diagnostics Diags;
+  driver::Compiler Compiler(Diags);
+  DirectiveState Dirs;
+  Dirs.SubName = "bm";
+  driver::CompilerOptions Opts;
+  Opts.UnrollThreshold = 64;
+  Opts.EmitCode = false;
+  for (auto _ : State) {
+    auto Unit = Compiler.compileFormula(F, Dirs, Opts);
+    benchmark::DoNotOptimize(Unit);
+  }
+}
+BENCHMARK(BM_CompilePipeline)->Arg(64)->Arg(1024);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+//===- examples/custom_transform.cpp - Extending SPL with templates -----------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The template mechanism as an extension point (paper Section 3.2): add a
+/// brand-new parameterized matrix — a cyclic shift (ROT n k) — purely with
+/// an SPL template, let the compiler infer its dimensions from the template
+/// body, compose it with built-in matrices, and override a built-in
+/// template (the compose rule for two shifts) to fuse them, exactly like
+/// the paper's loop-fusion example.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "vm/Executor.h"
+
+#include <cstdio>
+
+using namespace spl;
+
+int main() {
+  // (ROT n k): y[i] = x[(i + k) mod n], defined only by its template. The
+  // wrap-around is expressed as two loops because vector subscripts must be
+  // linear in the loop indices (Section 3.2). The second template
+  // *overrides* composition of two rotations with a fused rotation by j+k
+  // (new templates take precedence over older ones).
+  const char *Source = R"(
+    (template (ROT n_ k_) [n_ >= 1 && k_ >= 0 && k_ < n_]
+      (do $i0 = 0, n_-k_-1
+         $out($i0) = $in($i0 + k_)
+       end
+       do $i0 = 0, k_-1
+         $out(n_-k_+$i0) = $in($i0)
+       end))
+
+    (template (compose (ROT n_ j_) (ROT n_ k_))
+              [j_ >= 0 && k_ >= 0 && j_ + k_ < n_]
+      (do $i0 = 0, n_-(j_+k_)-1
+         $out($i0) = $in($i0 + j_ + k_)
+       end
+       do $i0 = 0, j_+k_-1
+         $out(n_-(j_+k_)+$i0) = $in($i0)
+       end))
+
+    ; Rotate by 1 then by 2: matches the fused template (one loop).
+    #subname rot3
+    (compose (ROT 8 1) (ROT 8 2))
+
+    ; A rotation feeding the 8-point DFT: templates compose with built-ins.
+    #subname rotdft
+    (compose (F 8) (ROT 8 3))
+  )";
+
+  Diagnostics Diags;
+  driver::Compiler Compiler(Diags);
+  driver::CompilerOptions Opts;
+  auto Units = Compiler.compileSource(Source, Opts);
+  if (!Units) {
+    std::fputs(Diags.dump().c_str(), stderr);
+    return 1;
+  }
+
+  // First unit: the fused rotation. One loop, no temporary vector.
+  const auto &Rot3 = (*Units)[0];
+  std::puts("=== fused (ROT 8 1)(ROT 8 2) i-code ===");
+  std::fputs(Rot3.Final.print().c_str(), stdout);
+  if (!Rot3.Final.TempVecSizes.empty()) {
+    std::puts("unexpected temporary: fusion template did not fire");
+    return 1;
+  }
+
+  vm::Executor VM(Rot3.Final);
+  std::vector<double> X(16), Y;
+  for (int I = 0; I < 8; ++I)
+    X[2 * I] = I; // x[i] = i, purely real.
+  VM.runReal(X, Y);
+  std::puts("\ny = rotate-by-3 of (0 1 2 3 4 5 6 7):");
+  for (int I = 0; I < 8; ++I)
+    std::printf("  y[%d] = %g\n", I, Y[2 * I]);
+  for (int I = 0; I < 8; ++I) {
+    if (Y[2 * I] != (I + 3) % 8) {
+      std::puts("rotation is wrong!");
+      return 1;
+    }
+  }
+
+  // Second unit: user matrix composed with a built-in transform.
+  const auto &RotDft = (*Units)[1];
+  std::puts("\n=== (F 8)(ROT 8 3): generated C (head) ===");
+  std::string Head = RotDft.Code.substr(0, 400);
+  std::fputs(Head.c_str(), stdout);
+  std::puts("...\n\nok: user-defined matrices integrate with the pipeline");
+  return 0;
+}

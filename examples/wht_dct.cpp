@@ -1,0 +1,109 @@
+//===- examples/wht_dct.cpp - Beyond the FFT: WHT and DCT ---------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's generality claim: the same compiler handles any transform
+/// expressible as a matrix factorization. This example generates the
+/// Walsh-Hadamard factorization and the recursive DCT-II/DCT-IV rules of
+/// Section 2.1, compiles them with #datatype real, validates them against
+/// the dense definitions, and prints the Fortran the paper's back end
+/// would have consumed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "gen/Rules.h"
+#include "ir/Builder.h"
+#include "ir/Transforms.h"
+#include "vm/Executor.h"
+
+#include <cstdio>
+#include <random>
+
+using namespace spl;
+
+namespace {
+
+/// Compiles a real-datatype formula and returns max |VM output - dense|.
+double validate(driver::Compiler &Compiler, const FormulaRef &F,
+                const Matrix &Want, const char *Name,
+                driver::CompiledUnit *UnitOut = nullptr) {
+  Diagnostics Diags;
+  DirectiveState Dirs;
+  Dirs.SubName = Name;
+  Dirs.Datatype = "real";
+  Dirs.Language = "fortran";
+  driver::CompilerOptions Opts;
+  Opts.UnrollThreshold = 8;
+  auto Unit = Compiler.compileFormula(F, Dirs, Opts);
+  if (!Unit) {
+    std::fputs(Diags.dump().c_str(), stderr);
+    return 1e300;
+  }
+
+  vm::Executor VM(Unit->Final);
+  std::mt19937 Gen(5);
+  std::uniform_real_distribution<double> Dist(-1, 1);
+  std::vector<double> X(VM.inputLen()), Y;
+  for (auto &V : X)
+    V = Dist(Gen);
+  VM.runReal(X, Y);
+
+  std::vector<Cplx> XC(X.size());
+  for (size_t I = 0; I != X.size(); ++I)
+    XC[I] = Cplx(X[I], 0);
+  auto Ref = Want.apply(XC);
+  double Max = 0;
+  for (size_t I = 0; I != Ref.size(); ++I)
+    Max = std::max(Max, std::abs(Ref[I] - Cplx(Y[I], 0)));
+  if (UnitOut)
+    *UnitOut = std::move(*Unit);
+  return Max;
+}
+
+} // namespace
+
+int main() {
+  Diagnostics Diags;
+  driver::Compiler Compiler(Diags);
+  bool Ok = true;
+
+  // Walsh-Hadamard: WHT_16 through the Section 2.1 factorization.
+  using FP = std::vector<std::pair<std::int64_t, FormulaRef>>;
+  FormulaRef Wht = gen::ruleWHT(
+      FP{{2, makeWHT(2)}, {4, makeWHT(4)}, {2, makeWHT(2)}});
+  double WhtErr = validate(Compiler, Wht, whtMatrix(16), "wht16");
+  std::printf("WHT_16  factorization %-40s  max err %.2e\n",
+              "(2 x 4 x 2 split)", WhtErr);
+  Ok &= WhtErr < 1e-10;
+
+  // DCT-II and DCT-IV, recursive rules fully expanded to F_2 leaves.
+  for (std::int64_t N : {4, 8, 16}) {
+    FormulaRef Dct2 = gen::recursiveDCT2(N);
+    double E2 = validate(Compiler, Dct2, dct2Matrix(N), "dct2");
+    std::printf("DCT2_%-3lld recursive rule%-32s  max err %.2e\n",
+                static_cast<long long>(N), "", E2);
+    Ok &= E2 < 1e-10;
+
+    FormulaRef Dct4 = gen::recursiveDCT4(N);
+    double E4 = validate(Compiler, Dct4, dct4Matrix(N), "dct4");
+    std::printf("DCT4_%-3lld via S . DCT2 . D%-29s  max err %.2e\n",
+                static_cast<long long>(N), "", E4);
+    Ok &= E4 < 1e-10;
+  }
+
+  // Show the Fortran for the 8-point DCT-II, as the paper's back end saw it.
+  driver::CompiledUnit Unit;
+  double E = validate(Compiler, gen::recursiveDCT2(8), dct2Matrix(8),
+                      "dct2of8", &Unit);
+  Ok &= E < 1e-10;
+  std::puts("\n=== DCT2_8, generated Fortran (head) ===");
+  std::fputs(Unit.Code.substr(0, 700).c_str(), stdout);
+  std::puts("...");
+
+  std::printf("\n%s\n", Ok ? "all transforms validated" : "FAILURES");
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,133 @@
+//===- baseline/Codelets.cpp - Straight-line FFT codelets ---------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Codelets.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace spl;
+using namespace spl::baseline;
+
+namespace {
+
+constexpr double Sqrt1_2 = 0.70710678118654752440084436210485;
+
+/// Multiplication by -i.
+inline C mulNegI(C V) { return C(V.imag(), -V.real()); }
+
+inline void fft2(const C *X, std::int64_t IS, C *Y) {
+  C A = X[0], B = X[IS];
+  Y[0] = A + B;
+  Y[1] = A - B;
+}
+
+inline void fft4(const C *X, std::int64_t IS, C *Y) {
+  C E0 = X[0] + X[2 * IS];
+  C E1 = X[0] - X[2 * IS];
+  C O0 = X[IS] + X[3 * IS];
+  C O1 = X[IS] - X[3 * IS];
+  C T = mulNegI(O1);
+  Y[0] = E0 + O0;
+  Y[2] = E0 - O0;
+  Y[1] = E1 + T;
+  Y[3] = E1 - T;
+}
+
+inline void fft8(const C *X, std::int64_t IS, C *Y) {
+  C E[4], O[4];
+  fft4(X, 2 * IS, E);
+  fft4(X + IS, 2 * IS, O);
+  // Twiddles w8^k, k = 0..3: 1, (1-i)/sqrt2, -i, -(1+i)/sqrt2.
+  C T0 = O[0];
+  C T1 = C(Sqrt1_2 * (O[1].real() + O[1].imag()),
+           Sqrt1_2 * (O[1].imag() - O[1].real()));
+  C T2 = mulNegI(O[2]);
+  C T3 = C(Sqrt1_2 * (O[3].imag() - O[3].real()),
+           -Sqrt1_2 * (O[3].real() + O[3].imag()));
+  Y[0] = E[0] + T0;
+  Y[4] = E[0] - T0;
+  Y[1] = E[1] + T1;
+  Y[5] = E[1] - T1;
+  Y[2] = E[2] + T2;
+  Y[6] = E[2] - T2;
+  Y[3] = E[3] + T3;
+  Y[7] = E[3] - T3;
+}
+
+/// Twiddle table w_N^k for the fixed sizes 16 and 32.
+template <int N> const C *twiddles() {
+  static C Table[N / 2];
+  static bool Init = false;
+  if (!Init) {
+    for (int K = 0; K != N / 2; ++K) {
+      double Ang = -2.0 * 3.14159265358979323846264338327950288 * K / N;
+      Table[K] = C(std::cos(Ang), std::sin(Ang));
+    }
+    Init = true;
+  }
+  return Table;
+}
+
+template <int N, void (*Half)(const C *, std::int64_t, C *)>
+inline void fftCombine(const C *X, std::int64_t IS, C *Y) {
+  C E[N / 2], O[N / 2];
+  Half(X, 2 * IS, E);
+  Half(X + IS, 2 * IS, O);
+  const C *W = twiddles<N>();
+  for (int K = 0; K != N / 2; ++K) {
+    C T = W[K] * O[K];
+    Y[K] = E[K] + T;
+    Y[K + N / 2] = E[K] - T;
+  }
+}
+
+inline void fft16(const C *X, std::int64_t IS, C *Y) {
+  fftCombine<16, fft8>(X, IS, Y);
+}
+
+inline void fft32(const C *X, std::int64_t IS, C *Y) {
+  fftCombine<32, fft16>(X, IS, Y);
+}
+
+inline void fft64(const C *X, std::int64_t IS, C *Y) {
+  fftCombine<64, fft32>(X, IS, Y);
+}
+
+} // namespace
+
+bool baseline::hasCodelet(std::int64_t N) {
+  return N == 1 || N == 2 || N == 4 || N == 8 || N == 16 || N == 32 ||
+         N == 64;
+}
+
+void baseline::codelet(std::int64_t N, const C *X, std::int64_t IS, C *Y) {
+  switch (N) {
+  case 1:
+    Y[0] = X[0];
+    return;
+  case 2:
+    fft2(X, IS, Y);
+    return;
+  case 4:
+    fft4(X, IS, Y);
+    return;
+  case 8:
+    fft8(X, IS, Y);
+    return;
+  case 16:
+    fft16(X, IS, Y);
+    return;
+  case 32:
+    fft32(X, IS, Y);
+    return;
+  case 64:
+    fft64(X, IS, Y);
+    return;
+  default:
+    assert(false && "no codelet for this size");
+  }
+}

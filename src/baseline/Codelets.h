@@ -1,0 +1,40 @@
+//===- baseline/Codelets.h - Straight-line FFT codelets ---------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written straight-line complex FFTs for small sizes, with an input
+/// stride parameter — the "codelets" of the FFTW-substitute baseline the
+/// figures compare against (see DESIGN.md: FFTW itself is not available in
+/// this environment, so the baseline reproduces its architecture:
+/// planner + executor + codelets).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_BASELINE_CODELETS_H
+#define SPL_BASELINE_CODELETS_H
+
+#include <complex>
+#include <cstdint>
+
+namespace spl {
+namespace baseline {
+
+using C = std::complex<double>;
+
+/// y[k] = DFT_n(x[0], x[is], x[2*is], ...)[k], y contiguous. Supported n:
+/// 1, 2, 4, 8, 16, 32, 64.
+void codelet(std::int64_t N, const C *X, std::int64_t IS, C *Y);
+
+/// Largest size codelet() supports.
+constexpr std::int64_t MaxCodeletSize = 64;
+
+/// True when codelet() supports \p N.
+bool hasCodelet(std::int64_t N);
+
+} // namespace baseline
+} // namespace spl
+
+#endif // SPL_BASELINE_CODELETS_H

@@ -1,0 +1,293 @@
+//===- baseline/Kernels.cpp - Baseline FFT strategies -------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Kernels.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace spl;
+using namespace spl::baseline;
+
+namespace {
+
+constexpr double Pi = 3.14159265358979323846264338327950288;
+
+bool isPow2(std::int64_t N) { return N >= 1 && (N & (N - 1)) == 0; }
+
+int log2Of(std::int64_t N) {
+  int L = 0;
+  while ((std::int64_t(1) << L) < N)
+    ++L;
+  return L;
+}
+
+C rootOf(std::int64_t N, std::int64_t K) {
+  double Ang = -2.0 * Pi * static_cast<double>(K) / static_cast<double>(N);
+  return C(std::cos(Ang), std::sin(Ang));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// DirectDFT
+//===----------------------------------------------------------------------===//
+
+DirectDFT::DirectDFT(std::int64_t N) : Transform(N) {
+  Roots.resize(N);
+  for (std::int64_t K = 0; K != N; ++K)
+    Roots[K] = rootOf(N, K);
+}
+
+void DirectDFT::run(const C *In, C *Out) {
+  for (std::int64_t K = 0; K != N; ++K) {
+    C Acc(0, 0);
+    std::int64_t Idx = 0;
+    for (std::int64_t J = 0; J != N; ++J) {
+      Acc += Roots[Idx] * In[J];
+      Idx += K;
+      if (Idx >= N)
+        Idx -= N;
+    }
+    Out[K] = Acc;
+  }
+}
+
+std::size_t DirectDFT::memoryBytes() const {
+  return Roots.size() * sizeof(C);
+}
+
+//===----------------------------------------------------------------------===//
+// Radix2Iterative
+//===----------------------------------------------------------------------===//
+
+Radix2Iterative::Radix2Iterative(std::int64_t N) : Transform(N) {
+  assert(isPow2(N) && "radix-2 needs a power of two");
+  int Lg = log2Of(N);
+  BitRev.resize(N);
+  for (std::int64_t I = 0; I != N; ++I) {
+    std::int64_t R = 0;
+    for (int B = 0; B != Lg; ++B)
+      if (I & (std::int64_t(1) << B))
+        R |= std::int64_t(1) << (Lg - 1 - B);
+    BitRev[I] = static_cast<std::int32_t>(R);
+  }
+  Twiddles.resize(N / 2 > 0 ? N / 2 : 1);
+  for (std::int64_t K = 0; K != N / 2; ++K)
+    Twiddles[K] = rootOf(N, K);
+}
+
+void Radix2Iterative::run(const C *In, C *Out) {
+  for (std::int64_t I = 0; I != N; ++I)
+    Out[I] = In[BitRev[I]];
+  for (std::int64_t Len = 2; Len <= N; Len <<= 1) {
+    std::int64_t Half = Len >> 1;
+    std::int64_t Step = N / Len; // Twiddle stride into w_N table.
+    for (std::int64_t Base = 0; Base != N; Base += Len) {
+      std::int64_t TIdx = 0;
+      for (std::int64_t K = 0; K != Half; ++K) {
+        C T = Twiddles[TIdx] * Out[Base + Half + K];
+        Out[Base + Half + K] = Out[Base + K] - T;
+        Out[Base + K] += T;
+        TIdx += Step;
+      }
+    }
+  }
+}
+
+std::size_t Radix2Iterative::memoryBytes() const {
+  return BitRev.size() * sizeof(std::int32_t) + Twiddles.size() * sizeof(C);
+}
+
+//===----------------------------------------------------------------------===//
+// StockhamRadix2
+//===----------------------------------------------------------------------===//
+
+StockhamRadix2::StockhamRadix2(std::int64_t N) : Transform(N) {
+  assert(isPow2(N) && "Stockham needs a power of two");
+  Twiddles.resize(N / 2 > 0 ? N / 2 : 1);
+  for (std::int64_t K = 0; K != N / 2; ++K)
+    Twiddles[K] = rootOf(N, K);
+  Scratch.resize(N);
+}
+
+void StockhamRadix2::run(const C *In, C *Out) {
+  if (N == 1) {
+    Out[0] = In[0];
+    return;
+  }
+  // Self-sorting DIT: each pass transforms L blocks of size M into L/2
+  // blocks of size 2M, alternating between Out and Scratch.
+  const C *Src = In;
+  C *DstA = Out, *DstB = Scratch.data();
+  std::int64_t L = N / 2, M = 1;
+  while (L >= 1) {
+    C *Dst = DstA;
+    for (std::int64_t J = 0; J != L; ++J) {
+      for (std::int64_t K = 0; K != M; ++K) {
+        C A = Src[J * M + K];
+        C B = Src[(J + L) * M + K];
+        C T = Twiddles[K * L] * B;
+        Dst[2 * J * M + K] = A + T;
+        Dst[(2 * J + 1) * M + K] = A - T;
+      }
+    }
+    Src = Dst;
+    std::swap(DstA, DstB);
+    L >>= 1;
+    M <<= 1;
+  }
+  // Result lives where the last pass wrote: Src. Copy if it is not Out.
+  if (Src != Out) {
+    for (std::int64_t I = 0; I != N; ++I)
+      Out[I] = Src[I];
+  }
+}
+
+std::size_t StockhamRadix2::memoryBytes() const {
+  return Twiddles.size() * sizeof(C) + Scratch.size() * sizeof(C);
+}
+
+//===----------------------------------------------------------------------===//
+// StockhamRadix4
+//===----------------------------------------------------------------------===//
+
+StockhamRadix4::StockhamRadix4(std::int64_t N) : Transform(N) {
+  assert(isPow2(N) && "Stockham needs a power of two");
+  Twiddles.resize(N > 1 ? N : 1);
+  for (std::int64_t K = 0; K != N; ++K)
+    Twiddles[K] = rootOf(N, K);
+  Scratch.resize(N);
+}
+
+void StockhamRadix4::run(const C *In, C *Out) {
+  if (N == 1) {
+    Out[0] = In[0];
+    return;
+  }
+  const C *Src = In;
+  C *DstA = Out, *DstB = Scratch.data();
+  std::int64_t M = 1;
+
+  // One radix-2 pass when log2(N) is odd (its twiddles are all 1).
+  if (log2Of(N) % 2 == 1) {
+    std::int64_t L = N / 2;
+    C *Dst = DstA;
+    for (std::int64_t J = 0; J != L; ++J) {
+      C A = Src[J], B = Src[J + L];
+      Dst[2 * J] = A + B;
+      Dst[2 * J + 1] = A - B;
+    }
+    Src = Dst;
+    std::swap(DstA, DstB);
+    M = 2;
+  }
+
+  for (std::int64_t L = N / (4 * M); L >= 1; L /= 4) {
+    C *Dst = DstA;
+    for (std::int64_t J = 0; J != L; ++J) {
+      for (std::int64_t K = 0; K != M; ++K) {
+        C A0 = Src[(J + 0 * L) * M + K];
+        C A1 = Twiddles[1 * K * L] * Src[(J + 1 * L) * M + K];
+        C A2 = Twiddles[2 * K * L] * Src[(J + 2 * L) * M + K];
+        C A3 = Twiddles[3 * K * L] * Src[(J + 3 * L) * M + K];
+        C S02 = A0 + A2, D02 = A0 - A2;
+        C S13 = A1 + A3, D13 = A1 - A3;
+        C JD13 = C(D13.imag(), -D13.real()); // -i * D13.
+        Dst[(4 * J + 0) * M + K] = S02 + S13;
+        Dst[(4 * J + 1) * M + K] = D02 + JD13;
+        Dst[(4 * J + 2) * M + K] = S02 - S13;
+        Dst[(4 * J + 3) * M + K] = D02 - JD13;
+      }
+    }
+    Src = Dst;
+    std::swap(DstA, DstB);
+    M *= 4;
+  }
+  if (Src != Out) {
+    for (std::int64_t I = 0; I != N; ++I)
+      Out[I] = Src[I];
+  }
+}
+
+std::size_t StockhamRadix4::memoryBytes() const {
+  return Twiddles.size() * sizeof(C) + Scratch.size() * sizeof(C);
+}
+
+//===----------------------------------------------------------------------===//
+// RecursiveCT
+//===----------------------------------------------------------------------===//
+
+RecursiveCT::RecursiveCT(std::int64_t N, std::int64_t LeafSize)
+    : Transform(N), Leaf(LeafSize) {
+  assert(isPow2(N) && hasCodelet(Leaf) && N >= Leaf &&
+         "bad recursive plan parameters");
+  for (std::int64_t M = N; M > Leaf; M /= 2) {
+    LevelSizes.push_back(M);
+    std::vector<C> Table(M / 2);
+    for (std::int64_t K = 0; K != M / 2; ++K)
+      Table[K] = rootOf(M, K);
+    Levels.push_back(std::move(Table));
+  }
+}
+
+const C *RecursiveCT::levelTable(std::int64_t M) const {
+  for (size_t I = 0; I != LevelSizes.size(); ++I)
+    if (LevelSizes[I] == M)
+      return Levels[I].data();
+  assert(false && "missing twiddle level");
+  return nullptr;
+}
+
+void RecursiveCT::rec(const C *In, C *Out, std::int64_t M,
+                      std::int64_t Stride) {
+  if (M <= Leaf) {
+    codelet(M, In, Stride, Out);
+    return;
+  }
+  rec(In, Out, M / 2, 2 * Stride);
+  rec(In + Stride, Out + M / 2, M / 2, 2 * Stride);
+  const C *W = levelTable(M);
+  for (std::int64_t K = 0; K != M / 2; ++K) {
+    C T = W[K] * Out[M / 2 + K];
+    Out[M / 2 + K] = Out[K] - T;
+    Out[K] += T;
+  }
+}
+
+void RecursiveCT::run(const C *In, C *Out) { rec(In, Out, N, 1); }
+
+std::size_t RecursiveCT::memoryBytes() const {
+  std::size_t Bytes = 0;
+  for (const auto &L : Levels)
+    Bytes += L.size() * sizeof(C);
+  return Bytes;
+}
+
+//===----------------------------------------------------------------------===//
+// Strategy enumeration
+//===----------------------------------------------------------------------===//
+
+std::vector<std::unique_ptr<Transform>>
+baseline::allStrategies(std::int64_t N) {
+  std::vector<std::unique_ptr<Transform>> Out;
+  if (N <= 64)
+    Out.push_back(std::make_unique<DirectDFT>(N));
+  if (!isPow2(N))
+    return Out;
+  if (N >= 2) {
+    Out.push_back(std::make_unique<Radix2Iterative>(N));
+    Out.push_back(std::make_unique<StockhamRadix2>(N));
+    Out.push_back(std::make_unique<StockhamRadix4>(N));
+  }
+  // N == Leaf would just be the codelet; require at least one combine
+  // level so every recursive plan is distinct from a plain codelet call.
+  for (std::int64_t Leaf : {std::int64_t(8), std::int64_t(16),
+                            std::int64_t(32)})
+    if (N > Leaf)
+      Out.push_back(std::make_unique<RecursiveCT>(N, Leaf));
+  return Out;
+}

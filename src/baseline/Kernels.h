@@ -1,0 +1,130 @@
+//===- baseline/Kernels.h - Baseline FFT strategies -------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executor strategies of the FFTW-substitute baseline: direct DFT,
+/// iterative radix-2 with bit reversal, Stockham autosort (radix 2 and 4),
+/// and the recursive Cooley-Tukey executor calling straight-line codelets at
+/// the leaves (FFTW's architecture). Every strategy is an out-of-place
+/// complex transform with precomputed twiddles and explicit memory
+/// accounting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_BASELINE_KERNELS_H
+#define SPL_BASELINE_KERNELS_H
+
+#include "baseline/Codelets.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spl {
+namespace baseline {
+
+/// An executable N-point complex DFT.
+class Transform {
+public:
+  explicit Transform(std::int64_t N) : N(N) {}
+  virtual ~Transform() = default;
+
+  std::int64_t size() const { return N; }
+
+  /// Computes Out = DFT_N(In); both buffers hold N elements and must not
+  /// alias.
+  virtual void run(const C *In, C *Out) = 0;
+
+  /// Bytes of twiddle tables and scratch this transform owns.
+  virtual std::size_t memoryBytes() const = 0;
+
+  virtual std::string name() const = 0;
+
+protected:
+  std::int64_t N;
+};
+
+/// The O(N^2) DFT by definition (any N; baseline of last resort).
+class DirectDFT : public Transform {
+public:
+  explicit DirectDFT(std::int64_t N);
+  void run(const C *In, C *Out) override;
+  std::size_t memoryBytes() const override;
+  std::string name() const override { return "direct"; }
+
+private:
+  std::vector<C> Roots; ///< w_N^k, k < N.
+};
+
+/// Iterative radix-2 with an initial bit-reversal permutation (N a power of
+/// two).
+class Radix2Iterative : public Transform {
+public:
+  explicit Radix2Iterative(std::int64_t N);
+  void run(const C *In, C *Out) override;
+  std::size_t memoryBytes() const override;
+  std::string name() const override { return "radix2-iter"; }
+
+private:
+  std::vector<std::int32_t> BitRev;
+  std::vector<C> Twiddles; ///< w_N^k, k < N/2.
+};
+
+/// Stockham autosort, radix 2 (N a power of two): no bit reversal, ping-pong
+/// scratch buffer, unit-stride passes.
+class StockhamRadix2 : public Transform {
+public:
+  explicit StockhamRadix2(std::int64_t N);
+  void run(const C *In, C *Out) override;
+  std::size_t memoryBytes() const override;
+  std::string name() const override { return "stockham2"; }
+
+private:
+  std::vector<C> Twiddles;
+  std::vector<C> Scratch;
+};
+
+/// Stockham autosort, radix 4, with one radix-2 pass when log2(N) is odd.
+class StockhamRadix4 : public Transform {
+public:
+  explicit StockhamRadix4(std::int64_t N);
+  void run(const C *In, C *Out) override;
+  std::size_t memoryBytes() const override;
+  std::string name() const override { return "stockham4"; }
+
+private:
+  std::vector<C> Twiddles;
+  std::vector<C> Scratch;
+};
+
+/// Recursive decimation-in-time executor with straight-line codelet leaves
+/// (FFTW's plan shape). Leaf must be a codelet size.
+class RecursiveCT : public Transform {
+public:
+  RecursiveCT(std::int64_t N, std::int64_t Leaf);
+  void run(const C *In, C *Out) override;
+  std::size_t memoryBytes() const override;
+  std::string name() const override {
+    return "recursive-leaf" + std::to_string(Leaf);
+  }
+
+private:
+  std::int64_t Leaf;
+  /// Twiddle tables per combine level: for size M, w_M^k for k < M/2.
+  std::vector<std::vector<C>> Levels;
+  std::vector<std::int64_t> LevelSizes;
+
+  void rec(const C *In, C *Out, std::int64_t M, std::int64_t Stride);
+  const C *levelTable(std::int64_t M) const;
+};
+
+/// All strategies applicable to size N, in a deterministic order.
+std::vector<std::unique_ptr<Transform>> allStrategies(std::int64_t N);
+
+} // namespace baseline
+} // namespace spl
+
+#endif // SPL_BASELINE_KERNELS_H

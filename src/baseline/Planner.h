@@ -1,0 +1,54 @@
+//===- baseline/Planner.h - Run-time FFT planner ----------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline's planner (FFTW's architecture, Section 4.2 of the paper):
+/// in Measure mode every applicable strategy is instantiated and timed on
+/// the target machine and the fastest wins — this costs planning time and
+/// memory. In Estimate mode a closed-form operation-count model picks the
+/// plan without running anything, like FFTW's FFTW_ESTIMATE.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_BASELINE_PLANNER_H
+#define SPL_BASELINE_PLANNER_H
+
+#include "baseline/Kernels.h"
+
+#include <optional>
+
+namespace spl {
+namespace baseline {
+
+/// Planning strategy.
+enum class PlanMode { Measure, Estimate };
+
+/// One candidate's planning record.
+struct PlanChoice {
+  std::string Name;
+  double Seconds = 0;    ///< Measured seconds/transform (Measure mode).
+  double Score = 0;      ///< Model score (Estimate mode).
+  std::size_t Bytes = 0; ///< The candidate's table+scratch memory.
+};
+
+/// A complete plan.
+struct PlanResult {
+  std::unique_ptr<Transform> Best;
+  std::vector<PlanChoice> Candidates;
+
+  /// Peak extra memory the planner itself used: in Measure mode all
+  /// candidates coexist plus the timing buffers; in Estimate mode nothing
+  /// beyond the winner.
+  std::size_t PlannerPeakBytes = 0;
+};
+
+/// Plans an N-point complex DFT.
+PlanResult plan(std::int64_t N, PlanMode Mode);
+
+} // namespace baseline
+} // namespace spl
+
+#endif // SPL_BASELINE_PLANNER_H

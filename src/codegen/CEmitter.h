@@ -1,0 +1,60 @@
+//===- codegen/CEmitter.h - C code generation -------------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits a C subroutine from an i-code program (paper Section 3.5). C output
+/// requires real-typed programs (run the complex-to-real lowering first; C89
+/// has no complex type). Options add the stride/offset parameters used by
+/// FFTW-style codelets and the vectorization wrapper (A -> A (x) I_m).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_CODEGEN_CEMITTER_H
+#define SPL_CODEGEN_CEMITTER_H
+
+#include "icode/ICode.h"
+
+#include <string>
+
+namespace spl {
+namespace codegen {
+
+/// C emission options.
+struct CEmitOptions {
+  /// Add (int ioff, int ooff, int istride, int ostride) parameters, in
+  /// logical (complex) elements; the generated code then computes on
+  /// non-contiguous data like an FFTW codelet.
+  bool StrideParams = false;
+
+  /// When > 0, wrap the routine as A (x) I_m with m = VectorizeCount: an
+  /// outer loop applies the transform to m interleaved vectors.
+  int VectorizeCount = 0;
+
+  /// Mark pointer arguments restrict (helps back-end compilers).
+  bool UseRestrict = true;
+
+  /// Emit constant tables as pointers bound at run time through an extra
+  /// function <name>_set_tables(const double *const *), instead of inline
+  /// static initializers. Keeps generated files small for large transforms
+  /// (a 2^20-point FFT carries megabytes of twiddles) — the runner computes
+  /// the tables and passes them in, like FFTW's plan-time twiddle setup.
+  bool ExternalTables = false;
+
+  /// Extra text for the header comment (e.g. the source formula).
+  std::string HeaderComment;
+};
+
+/// Renders \p P as a complete C translation unit containing one function
+///   void <SubName>(double *y, const double *x, ...);
+/// For programs lowered from complex data, buffers are interleaved (re,im)
+/// pairs and 2*size doubles long.
+std::string emitC(const icode::Program &P,
+                  const CEmitOptions &Opts = CEmitOptions());
+
+} // namespace codegen
+} // namespace spl
+
+#endif // SPL_CODEGEN_CEMITTER_H

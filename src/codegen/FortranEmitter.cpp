@@ -1,0 +1,246 @@
+//===- codegen/FortranEmitter.cpp - Fortran code generation -------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/FortranEmitter.h"
+
+#include "support/StrUtil.h"
+
+#include <cassert>
+#include <set>
+#include <sstream>
+
+using namespace spl;
+using namespace spl::codegen;
+using namespace spl::icode;
+
+namespace {
+
+/// Formats a double as a Fortran double-precision literal (d exponent).
+std::string fortranDouble(double V) {
+  std::string S = formatDouble(V);
+  auto E = S.find('e');
+  if (E == std::string::npos)
+    E = S.find('E');
+  if (E != std::string::npos)
+    S[E] = 'd';
+  else
+    S += "d0";
+  return S;
+}
+
+class FortranEmitterImpl {
+public:
+  FortranEmitterImpl(const Program &P, const FortranEmitOptions &Opts)
+      : P(P), Opts(Opts), IsComplex(P.Type == DataType::Complex) {}
+
+  std::string run() {
+    line("subroutine " + P.SubName + " (y,x)");
+    emitDecls();
+    emitTables();
+    emitBody();
+    line("end");
+    return Out.str();
+  }
+
+private:
+  const Program &P;
+  const FortranEmitOptions &Opts;
+  bool IsComplex;
+  std::ostringstream Out;
+  int Depth = 0;
+
+  /// Emits one fixed-form line: 6 leading spaces, wrapped with continuation
+  /// markers in column 6 when longer than 72 columns.
+  void line(const std::string &Text) {
+    std::string Body = Text;
+    bool First = true;
+    while (!Body.empty()) {
+      size_t Max = 72 - 6;
+      std::string Chunk;
+      if (Body.size() <= Max) {
+        Chunk = Body;
+        Body.clear();
+      } else {
+        // Break at the last comma or space before the limit.
+        size_t Cut = Body.find_last_of(", ", Max);
+        if (Cut == std::string::npos || Cut < Max / 2)
+          Cut = Max;
+        Chunk = Body.substr(0, Cut + 1);
+        Body = Body.substr(Cut + 1);
+      }
+      Out << (First ? "      " : "     &") << Chunk << "\n";
+      First = false;
+    }
+  }
+
+  std::string scalarType() const {
+    return IsComplex ? "complex*16" : "real*8";
+  }
+
+  std::string litOf(Cplx V) const {
+    if (IsComplex)
+      return "(" + fortranDouble(V.real()) + "," + fortranDouble(V.imag()) +
+             ")";
+    assert(V.imag() == 0 && "complex constant in a real Fortran program");
+    std::string S = fortranDouble(V.real());
+    return V.real() < 0 ? "(" + S + ")" : S;
+  }
+
+  std::int64_t bufLen(std::int64_t Logical) const {
+    return P.LoweredToReal ? Logical * 2 : Logical;
+  }
+
+  void emitDecls() {
+    line("implicit " + scalarType() + " (f)");
+    line(scalarType() + " y(" + std::to_string(bufLen(P.OutSize)) + "),x(" +
+         std::to_string(bufLen(P.InSize)) + ")");
+
+    std::set<int> UsedI;
+    for (const Instr &I : P.Body)
+      if (I.Opcode == Op::Loop)
+        UsedI.insert(I.LoopVar);
+    auto NoteVars = [&UsedI](const Operand &O) {
+      if (O.Kind == OpndKind::VecElem || O.Kind == OpndKind::TableElem)
+        for (const auto &[V, C] : O.Subs.Terms) {
+          (void)C;
+          UsedI.insert(V);
+        }
+    };
+    for (const Instr &I : P.Body) {
+      NoteVars(I.Dst);
+      NoteVars(I.A);
+      NoteVars(I.B);
+    }
+    if (!UsedI.empty()) {
+      std::string Decl = "integer ";
+      bool First = true;
+      for (int V : UsedI) {
+        if (!First)
+          Decl += ",";
+        Decl += "i" + std::to_string(V);
+        First = false;
+      }
+      line(Decl);
+    }
+
+    bool HasTemps = false;
+    for (size_t T = 0; T != P.TempVecSizes.size(); ++T)
+      if (P.TempVecSizes[T] > 0) {
+        line(scalarType() + " t" + std::to_string(T) + "(" +
+             std::to_string(P.TempVecSizes[T]) + ")");
+        HasTemps = true;
+      }
+    if (Opts.AutomaticTemps && HasTemps) {
+      std::string Decl = "automatic ";
+      bool First = true;
+      for (size_t T = 0; T != P.TempVecSizes.size(); ++T)
+        if (P.TempVecSizes[T] > 0) {
+          if (!First)
+            Decl += ",";
+          Decl += "t" + std::to_string(T);
+          First = false;
+        }
+      line(Decl);
+    }
+  }
+
+  void emitTables() {
+    for (size_t T = 0; T != P.Tables.size(); ++T) {
+      const auto &Tab = P.Tables[T];
+      line(scalarType() + " w" + std::to_string(T) + "(" +
+           std::to_string(Tab.size()) + ")");
+      std::string Data = "data w" + std::to_string(T) + " /";
+      for (size_t I = 0; I != Tab.size(); ++I) {
+        if (I)
+          Data += ",";
+        Data += IsComplex ? litOf(Tab[I]) : fortranDouble(Tab[I].real());
+      }
+      Data += "/";
+      line(Data);
+    }
+  }
+
+  static std::string affineStr(const Affine &A, std::int64_t Plus) {
+    Affine Shifted = A.plusConst(Plus);
+    std::string S;
+    for (const auto &[V, C] : Shifted.Terms) {
+      if (!S.empty())
+        S += C < 0 ? "-" : "+";
+      else if (C < 0)
+        S += "-";
+      std::int64_t Abs = C < 0 ? -C : C;
+      if (Abs != 1)
+        S += std::to_string(Abs) + "*";
+      S += "i" + std::to_string(V);
+    }
+    if (S.empty())
+      return std::to_string(Shifted.Base);
+    if (Shifted.Base > 0)
+      S += "+" + std::to_string(Shifted.Base);
+    else if (Shifted.Base < 0)
+      S += std::to_string(Shifted.Base);
+    return S;
+  }
+
+  std::string operandStr(const Operand &O) {
+    switch (O.Kind) {
+    case OpndKind::FltConst:
+      return litOf(O.FConst);
+    case OpndKind::FltTemp:
+      return "f" + std::to_string(O.Id);
+    case OpndKind::VecElem: {
+      std::string Name = O.Id == VecIn    ? "x"
+                         : O.Id == VecOut ? "y"
+                                          : "t" + std::to_string(
+                                                      O.Id - FirstTempVec);
+      return Name + "(" + affineStr(O.Subs, 1) + ")";
+    }
+    case OpndKind::TableElem:
+      return "w" + std::to_string(O.Id) + "(" + affineStr(O.Subs, 1) + ")";
+    default:
+      assert(false && "intrinsics must be evaluated before emission");
+      return "?";
+    }
+  }
+
+  void emitBody() {
+    for (const Instr &I : P.Body) {
+      switch (I.Opcode) {
+      case Op::Loop:
+        line("do i" + std::to_string(I.LoopVar) + " = " +
+             std::to_string(I.Lo) + ", " + std::to_string(I.Hi));
+        ++Depth;
+        break;
+      case Op::End:
+        --Depth;
+        line("end do");
+        break;
+      case Op::Copy:
+        line(operandStr(I.Dst) + " = " + operandStr(I.A));
+        break;
+      case Op::Neg:
+        line(operandStr(I.Dst) + " = -" + operandStr(I.A));
+        break;
+      default: {
+        const char *Sym = I.Opcode == Op::Add   ? " + "
+                          : I.Opcode == Op::Sub ? " - "
+                          : I.Opcode == Op::Mul ? " * "
+                                                : " / ";
+        line(operandStr(I.Dst) + " = " + operandStr(I.A) + Sym +
+             operandStr(I.B));
+        break;
+      }
+      }
+    }
+  }
+};
+
+} // namespace
+
+std::string codegen::emitFortran(const Program &P,
+                                 const FortranEmitOptions &Opts) {
+  return FortranEmitterImpl(P, Opts).run();
+}

@@ -1,0 +1,40 @@
+//===- codegen/FortranEmitter.h - Fortran code generation -------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits a Fortran 77 subroutine from an i-code program, in the style of the
+/// paper's example output (implicit real*8 (f), do/end do, 1-based
+/// subscripts). Complex programs use the complex*16 intrinsic type
+/// (#codetype complex); real and lowered programs use real*8.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_CODEGEN_FORTRANEMITTER_H
+#define SPL_CODEGEN_FORTRANEMITTER_H
+
+#include "icode/ICode.h"
+
+#include <string>
+
+namespace spl {
+namespace codegen {
+
+/// Fortran emission options.
+struct FortranEmitOptions {
+  /// Declare temporaries AUTOMATIC so they live on the stack (the paper's
+  /// SPARC transformation; many Fortran compilers make variables static by
+  /// default).
+  bool AutomaticTemps = false;
+};
+
+/// Renders \p P as a Fortran subroutine "subroutine <name>(y, x)".
+std::string emitFortran(const icode::Program &P,
+                        const FortranEmitOptions &Opts = FortranEmitOptions());
+
+} // namespace codegen
+} // namespace spl
+
+#endif // SPL_CODEGEN_FORTRANEMITTER_H

@@ -1,0 +1,78 @@
+//===- frontend/Lexer.h - SPL lexer -----------------------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for SPL source: S-expression punctuation, symbols (including
+/// $-prefixed i-code names and hyphenated operator names like direct-sum),
+/// numbers, compiler directives (# to end of line), comments (; to end of
+/// line), and the operator tokens used by template bodies and conditions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_FRONTEND_LEXER_H
+#define SPL_FRONTEND_LEXER_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spl {
+
+/// Token kinds.
+enum class Tok {
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Symbol,    ///< Identifiers, $names, hyphenated names.
+  Number,    ///< Integer or floating literal.
+  Directive, ///< '#' line; Text holds everything after '#'.
+  Comma,
+  Equals,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Dot,
+  EqEq,
+  NotEq,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  AmpAmp,
+  PipePipe,
+  Bang,
+  Eof,
+};
+
+/// One lexed token.
+struct Token {
+  Tok Kind = Tok::Eof;
+  std::string Text;     ///< Symbol/directive text; literal spelling otherwise.
+  double Num = 0;       ///< Numeric value (Number).
+  std::int64_t Int = 0; ///< Integer value when IsInt.
+  bool IsInt = false;   ///< Number had no '.' or exponent.
+  bool Adjacent = false; ///< No whitespace between this and previous token.
+  SourceLoc Loc;
+
+  bool is(Tok K) const { return Kind == K; }
+  bool isSymbol(const char *S) const {
+    return Kind == Tok::Symbol && Text == S;
+  }
+};
+
+/// Lexes a whole buffer up front. Lexing never fails fatally: unknown
+/// characters produce a diagnostic and are skipped.
+std::vector<Token> lex(const std::string &Source, Diagnostics &Diags);
+
+} // namespace spl
+
+#endif // SPL_FRONTEND_LEXER_H

@@ -1,0 +1,1014 @@
+//===- frontend/Parser.cpp - SPL parser ------------------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "frontend/ScalarExpr.h"
+#include "ir/Builder.h"
+#include "support/StrUtil.h"
+
+#include <cctype>
+#include <sstream>
+
+using namespace spl;
+
+namespace {
+
+bool isPatternVarName(const std::string &S) {
+  return S.size() >= 2 && S.back() == '_';
+}
+
+bool isIntVarName(const std::string &S) {
+  return isPatternVarName(S) &&
+         std::islower(static_cast<unsigned char>(S.front()));
+}
+
+bool isFormulaVarName(const std::string &S) {
+  return isPatternVarName(S) &&
+         std::isupper(static_cast<unsigned char>(S.front()));
+}
+
+/// Splits a directive line into whitespace-separated words.
+std::vector<std::string> splitWords(const std::string &S) {
+  std::vector<std::string> Out;
+  std::istringstream SS(S);
+  std::string W;
+  while (SS >> W)
+    Out.push_back(W);
+  return Out;
+}
+
+} // namespace
+
+Parser::Parser(const std::string &Source, Diagnostics &Diags)
+    : Diags(Diags), Toks(lex(Source, Diags)) {}
+
+//===----------------------------------------------------------------------===//
+// Token helpers
+//===----------------------------------------------------------------------===//
+
+const Token &Parser::peek(size_t Ahead) const {
+  size_t I = Pos + Ahead;
+  if (I >= Toks.size())
+    I = Toks.size() - 1; // Eof sentinel.
+  return Toks[I];
+}
+
+Token Parser::take() {
+  Token T = cur();
+  if (Pos + 1 < Toks.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::consumeIf(Tok K) {
+  if (!cur().is(K))
+    return false;
+  take();
+  return true;
+}
+
+bool Parser::expect(Tok K, const char *What) {
+  if (consumeIf(K))
+    return true;
+  Diags.error(cur().Loc, std::string("expected ") + What + ", found '" +
+                             (cur().is(Tok::Eof) ? "<eof>" : cur().Text) +
+                             "'");
+  return false;
+}
+
+void Parser::error(const char *Message) { Diags.error(cur().Loc, Message); }
+
+void Parser::skipToCloseParen() {
+  int Depth = 0;
+  while (!cur().is(Tok::Eof)) {
+    if (cur().is(Tok::LParen))
+      ++Depth;
+    if (cur().is(Tok::RParen)) {
+      if (Depth == 0) {
+        take();
+        return;
+      }
+      --Depth;
+    }
+    take();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Program structure
+//===----------------------------------------------------------------------===//
+
+void Parser::handleDirective(const Token &T) {
+  std::vector<std::string> Words = splitWords(T.Text);
+  if (Words.empty()) {
+    Diags.warning(T.Loc, "empty compiler directive");
+    return;
+  }
+  std::string Key = toLower(Words[0]);
+  std::string Arg = Words.size() > 1 ? toLower(Words[1]) : "";
+  if (Key == "subname") {
+    if (Words.size() != 2) {
+      Diags.error(T.Loc, "#subname takes exactly one argument");
+      return;
+    }
+    Dirs.SubName = Words[1];
+    return;
+  }
+  if (Key == "datatype") {
+    if (Arg != "real" && Arg != "complex") {
+      Diags.error(T.Loc, "#datatype must be 'real' or 'complex'");
+      return;
+    }
+    Dirs.Datatype = Arg;
+    return;
+  }
+  if (Key == "codetype") {
+    if (Arg != "real" && Arg != "complex") {
+      Diags.error(T.Loc, "#codetype must be 'real' or 'complex'");
+      return;
+    }
+    Dirs.CodeType = Arg;
+    return;
+  }
+  if (Key == "language") {
+    if (Arg != "c" && Arg != "fortran") {
+      Diags.error(T.Loc, "#language must be 'c' or 'fortran'");
+      return;
+    }
+    Dirs.Language = Arg;
+    return;
+  }
+  if (Key == "unroll") {
+    if (Arg == "on")
+      Dirs.Unroll = true;
+    else if (Arg == "off")
+      Dirs.Unroll = false;
+    else
+      Diags.error(T.Loc, "#unroll must be 'on' or 'off'");
+    return;
+  }
+  Diags.warning(T.Loc, "unknown compiler directive '" + Words[0] + "'");
+}
+
+std::optional<SplProgram> Parser::parseProgram() {
+  SplProgram Prog;
+  while (!cur().is(Tok::Eof)) {
+    if (cur().is(Tok::Directive)) {
+      handleDirective(take());
+      continue;
+    }
+    if (!cur().is(Tok::LParen)) {
+      error("expected '(' or a compiler directive at top level");
+      take();
+      continue;
+    }
+
+    const Token &Head = peek(1);
+    if (Head.isSymbol("define")) {
+      SourceLoc Loc = cur().Loc;
+      take(); // (
+      take(); // define
+      if (!cur().is(Tok::Symbol)) {
+        error("expected a name after 'define'");
+        skipToCloseParen();
+        continue;
+      }
+      std::string Name = take().Text;
+      FormulaRef F = parseFormula(/*PatternMode=*/false);
+      if (!F || !expect(Tok::RParen, "')' closing define")) {
+        if (!F)
+          skipToCloseParen();
+        continue;
+      }
+      if (Dirs.Unroll)
+        F = withUnrollHint(F, *Dirs.Unroll);
+      if (Prog.Defines.count(Name))
+        Diags.warning(Loc, "redefinition of '" + Name + "'");
+      Prog.Defines[Name] = F;
+      Defines[Name] = F;
+      continue;
+    }
+
+    if (Head.isSymbol("template")) {
+      SourceLoc Loc = cur().Loc;
+      take(); // (
+      take(); // template
+      auto Def = parseTemplate(Loc);
+      if (!Def) {
+        skipToCloseParen();
+        continue;
+      }
+      Prog.Templates.push_back(std::move(*Def));
+      continue;
+    }
+
+    FormulaRef F = parseFormula(/*PatternMode=*/false);
+    if (!F) {
+      skipToCloseParen();
+      continue;
+    }
+    if (Dirs.Unroll)
+      F = withUnrollHint(F, *Dirs.Unroll);
+    Prog.Items.push_back({F, Dirs});
+  }
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return Prog;
+}
+
+FormulaRef Parser::parseSingleFormula(bool PatternMode) {
+  FormulaRef F = parseFormula(PatternMode);
+  if (Diags.hasErrors())
+    return nullptr;
+  return F;
+}
+
+//===----------------------------------------------------------------------===//
+// Formulas
+//===----------------------------------------------------------------------===//
+
+FormulaRef Parser::parseFormula(bool PatternMode) {
+  if (cur().is(Tok::LParen))
+    return parseParenFormula(PatternMode);
+
+  if (cur().is(Tok::Symbol)) {
+    Token T = take();
+    if (PatternMode && isFormulaVarName(T.Text))
+      return makePatFormula(T.Text, T.Loc);
+    auto It = Defines.find(T.Text);
+    if (It != Defines.end())
+      return It->second;
+    Diags.error(T.Loc, "undefined symbol '" + T.Text + "'" +
+                           (PatternMode ? " (formula pattern variables must "
+                                          "start with an upper-case letter "
+                                          "and end with '_')"
+                                        : ""));
+    return nullptr;
+  }
+
+  error("expected a formula");
+  return nullptr;
+}
+
+std::optional<IntArg> Parser::parseIntArg(bool PatternMode) {
+  if (cur().is(Tok::Number) && cur().IsInt) {
+    Token T = take();
+    return IntArg(T.Int);
+  }
+  if (cur().is(Tok::Symbol) && isIntVarName(cur().Text)) {
+    if (!PatternMode) {
+      error("pattern variables are only allowed inside template patterns");
+      return std::nullopt;
+    }
+    Token T = take();
+    return IntArg(T.Text);
+  }
+  error("expected an integer parameter");
+  return std::nullopt;
+}
+
+bool Parser::parseFormulaList(bool PatternMode, std::vector<FormulaRef> &Out) {
+  while (!cur().is(Tok::RParen) && !cur().is(Tok::Eof)) {
+    FormulaRef F = parseFormula(PatternMode);
+    if (!F)
+      return false;
+    Out.push_back(std::move(F));
+  }
+  return true;
+}
+
+FormulaRef Parser::parseParenFormula(bool PatternMode) {
+  SourceLoc Loc = cur().Loc;
+  take(); // (
+  if (!cur().is(Tok::Symbol)) {
+    error("expected an operator or matrix name after '('");
+    skipToCloseParen();
+    return nullptr;
+  }
+  Token Head = take();
+  const std::string &Name = Head.Text;
+
+  auto CloseParen = [this]() -> bool {
+    return expect(Tok::RParen, "')'");
+  };
+
+  // One-parameter square matrices.
+  if (Name == "I" || Name == "F" || Name == "WHT" || Name == "DCT2" ||
+      Name == "DCT4") {
+    auto N = parseIntArg(PatternMode);
+    if (!N || !CloseParen())
+      return nullptr;
+    if (!N->isVar() && N->Value <= 0) {
+      Diags.error(Loc, "matrix size must be positive");
+      return nullptr;
+    }
+    if (Name == "I")
+      return makeIdentity(*N, Loc);
+    if (Name == "F")
+      return makeDFT(*N, Loc);
+    if (Name == "WHT") {
+      if (!N->isVar() && (N->Value & (N->Value - 1)) != 0) {
+        Diags.error(Loc, "WHT size must be a power of two");
+        return nullptr;
+      }
+      return makeWHT(*N, Loc);
+    }
+    if (Name == "DCT2")
+      return makeDCT2(*N, Loc);
+    return makeDCT4(*N, Loc);
+  }
+
+  // Two-parameter matrices: (L mn n) and (T mn n).
+  if (Name == "L" || Name == "T") {
+    auto MN = parseIntArg(PatternMode);
+    if (!MN)
+      return nullptr;
+    auto N = parseIntArg(PatternMode);
+    if (!N || !CloseParen())
+      return nullptr;
+    if (!MN->isVar() && !N->isVar()) {
+      if (MN->Value <= 0 || N->Value <= 0 || MN->Value % N->Value != 0) {
+        Diags.error(Loc, std::string("(") + Name +
+                             " mn n) requires positive parameters with "
+                             "n dividing mn");
+        return nullptr;
+      }
+    }
+    return Name == "L" ? makeStride(*MN, *N, Loc) : makeTwiddle(*MN, *N, Loc);
+  }
+
+  // Operators.
+  if (Name == "compose" || Name == "tensor" || Name == "direct-sum") {
+    std::vector<FormulaRef> Fs;
+    if (!parseFormulaList(PatternMode, Fs))
+      return nullptr;
+    if (!CloseParen())
+      return nullptr;
+    if (Fs.size() < 2) {
+      Diags.error(Loc, std::string("'") + Name +
+                           "' needs at least two operands");
+      return nullptr;
+    }
+    if (Name == "compose") {
+      // Validate neighbouring sizes (right-to-left association).
+      for (size_t I = 0; I + 1 != Fs.size(); ++I) {
+        std::int64_t In = Fs[I]->inSize(), Out = Fs[I + 1]->outSize();
+        if (In >= 0 && Out >= 0 && In != Out) {
+          Diags.error(Loc, "compose size mismatch: operand " +
+                               std::to_string(I + 1) + " has in_size " +
+                               std::to_string(In) + " but operand " +
+                               std::to_string(I + 2) + " has out_size " +
+                               std::to_string(Out));
+          return nullptr;
+        }
+      }
+      return makeCompose(std::move(Fs), Loc);
+    }
+    if (Name == "tensor")
+      return makeTensor(std::move(Fs), Loc);
+    return makeDirectSum(std::move(Fs), Loc);
+  }
+
+  if (Name == "matrix")
+    return parseMatrixForm(Loc);
+  if (Name == "diagonal")
+    return parseDiagonalForm(Loc);
+  if (Name == "permutation")
+    return parsePermutationForm(Loc);
+
+  if (Name == "define" || Name == "template") {
+    Diags.error(Loc, std::string("'") + Name + "' is only allowed at the "
+                                               "top level of a program");
+    skipToCloseParen();
+    return nullptr;
+  }
+
+  // Anything else is a user-defined parameterized matrix (its semantics must
+  // come from a template); it takes integer parameters only.
+  std::vector<IntArg> Params;
+  while (!cur().is(Tok::RParen) && !cur().is(Tok::Eof)) {
+    auto P = parseIntArg(PatternMode);
+    if (!P)
+      return nullptr;
+    Params.push_back(*P);
+  }
+  if (!CloseParen())
+    return nullptr;
+  return makeUserParam(Name, std::move(Params), Loc);
+}
+
+FormulaRef Parser::parseMatrixForm(SourceLoc Loc) {
+  if (!expect(Tok::LParen, "'(' starting the matrix row list"))
+    return nullptr;
+  std::vector<std::vector<Cplx>> Rows;
+  while (!cur().is(Tok::RParen) && !cur().is(Tok::Eof)) {
+    if (!expect(Tok::LParen, "'(' starting a matrix row"))
+      return nullptr;
+    std::vector<Cplx> Row;
+    while (!cur().is(Tok::RParen) && !cur().is(Tok::Eof)) {
+      auto E = parseElement();
+      if (!E)
+        return nullptr;
+      Row.push_back(*E);
+    }
+    if (!expect(Tok::RParen, "')' closing a matrix row"))
+      return nullptr;
+    if (Row.empty()) {
+      Diags.error(Loc, "matrix rows must be nonempty");
+      return nullptr;
+    }
+    Rows.push_back(std::move(Row));
+  }
+  if (!expect(Tok::RParen, "')' closing the matrix row list") ||
+      !expect(Tok::RParen, "')' closing (matrix ...)"))
+    return nullptr;
+  if (Rows.empty()) {
+    Diags.error(Loc, "matrix must have at least one row");
+    return nullptr;
+  }
+  for (const auto &Row : Rows)
+    if (Row.size() != Rows[0].size()) {
+      Diags.error(Loc, "matrix rows must all have the same length");
+      return nullptr;
+    }
+  return makeGenMatrix(std::move(Rows), Loc);
+}
+
+FormulaRef Parser::parseDiagonalForm(SourceLoc Loc) {
+  if (!expect(Tok::LParen, "'(' starting the diagonal element list"))
+    return nullptr;
+  std::vector<Cplx> Elems;
+  while (!cur().is(Tok::RParen) && !cur().is(Tok::Eof)) {
+    auto E = parseElement();
+    if (!E)
+      return nullptr;
+    Elems.push_back(*E);
+  }
+  if (!expect(Tok::RParen, "')' closing the element list") ||
+      !expect(Tok::RParen, "')' closing (diagonal ...)"))
+    return nullptr;
+  if (Elems.empty()) {
+    Diags.error(Loc, "diagonal must be nonempty");
+    return nullptr;
+  }
+  return makeDiagonal(std::move(Elems), Loc);
+}
+
+FormulaRef Parser::parsePermutationForm(SourceLoc Loc) {
+  if (!expect(Tok::LParen, "'(' starting the permutation list"))
+    return nullptr;
+  std::vector<std::int64_t> Targets;
+  while (cur().is(Tok::Number) && cur().IsInt)
+    Targets.push_back(take().Int);
+  if (!expect(Tok::RParen, "')' closing the permutation list") ||
+      !expect(Tok::RParen, "')' closing (permutation ...)"))
+    return nullptr;
+  if (Targets.empty()) {
+    Diags.error(Loc, "permutation must be nonempty");
+    return nullptr;
+  }
+  std::vector<bool> Seen(Targets.size(), false);
+  for (std::int64_t T : Targets) {
+    if (T < 1 || T > static_cast<std::int64_t>(Targets.size()) ||
+        Seen[T - 1]) {
+      Diags.error(Loc, "permutation entries must be a permutation of 1..n");
+      return nullptr;
+    }
+    Seen[T - 1] = true;
+  }
+  return makePermutation(std::move(Targets), Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Constant scalar expressions
+//===----------------------------------------------------------------------===//
+
+std::optional<Cplx> Parser::parseElement() {
+  // Elements in lists are atomic: a number, a named constant, a function
+  // call, a unary minus applied to an element, or a parenthesized
+  // expression / complex pair. Infix arithmetic requires parentheses so
+  // that whitespace keeps separating elements unambiguously.
+  if (cur().is(Tok::Minus)) {
+    take();
+    auto V = parseElement();
+    if (!V)
+      return std::nullopt;
+    return -*V;
+  }
+  if (cur().is(Tok::Number)) {
+    Token T = take();
+    return Cplx(T.Num, 0);
+  }
+  if (cur().is(Tok::Symbol)) {
+    return parseScalarPrimary();
+  }
+  if (cur().is(Tok::LParen))
+    return parseScalarPrimary();
+  error("expected a scalar constant");
+  return std::nullopt;
+}
+
+std::optional<Cplx> Parser::parseScalarExpr() {
+  auto L = parseScalarTerm();
+  if (!L)
+    return std::nullopt;
+  while (cur().is(Tok::Plus) || cur().is(Tok::Minus)) {
+    bool IsAdd = take().is(Tok::Plus);
+    auto R = parseScalarTerm();
+    if (!R)
+      return std::nullopt;
+    L = IsAdd ? *L + *R : *L - *R;
+  }
+  return L;
+}
+
+std::optional<Cplx> Parser::parseScalarTerm() {
+  auto L = parseScalarUnary();
+  if (!L)
+    return std::nullopt;
+  while (cur().is(Tok::Star) || cur().is(Tok::Slash)) {
+    bool IsMul = take().is(Tok::Star);
+    auto R = parseScalarUnary();
+    if (!R)
+      return std::nullopt;
+    if (!IsMul && *R == Cplx(0, 0)) {
+      error("division by zero in constant expression");
+      return std::nullopt;
+    }
+    L = IsMul ? *L * *R : *L / *R;
+  }
+  return L;
+}
+
+std::optional<Cplx> Parser::parseScalarUnary() {
+  if (cur().is(Tok::Minus)) {
+    take();
+    auto V = parseScalarUnary();
+    if (!V)
+      return std::nullopt;
+    return -*V;
+  }
+  return parseScalarPrimary();
+}
+
+std::optional<Cplx> Parser::parseScalarPrimary() {
+  if (cur().is(Tok::Number)) {
+    Token T = take();
+    return Cplx(T.Num, 0);
+  }
+  if (cur().is(Tok::Symbol)) {
+    Token T = take();
+    if (cur().is(Tok::LParen) && cur().Adjacent) {
+      take(); // (
+      std::vector<Cplx> Args;
+      while (!cur().is(Tok::RParen) && !cur().is(Tok::Eof)) {
+        auto A = parseScalarExpr();
+        if (!A)
+          return std::nullopt;
+        Args.push_back(*A);
+        consumeIf(Tok::Comma);
+      }
+      if (!expect(Tok::RParen, "')' closing the argument list"))
+        return std::nullopt;
+      auto V = applyScalarFn(T.Text, Args);
+      if (!V) {
+        Diags.error(T.Loc, "unknown scalar function '" + T.Text +
+                               "' or wrong number of arguments");
+        return std::nullopt;
+      }
+      return V;
+    }
+    auto V = scalarConstant(T.Text);
+    if (!V) {
+      Diags.error(T.Loc, "unknown scalar constant '" + T.Text + "'");
+      return std::nullopt;
+    }
+    return V;
+  }
+  if (cur().is(Tok::LParen)) {
+    take();
+    auto A = parseScalarExpr();
+    if (!A)
+      return std::nullopt;
+    if (consumeIf(Tok::Comma)) {
+      auto B = parseScalarExpr();
+      if (!B)
+        return std::nullopt;
+      if (!expect(Tok::RParen, "')' closing a complex constant"))
+        return std::nullopt;
+      if (A->imag() != 0 || B->imag() != 0) {
+        error("components of a complex constant must be real");
+        return std::nullopt;
+      }
+      return Cplx(A->real(), B->real());
+    }
+    if (!expect(Tok::RParen, "')' closing a parenthesized constant"))
+      return std::nullopt;
+    return A;
+  }
+  error("expected a scalar constant");
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Templates
+//===----------------------------------------------------------------------===//
+
+std::optional<tpl::TemplateDef> Parser::parseTemplate(SourceLoc Loc) {
+  tpl::TemplateDef Def;
+  Def.Loc = Loc;
+  Def.Pattern = parseFormula(/*PatternMode=*/true);
+  if (!Def.Pattern)
+    return std::nullopt;
+
+  if (cur().is(Tok::LBracket)) {
+    take();
+    Def.Condition = parseCondition();
+    if (!Def.Condition)
+      return std::nullopt;
+    if (!expect(Tok::RBracket, "']' closing the template condition"))
+      return std::nullopt;
+  }
+
+  if (!expect(Tok::LParen, "'(' starting the template i-code"))
+    return std::nullopt;
+  if (!parseTStmtList(Def.Body))
+    return std::nullopt;
+  if (!expect(Tok::RParen, "')' closing the template i-code") ||
+      !expect(Tok::RParen, "')' closing (template ...)"))
+    return std::nullopt;
+
+  // Check loop balance up front so the expander can assume it.
+  int Depth = 0;
+  for (const tpl::TStmt &S : Def.Body) {
+    if (S.K == tpl::TStmt::Do)
+      ++Depth;
+    else if (S.K == tpl::TStmt::EndDo && --Depth < 0) {
+      Diags.error(S.Loc, "'end' without matching 'do' in template body");
+      return std::nullopt;
+    }
+  }
+  if (Depth != 0) {
+    Diags.error(Loc, "unclosed 'do' loop in template body");
+    return std::nullopt;
+  }
+  return Def;
+}
+
+//===----------------------------------------------------------------------===//
+// Conditions
+//===----------------------------------------------------------------------===//
+
+cond::ExprRef Parser::parseCondition() { return parseCondOr(); }
+
+cond::ExprRef Parser::parseCondOr() {
+  auto L = parseCondAnd();
+  while (L && cur().is(Tok::PipePipe)) {
+    take();
+    auto R = parseCondAnd();
+    if (!R)
+      return nullptr;
+    L = cond::Expr::bin(cond::Expr::Or, L, R);
+  }
+  return L;
+}
+
+cond::ExprRef Parser::parseCondAnd() {
+  auto L = parseCondCmp();
+  while (L && cur().is(Tok::AmpAmp)) {
+    take();
+    auto R = parseCondCmp();
+    if (!R)
+      return nullptr;
+    L = cond::Expr::bin(cond::Expr::And, L, R);
+  }
+  return L;
+}
+
+cond::ExprRef Parser::parseCondCmp() {
+  auto L = parseCondAdd();
+  if (!L)
+    return nullptr;
+  cond::Expr::Kind K;
+  switch (cur().Kind) {
+  case Tok::EqEq:
+    K = cond::Expr::EQ;
+    break;
+  case Tok::NotEq:
+    K = cond::Expr::NE;
+    break;
+  case Tok::Lt:
+    K = cond::Expr::LT;
+    break;
+  case Tok::Le:
+    K = cond::Expr::LE;
+    break;
+  case Tok::Gt:
+    K = cond::Expr::GT;
+    break;
+  case Tok::Ge:
+    K = cond::Expr::GE;
+    break;
+  default:
+    return L;
+  }
+  take();
+  auto R = parseCondAdd();
+  if (!R)
+    return nullptr;
+  return cond::Expr::bin(K, L, R);
+}
+
+cond::ExprRef Parser::parseCondAdd() {
+  auto L = parseCondMul();
+  while (L && (cur().is(Tok::Plus) || cur().is(Tok::Minus))) {
+    bool IsAdd = take().is(Tok::Plus);
+    auto R = parseCondMul();
+    if (!R)
+      return nullptr;
+    L = cond::Expr::bin(IsAdd ? cond::Expr::Add : cond::Expr::Sub, L, R);
+  }
+  return L;
+}
+
+cond::ExprRef Parser::parseCondMul() {
+  auto L = parseCondUnary();
+  while (L && (cur().is(Tok::Star) || cur().is(Tok::Slash) ||
+               cur().is(Tok::Percent))) {
+    Tok Op = take().Kind;
+    auto R = parseCondUnary();
+    if (!R)
+      return nullptr;
+    cond::Expr::Kind K = Op == Tok::Star    ? cond::Expr::Mul
+                         : Op == Tok::Slash ? cond::Expr::Div
+                                            : cond::Expr::Mod;
+    L = cond::Expr::bin(K, L, R);
+  }
+  return L;
+}
+
+cond::ExprRef Parser::parseCondUnary() {
+  if (cur().is(Tok::Minus)) {
+    take();
+    auto E = parseCondUnary();
+    return E ? cond::Expr::unary(cond::Expr::Neg, E) : nullptr;
+  }
+  if (cur().is(Tok::Bang)) {
+    take();
+    auto E = parseCondUnary();
+    return E ? cond::Expr::unary(cond::Expr::Not, E) : nullptr;
+  }
+  return parseCondPrimary();
+}
+
+std::string Parser::parsePropertyName(std::string Base) {
+  if (cur().is(Tok::Dot) && cur().Adjacent && peek(1).is(Tok::Symbol) &&
+      peek(1).Adjacent) {
+    take();
+    Base += "." + take().Text;
+  }
+  return Base;
+}
+
+cond::ExprRef Parser::parseCondPrimary() {
+  if (cur().is(Tok::Number) && cur().IsInt)
+    return cond::Expr::num(take().Int);
+  if (cur().is(Tok::Symbol)) {
+    Token T = take();
+    return cond::Expr::sym(parsePropertyName(T.Text));
+  }
+  if (cur().is(Tok::LParen)) {
+    take();
+    auto E = parseCondOr();
+    if (!E || !expect(Tok::RParen, "')' in condition"))
+      return nullptr;
+    return E;
+  }
+  error("expected an integer, a pattern variable, or '(' in condition");
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Template i-code bodies
+//===----------------------------------------------------------------------===//
+
+bool Parser::parseTStmtList(std::vector<tpl::TStmt> &Out) {
+  while (!cur().is(Tok::RParen) && !cur().is(Tok::Eof)) {
+    auto S = parseTStmt();
+    if (!S)
+      return false;
+    Out.push_back(std::move(*S));
+  }
+  return true;
+}
+
+std::optional<tpl::TStmt> Parser::parseTStmt() {
+  tpl::TStmt S;
+  S.Loc = cur().Loc;
+
+  if (cur().isSymbol("do")) {
+    take();
+    S.K = tpl::TStmt::Do;
+    if (!cur().is(Tok::Symbol) || !startsWith(cur().Text, "$i")) {
+      error("expected a loop variable ($i0, $i1, ...) after 'do'");
+      return std::nullopt;
+    }
+    S.LoopVar = take().Text;
+    if (!expect(Tok::Equals, "'=' in do statement"))
+      return std::nullopt;
+    S.Lo = parseTExpr();
+    if (!S.Lo || !expect(Tok::Comma, "',' between loop bounds"))
+      return std::nullopt;
+    S.Hi = parseTExpr();
+    if (!S.Hi)
+      return std::nullopt;
+    return S;
+  }
+
+  if (cur().isSymbol("end")) {
+    take();
+    // Accept the Fortran-style "end do" spelling: consume a trailing "do"
+    // unless it begins a new loop ("do $iK = ...").
+    if (cur().isSymbol("do") &&
+        !(peek(1).is(Tok::Symbol) && startsWith(peek(1).Text, "$")))
+      take();
+    S.K = tpl::TStmt::EndDo;
+    return S;
+  }
+
+  if (cur().is(Tok::Symbol) && isFormulaVarName(cur().Text) &&
+      peek(1).is(Tok::LParen)) {
+    S.K = tpl::TStmt::CallFormula;
+    S.Callee = take().Text;
+    take(); // (
+    while (!cur().is(Tok::RParen) && !cur().is(Tok::Eof)) {
+      auto E = parseTExpr();
+      if (!E)
+        return std::nullopt;
+      S.CallArgs.push_back(E);
+      consumeIf(Tok::Comma);
+    }
+    if (!expect(Tok::RParen, "')' closing the formula call"))
+      return std::nullopt;
+    if (S.CallArgs.size() != 6) {
+      Diags.error(S.Loc, "formula calls take exactly six arguments: "
+                         "in, out, in_offset, out_offset, in_stride, "
+                         "out_stride");
+      return std::nullopt;
+    }
+    return S;
+  }
+
+  // Assignment.
+  if (!cur().is(Tok::Symbol) || !startsWith(cur().Text, "$")) {
+    error("expected a statement (do / end / assignment / formula call)");
+    return std::nullopt;
+  }
+  S.K = tpl::TStmt::Assign;
+  Token Lhs = take();
+  if (cur().is(Tok::LParen) && cur().Adjacent) {
+    take();
+    tpl::TExprRef Sub = parseTExpr();
+    if (!Sub || !expect(Tok::RParen, "')' closing the subscript"))
+      return std::nullopt;
+    S.Lhs = tpl::TExpr::vecRef(Lhs.Text, Sub, Lhs.Loc);
+  } else {
+    S.Lhs = tpl::TExpr::sym(Lhs.Text, Lhs.Loc);
+  }
+  if (!expect(Tok::Equals, "'=' in assignment"))
+    return std::nullopt;
+  S.Rhs = parseTExpr();
+  if (!S.Rhs)
+    return std::nullopt;
+  return S;
+}
+
+tpl::TExprRef Parser::parseTExpr() { return parseTAdd(); }
+
+tpl::TExprRef Parser::parseTAdd() {
+  auto L = parseTMul();
+  while (L && (cur().is(Tok::Plus) || cur().is(Tok::Minus))) {
+    SourceLoc Loc = cur().Loc;
+    bool IsAdd = take().is(Tok::Plus);
+    auto R = parseTMul();
+    if (!R)
+      return nullptr;
+    L = tpl::TExpr::bin(IsAdd ? tpl::TExpr::Add : tpl::TExpr::Sub, L, R, Loc);
+  }
+  return L;
+}
+
+tpl::TExprRef Parser::parseTMul() {
+  auto L = parseTUnary();
+  while (L && (cur().is(Tok::Star) || cur().is(Tok::Slash) ||
+               cur().is(Tok::Percent))) {
+    SourceLoc Loc = cur().Loc;
+    Tok Op = take().Kind;
+    auto R = parseTUnary();
+    if (!R)
+      return nullptr;
+    tpl::TExpr::Kind K = Op == Tok::Star    ? tpl::TExpr::Mul
+                         : Op == Tok::Slash ? tpl::TExpr::Div
+                                            : tpl::TExpr::Mod;
+    L = tpl::TExpr::bin(K, L, R, Loc);
+  }
+  return L;
+}
+
+tpl::TExprRef Parser::parseTUnary() {
+  if (cur().is(Tok::Minus)) {
+    SourceLoc Loc = take().Loc;
+    auto E = parseTUnary();
+    return E ? tpl::TExpr::neg(E, Loc) : nullptr;
+  }
+  return parseTPrimary();
+}
+
+tpl::TExprRef Parser::parseTPrimary() {
+  if (cur().is(Tok::Number)) {
+    Token T = take();
+    return tpl::TExpr::num(Cplx(T.Num, 0), T.Loc);
+  }
+
+  if (cur().is(Tok::Symbol)) {
+    Token T = take();
+    if (cur().is(Tok::LParen) && cur().Adjacent) {
+      take(); // (
+      if (startsWith(T.Text, "$")) {
+        // Vector reference with one subscript.
+        auto Sub = parseTExpr();
+        if (!Sub || !expect(Tok::RParen, "')' closing the subscript"))
+          return nullptr;
+        return tpl::TExpr::vecRef(T.Text, Sub, T.Loc);
+      }
+      // Intrinsic call; arguments are space- (or comma-) separated.
+      std::vector<tpl::TExprRef> Args;
+      while (!cur().is(Tok::RParen) && !cur().is(Tok::Eof)) {
+        auto A = parseTExpr();
+        if (!A)
+          return nullptr;
+        Args.push_back(A);
+        consumeIf(Tok::Comma);
+      }
+      if (!expect(Tok::RParen, "')' closing the intrinsic call"))
+        return nullptr;
+      return tpl::TExpr::call(T.Text, std::move(Args), T.Loc);
+    }
+    return tpl::TExpr::sym(parsePropertyName(T.Text), T.Loc);
+  }
+
+  if (cur().is(Tok::LParen)) {
+    SourceLoc Loc = take().Loc;
+    auto A = parseTExpr();
+    if (!A)
+      return nullptr;
+    if (consumeIf(Tok::Comma)) {
+      auto B = parseTExpr();
+      if (!B || !expect(Tok::RParen, "')' closing a complex constant"))
+        return nullptr;
+      // Components may be literals or negated literals ("(0.7,-0.7)").
+      auto FoldNum = [](const tpl::TExprRef &E) -> std::optional<double> {
+        if (E->K == tpl::TExpr::Num)
+          return E->NumVal.real();
+        if (E->K == tpl::TExpr::Neg && E->Args[0]->K == tpl::TExpr::Num)
+          return -E->Args[0]->NumVal.real();
+        return std::nullopt;
+      };
+      auto Re = FoldNum(A), Im = FoldNum(B);
+      if (!Re || !Im) {
+        Diags.error(Loc, "complex constants must have constant components");
+        return nullptr;
+      }
+      return tpl::TExpr::num(Cplx(*Re, *Im), Loc);
+    }
+    if (!expect(Tok::RParen, "')' closing a parenthesized expression"))
+      return nullptr;
+    return A;
+  }
+
+  error("expected an expression");
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Convenience entry points
+//===----------------------------------------------------------------------===//
+
+FormulaRef spl::parseFormulaString(const std::string &Source,
+                                   Diagnostics &Diags, bool PatternMode) {
+  Parser P(Source, Diags);
+  return P.parseSingleFormula(PatternMode);
+}
+
+std::vector<tpl::TemplateDef>
+spl::parseTemplateString(const std::string &Source, Diagnostics &Diags) {
+  Parser P(Source, Diags);
+  auto Prog = P.parseProgram();
+  if (!Prog)
+    return {};
+  return std::move(Prog->Templates);
+}

@@ -1,0 +1,55 @@
+//===- frontend/ScalarExpr.cpp - Constant scalar functions -----------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/ScalarExpr.h"
+
+#include "ir/Transforms.h"
+#include "support/StrUtil.h"
+
+#include <cmath>
+
+using namespace spl;
+
+std::optional<Cplx> spl::scalarConstant(const std::string &Name) {
+  std::string N = toLower(Name);
+  if (N == "pi")
+    return Cplx(3.14159265358979323846264338327950288, 0);
+  return std::nullopt;
+}
+
+std::optional<Cplx> spl::applyScalarFn(const std::string &Name,
+                                       const std::vector<Cplx> &Args) {
+  std::string N = toLower(Name);
+  if (N == "w") {
+    if (Args.size() != 2)
+      return std::nullopt;
+    // Arguments must be (near-)integers.
+    auto Order = static_cast<std::int64_t>(std::llround(Args[0].real()));
+    auto Power = static_cast<std::int64_t>(std::llround(Args[1].real()));
+    if (Order <= 0)
+      return std::nullopt;
+    return wRoot(Order, Power);
+  }
+
+  if (Args.size() != 1)
+    return std::nullopt;
+  Cplx X = Args[0];
+  bool IsReal = X.imag() == 0;
+  if (N == "sqrt")
+    return IsReal && X.real() >= 0 ? Cplx(std::sqrt(X.real()), 0)
+                                   : std::sqrt(X);
+  if (N == "cos")
+    return IsReal ? Cplx(std::cos(X.real()), 0) : std::cos(X);
+  if (N == "sin")
+    return IsReal ? Cplx(std::sin(X.real()), 0) : std::sin(X);
+  if (N == "tan")
+    return IsReal ? Cplx(std::tan(X.real()), 0) : std::tan(X);
+  if (N == "exp")
+    return IsReal ? Cplx(std::exp(X.real()), 0) : std::exp(X);
+  if (N == "log")
+    return IsReal && X.real() > 0 ? Cplx(std::log(X.real()), 0) : std::log(X);
+  return std::nullopt;
+}

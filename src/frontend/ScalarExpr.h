@@ -1,0 +1,36 @@
+//===- frontend/ScalarExpr.h - Constant scalar functions --------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named constants and functions usable inside SPL constant scalar
+/// expressions such as sqrt(2) or (cos(2*pi/3.0),sin(2*pi/3.0)). All are
+/// evaluated at compile time (paper Section 2.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_FRONTEND_SCALAREXPR_H
+#define SPL_FRONTEND_SCALAREXPR_H
+
+#include "ir/Matrix.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spl {
+
+/// Value of a named scalar constant ("pi"); nullopt when unknown.
+std::optional<Cplx> scalarConstant(const std::string &Name);
+
+/// Applies a scalar function ("sqrt", "cos", "sin", "tan", "exp", "log",
+/// "w") to \p Args. w(n,k) is the DFT root of unity w_n^k. Returns nullopt
+/// for an unknown function or wrong arity.
+std::optional<Cplx> applyScalarFn(const std::string &Name,
+                                  const std::vector<Cplx> &Args);
+
+} // namespace spl
+
+#endif // SPL_FRONTEND_SCALAREXPR_H

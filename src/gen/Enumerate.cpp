@@ -1,0 +1,164 @@
+//===- gen/Enumerate.cpp - Formula space enumeration -------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Enumerate.h"
+
+#include "gen/Rules.h"
+#include "ir/Builder.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace spl;
+using namespace spl::gen;
+
+std::vector<std::vector<std::int64_t>>
+spl::gen::factorCompositions(std::int64_t N) {
+  assert(N >= 2 && "need a composite size");
+  std::vector<std::vector<std::int64_t>> Out;
+  Out.push_back({N});
+  for (std::int64_t D = 2; D * 2 <= N; ++D) {
+    if (N % D != 0)
+      continue;
+    for (auto Rest : factorCompositions(N / D)) {
+      Rest.insert(Rest.begin(), D);
+      Out.push_back(std::move(Rest));
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+/// Builds binary rule-application trees for F_N with per-node variant
+/// choice, memoized per size and capped.
+class TreeEnum {
+public:
+  explicit TreeEnum(const EnumOptions &Opts) : Opts(Opts) {}
+
+  const std::vector<FormulaRef> &treesOf(std::int64_t N) {
+    auto It = Memo.find(N);
+    if (It != Memo.end())
+      return It->second;
+    std::vector<FormulaRef> Out;
+    if (N == 2) {
+      Out.push_back(makeDFT(2));
+    } else {
+      std::vector<int> Variants;
+      if (Opts.UseDIT)
+        Variants.push_back(0);
+      if (Opts.UseDIF)
+        Variants.push_back(1);
+      if (Opts.UseParallel)
+        Variants.push_back(2);
+      if (Opts.UseVector)
+        Variants.push_back(3);
+      for (std::int64_t R = 2; R * 2 <= N && Out.size() < Opts.PerSizeCap;
+           R *= 2) {
+        std::int64_t S = N / R;
+        for (const FormulaRef &FR : treesOf(R)) {
+          for (const FormulaRef &FS : treesOf(S)) {
+            for (int V : Variants) {
+              if (Out.size() >= Opts.PerSizeCap)
+                break;
+              switch (V) {
+              case 1:
+                Out.push_back(ruleCooleyTukeyDIF(R, S, FR, FS));
+                break;
+              case 2:
+                Out.push_back(ruleCooleyTukeyParallel(R, S, FR, FS));
+                break;
+              case 3:
+                Out.push_back(ruleCooleyTukeyVector(R, S, FR, FS));
+                break;
+              default:
+                Out.push_back(ruleCooleyTukeyDIT(R, S, FR, FS));
+                break;
+              }
+            }
+          }
+        }
+      }
+    }
+    return Memo.emplace(N, std::move(Out)).first->second;
+  }
+
+private:
+  const EnumOptions &Opts;
+  std::map<std::int64_t, std::vector<FormulaRef>> Memo;
+};
+
+} // namespace
+
+std::vector<FormulaRef> spl::gen::enumerateFFT(std::int64_t N,
+                                               const EnumOptions &Opts) {
+  assert(N >= 2 && (N & (N - 1)) == 0 && "size must be a power of two");
+  std::vector<FormulaRef> Out;
+  std::set<std::string> Seen;
+  auto Push = [&](FormulaRef F) {
+    if (Opts.MaxCount && Out.size() >= Opts.MaxCount)
+      return;
+    std::string Key = F->print();
+    if (Seen.insert(std::move(Key)).second)
+      Out.push_back(std::move(F));
+  };
+
+  if (Opts.Eq10Compositions && N > 2) {
+    for (const auto &Comp : factorCompositions(N)) {
+      if (Comp.size() < 2)
+        continue;
+      std::vector<std::pair<std::int64_t, FormulaRef>> Factors;
+      for (std::int64_t Ni : Comp)
+        Factors.push_back({Ni, Ni == 2 ? makeDFT(2) : recursiveFFT(Ni)});
+      Push(ruleEq10(Factors));
+    }
+  }
+
+  if (Opts.BinaryTrees) {
+    TreeEnum Trees(Opts);
+    for (const FormulaRef &F : Trees.treesOf(N))
+      Push(F);
+  }
+
+  return Out;
+}
+
+namespace {
+
+/// WHT_N fully split down to WHT_2 leaves with a fixed right-most strategy
+/// (used for the leaves of enumerated compositions).
+FormulaRef whtRightmost(std::int64_t N) {
+  if (N <= 2)
+    return makeWHT(2);
+  std::vector<std::pair<std::int64_t, FormulaRef>> Factors = {
+      {2, makeWHT(2)}, {N / 2, whtRightmost(N / 2)}};
+  return ruleWHT(Factors);
+}
+
+} // namespace
+
+std::vector<FormulaRef> spl::gen::enumerateWHT(std::int64_t N,
+                                               size_t MaxCount) {
+  assert(N >= 2 && (N & (N - 1)) == 0 && "WHT size must be a power of two");
+  std::vector<FormulaRef> Out;
+  std::set<std::string> Seen;
+  if (N == 2)
+    return {makeWHT(2)};
+  for (const auto &Comp : factorCompositions(N)) {
+    if (Comp.size() < 2)
+      continue;
+    if (MaxCount && Out.size() >= MaxCount)
+      break;
+    std::vector<std::pair<std::int64_t, FormulaRef>> Factors;
+    for (std::int64_t Ni : Comp)
+      Factors.push_back({Ni, whtRightmost(Ni)});
+    FormulaRef F = ruleWHT(Factors);
+    if (Seen.insert(F->print()).second)
+      Out.push_back(std::move(F));
+  }
+  return Out;
+}

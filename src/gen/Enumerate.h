@@ -1,0 +1,65 @@
+//===- gen/Enumerate.h - Formula space enumeration --------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Enumerates the algorithm space the SPIRAL formula generator explores:
+/// all factor compositions of a size (Equation 10) and all binary
+/// rule-application trees (recursive Cooley-Tukey with a variant choice per
+/// node). The experiments draw their formula sets from here — e.g. the 45
+/// SPL formulas for FFT N=32 of Figure 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_GEN_ENUMERATE_H
+#define SPL_GEN_ENUMERATE_H
+
+#include "ir/Formula.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace spl {
+namespace gen {
+
+/// All ordered factorizations of \p N into factors >= 2, including the
+/// trivial one-factor [N] (callers drop it for Equation 10, which needs
+/// t >= 2). N=8 yields [8], [2,4], [4,2], [2,2,2].
+std::vector<std::vector<std::int64_t>> factorCompositions(std::int64_t N);
+
+/// Enumeration options.
+struct EnumOptions {
+  /// Stop after this many formulas (0: unlimited).
+  size_t MaxCount = 0;
+  /// Include flat Equation-10 factorizations (leaves recursively split
+  /// right-most down to F_2).
+  bool Eq10Compositions = true;
+  /// Include binary rule-application trees.
+  bool BinaryTrees = true;
+  /// Rule variants allowed at tree nodes.
+  bool UseDIT = true;
+  bool UseDIF = true;
+  bool UseParallel = false;
+  bool UseVector = false;
+  /// Cap on distinct sub-formulas kept per size while building trees
+  /// (bounds the combinatorial explosion).
+  size_t PerSizeCap = 64;
+};
+
+/// Enumerates distinct FFT formulas for F_N (N a power of two >= 2), fully
+/// expanded to (F 2) leaves, deterministically ordered and deduplicated.
+std::vector<FormulaRef> enumerateFFT(std::int64_t N,
+                                     const EnumOptions &Opts = EnumOptions());
+
+/// Enumerates WHT factorizations for N a power of two (the algorithm space
+/// of Johnson & Pueschel's WHT package, Section 2.1's WHT rule): every
+/// factor composition, leaves split recursively down to WHT_2. Capped by
+/// \p MaxCount (0: unlimited).
+std::vector<FormulaRef> enumerateWHT(std::int64_t N, size_t MaxCount = 0);
+
+} // namespace gen
+} // namespace spl
+
+#endif // SPL_GEN_ENUMERATE_H

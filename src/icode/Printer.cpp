@@ -1,0 +1,76 @@
+//===- icode/Printer.cpp - I-code pretty printer ---------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "icode/ICode.h"
+
+#include <sstream>
+
+using namespace spl;
+using namespace spl::icode;
+
+namespace {
+
+const char *opSymbol(Op O) {
+  switch (O) {
+  case Op::Add:
+    return "+";
+  case Op::Sub:
+    return "-";
+  case Op::Mul:
+    return "*";
+  case Op::Div:
+    return "/";
+  default:
+    return "?";
+  }
+}
+
+} // namespace
+
+std::string Program::print() const {
+  std::ostringstream SS;
+  SS << "; subroutine " << SubName << "  in=" << InSize << " out=" << OutSize
+     << " type=" << (Type == DataType::Complex ? "complex" : "real");
+  if (LoweredToReal)
+    SS << " (lowered)";
+  SS << "\n";
+  for (size_t T = 0; T != TempVecSizes.size(); ++T)
+    SS << "; temp $t" << T << " size " << TempVecSizes[T] << "\n";
+  for (size_t T = 0; T != Tables.size(); ++T)
+    SS << "; table $tab" << T << " size " << Tables[T].size() << "\n";
+
+  int Indent = 0;
+  auto Pad = [&SS](int N) {
+    for (int I = 0; I < N; ++I)
+      SS << "  ";
+  };
+  for (const Instr &I : Body) {
+    switch (I.Opcode) {
+    case Op::Loop:
+      Pad(Indent++);
+      SS << "do $i" << I.LoopVar << " = " << I.Lo << ", " << I.Hi << "\n";
+      break;
+    case Op::End:
+      Pad(--Indent);
+      SS << "end\n";
+      break;
+    case Op::Copy:
+      Pad(Indent);
+      SS << I.Dst.str() << " = " << I.A.str() << "\n";
+      break;
+    case Op::Neg:
+      Pad(Indent);
+      SS << I.Dst.str() << " = -" << I.A.str() << "\n";
+      break;
+    default:
+      Pad(Indent);
+      SS << I.Dst.str() << " = " << I.A.str() << " " << opSymbol(I.Opcode)
+         << " " << I.B.str() << "\n";
+      break;
+    }
+  }
+  return SS.str();
+}

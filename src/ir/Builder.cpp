@@ -1,0 +1,237 @@
+//===- ir/Builder.cpp - Formula factory functions --------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+
+#include <algorithm>
+
+using namespace spl;
+
+namespace spl {
+
+/// Internal helper with access to Formula's private members.
+class FormulaFactory {
+public:
+  static std::shared_ptr<Formula> create(FKind Kind, SourceLoc Loc) {
+    auto F = std::shared_ptr<Formula>(new Formula());
+    F->Kind = Kind;
+    F->Loc = Loc;
+    return F;
+  }
+  static void setParams(Formula &F, std::vector<IntArg> Params) {
+    F.Params = std::move(Params);
+  }
+  static void setChildren(Formula &F, std::vector<FormulaRef> Children) {
+    F.Children = std::move(Children);
+  }
+  static void setMatrixRows(Formula &F, std::vector<std::vector<Cplx>> Rows) {
+    F.MatrixRows = std::move(Rows);
+  }
+  static void setDiagElems(Formula &F, std::vector<Cplx> Elems) {
+    F.DiagElems = std::move(Elems);
+  }
+  static void setPermTargets(Formula &F, std::vector<std::int64_t> Targets) {
+    F.PermTargets = std::move(Targets);
+  }
+  static void setVarName(Formula &F, std::string Name) {
+    F.VarName = std::move(Name);
+  }
+  static void setSizes(Formula &F, std::int64_t In, std::int64_t Out) {
+    F.InSize = In;
+    F.OutSize = Out;
+  }
+  static void setUnrollHint(Formula &F, bool On) { F.UnrollHint = On; }
+  static std::shared_ptr<Formula> clone(const Formula &F) {
+    return std::shared_ptr<Formula>(new Formula(F));
+  }
+};
+
+} // namespace spl
+
+namespace {
+
+/// Builds a square parameterized matrix whose size is its parameter \p N
+/// (valid for I, F, WHT, DCT2, DCT4).
+FormulaRef makeSquareParam(FKind Kind, IntArg N, SourceLoc Loc) {
+  assert((N.isVar() || N.Value > 0) && "matrix size must be positive");
+  auto F = FormulaFactory::create(Kind, Loc);
+  FormulaFactory::setParams(*F, {N});
+  if (!N.isVar())
+    FormulaFactory::setSizes(*F, N.Value, N.Value);
+  return F;
+}
+
+/// Builds L or T, which take parameters (mn, n) with n | mn.
+FormulaRef makeStrideLike(FKind Kind, IntArg MN, IntArg N, SourceLoc Loc) {
+  auto F = FormulaFactory::create(Kind, Loc);
+  FormulaFactory::setParams(*F, {MN, N});
+  if (!MN.isVar() && !N.isVar()) {
+    assert(MN.Value > 0 && N.Value > 0 && MN.Value % N.Value == 0 &&
+           "L/T parameters require n | mn");
+    FormulaFactory::setSizes(*F, MN.Value, MN.Value);
+  }
+  return F;
+}
+
+/// Folds a non-empty list right-to-left with the given binary builder,
+/// matching the parser's association rule for n-ary forms.
+FormulaRef foldRight(std::vector<FormulaRef> Fs,
+                     FormulaRef (*Bin)(FormulaRef, FormulaRef, SourceLoc),
+                     SourceLoc Loc) {
+  assert(!Fs.empty() && "n-ary operator needs at least one operand");
+  FormulaRef Acc = Fs.back();
+  for (size_t I = Fs.size() - 1; I-- > 0;)
+    Acc = Bin(Fs[I], Acc, Loc);
+  return Acc;
+}
+
+} // namespace
+
+FormulaRef spl::makeIdentity(IntArg N, SourceLoc Loc) {
+  return makeSquareParam(FKind::Identity, N, Loc);
+}
+
+FormulaRef spl::makeDFT(IntArg N, SourceLoc Loc) {
+  return makeSquareParam(FKind::DFT, N, Loc);
+}
+
+FormulaRef spl::makeWHT(IntArg N, SourceLoc Loc) {
+  assert((N.isVar() || (N.Value & (N.Value - 1)) == 0) &&
+         "WHT size must be a power of two");
+  return makeSquareParam(FKind::WHT, N, Loc);
+}
+
+FormulaRef spl::makeDCT2(IntArg N, SourceLoc Loc) {
+  return makeSquareParam(FKind::DCT2, N, Loc);
+}
+
+FormulaRef spl::makeDCT4(IntArg N, SourceLoc Loc) {
+  return makeSquareParam(FKind::DCT4, N, Loc);
+}
+
+FormulaRef spl::makeStride(IntArg MN, IntArg N, SourceLoc Loc) {
+  return makeStrideLike(FKind::Stride, MN, N, Loc);
+}
+
+FormulaRef spl::makeTwiddle(IntArg MN, IntArg N, SourceLoc Loc) {
+  return makeStrideLike(FKind::Twiddle, MN, N, Loc);
+}
+
+FormulaRef spl::makeGenMatrix(std::vector<std::vector<Cplx>> Rows,
+                              SourceLoc Loc) {
+  assert(!Rows.empty() && !Rows[0].empty() && "matrix must be nonempty");
+  for (const auto &Row : Rows)
+    assert(Row.size() == Rows[0].size() && "matrix rows must be equal length");
+  auto F = FormulaFactory::create(FKind::GenMatrix, Loc);
+  std::int64_t Out = static_cast<std::int64_t>(Rows.size());
+  std::int64_t In = static_cast<std::int64_t>(Rows[0].size());
+  FormulaFactory::setMatrixRows(*F, std::move(Rows));
+  FormulaFactory::setSizes(*F, In, Out);
+  return F;
+}
+
+FormulaRef spl::makeDiagonal(std::vector<Cplx> Elems, SourceLoc Loc) {
+  assert(!Elems.empty() && "diagonal must be nonempty");
+  auto F = FormulaFactory::create(FKind::Diagonal, Loc);
+  std::int64_t N = static_cast<std::int64_t>(Elems.size());
+  FormulaFactory::setDiagElems(*F, std::move(Elems));
+  FormulaFactory::setSizes(*F, N, N);
+  return F;
+}
+
+FormulaRef spl::makePermutation(std::vector<std::int64_t> Targets,
+                                SourceLoc Loc) {
+  assert(!Targets.empty() && "permutation must be nonempty");
+#ifndef NDEBUG
+  {
+    std::vector<std::int64_t> Sorted = Targets;
+    std::sort(Sorted.begin(), Sorted.end());
+    for (size_t I = 0; I != Sorted.size(); ++I)
+      assert(Sorted[I] == static_cast<std::int64_t>(I) + 1 &&
+             "targets must be a permutation of 1..n");
+  }
+#endif
+  auto F = FormulaFactory::create(FKind::Permutation, Loc);
+  std::int64_t N = static_cast<std::int64_t>(Targets.size());
+  FormulaFactory::setPermTargets(*F, std::move(Targets));
+  FormulaFactory::setSizes(*F, N, N);
+  return F;
+}
+
+FormulaRef spl::makeCompose(FormulaRef A, FormulaRef B, SourceLoc Loc) {
+  assert(A && B && "compose operands must be non-null");
+  assert((A->inSize() < 0 || B->outSize() < 0 ||
+          A->inSize() == B->outSize()) &&
+         "compose requires A.in_size == B.out_size");
+  auto F = FormulaFactory::create(FKind::Compose, Loc);
+  std::int64_t In = B->inSize(), Out = A->outSize();
+  FormulaFactory::setChildren(*F, {std::move(A), std::move(B)});
+  if (In >= 0 && Out >= 0)
+    FormulaFactory::setSizes(*F, In, Out);
+  return F;
+}
+
+FormulaRef spl::makeCompose(std::vector<FormulaRef> Fs, SourceLoc Loc) {
+  return foldRight(std::move(Fs), &spl::makeCompose, Loc);
+}
+
+FormulaRef spl::makeTensor(FormulaRef A, FormulaRef B, SourceLoc Loc) {
+  assert(A && B && "tensor operands must be non-null");
+  auto F = FormulaFactory::create(FKind::Tensor, Loc);
+  std::int64_t In = -1, Out = -1;
+  if (A->inSize() >= 0 && B->inSize() >= 0) {
+    In = A->inSize() * B->inSize();
+    Out = A->outSize() * B->outSize();
+  }
+  FormulaFactory::setChildren(*F, {std::move(A), std::move(B)});
+  FormulaFactory::setSizes(*F, In, Out);
+  return F;
+}
+
+FormulaRef spl::makeTensor(std::vector<FormulaRef> Fs, SourceLoc Loc) {
+  return foldRight(std::move(Fs), &spl::makeTensor, Loc);
+}
+
+FormulaRef spl::makeDirectSum(FormulaRef A, FormulaRef B, SourceLoc Loc) {
+  assert(A && B && "direct-sum operands must be non-null");
+  auto F = FormulaFactory::create(FKind::DirectSum, Loc);
+  std::int64_t In = -1, Out = -1;
+  if (A->inSize() >= 0 && B->inSize() >= 0) {
+    In = A->inSize() + B->inSize();
+    Out = A->outSize() + B->outSize();
+  }
+  FormulaFactory::setChildren(*F, {std::move(A), std::move(B)});
+  FormulaFactory::setSizes(*F, In, Out);
+  return F;
+}
+
+FormulaRef spl::makeDirectSum(std::vector<FormulaRef> Fs, SourceLoc Loc) {
+  return foldRight(std::move(Fs), &spl::makeDirectSum, Loc);
+}
+
+FormulaRef spl::makePatFormula(std::string Name, SourceLoc Loc) {
+  assert(!Name.empty() && Name.back() == '_' &&
+         "pattern variable names end with '_'");
+  auto F = FormulaFactory::create(FKind::PatFormula, Loc);
+  FormulaFactory::setVarName(*F, std::move(Name));
+  return F;
+}
+
+FormulaRef spl::makeUserParam(std::string Name, std::vector<IntArg> Params,
+                              SourceLoc Loc) {
+  assert(!Name.empty() && "user-defined matrix needs a name");
+  auto F = FormulaFactory::create(FKind::UserParam, Loc);
+  FormulaFactory::setVarName(*F, std::move(Name));
+  FormulaFactory::setParams(*F, std::move(Params));
+  return F;
+}
+
+FormulaRef spl::withUnrollHint(const FormulaRef &F, bool On) {
+  assert(F && "null formula");
+  auto Copy = FormulaFactory::clone(*F);
+  FormulaFactory::setUnrollHint(*Copy, On);
+  return Copy;
+}

@@ -1,0 +1,78 @@
+//===- ir/Matrix.cpp - Dense complex matrices -----------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Matrix.h"
+
+#include <limits>
+
+using namespace spl;
+
+Matrix Matrix::identity(size_t N) {
+  Matrix M(N, N);
+  for (size_t I = 0; I != N; ++I)
+    M.at(I, I) = Cplx(1, 0);
+  return M;
+}
+
+Matrix Matrix::mul(const Matrix &B) const {
+  assert(NumCols == B.NumRows && "shape mismatch in matrix product");
+  Matrix Out(NumRows, B.NumCols);
+  for (size_t I = 0; I != NumRows; ++I)
+    for (size_t K = 0; K != NumCols; ++K) {
+      Cplx A = at(I, K);
+      if (A == Cplx(0, 0))
+        continue;
+      for (size_t J = 0; J != B.NumCols; ++J)
+        Out.at(I, J) += A * B.at(K, J);
+    }
+  return Out;
+}
+
+Matrix Matrix::kron(const Matrix &B) const {
+  Matrix Out(NumRows * B.NumRows, NumCols * B.NumCols);
+  for (size_t I = 0; I != NumRows; ++I)
+    for (size_t J = 0; J != NumCols; ++J) {
+      Cplx A = at(I, J);
+      if (A == Cplx(0, 0))
+        continue;
+      for (size_t P = 0; P != B.NumRows; ++P)
+        for (size_t Q = 0; Q != B.NumCols; ++Q)
+          Out.at(I * B.NumRows + P, J * B.NumCols + Q) = A * B.at(P, Q);
+    }
+  return Out;
+}
+
+Matrix Matrix::directSum(const Matrix &B) const {
+  Matrix Out(NumRows + B.NumRows, NumCols + B.NumCols);
+  for (size_t I = 0; I != NumRows; ++I)
+    for (size_t J = 0; J != NumCols; ++J)
+      Out.at(I, J) = at(I, J);
+  for (size_t I = 0; I != B.NumRows; ++I)
+    for (size_t J = 0; J != B.NumCols; ++J)
+      Out.at(NumRows + I, NumCols + J) = B.at(I, J);
+  return Out;
+}
+
+std::vector<Cplx> Matrix::apply(const std::vector<Cplx> &X) const {
+  assert(X.size() == NumCols && "input vector length mismatch");
+  std::vector<Cplx> Y(NumRows, Cplx(0, 0));
+  for (size_t I = 0; I != NumRows; ++I) {
+    Cplx Acc(0, 0);
+    for (size_t J = 0; J != NumCols; ++J)
+      Acc += at(I, J) * X[J];
+    Y[I] = Acc;
+  }
+  return Y;
+}
+
+double Matrix::maxAbsDiff(const Matrix &B) const {
+  if (NumRows != B.NumRows || NumCols != B.NumCols)
+    return std::numeric_limits<double>::infinity();
+  double Max = 0;
+  for (size_t I = 0; I != Data.size(); ++I)
+    Max = std::max(Max, std::abs(Data[I] - B.Data[I]));
+  return Max;
+}

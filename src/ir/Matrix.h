@@ -1,0 +1,74 @@
+//===- ir/Matrix.h - Dense complex matrices ---------------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small dense complex matrix type. SPL formulas denote matrices; this
+/// class provides their exact semantics (Formula::toMatrix) and is the
+/// correctness oracle for the whole compiler: generated code must compute
+/// the same matrix-vector product as the dense interpretation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_IR_MATRIX_H
+#define SPL_IR_MATRIX_H
+
+#include <cassert>
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace spl {
+
+using Cplx = std::complex<double>;
+
+/// Dense row-major complex matrix used as the semantic oracle. Not intended
+/// for performance; tests keep sizes modest.
+class Matrix {
+public:
+  Matrix() = default;
+  Matrix(size_t Rows, size_t Cols)
+      : NumRows(Rows), NumCols(Cols), Data(Rows * Cols, Cplx(0, 0)) {}
+
+  size_t rows() const { return NumRows; }
+  size_t cols() const { return NumCols; }
+
+  Cplx &at(size_t R, size_t C) {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+  const Cplx &at(size_t R, size_t C) const {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+
+  /// The n-by-n identity.
+  static Matrix identity(size_t N);
+
+  /// Matrix product this * B.
+  Matrix mul(const Matrix &B) const;
+
+  /// Tensor (Kronecker) product this (x) B per Equation 2 of the paper.
+  Matrix kron(const Matrix &B) const;
+
+  /// Direct sum diag(this, B).
+  Matrix directSum(const Matrix &B) const;
+
+  /// Matrix-vector product. \p X must have cols() elements.
+  std::vector<Cplx> apply(const std::vector<Cplx> &X) const;
+
+  /// Largest absolute elementwise difference against \p B; infinity when the
+  /// shapes differ.
+  double maxAbsDiff(const Matrix &B) const;
+
+private:
+  size_t NumRows = 0;
+  size_t NumCols = 0;
+  std::vector<Cplx> Data;
+};
+
+} // namespace spl
+
+#endif // SPL_IR_MATRIX_H

@@ -1,0 +1,71 @@
+//===- ir/Transforms.h - Transform entry functions --------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Closed-form element definitions of the signal transforms the paper uses:
+/// the DFT, the stride permutation, the twiddle matrix, the Walsh-Hadamard
+/// transform, and DCT types II and IV. These back both the dense-matrix
+/// semantics of formula nodes and the compiler's intrinsic functions
+/// (W, TW, ...), so the oracle and the generated code share one definition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_IR_TRANSFORMS_H
+#define SPL_IR_TRANSFORMS_H
+
+#include "ir/Matrix.h"
+
+#include <cstdint>
+
+namespace spl {
+
+/// w_n^k = exp(-2*pi*i*k/n), the DFT root of unity (paper Section 1).
+Cplx wRoot(std::int64_t N, std::int64_t K);
+
+/// Element (p,q) of the n-point DFT matrix F_n: w_n^{p*q}.
+Cplx dftEntry(std::int64_t N, std::int64_t P, std::int64_t Q);
+
+/// Diagonal element i of the twiddle matrix T^{mn}_n (paper Equation 4):
+/// with j = i / n and k = i mod n, the value is w_mn^{j*k}.
+Cplx twiddleEntry(std::int64_t MN, std::int64_t N, std::int64_t I);
+
+/// Image of output index i under the stride permutation L^{mn}_n: the row-i
+/// entry of L is at column strideIndex(mn, n, i), i.e. y[i] = x[that].
+/// Writing i = p*m + q with m = mn/n (p < n, q < m), the source is q*n + p.
+std::int64_t strideIndex(std::int64_t MN, std::int64_t N, std::int64_t I);
+
+/// Element (k,j) of the n-point Walsh-Hadamard transform: (-1)^{popcount(k&j)}
+/// (n must be a power of two).
+double whtEntry(std::int64_t N, std::int64_t K, std::int64_t J);
+
+/// Element (k,j) of the unnormalized DCT type II: cos(k*(2j+1)*pi / (2n)).
+double dct2Entry(std::int64_t N, std::int64_t K, std::int64_t J);
+
+/// Element (k,j) of the unnormalized DCT type IV:
+/// cos((2k+1)*(2j+1)*pi / (4n)).
+double dct4Entry(std::int64_t N, std::int64_t K, std::int64_t J);
+
+/// Dense n-point DFT matrix.
+Matrix dftMatrix(std::int64_t N);
+
+/// Dense stride permutation matrix L^{mn}_n.
+Matrix strideMatrix(std::int64_t MN, std::int64_t N);
+
+/// Dense twiddle matrix T^{mn}_n.
+Matrix twiddleMatrix(std::int64_t MN, std::int64_t N);
+
+/// Dense n-point WHT matrix.
+Matrix whtMatrix(std::int64_t N);
+
+/// Dense unnormalized DCT-II matrix.
+Matrix dct2Matrix(std::int64_t N);
+
+/// Dense unnormalized DCT-IV matrix.
+Matrix dct4Matrix(std::int64_t N);
+
+} // namespace spl
+
+#endif // SPL_IR_TRANSFORMS_H

@@ -1,0 +1,757 @@
+//===- lower/Expander.cpp - Formula-to-icode expansion ----------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lower/Expander.h"
+
+#include "ir/Builder.h"
+#include "support/StrUtil.h"
+
+#include <cmath>
+
+using namespace spl;
+using namespace spl::lower;
+using namespace spl::icode;
+
+//===----------------------------------------------------------------------===//
+// Utilities
+//===----------------------------------------------------------------------===//
+
+std::int64_t lower::computeVecExtent(const Program &Prog, int VecId) {
+  // Ranges of loop variables currently in scope: (var, lo, hi).
+  std::vector<std::tuple<int, std::int64_t, std::int64_t>> Ranges;
+  std::int64_t MaxIdx = -1;
+
+  auto Consider = [&](const Operand &O) {
+    if (O.Kind != OpndKind::VecElem || O.Id != VecId)
+      return;
+    std::int64_t V = O.Subs.Base;
+    for (const auto &[Var, Coef] : O.Subs.Terms) {
+      std::int64_t Lo = 0, Hi = 0;
+      for (const auto &[RV, RLo, RHi] : Ranges) {
+        if (RV == Var) {
+          Lo = RLo;
+          Hi = RHi;
+          break;
+        }
+      }
+      V += Coef * (Coef > 0 ? Hi : Lo);
+    }
+    MaxIdx = std::max(MaxIdx, V);
+  };
+
+  for (const Instr &I : Prog.Body) {
+    switch (I.Opcode) {
+    case Op::Loop:
+      Ranges.push_back({I.LoopVar, I.Lo, I.Hi});
+      break;
+    case Op::End:
+      assert(!Ranges.empty() && "unbalanced loop nest");
+      Ranges.pop_back();
+      break;
+    default:
+      Consider(I.Dst);
+      Consider(I.A);
+      Consider(I.B);
+      break;
+    }
+  }
+  return MaxIdx + 1;
+}
+
+bool Expander::fail(SourceLoc Loc, std::string Message) {
+  Diags.error(Loc, std::move(Message));
+  return false;
+}
+
+int Expander::allocTempVec(std::int64_t Size) {
+  P->TempVecSizes.push_back(Size);
+  return FirstTempVec + static_cast<int>(P->TempVecSizes.size()) - 1;
+}
+
+Operand Expander::mapVec(const VecMap &M, const Affine &Sub) const {
+  return Operand::vecElem(M.VecId, M.Offset.plus(Sub.scaled(M.Stride)));
+}
+
+bool Expander::checkRealConst(Cplx V, SourceLoc Loc) {
+  if (Opts.Datatype == DataType::Real && V.imag() != 0)
+    return fail(Loc, "complex constant in a #datatype real program");
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Size inference
+//===----------------------------------------------------------------------===//
+
+cond::Lookup Expander::makeLookup(const tpl::Bindings &Binds) {
+  return [this, &Binds](const std::string &Name)
+             -> std::optional<std::int64_t> {
+    auto Dot = Name.find('.');
+    if (Dot == std::string::npos) {
+      auto It = Binds.Ints.find(Name);
+      if (It == Binds.Ints.end())
+        return std::nullopt;
+      return It->second;
+    }
+    std::string Var = Name.substr(0, Dot);
+    std::string Prop = Name.substr(Dot + 1);
+    auto It = Binds.Formulas.find(Var);
+    if (It == Binds.Formulas.end())
+      return std::nullopt;
+    auto Sizes = inferSizes(It->second);
+    if (!Sizes)
+      return std::nullopt;
+    if (Prop == "in_size")
+      return Sizes->first;
+    if (Prop == "out_size")
+      return Sizes->second;
+    return std::nullopt;
+  };
+}
+
+std::optional<std::pair<std::int64_t, std::int64_t>>
+Expander::inferSizes(const FormulaRef &F) {
+  assert(F && "null formula");
+  if (F->inSize() >= 0)
+    return std::make_pair(F->inSize(), F->outSize());
+
+  std::string Key = F->print();
+  auto Cached = SizeCache.find(Key);
+  if (Cached != SizeCache.end())
+    return Cached->second;
+
+  std::optional<std::pair<std::int64_t, std::int64_t>> Result;
+  switch (F->kind()) {
+  case FKind::Compose: {
+    auto A = inferSizes(F->child(0)), B = inferSizes(F->child(1));
+    if (A && B)
+      Result = std::make_pair(B->first, A->second);
+    break;
+  }
+  case FKind::Tensor: {
+    auto A = inferSizes(F->child(0)), B = inferSizes(F->child(1));
+    if (A && B)
+      Result = std::make_pair(A->first * B->first, A->second * B->second);
+    break;
+  }
+  case FKind::DirectSum: {
+    auto A = inferSizes(F->child(0)), B = inferSizes(F->child(1));
+    if (A && B)
+      Result = std::make_pair(A->first + B->first, A->second + B->second);
+    break;
+  }
+  case FKind::UserParam:
+    Result = inferUserParamSizes(F);
+    break;
+  default:
+    break;
+  }
+  if (Result)
+    SizeCache.insert({std::move(Key), *Result});
+  return Result;
+}
+
+std::optional<std::pair<std::int64_t, std::int64_t>>
+Expander::inferUserParamSizes(const FormulaRef &F) {
+  // Instantiate the matching template into a scratch program and measure
+  // how far into $in/$out it reaches.
+  const auto &Defs = Registry.defs();
+  for (auto It = Defs.rbegin(); It != Defs.rend(); ++It) {
+    tpl::Bindings Binds;
+    if (!matchPattern(It->Pattern, F, Binds))
+      continue;
+    if (!cond::holds(It->Condition, makeLookup(Binds)))
+      continue;
+
+    Program Scratch;
+    Scratch.Type = Opts.Datatype;
+    Program *SavedP = P;
+    P = &Scratch;
+    VecMap In{VecIn, Affine(0), 1}, Out{VecOut, Affine(0), 1};
+    bool Ok = instantiate(*It, std::move(Binds), F, In, Out,
+                          /*Unroll=*/false);
+    P = SavedP;
+    if (!Ok)
+      return std::nullopt;
+    return std::make_pair(computeVecExtent(Scratch, VecIn),
+                          computeVecExtent(Scratch, VecOut));
+  }
+  Diags.error(F->loc(), "no template matches user-defined matrix " +
+                            F->print());
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+std::optional<Program> Expander::expand(const FormulaRef &F,
+                                        const ExpandOptions &ExpandOpts) {
+  assert(F && "null formula");
+  if (F->isPattern()) {
+    Diags.error(F->loc(), "cannot compile a formula containing pattern "
+                          "variables");
+    return std::nullopt;
+  }
+
+  Program Prog;
+  Opts = ExpandOpts;
+  P = &Prog;
+  Prog.SubName = Opts.SubName;
+  Prog.Type = Opts.Datatype;
+
+  auto Sizes = inferSizes(F);
+  if (!Sizes) {
+    P = nullptr;
+    if (!Diags.hasErrors())
+      Diags.error(F->loc(), "cannot determine the size of " + F->print());
+    return std::nullopt;
+  }
+  Prog.InSize = Sizes->first;
+  Prog.OutSize = Sizes->second;
+
+  VecMap In{VecIn, Affine(0), 1}, Out{VecOut, Affine(0), 1};
+  bool Ok = expandInto(F, In, Out, /*UnrollActive=*/false);
+  P = nullptr;
+  if (!Ok)
+    return std::nullopt;
+
+  // Finalize temporary vectors that were written directly (size -1) by
+  // measuring their actual extent.
+  for (size_t T = 0; T != Prog.TempVecSizes.size(); ++T)
+    if (Prog.TempVecSizes[T] < 0)
+      Prog.TempVecSizes[T] =
+          computeVecExtent(Prog, FirstTempVec + static_cast<int>(T));
+
+  std::string Err = Prog.verify();
+  assert(Err.empty() && "expander produced invalid i-code");
+  (void)Err;
+  return Prog;
+}
+
+bool Expander::expandInto(const FormulaRef &F, const VecMap &In,
+                          const VecMap &Out, bool UnrollActive) {
+  // Per-formula unroll decision: an explicit #unroll hint wins; otherwise a
+  // formula small enough for the -B threshold turns unrolling on, and an
+  // enclosing unrolled formula keeps it on.
+  bool Unroll = UnrollActive;
+  if (!Unroll && Opts.UnrollThreshold > 0) {
+    auto Sizes = inferSizes(F);
+    if (Sizes && Sizes->first <= Opts.UnrollThreshold)
+      Unroll = true;
+  }
+  if (F->unrollHint())
+    Unroll = *F->unrollHint();
+
+  // Templates, most recent definition first.
+  const auto &Defs = Registry.defs();
+  for (auto It = Defs.rbegin(); It != Defs.rend(); ++It) {
+    tpl::Bindings Binds;
+    if (!matchPattern(It->Pattern, F, Binds))
+      continue;
+    if (!cond::holds(It->Condition, makeLookup(Binds)))
+      continue;
+    return instantiate(*It, std::move(Binds), F, In, Out, Unroll);
+  }
+
+  // Native rules.
+  switch (F->kind()) {
+  case FKind::GenMatrix:
+    return expandGenMatrix(*F, In, Out);
+  case FKind::Diagonal:
+    return expandDiagonal(*F, In, Out);
+  case FKind::Permutation:
+    return expandPermutation(*F, In, Out);
+  case FKind::Tensor:
+    return expandTensorSplit(F, In, Out, Unroll);
+  default:
+    return fail(F->loc(), "no template matches formula " + F->print());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Template instantiation
+//===----------------------------------------------------------------------===//
+
+bool Expander::instantiate(const tpl::TemplateDef &Def, tpl::Bindings Binds,
+                           const FormulaRef &F, const VecMap &In,
+                           const VecMap &Out, bool Unroll) {
+  Scope S;
+  S.Binds = std::move(Binds);
+  S.F = F.get();
+  S.In = In;
+  S.Out = Out;
+
+  for (const tpl::TStmt &Stmt : Def.Body)
+    if (!emitStmt(S, Stmt, Unroll))
+      return false;
+  return true;
+}
+
+bool Expander::emitStmt(Scope &S, const tpl::TStmt &Stmt, bool Unroll) {
+  switch (Stmt.K) {
+  case tpl::TStmt::Do: {
+    IntExprRef Lo = toIntExpr(S, Stmt.Lo), Hi = toIntExpr(S, Stmt.Hi);
+    if (!Lo || !Hi)
+      return false;
+    if (Lo->K != IntExpr::Const || Hi->K != IntExpr::Const)
+      return fail(Stmt.Loc, "loop bounds must be compile-time constants");
+    int Var = freshLoopVar();
+    S.LoopVars[Stmt.LoopVar] = Var;
+    P->Body.push_back(Instr::loop(Var, Lo->C, Hi->C, Unroll));
+    return true;
+  }
+  case tpl::TStmt::EndDo:
+    P->Body.push_back(Instr::end());
+    return true;
+  case tpl::TStmt::Assign: {
+    const tpl::TExprRef &Lhs = Stmt.Lhs;
+    if (Lhs->K == tpl::TExpr::VecRef) {
+      auto Dst = vecOperand(S, Lhs->Name, Lhs->Args[0], /*IsWrite=*/true,
+                            Lhs->Loc);
+      if (!Dst)
+        return false;
+      return emitAssign(S, *Dst, Stmt.Rhs);
+    }
+    assert(Lhs->K == tpl::TExpr::Sym && "parser guarantees sym or vecref");
+    if (startsWith(Lhs->Name, "$f")) {
+      auto [It, Inserted] = S.FltTemps.insert({Lhs->Name, 0});
+      if (Inserted)
+        It->second = freshFltTemp();
+      return emitAssign(S, Operand::fltTemp(It->second), Stmt.Rhs);
+    }
+    if (startsWith(Lhs->Name, "$r")) {
+      IntExprRef V = toIntExpr(S, Stmt.Rhs);
+      if (!V)
+        return false;
+      S.IntEnv[Lhs->Name] = V;
+      return true;
+    }
+    return fail(Stmt.Loc, "assignment target must be $out(...), $tK(...), "
+                          "$fK or $rK");
+  }
+  case tpl::TStmt::CallFormula:
+    return emitCall(S, Stmt, Unroll);
+  }
+  return false;
+}
+
+bool Expander::emitAssign(Scope &S, const Operand &Dst,
+                          const tpl::TExprRef &Rhs) {
+  switch (Rhs->K) {
+  case tpl::TExpr::Add:
+  case tpl::TExpr::Sub:
+  case tpl::TExpr::Mul:
+  case tpl::TExpr::Div: {
+    auto A = flattenOperand(S, Rhs->Args[0]);
+    if (!A)
+      return false;
+    auto B = flattenOperand(S, Rhs->Args[1]);
+    if (!B)
+      return false;
+    Op Opcode = Rhs->K == tpl::TExpr::Add   ? Op::Add
+                : Rhs->K == tpl::TExpr::Sub ? Op::Sub
+                : Rhs->K == tpl::TExpr::Mul ? Op::Mul
+                                            : Op::Div;
+    P->Body.push_back(Instr::bin(Opcode, Dst, *A, *B));
+    return true;
+  }
+  case tpl::TExpr::Mod:
+    return fail(Rhs->Loc, "'%' is not a floating-point operation");
+  case tpl::TExpr::Neg: {
+    auto A = flattenOperand(S, Rhs->Args[0]);
+    if (!A)
+      return false;
+    P->Body.push_back(Instr::neg(Dst, *A));
+    return true;
+  }
+  default: {
+    auto A = floatOperand(S, Rhs);
+    if (!A)
+      return false;
+    P->Body.push_back(Instr::copy(Dst, *A));
+    return true;
+  }
+  }
+}
+
+std::optional<Operand> Expander::flattenOperand(Scope &S,
+                                                const tpl::TExprRef &E) {
+  switch (E->K) {
+  case tpl::TExpr::Add:
+  case tpl::TExpr::Sub:
+  case tpl::TExpr::Mul:
+  case tpl::TExpr::Div:
+  case tpl::TExpr::Neg: {
+    Operand Tmp = Operand::fltTemp(freshFltTemp());
+    if (!emitAssign(S, Tmp, E))
+      return std::nullopt;
+    return Tmp;
+  }
+  default:
+    return floatOperand(S, E);
+  }
+}
+
+std::optional<Operand> Expander::floatOperand(Scope &S,
+                                              const tpl::TExprRef &E) {
+  switch (E->K) {
+  case tpl::TExpr::Num:
+    if (!checkRealConst(E->NumVal, E->Loc))
+      return std::nullopt;
+    return Operand::fltConst(E->NumVal);
+  case tpl::TExpr::Sym: {
+    if (startsWith(E->Name, "$f")) {
+      auto It = S.FltTemps.find(E->Name);
+      if (It == S.FltTemps.end()) {
+        fail(E->Loc, "use of unassigned scalar " + E->Name);
+        return std::nullopt;
+      }
+      return Operand::fltTemp(It->second);
+    }
+    // Integer-valued names are usable in floating context when constant.
+    IntExprRef V = toIntExpr(S, E);
+    if (!V)
+      return std::nullopt;
+    if (V->K != IntExpr::Const) {
+      fail(E->Loc, "non-constant integer value in floating-point context");
+      return std::nullopt;
+    }
+    return Operand::fltConst(Cplx(static_cast<double>(V->C), 0));
+  }
+  case tpl::TExpr::VecRef:
+    return vecOperand(S, E->Name, E->Args[0], /*IsWrite=*/false, E->Loc);
+  case tpl::TExpr::Call: {
+    if (!Intrinsics.contains(E->Name)) {
+      fail(E->Loc, "unknown intrinsic function '" + E->Name + "'");
+      return std::nullopt;
+    }
+    if (Intrinsics.arity(E->Name) != E->Args.size()) {
+      fail(E->Loc, "intrinsic '" + E->Name + "' expects " +
+                       std::to_string(Intrinsics.arity(E->Name)) +
+                       " arguments");
+      return std::nullopt;
+    }
+    std::vector<IntExprRef> Args;
+    for (const tpl::TExprRef &A : E->Args) {
+      IntExprRef IA = toIntExpr(S, A);
+      if (!IA)
+        return std::nullopt;
+      Args.push_back(IA);
+    }
+    return Operand::intrinsic(E->Name, std::move(Args));
+  }
+  default:
+    return flattenOperand(S, E);
+  }
+}
+
+std::optional<Operand> Expander::vecOperand(Scope &S, const std::string &Name,
+                                            const tpl::TExprRef &Subscript,
+                                            bool IsWrite, SourceLoc Loc) {
+  IntExprRef SubE = toIntExpr(S, Subscript);
+  if (!SubE)
+    return std::nullopt;
+  auto Sub = toAffine(SubE, Loc);
+  if (!Sub)
+    return std::nullopt;
+
+  if (Name == "$in")
+    return mapVec(S.In, *Sub);
+  if (Name == "$out")
+    return mapVec(S.Out, *Sub);
+  if (startsWith(Name, "$t")) {
+    auto It = S.TempVecs.find(Name);
+    if (It == S.TempVecs.end()) {
+      if (!IsWrite) {
+        fail(Loc, "read of temporary vector " + Name +
+                      " before anything was written to it");
+        return std::nullopt;
+      }
+      // Directly-written temporary: allocate unsized; the extent pass sizes
+      // it after expansion.
+      It = S.TempVecs.insert({Name, allocTempVec(-1)}).first;
+    }
+    return Operand::vecElem(It->second, *Sub);
+  }
+  fail(Loc, "unknown vector '" + Name + "'");
+  return std::nullopt;
+}
+
+IntExprRef Expander::toIntExpr(Scope &S, const tpl::TExprRef &E) {
+  switch (E->K) {
+  case tpl::TExpr::Num: {
+    double R = E->NumVal.real();
+    if (E->NumVal.imag() != 0 || R != std::floor(R)) {
+      fail(E->Loc, "expected an integer constant");
+      return nullptr;
+    }
+    return IntExpr::mkConst(static_cast<std::int64_t>(R));
+  }
+  case tpl::TExpr::Sym: {
+    const std::string &N = E->Name;
+    if (startsWith(N, "$i")) {
+      auto It = S.LoopVars.find(N);
+      if (It == S.LoopVars.end()) {
+        fail(E->Loc, "loop variable " + N + " is not in scope");
+        return nullptr;
+      }
+      return IntExpr::mkVar(It->second);
+    }
+    if (startsWith(N, "$r")) {
+      auto It = S.IntEnv.find(N);
+      if (It == S.IntEnv.end()) {
+        fail(E->Loc, "use of unassigned integer temporary " + N);
+        return nullptr;
+      }
+      return It->second;
+    }
+    if (N == "$in_size" || N == "$out_size") {
+      auto Sizes = inferSizes(
+          std::shared_ptr<const Formula>(S.F, [](const Formula *) {}));
+      if (!Sizes) {
+        fail(E->Loc, "cannot determine formula size");
+        return nullptr;
+      }
+      return IntExpr::mkConst(N == "$in_size" ? Sizes->first
+                                              : Sizes->second);
+    }
+    auto Lookup = makeLookup(S.Binds);
+    auto V = Lookup(N);
+    if (!V) {
+      fail(E->Loc, "unbound name '" + N + "' in integer expression");
+      return nullptr;
+    }
+    return IntExpr::mkConst(*V);
+  }
+  case tpl::TExpr::Add:
+  case tpl::TExpr::Sub:
+  case tpl::TExpr::Mul:
+  case tpl::TExpr::Div:
+  case tpl::TExpr::Mod: {
+    IntExprRef L = toIntExpr(S, E->Args[0]);
+    if (!L)
+      return nullptr;
+    IntExprRef R = toIntExpr(S, E->Args[1]);
+    if (!R)
+      return nullptr;
+    IntExpr::Kind K = E->K == tpl::TExpr::Add   ? IntExpr::Add
+                      : E->K == tpl::TExpr::Sub ? IntExpr::Sub
+                      : E->K == tpl::TExpr::Mul ? IntExpr::Mul
+                      : E->K == tpl::TExpr::Div ? IntExpr::Div
+                                                : IntExpr::Mod;
+    if ((K == IntExpr::Div || K == IntExpr::Mod) && R->K == IntExpr::Const &&
+        R->C == 0) {
+      fail(E->Loc, "division by zero in integer expression");
+      return nullptr;
+    }
+    return IntExpr::mkBin(K, L, R);
+  }
+  case tpl::TExpr::Neg: {
+    IntExprRef V = toIntExpr(S, E->Args[0]);
+    if (!V)
+      return nullptr;
+    return IntExpr::mkBin(IntExpr::Sub, IntExpr::mkConst(0), V);
+  }
+  default:
+    fail(E->Loc, "expected an integer expression");
+    return nullptr;
+  }
+}
+
+std::optional<Affine> Expander::toAffine(const IntExprRef &E, SourceLoc Loc) {
+  switch (E->K) {
+  case IntExpr::Const:
+    return Affine(E->C);
+  case IntExpr::Var:
+    return Affine::var(E->V);
+  case IntExpr::Add:
+  case IntExpr::Sub: {
+    auto A = toAffine(E->L, Loc), B = toAffine(E->R, Loc);
+    if (!A || !B)
+      return std::nullopt;
+    return E->K == IntExpr::Add ? A->plus(*B) : A->plus(B->scaled(-1));
+  }
+  case IntExpr::Mul: {
+    auto A = toAffine(E->L, Loc), B = toAffine(E->R, Loc);
+    if (!A || !B)
+      return std::nullopt;
+    if (A->isConst())
+      return B->scaled(A->Base);
+    if (B->isConst())
+      return A->scaled(B->Base);
+    fail(Loc, "vector subscripts must be linear in the loop indices");
+    return std::nullopt;
+  }
+  default:
+    // Non-constant Div/Mod (constants were folded in mkBin).
+    fail(Loc, "vector subscripts must be linear in the loop indices");
+    return std::nullopt;
+  }
+}
+
+std::optional<Expander::VecMap>
+Expander::resolveVecArg(Scope &S, const tpl::TExprRef &Arg,
+                        const FormulaRef &Callee, bool IsOut) {
+  if (Arg->K != tpl::TExpr::Sym) {
+    fail(Arg->Loc, "formula call vector arguments must be $in, $out or $tK");
+    return std::nullopt;
+  }
+  const std::string &N = Arg->Name;
+  if (N == "$in")
+    return S.In;
+  if (N == "$out")
+    return S.Out;
+  if (startsWith(N, "$t")) {
+    auto It = S.TempVecs.find(N);
+    if (It == S.TempVecs.end()) {
+      if (!IsOut) {
+        fail(Arg->Loc, "read of temporary vector " + N +
+                           " before anything was written to it");
+        return std::nullopt;
+      }
+      auto Sizes = inferSizes(Callee);
+      if (!Sizes) {
+        fail(Arg->Loc, "cannot size temporary vector " + N);
+        return std::nullopt;
+      }
+      It = S.TempVecs.insert({N, allocTempVec(Sizes->second)}).first;
+    }
+    return VecMap{It->second, Affine(0), 1};
+  }
+  fail(Arg->Loc, "unknown vector '" + N + "' in formula call");
+  return std::nullopt;
+}
+
+bool Expander::emitCall(Scope &S, const tpl::TStmt &Stmt, bool Unroll) {
+  auto It = S.Binds.Formulas.find(Stmt.Callee);
+  if (It == S.Binds.Formulas.end())
+    return fail(Stmt.Loc, "formula variable " + Stmt.Callee +
+                              " is not bound by the pattern");
+  const FormulaRef &Callee = It->second;
+
+  auto InBase = resolveVecArg(S, Stmt.CallArgs[0], Callee, /*IsOut=*/false);
+  if (!InBase)
+    return false;
+  auto OutBase = resolveVecArg(S, Stmt.CallArgs[1], Callee, /*IsOut=*/true);
+  if (!OutBase)
+    return false;
+
+  // Offsets may involve loop indices (they stay affine); strides must be
+  // compile-time constants.
+  auto EvalOffset = [&](const tpl::TExprRef &E) -> std::optional<Affine> {
+    IntExprRef V = toIntExpr(S, E);
+    if (!V)
+      return std::nullopt;
+    return toAffine(V, E->Loc);
+  };
+  auto EvalStride = [&](const tpl::TExprRef &E)
+      -> std::optional<std::int64_t> {
+    IntExprRef V = toIntExpr(S, E);
+    if (!V)
+      return std::nullopt;
+    if (V->K != IntExpr::Const) {
+      fail(E->Loc, "strides in formula calls must be compile-time "
+                   "constants");
+      return std::nullopt;
+    }
+    return V->C;
+  };
+
+  auto InOff = EvalOffset(Stmt.CallArgs[2]);
+  auto OutOff = EvalOffset(Stmt.CallArgs[3]);
+  auto InStride = EvalStride(Stmt.CallArgs[4]);
+  auto OutStride = EvalStride(Stmt.CallArgs[5]);
+  if (!InOff || !OutOff || !InStride || !OutStride)
+    return false;
+
+  // Compose the callee's logical addressing with the caller's map:
+  // element j of the callee's input lives at caller offset
+  // InOff + InStride * j of the caller's $in vector.
+  VecMap NewIn;
+  NewIn.VecId = InBase->VecId;
+  NewIn.Offset = InBase->Offset.plus(InOff->scaled(InBase->Stride));
+  NewIn.Stride = InBase->Stride * *InStride;
+  VecMap NewOut;
+  NewOut.VecId = OutBase->VecId;
+  NewOut.Offset = OutBase->Offset.plus(OutOff->scaled(OutBase->Stride));
+  NewOut.Stride = OutBase->Stride * *OutStride;
+
+  return expandInto(Callee, NewIn, NewOut, Unroll);
+}
+
+//===----------------------------------------------------------------------===//
+// Native rules
+//===----------------------------------------------------------------------===//
+
+bool Expander::expandGenMatrix(const Formula &F, const VecMap &In,
+                               const VecMap &Out) {
+  const auto &Rows = F.matrixRows();
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    Affine OutSub = Out.Offset.plus(Affine(static_cast<std::int64_t>(I))
+                                        .scaled(Out.Stride));
+    Operand Dst = Operand::vecElem(Out.VecId, OutSub);
+    bool First = true;
+    for (size_t J = 0; J != Rows[I].size(); ++J) {
+      Cplx C = Rows[I][J];
+      if (C == Cplx(0, 0))
+        continue;
+      if (!checkRealConst(C, F.loc()))
+        return false;
+      Operand Src = mapVec(In, Affine(static_cast<std::int64_t>(J)));
+      Operand Term = Operand::fltTemp(freshFltTemp());
+      P->Body.push_back(
+          Instr::bin(Op::Mul, Term, Operand::fltConst(C), Src));
+      if (First) {
+        P->Body.push_back(Instr::copy(Dst, Term));
+        First = false;
+      } else {
+        P->Body.push_back(Instr::bin(Op::Add, Dst, Dst, Term));
+      }
+    }
+    if (First) // All-zero row.
+      P->Body.push_back(Instr::copy(Dst, Operand::fltConst(Cplx(0, 0))));
+  }
+  return true;
+}
+
+bool Expander::expandDiagonal(const Formula &F, const VecMap &In,
+                              const VecMap &Out) {
+  const auto &Elems = F.diagElems();
+  for (size_t I = 0; I != Elems.size(); ++I) {
+    if (!checkRealConst(Elems[I], F.loc()))
+      return false;
+    Affine Idx(static_cast<std::int64_t>(I));
+    P->Body.push_back(Instr::bin(Op::Mul, mapVec(Out, Idx),
+                                 Operand::fltConst(Elems[I]),
+                                 mapVec(In, Idx)));
+  }
+  return true;
+}
+
+bool Expander::expandPermutation(const Formula &F, const VecMap &In,
+                                 const VecMap &Out) {
+  const auto &Targets = F.permTargets();
+  for (size_t I = 0; I != Targets.size(); ++I) {
+    P->Body.push_back(
+        Instr::copy(mapVec(Out, Affine(static_cast<std::int64_t>(I))),
+                    mapVec(In, Affine(Targets[I] - 1))));
+  }
+  return true;
+}
+
+bool Expander::expandTensorSplit(const FormulaRef &F, const VecMap &In,
+                                 const VecMap &Out, bool UnrollActive) {
+  // A (x) B = (A (x) I_{B.out}) (I_{A.in} (x) B); both factors then match
+  // the built-in tensor-with-identity templates.
+  const FormulaRef &A = F->child(0), &B = F->child(1);
+  auto SA = inferSizes(A), SB = inferSizes(B);
+  if (!SA || !SB)
+    return fail(F->loc(), "cannot determine operand sizes of " + F->print());
+  FormulaRef Rewritten =
+      makeCompose(makeTensor(A, makeIdentity(SB->second)),
+                  makeTensor(makeIdentity(SA->first), B), F->loc());
+  return expandInto(Rewritten, In, Out, UnrollActive);
+}

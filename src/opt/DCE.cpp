@@ -1,0 +1,121 @@
+//===- opt/DCE.cpp - Dead code elimination ------------------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/DCE.h"
+
+#include "xform/Unroll.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+using namespace spl;
+using namespace spl::opt;
+using namespace spl::icode;
+
+namespace {
+
+std::string elemKey(const Operand &O) {
+  assert(O.Subs.isConst() && "straight-line DCE expects constant subscripts");
+  return std::to_string(O.Id) + ":" + std::to_string(O.Subs.Base);
+}
+
+/// Precise backward liveness for straight-line programs.
+Program dceStraightLine(const Program &P) {
+  std::set<int> LiveFlt;
+  // Vector elements: present-with-true = live, present-with-false = dead
+  // (overwritten later); absent output elements are live-out, absent
+  // temporary elements are dead.
+  std::map<std::string, bool> LiveVec;
+
+  auto IsLive = [&](const Operand &Dst) {
+    if (Dst.Kind == OpndKind::FltTemp)
+      return LiveFlt.count(Dst.Id) != 0;
+    assert(Dst.Kind == OpndKind::VecElem && "unexpected destination");
+    auto It = LiveVec.find(elemKey(Dst));
+    if (It != LiveVec.end())
+      return It->second;
+    return Dst.Id == VecOut;
+  };
+  auto MarkRead = [&](const Operand &O) {
+    if (O.Kind == OpndKind::FltTemp)
+      LiveFlt.insert(O.Id);
+    else if (O.Kind == OpndKind::VecElem)
+      LiveVec[elemKey(O)] = true;
+  };
+
+  std::vector<Instr> Kept;
+  for (size_t I = P.Body.size(); I-- > 0;) {
+    const Instr &Ins = P.Body[I];
+    if (!IsLive(Ins.Dst))
+      continue;
+    // The value is consumed below; this definition satisfies it.
+    if (Ins.Dst.Kind == OpndKind::FltTemp)
+      LiveFlt.erase(Ins.Dst.Id);
+    else
+      LiveVec[elemKey(Ins.Dst)] = false;
+    MarkRead(Ins.A);
+    if (isBinary(Ins.Opcode))
+      MarkRead(Ins.B);
+    Kept.push_back(Ins);
+  }
+
+  Program Out = P;
+  Out.Body.assign(Kept.rbegin(), Kept.rend());
+  return Out;
+}
+
+/// Conservative fixpoint for programs with loops: drop writes to scalars
+/// and temporary vectors that are never read anywhere.
+Program dceWithLoops(const Program &P) {
+  Program Out = P;
+  for (;;) {
+    std::set<int> ReadFlt;
+    std::set<int> ReadVecs;
+    auto MarkRead = [&](const Operand &O) {
+      if (O.Kind == OpndKind::FltTemp)
+        ReadFlt.insert(O.Id);
+      else if (O.Kind == OpndKind::VecElem)
+        ReadVecs.insert(O.Id);
+    };
+    for (const Instr &I : Out.Body) {
+      if (I.Opcode == Op::Loop || I.Opcode == Op::End)
+        continue;
+      MarkRead(I.A);
+      if (isBinary(I.Opcode))
+        MarkRead(I.B);
+    }
+
+    std::vector<Instr> Kept;
+    bool Changed = false;
+    for (const Instr &I : Out.Body) {
+      if (I.Opcode != Op::Loop && I.Opcode != Op::End) {
+        bool Dead = false;
+        if (I.Dst.Kind == OpndKind::FltTemp)
+          Dead = !ReadFlt.count(I.Dst.Id);
+        else if (I.Dst.Kind == OpndKind::VecElem && I.Dst.Id >= FirstTempVec)
+          Dead = !ReadVecs.count(I.Dst.Id);
+        if (Dead) {
+          Changed = true;
+          continue;
+        }
+      }
+      Kept.push_back(I);
+    }
+    Out.Body = std::move(Kept);
+    if (!Changed)
+      return Out;
+  }
+}
+
+} // namespace
+
+Program opt::eliminateDeadCode(const Program &P) {
+  Program Out =
+      xform::isStraightLine(P) ? dceStraightLine(P) : dceWithLoops(P);
+  assert(Out.verify().empty() && "DCE produced invalid i-code");
+  return Out;
+}

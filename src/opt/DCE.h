@@ -1,0 +1,30 @@
+//===- opt/DCE.h - Dead code elimination ------------------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Removes assignments whose results are never used. Straight-line programs
+/// get a precise backward liveness pass over scalars and array elements;
+/// programs with loops use a conservative fixpoint that only removes writes
+/// to temporaries that are never read anywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_OPT_DCE_H
+#define SPL_OPT_DCE_H
+
+#include "icode/ICode.h"
+
+namespace spl {
+namespace opt {
+
+/// Runs dead-code elimination. Writes to the output vector are live unless
+/// they are provably overwritten later.
+icode::Program eliminateDeadCode(const icode::Program &P);
+
+} // namespace opt
+} // namespace spl
+
+#endif // SPL_OPT_DCE_H

@@ -1,0 +1,65 @@
+//===- opt/Peephole.cpp - Machine-dependent peepholes ------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Peephole.h"
+
+using namespace spl;
+using namespace spl::opt;
+using namespace spl::icode;
+
+Program opt::peephole(const Program &P, const PeepholeOptions &Opts) {
+  Program Out = P;
+  for (Instr &I : Out.Body) {
+    if (I.Opcode != Op::Neg)
+      continue;
+    // Neg of a constant folds outright.
+    if (I.A.is(OpndKind::FltConst)) {
+      I = Instr::copy(I.Dst, Operand::fltConst(-I.A.FConst));
+      continue;
+    }
+    if (Opts.NegToSub)
+      I = Instr::bin(Op::Sub, I.Dst, Operand::fltConst(Cplx(0, 0)), I.A);
+  }
+
+  if (Opts.NegConstMul) {
+    // Pattern: t = c * x; d = -t  ==>  d = (-c) * x, when t is a scalar
+    // temp whose only use is the adjacent negation.
+    for (size_t I = 0; I + 1 < Out.Body.size(); ++I) {
+      Instr &Mul = Out.Body[I];
+      Instr &Neg = Out.Body[I + 1];
+      bool NegShape =
+          Neg.Opcode == Op::Neg ||
+          (Neg.Opcode == Op::Sub && Neg.A.is(OpndKind::FltConst) &&
+           Neg.A.FConst == Cplx(0, 0));
+      const Operand &NegSrc = Neg.Opcode == Op::Neg ? Neg.A : Neg.B;
+      if (!NegShape || Mul.Opcode != Op::Mul ||
+          !Mul.Dst.is(OpndKind::FltTemp) || !(NegSrc == Mul.Dst) ||
+          !Mul.A.is(OpndKind::FltConst))
+        continue;
+      // Count uses of the temp elsewhere.
+      int Uses = 0;
+      for (const Instr &Other : Out.Body) {
+        if (Other.Opcode == Op::Loop || Other.Opcode == Op::End)
+          continue;
+        if (Other.A == Mul.Dst)
+          ++Uses;
+        if (isBinary(Other.Opcode) && Other.B == Mul.Dst)
+          ++Uses;
+      }
+      if (Uses != 1)
+        continue;
+      Instr Fused = Instr::bin(Op::Mul, Neg.Dst,
+                               Operand::fltConst(-Mul.A.FConst), Mul.B);
+      Neg = Fused;
+      Mul = Instr::copy(Mul.Dst, Operand::fltConst(Cplx(0, 0)));
+      // The now-dead constant copy is collected by DCE if it runs later;
+      // it is harmless otherwise.
+    }
+  }
+
+  assert(Out.verify().empty() && "peephole produced invalid i-code");
+  return Out;
+}

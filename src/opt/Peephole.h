@@ -1,0 +1,39 @@
+//===- opt/Peephole.h - Machine-dependent peepholes -------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-dependent peephole transformations of paper Section 3.4,
+/// motivated by SPARC: double-precision arithmetic negation is expensive
+/// (the FPU switches precision modes), so "f2 = -f1" becomes "f2 = 0 - f1"
+/// and a negation of a constant multiple folds into a negative constant
+/// ("f2 = (-7)*f1").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_OPT_PEEPHOLE_H
+#define SPL_OPT_PEEPHOLE_H
+
+#include "icode/ICode.h"
+
+namespace spl {
+namespace opt {
+
+/// Peephole toggles.
+struct PeepholeOptions {
+  /// Rewrite Neg as subtraction from zero.
+  bool NegToSub = true;
+  /// Fold Neg-of-constant-multiple into a negative constant multiply.
+  bool NegConstMul = true;
+};
+
+/// Applies the peepholes.
+icode::Program peephole(const icode::Program &P,
+                        const PeepholeOptions &Opts = PeepholeOptions());
+
+} // namespace opt
+} // namespace spl
+
+#endif // SPL_OPT_PEEPHOLE_H

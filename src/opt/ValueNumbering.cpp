@@ -1,0 +1,413 @@
+//===- opt/ValueNumbering.cpp - Value-numbering optimizer --------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Single-pass value numbering (constant folding, copy propagation, CSE,
+/// algebraic identities). Locations are tracked in per-vector buckets keyed
+/// by the symbolic part of the affine subscript, so a store invalidates
+/// exactly the entries it may alias in amortized constant time: subscripts
+/// with the same loop-variable terms alias iff their constant parts are
+/// equal, and buckets with different terms are dropped wholesale (they may
+/// alias). This keeps the pass linear on the fully unrolled programs where
+/// it matters most.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/ValueNumbering.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+
+using namespace spl;
+using namespace spl::opt;
+using namespace spl::icode;
+
+namespace {
+
+struct CplxLess {
+  bool operator()(Cplx A, Cplx B) const {
+    if (A.real() != B.real())
+      return A.real() < B.real();
+    return A.imag() < B.imag();
+  }
+};
+
+/// The symbolic part of an affine form, as a bucket key.
+std::string sigOf(const Affine &A) {
+  std::string S;
+  for (const auto &[V, C] : A.Terms) {
+    S += std::to_string(V);
+    S += '*';
+    S += std::to_string(C);
+    S += ';';
+  }
+  return S;
+}
+
+class VNImpl {
+public:
+  VNImpl(const Program &In, const VNOptions &Opts) : In(In), Opts(Opts) {
+    FltVN.assign(In.NumFltTemps, -1);
+  }
+
+  Program run() {
+    Program Out = In;
+    Out.Body.clear();
+    Out.Body.reserve(In.Body.size());
+    for (const Instr &I : In.Body) {
+      if (I.Opcode == Op::Loop || I.Opcode == Op::End) {
+        // Conservative: values do not survive loop boundaries.
+        reset();
+        Out.Body.push_back(I);
+        continue;
+      }
+      process(I, Out);
+    }
+    FltVN.resize(static_cast<size_t>(Out.NumFltTemps), -1);
+    assert(Out.verify().empty() && "value numbering produced invalid i-code");
+    return Out;
+  }
+
+private:
+  const Program &In;
+  VNOptions Opts;
+
+  int NextVN = 0;
+  std::vector<int> FltVN; ///< Flt temp id -> VN (-1 unknown).
+  /// Vector id -> subscript signature -> constant base -> VN.
+  std::map<int, std::map<std::string, std::map<std::int64_t, int>>> VecVN;
+  /// Table reads, same structure (never invalidated; tables are constant).
+  std::map<int, std::map<std::string, std::map<std::int64_t, int>>> TabVN;
+  std::map<Cplx, int, CplxLess> ConstVN;
+  std::map<int, Cplx> VNConst;
+  std::map<std::tuple<int, int, int>, int> ExprVN;
+  std::map<int, std::vector<Operand>> Holders;
+
+  void reset() {
+    std::fill(FltVN.begin(), FltVN.end(), -1);
+    VecVN.clear();
+    TabVN.clear();
+    ConstVN.clear();
+    VNConst.clear();
+    ExprVN.clear();
+    Holders.clear();
+  }
+
+  int freshVN() { return NextVN++; }
+
+  int vnOfConst(Cplx C) {
+    auto [It, Inserted] = ConstVN.insert({C, 0});
+    if (Inserted) {
+      It->second = freshVN();
+      VNConst[It->second] = C;
+    }
+    return It->second;
+  }
+
+  /// Value number of a source operand, creating one if unseen.
+  int vnOf(const Operand &O) {
+    switch (O.Kind) {
+    case OpndKind::FltConst:
+      return vnOfConst(O.FConst);
+    case OpndKind::FltTemp: {
+      if (static_cast<size_t>(O.Id) >= FltVN.size())
+        FltVN.resize(O.Id + 1, -1);
+      int &Slot = FltVN[O.Id];
+      if (Slot < 0) {
+        Slot = freshVN();
+        Holders[Slot].push_back(O);
+      }
+      return Slot;
+    }
+    case OpndKind::TableElem: {
+      if (Opts.ConstantFold && O.Subs.isConst())
+        return vnOfConst(In.Tables[O.Id][O.Subs.Base]);
+      auto &Bucket = TabVN[O.Id][sigOf(O.Subs)];
+      auto [It, Inserted] = Bucket.insert({O.Subs.Base, 0});
+      if (Inserted) {
+        It->second = freshVN();
+        Holders[It->second].push_back(O);
+      }
+      return It->second;
+    }
+    case OpndKind::VecElem: {
+      auto &Bucket = VecVN[O.Id][sigOf(O.Subs)];
+      auto [It, Inserted] = Bucket.insert({O.Subs.Base, 0});
+      if (Inserted) {
+        It->second = freshVN();
+        Holders[It->second].push_back(O);
+      }
+      return It->second;
+    }
+    default:
+      assert(false && "unexpected operand kind");
+      return freshVN();
+    }
+  }
+
+  static bool sameLoc(const Operand &A, const Operand &B) {
+    if (A.Kind != B.Kind)
+      return false;
+    if (A.Kind == OpndKind::FltTemp)
+      return A.Id == B.Id;
+    if (A.Kind == OpndKind::VecElem || A.Kind == OpndKind::TableElem)
+      return A.Id == B.Id && A.Subs == B.Subs;
+    return false;
+  }
+
+  void dropHolder(int VN, const Operand &Loc) {
+    auto It = Holders.find(VN);
+    if (It == Holders.end())
+      return;
+    auto &Hs = It->second;
+    for (size_t I = 0; I != Hs.size(); ++I) {
+      if (sameLoc(Hs[I], Loc)) {
+        Hs.erase(Hs.begin() + I);
+        return;
+      }
+    }
+  }
+
+  /// Cheapest operand currently known to hold \p VN, or nullopt.
+  std::optional<Operand> repOf(int VN) {
+    auto C = VNConst.find(VN);
+    if (C != VNConst.end())
+      return Operand::fltConst(C->second);
+    auto H = Holders.find(VN);
+    if (H == Holders.end() || H->second.empty())
+      return std::nullopt;
+    for (const Operand &O : H->second)
+      if (O.Kind == OpndKind::FltTemp)
+        return O;
+    return H->second.front();
+  }
+
+  /// Source operand after copy propagation.
+  Operand propagate(const Operand &O, int VN) {
+    if (!Opts.CopyProp)
+      return O;
+    auto Rep = repOf(VN);
+    if (!Rep)
+      return O;
+    if (Rep->Kind == OpndKind::FltConst)
+      return *Rep;
+    if (Rep->Kind == OpndKind::FltTemp && O.Kind != OpndKind::FltConst)
+      return *Rep;
+    return O;
+  }
+
+  /// Invalidates everything a store to \p Dst may overwrite.
+  void kill(const Operand &Dst) {
+    if (Dst.Kind == OpndKind::FltTemp) {
+      if (static_cast<size_t>(Dst.Id) < FltVN.size() && FltVN[Dst.Id] >= 0) {
+        dropHolder(FltVN[Dst.Id], Dst);
+        FltVN[Dst.Id] = -1;
+      }
+      return;
+    }
+    assert(Dst.Kind == OpndKind::VecElem && "bad destination");
+    auto VIt = VecVN.find(Dst.Id);
+    if (VIt == VecVN.end())
+      return;
+    std::string Sig = sigOf(Dst.Subs);
+    auto &Sigs = VIt->second;
+    for (auto SIt = Sigs.begin(); SIt != Sigs.end();) {
+      if (SIt->first == Sig) {
+        // Same symbolic part: aliases iff the constant parts are equal.
+        auto BIt = SIt->second.find(Dst.Subs.Base);
+        if (BIt != SIt->second.end()) {
+          dropHolder(BIt->second, Dst);
+          SIt->second.erase(BIt);
+        }
+        ++SIt;
+      } else {
+        // Different symbolic part: may alias; drop the whole bucket.
+        for (const auto &[Base, VN] : SIt->second) {
+          Operand Loc = Operand::vecElem(Dst.Id, Affine(Base));
+          // Reconstruct the operand for holder removal: the exact affine is
+          // lost; drop by scanning this VN's holders for this vector.
+          auto HIt = Holders.find(VN);
+          if (HIt != Holders.end()) {
+            auto &Hs = HIt->second;
+            for (size_t I = 0; I != Hs.size();) {
+              if (Hs[I].Kind == OpndKind::VecElem && Hs[I].Id == Dst.Id)
+                Hs.erase(Hs.begin() + I);
+              else
+                ++I;
+            }
+          }
+          (void)Loc;
+        }
+        SIt = Sigs.erase(SIt);
+      }
+    }
+  }
+
+  /// Binds \p Dst to \p VN after its store.
+  void record(const Operand &Dst, int VN) {
+    if (Dst.Kind == OpndKind::FltTemp) {
+      if (static_cast<size_t>(Dst.Id) >= FltVN.size())
+        FltVN.resize(Dst.Id + 1, -1);
+      FltVN[Dst.Id] = VN;
+      Holders[VN].push_back(Dst);
+    } else if (Dst.Kind == OpndKind::VecElem) {
+      VecVN[Dst.Id][sigOf(Dst.Subs)][Dst.Subs.Base] = VN;
+      Holders[VN].push_back(Dst);
+    }
+  }
+
+  std::optional<Cplx> constOf(int VN) {
+    auto It = VNConst.find(VN);
+    if (It == VNConst.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  void emitCopyOf(Program &Out, const Operand &Dst, int VN,
+                  const Operand &Fallback) {
+    Operand Src = Fallback;
+    if (auto Rep = repOf(VN))
+      Src = *Rep;
+    // Self-copies vanish (the location already holds the value).
+    if (sameLoc(Src, Dst)) {
+      kill(Dst);
+      record(Dst, VN);
+      return;
+    }
+    kill(Dst);
+    Out.Body.push_back(Instr::copy(Dst, Src));
+    record(Dst, VN);
+  }
+
+  void emitConst(Program &Out, const Operand &Dst, Cplx C) {
+    int VN = vnOfConst(C);
+    kill(Dst);
+    Out.Body.push_back(Instr::copy(Dst, Operand::fltConst(C)));
+    record(Dst, VN);
+  }
+
+  /// Expression-key opcodes: arithmetic ops plus a pseudo-op for negation.
+  static constexpr int NegKey = 100;
+
+  void emitNegOf(Program &Out, const Operand &Dst, int VSrc,
+                 const Operand &Src) {
+    auto Key = std::make_tuple(NegKey, VSrc, -1);
+    if (Opts.CSE) {
+      auto Hit = ExprVN.find(Key);
+      if (Hit != ExprVN.end() && repOf(Hit->second)) {
+        emitCopyOf(Out, Dst, Hit->second, Src);
+        return;
+      }
+    }
+    int VD = freshVN();
+    ExprVN[Key] = VD;
+    kill(Dst);
+    Out.Body.push_back(Instr::neg(Dst, Src));
+    record(Dst, VD);
+  }
+
+  void process(const Instr &I, Program &Out) {
+    switch (I.Opcode) {
+    case Op::Copy: {
+      int VA = vnOf(I.A);
+      Operand A = propagate(I.A, VA);
+      emitCopyOf(Out, I.Dst, VA, A);
+      return;
+    }
+    case Op::Neg: {
+      int VA = vnOf(I.A);
+      Operand A = propagate(I.A, VA);
+      if (Opts.ConstantFold) {
+        if (auto C = constOf(VA)) {
+          emitConst(Out, I.Dst, -*C);
+          return;
+        }
+      }
+      emitNegOf(Out, I.Dst, VA, A);
+      return;
+    }
+    default:
+      break;
+    }
+
+    // Binary operation.
+    int VA = vnOf(I.A), VB = vnOf(I.B);
+    Operand A = propagate(I.A, VA), B = propagate(I.B, VB);
+    auto CA = constOf(VA), CB = constOf(VB);
+
+    if (Opts.ConstantFold && CA && CB &&
+        !(I.Opcode == Op::Div && *CB == Cplx(0, 0))) {
+      Cplx R(0, 0);
+      switch (I.Opcode) {
+      case Op::Add:
+        R = *CA + *CB;
+        break;
+      case Op::Sub:
+        R = *CA - *CB;
+        break;
+      case Op::Mul:
+        R = *CA * *CB;
+        break;
+      case Op::Div:
+        R = *CA / *CB;
+        break;
+      default:
+        break;
+      }
+      emitConst(Out, I.Dst, R);
+      return;
+    }
+
+    if (Opts.Algebraic) {
+      const Cplx Zero(0, 0), One(1, 0), MinusOne(-1, 0);
+      if (I.Opcode == Op::Add && CA && *CA == Zero)
+        return emitCopyOf(Out, I.Dst, VB, B);
+      if (I.Opcode == Op::Add && CB && *CB == Zero)
+        return emitCopyOf(Out, I.Dst, VA, A);
+      if (I.Opcode == Op::Sub && CB && *CB == Zero)
+        return emitCopyOf(Out, I.Dst, VA, A);
+      if (I.Opcode == Op::Mul && CA && *CA == One)
+        return emitCopyOf(Out, I.Dst, VB, B);
+      if (I.Opcode == Op::Mul && CB && *CB == One)
+        return emitCopyOf(Out, I.Dst, VA, A);
+      if (I.Opcode == Op::Div && CB && *CB == One)
+        return emitCopyOf(Out, I.Dst, VA, A);
+      if (I.Opcode == Op::Mul && ((CA && *CA == Zero) || (CB && *CB == Zero)))
+        return emitConst(Out, I.Dst, Zero);
+      if (I.Opcode == Op::Mul && CB && *CB == MinusOne)
+        return emitNegOf(Out, I.Dst, VA, A);
+      if ((I.Opcode == Op::Mul && CA && *CA == MinusOne) ||
+          (I.Opcode == Op::Sub && CA && *CA == Zero))
+        return emitNegOf(Out, I.Dst, VB, B);
+    }
+
+    // CSE with commutative normalization.
+    int KA = VA, KB = VB;
+    if ((I.Opcode == Op::Add || I.Opcode == Op::Mul) && KA > KB)
+      std::swap(KA, KB);
+    auto Key = std::make_tuple(static_cast<int>(I.Opcode), KA, KB);
+    if (Opts.CSE) {
+      auto Hit = ExprVN.find(Key);
+      if (Hit != ExprVN.end() && repOf(Hit->second)) {
+        emitCopyOf(Out, I.Dst, Hit->second, A);
+        return;
+      }
+    }
+    int VD = freshVN();
+    ExprVN[Key] = VD;
+    kill(I.Dst);
+    Out.Body.push_back(Instr::bin(I.Opcode, I.Dst, A, B));
+    record(I.Dst, VD);
+  }
+};
+
+} // namespace
+
+Program opt::valueNumber(const Program &P, const VNOptions &Opts) {
+  return VNImpl(P, Opts).run();
+}

@@ -1,0 +1,42 @@
+//===- opt/ValueNumbering.h - Value-numbering optimizer ---------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's default optimizations (Section 3.4): constant folding, copy
+/// propagation, common subexpression elimination and algebraic
+/// simplification, all in a single pass driven by value numbering. Both
+/// scalar variables and array elements participate; stores to array
+/// elements conservatively invalidate potentially aliasing values. Value
+/// state is reset at loop boundaries, so straight-line (unrolled) programs
+/// get the full benefit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_OPT_VALUENUMBERING_H
+#define SPL_OPT_VALUENUMBERING_H
+
+#include "icode/ICode.h"
+
+namespace spl {
+namespace opt {
+
+/// Pass toggles (for the optimizer-ablation benchmark).
+struct VNOptions {
+  bool ConstantFold = true;
+  bool CopyProp = true;
+  bool CSE = true;
+  bool Algebraic = true;
+};
+
+/// Runs the value-numbering pass. Dead code is left behind for the DCE pass
+/// to collect.
+icode::Program valueNumber(const icode::Program &P,
+                           const VNOptions &Opts = VNOptions());
+
+} // namespace opt
+} // namespace spl
+
+#endif // SPL_OPT_VALUENUMBERING_H

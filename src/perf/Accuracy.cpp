@@ -1,0 +1,89 @@
+//===- perf/Accuracy.cpp - Accuracy measurement -------------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "perf/Accuracy.h"
+
+#include <cassert>
+#include <cmath>
+#include <random>
+
+using namespace spl;
+using namespace spl::perf;
+
+namespace {
+
+constexpr long double PiL = 3.14159265358979323846264338327950288L;
+
+/// Recursive radix-2 DIT on long doubles; X.size() a power of two.
+void fftRec(const CplxL *In, CplxL *Out, std::size_t N, std::size_t Stride) {
+  if (N == 1) {
+    Out[0] = In[0];
+    return;
+  }
+  fftRec(In, Out, N / 2, Stride * 2);
+  fftRec(In + Stride, Out + N / 2, N / 2, Stride * 2);
+  for (std::size_t K = 0; K != N / 2; ++K) {
+    long double Ang = -2.0L * PiL * static_cast<long double>(K) /
+                      static_cast<long double>(N);
+    CplxL W(std::cos(Ang), std::sin(Ang));
+    CplxL T = W * Out[N / 2 + K];
+    Out[N / 2 + K] = Out[K] - T;
+    Out[K] += T;
+  }
+}
+
+} // namespace
+
+std::vector<CplxL> perf::referenceDFT(const std::vector<CplxL> &X) {
+  std::size_t N = X.size();
+  assert(N >= 1 && "empty input");
+  std::vector<CplxL> Y(N);
+  if ((N & (N - 1)) == 0) {
+    fftRec(X.data(), Y.data(), N, 1);
+    return Y;
+  }
+  for (std::size_t K = 0; K != N; ++K) {
+    CplxL Acc(0, 0);
+    for (std::size_t J = 0; J != N; ++J) {
+      long double Ang = -2.0L * PiL *
+                        static_cast<long double>((K * J) % N) /
+                        static_cast<long double>(N);
+      Acc += X[J] * CplxL(std::cos(Ang), std::sin(Ang));
+    }
+    Y[K] = Acc;
+  }
+  return Y;
+}
+
+double perf::relativeError(std::int64_t N, const TransformFn &Fn, int Trials,
+                           unsigned Seed) {
+  assert(N >= 1 && Trials >= 1 && "bad accuracy parameters");
+  std::mt19937 Gen(Seed);
+  std::uniform_real_distribution<double> Dist(-1.0, 1.0);
+
+  double Sum = 0;
+  for (int T = 0; T != Trials; ++T) {
+    std::vector<Cplx> X(N), Y;
+    std::vector<CplxL> XL(N);
+    for (std::int64_t I = 0; I != N; ++I) {
+      double Re = Dist(Gen), Im = Dist(Gen);
+      X[I] = Cplx(Re, Im);
+      XL[I] = CplxL(Re, Im);
+    }
+    Fn(X, Y);
+    std::vector<CplxL> Ref = referenceDFT(XL);
+    assert(Y.size() == Ref.size() && "transform changed the size");
+
+    long double ErrSq = 0, RefSq = 0;
+    for (std::int64_t I = 0; I != N; ++I) {
+      CplxL D = CplxL(Y[I].real(), Y[I].imag()) - Ref[I];
+      ErrSq += D.real() * D.real() + D.imag() * D.imag();
+      RefSq += Ref[I].real() * Ref[I].real() + Ref[I].imag() * Ref[I].imag();
+    }
+    Sum += static_cast<double>(std::sqrt(ErrSq / RefSq));
+  }
+  return Sum / Trials;
+}

@@ -1,0 +1,47 @@
+//===- perf/Accuracy.h - Accuracy measurement -------------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchfft-style accuracy metric of Figure 6: the relative L2 error of
+/// a computed DFT against a higher-precision reference transform on random
+/// input. (The paper used Frigo's benchfft package; this reimplements its
+/// metric with a long-double split-radix reference.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_PERF_ACCURACY_H
+#define SPL_PERF_ACCURACY_H
+
+#include "ir/Matrix.h"
+
+#include <complex>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace spl {
+namespace perf {
+
+using CplxL = std::complex<long double>;
+
+/// Computes the N-point DFT in long-double precision (recursive radix-2 for
+/// powers of two, direct evaluation otherwise). Used as the accuracy
+/// reference.
+std::vector<CplxL> referenceDFT(const std::vector<CplxL> &X);
+
+/// A transform under test: fills Out (size N) from In (size N).
+using TransformFn =
+    std::function<void(const std::vector<Cplx> &In, std::vector<Cplx> &Out)>;
+
+/// Relative L2 error ||y - y_ref|| / ||y_ref|| of \p Fn on \p Trials random
+/// N-point inputs (the benchfft metric); returns the mean over trials.
+double relativeError(std::int64_t N, const TransformFn &Fn, int Trials = 4,
+                     unsigned Seed = 99);
+
+} // namespace perf
+} // namespace spl
+
+#endif // SPL_PERF_ACCURACY_H

@@ -1,0 +1,72 @@
+//===- perf/KernelRunner.cpp - Run generated kernels natively -----------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "perf/KernelRunner.h"
+
+#include "codegen/CEmitter.h"
+#include "support/Timer.h"
+
+#include <cassert>
+#include <random>
+
+using namespace spl;
+using namespace spl::perf;
+
+std::unique_ptr<CompiledKernel>
+CompiledKernel::create(const icode::Program &Final, std::string *Error) {
+  assert(Final.Type == icode::DataType::Real &&
+         "native kernels require real-typed programs");
+  if (!NativeModule::available()) {
+    if (Error)
+      *Error = "no system C compiler available";
+    return nullptr;
+  }
+
+  codegen::CEmitOptions CO;
+  CO.ExternalTables = true;
+  std::string Code = codegen::emitC(Final, CO);
+
+  auto Mod = NativeModule::compile(Code, Final.SubName, Error);
+  if (!Mod)
+    return nullptr;
+
+  auto K = std::unique_ptr<CompiledKernel>(new CompiledKernel());
+  K->Fn = Mod->fn();
+  K->InLen = Final.LoweredToReal ? Final.InSize * 2 : Final.InSize;
+  K->OutLen = Final.LoweredToReal ? Final.OutSize * 2 : Final.OutSize;
+
+  if (!Final.Tables.empty()) {
+    for (const auto &T : Final.Tables) {
+      std::vector<double> Flat(T.size());
+      for (size_t I = 0; I != T.size(); ++I)
+        Flat[I] = T[I].real();
+      K->Tables.push_back(std::move(Flat));
+    }
+    using SetFn = void (*)(const double *const *);
+    std::string SetName = Final.SubName + "_set_tables";
+    auto Set = reinterpret_cast<SetFn>(Mod->symbol(SetName.c_str()));
+    if (!Set) {
+      if (Error)
+        *Error = "generated module lacks " + SetName;
+      return nullptr;
+    }
+    std::vector<const double *> Ptrs;
+    for (const auto &T : K->Tables)
+      Ptrs.push_back(T.data());
+    Set(Ptrs.data());
+  }
+  K->Mod = std::move(Mod);
+  return K;
+}
+
+double CompiledKernel::time(int Repeats) const {
+  std::mt19937 Gen(11);
+  std::uniform_real_distribution<double> Dist(-1.0, 1.0);
+  std::vector<double> X(InLen), Y(OutLen, 0.0);
+  for (double &V : X)
+    V = Dist(Gen);
+  return timeBestOf([&] { Fn(Y.data(), X.data()); }, Repeats);
+}

@@ -1,0 +1,61 @@
+//===- perf/KernelRunner.h - Run generated kernels natively -----*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience wrapper that takes a final i-code program, emits C with
+/// run-time table binding, compiles it with the system compiler, loads it,
+/// feeds it the twiddle tables, and offers buffers and timing — one call
+/// from "searched formula" to "native numbers", used by the benchmark
+/// harnesses and the examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_PERF_KERNELRUNNER_H
+#define SPL_PERF_KERNELRUNNER_H
+
+#include "icode/ICode.h"
+#include "perf/NativeCompile.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spl {
+namespace perf {
+
+/// A natively compiled, loaded and table-bound generated kernel.
+class CompiledKernel {
+public:
+  /// Emits, compiles and loads \p Final. Returns null (with \p Error
+  /// filled when non-null) if no C compiler is available or compilation
+  /// fails. The program must be real-typed (C backend requirement).
+  static std::unique_ptr<CompiledKernel> create(const icode::Program &Final,
+                                                std::string *Error = nullptr);
+
+  /// Buffer lengths in doubles (2x the logical size for lowered-complex
+  /// programs).
+  std::int64_t inLen() const { return InLen; }
+  std::int64_t outLen() const { return OutLen; }
+
+  /// Runs the kernel once.
+  void run(double *Y, const double *X) const { Fn(Y, X); }
+
+  /// Best-of-\p Repeats seconds per transform on random data.
+  double time(int Repeats = 3) const;
+
+private:
+  CompiledKernel() = default;
+
+  std::unique_ptr<NativeModule> Mod;
+  NativeModule::KernelFn Fn = nullptr;
+  std::vector<std::vector<double>> Tables; ///< Must outlive the module use.
+  std::int64_t InLen = 0, OutLen = 0;
+};
+
+} // namespace perf
+} // namespace spl
+
+#endif // SPL_PERF_KERNELRUNNER_H

@@ -1,0 +1,27 @@
+//===- perf/MemoryModel.cpp - Memory accounting --------------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "perf/MemoryModel.h"
+
+using namespace spl;
+using namespace spl::perf;
+using namespace spl::icode;
+
+MemoryUsage perf::accountProgram(const Program &P,
+                                 std::uint64_t BytesPerInstr) {
+  MemoryUsage U;
+  std::uint64_t ElemBytes =
+      P.Type == DataType::Real ? sizeof(double) : 2 * sizeof(double);
+  for (std::int64_t S : P.TempVecSizes)
+    U.TempBytes += static_cast<std::uint64_t>(S) * ElemBytes;
+  for (const auto &T : P.Tables)
+    U.TableBytes += T.size() * (P.Type == DataType::Real
+                                    ? sizeof(double)
+                                    : 2 * sizeof(double));
+  // Loops cost a few control instructions; arithmetic dominates.
+  U.CodeBytes = P.staticSize() * BytesPerInstr;
+  return U;
+}

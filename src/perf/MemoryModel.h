@@ -1,0 +1,44 @@
+//===- perf/MemoryModel.h - Memory accounting -------------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memory accounting for Figure 5 (memory consumption of large FFTs). The
+/// paper measured process segments; this model counts the same
+/// constituents explicitly: data (temporary vectors + twiddle tables) and
+/// text (an estimate from the instruction count), per generated program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_PERF_MEMORYMODEL_H
+#define SPL_PERF_MEMORYMODEL_H
+
+#include "icode/ICode.h"
+
+#include <cstdint>
+
+namespace spl {
+namespace perf {
+
+/// Byte breakdown for one compiled program.
+struct MemoryUsage {
+  std::uint64_t TempBytes = 0;  ///< Temporary vectors (the data segment).
+  std::uint64_t TableBytes = 0; ///< Constant twiddle/element tables.
+  std::uint64_t CodeBytes = 0;  ///< Text-segment estimate.
+
+  std::uint64_t total() const { return TempBytes + TableBytes + CodeBytes; }
+};
+
+/// Accounts the memory a generated program needs at run time. CodeBytes
+/// uses BytesPerInstr per straight-line instruction (a typical x86-64
+/// scalar FP instruction plus addressing averages ~8-16 bytes; the default
+/// is deliberately round and documented in EXPERIMENTS.md).
+MemoryUsage accountProgram(const icode::Program &P,
+                           std::uint64_t BytesPerInstr = 12);
+
+} // namespace perf
+} // namespace spl
+
+#endif // SPL_PERF_MEMORYMODEL_H

@@ -1,0 +1,22 @@
+//===- perf/Metrics.cpp - Performance metrics ----------------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "perf/Metrics.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace spl;
+
+double perf::nominalFlops(std::int64_t N) {
+  assert(N >= 1 && "bad transform size");
+  return 5.0 * static_cast<double>(N) * std::log2(static_cast<double>(N));
+}
+
+double perf::pseudoMFlops(std::int64_t N, double Seconds) {
+  assert(Seconds > 0 && "time must be positive");
+  return nominalFlops(N) / (Seconds * 1e6);
+}

@@ -1,0 +1,31 @@
+//===- perf/Metrics.h - Performance metrics ---------------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's performance metric: "pseudo MFlops" = 5 N log2(N) / t, with t
+/// in microseconds (Section 4.1) — the standard FFT metric that charges
+/// every algorithm the radix-2 operation count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_PERF_METRICS_H
+#define SPL_PERF_METRICS_H
+
+#include <cstdint>
+
+namespace spl {
+namespace perf {
+
+/// Pseudo MFlops for an N-point FFT taking \p Seconds per transform.
+double pseudoMFlops(std::int64_t N, double Seconds);
+
+/// The nominal FFT operation count 5 N log2 N.
+double nominalFlops(std::int64_t N);
+
+} // namespace perf
+} // namespace spl
+
+#endif // SPL_PERF_METRICS_H

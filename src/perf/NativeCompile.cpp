@@ -1,0 +1,140 @@
+//===- perf/NativeCompile.cpp - Compile-and-load evaluation -----------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "perf/NativeCompile.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <dlfcn.h>
+#include <unistd.h>
+#define SPL_HAVE_DLOPEN 1
+#endif
+
+using namespace spl;
+using namespace spl::perf;
+
+namespace {
+
+/// Compiler command; overridable with the SPL_CC environment variable.
+std::string ccCommand() {
+  if (const char *Env = std::getenv("SPL_CC"))
+    return Env;
+  return "cc";
+}
+
+std::string uniqueStem() {
+  static std::atomic<unsigned> Counter{0};
+  std::ostringstream SS;
+  SS << "/tmp/spl-native-" << getpid() << "-" << Counter++;
+  return SS.str();
+}
+
+} // namespace
+
+bool NativeModule::available() {
+#if !defined(SPL_HAVE_DLOPEN)
+  return false;
+#else
+  static int Cached = -1;
+  if (Cached < 0) {
+    std::string Cmd = ccCommand() + " --version > /dev/null 2>&1";
+    Cached = std::system(Cmd.c_str()) == 0 ? 1 : 0;
+  }
+  return Cached == 1;
+#endif
+}
+
+std::unique_ptr<NativeModule>
+NativeModule::compile(const std::string &CSource, const std::string &FnName,
+                      std::string *Error, const std::string &ExtraFlags) {
+#if !defined(SPL_HAVE_DLOPEN)
+  if (Error)
+    *Error = "dlopen is not available on this platform";
+  return nullptr;
+#else
+  std::string Stem = uniqueStem();
+  std::string CPath = Stem + ".c";
+  std::string SoPath = Stem + ".so";
+  std::string LogPath = Stem + ".log";
+
+  {
+    std::ofstream Out(CPath);
+    if (!Out) {
+      if (Error)
+        *Error = "cannot write " + CPath;
+      return nullptr;
+    }
+    Out << CSource;
+  }
+
+  std::string Cmd = ccCommand() + " " + ExtraFlags +
+                    " -shared -fPIC -o " + SoPath + " " + CPath + " > " +
+                    LogPath + " 2>&1";
+  int RC = std::system(Cmd.c_str());
+  if (RC != 0) {
+    if (Error) {
+      std::ifstream Log(LogPath);
+      std::ostringstream SS;
+      SS << "compilation failed (exit " << RC << "):\n" << Log.rdbuf();
+      *Error = SS.str();
+    }
+    std::remove(CPath.c_str());
+    std::remove(LogPath.c_str());
+    return nullptr;
+  }
+
+  void *Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle) {
+    if (Error)
+      *Error = std::string("dlopen failed: ") + dlerror();
+    std::remove(CPath.c_str());
+    std::remove(SoPath.c_str());
+    std::remove(LogPath.c_str());
+    return nullptr;
+  }
+  void *Sym = dlsym(Handle, FnName.c_str());
+  if (!Sym) {
+    if (Error)
+      *Error = "symbol '" + FnName + "' not found in generated module";
+    dlclose(Handle);
+    std::remove(CPath.c_str());
+    std::remove(SoPath.c_str());
+    std::remove(LogPath.c_str());
+    return nullptr;
+  }
+
+  auto M = std::unique_ptr<NativeModule>(new NativeModule());
+  M->Handle = Handle;
+  M->Fn = reinterpret_cast<KernelFn>(Sym);
+  M->SoPath = SoPath;
+  std::remove(CPath.c_str());
+  std::remove(LogPath.c_str());
+  return M;
+#endif
+}
+
+void *NativeModule::symbol(const char *Name) const {
+#if defined(SPL_HAVE_DLOPEN)
+  return Handle ? dlsym(Handle, Name) : nullptr;
+#else
+  (void)Name;
+  return nullptr;
+#endif
+}
+
+NativeModule::~NativeModule() {
+#if defined(SPL_HAVE_DLOPEN)
+  if (Handle)
+    dlclose(Handle);
+  if (!SoPath.empty())
+    std::remove(SoPath.c_str());
+#endif
+}

@@ -1,0 +1,63 @@
+//===- perf/NativeCompile.h - Compile-and-load evaluation -------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles emitted C code with the system C compiler and loads it with
+/// dlopen. This is the honest timing path for the benchmark harnesses: the
+/// generated code runs as native machine code, exactly as the paper's
+/// back-end Fortran/C compilers produced it. Falls back gracefully (callers
+/// check available()) when no compiler is installed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_PERF_NATIVECOMPILE_H
+#define SPL_PERF_NATIVECOMPILE_H
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace spl {
+namespace perf {
+
+/// A loaded shared object holding one generated kernel.
+class NativeModule {
+public:
+  /// Signature of generated kernels without stride parameters.
+  using KernelFn = void (*)(double *Y, const double *X);
+
+  /// Compiles \p CSource and loads symbol \p FnName. On failure returns
+  /// nullptr and, when \p Error is non-null, stores the compiler output.
+  static std::unique_ptr<NativeModule>
+  compile(const std::string &CSource, const std::string &FnName,
+          std::string *Error = nullptr,
+          const std::string &ExtraFlags = "-O2");
+
+  /// True when a working C compiler was found on this machine (cached).
+  static bool available();
+
+  KernelFn fn() const { return Fn; }
+
+  /// Looks up an additional symbol (e.g. the <name>_set_tables hook emitted
+  /// with CEmitOptions::ExternalTables). Null when absent.
+  void *symbol(const char *Name) const;
+
+  ~NativeModule();
+  NativeModule(const NativeModule &) = delete;
+  NativeModule &operator=(const NativeModule &) = delete;
+
+private:
+  NativeModule() = default;
+
+  void *Handle = nullptr;
+  KernelFn Fn = nullptr;
+  std::string SoPath;
+};
+
+} // namespace perf
+} // namespace spl
+
+#endif // SPL_PERF_NATIVECOMPILE_H

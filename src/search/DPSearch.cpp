@@ -1,0 +1,147 @@
+//===- search/DPSearch.cpp - Dynamic-programming search -----------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/DPSearch.h"
+
+#include "gen/Enumerate.h"
+#include "gen/Rules.h"
+#include "ir/Builder.h"
+
+#include <algorithm>
+
+using namespace spl;
+using namespace spl::search;
+
+std::optional<Candidate> DPSearch::searchSmallOne(std::int64_t N) {
+  auto Hit = SmallBest.find(N);
+  if (Hit != SmallBest.end())
+    return Hit->second;
+
+  std::vector<FormulaRef> Cands;
+  if (N == 2) {
+    Cands.push_back(makeDFT(2));
+  } else {
+    // All Equation-10 factorizations with the DP winners as leaves.
+    for (const auto &Comp : gen::factorCompositions(N)) {
+      if (Comp.size() < 2)
+        continue;
+      std::vector<std::pair<std::int64_t, FormulaRef>> Factors;
+      bool Ok = true;
+      for (std::int64_t Ni : Comp) {
+        auto Sub = searchSmallOne(Ni);
+        if (!Sub) {
+          Ok = false;
+          break;
+        }
+        Factors.push_back({Ni, Sub->Formula});
+      }
+      if (Ok)
+        Cands.push_back(gen::ruleEq10(Factors));
+    }
+    if (Opts.UseVariants) {
+      for (std::int64_t R = 2; R * 2 <= N; R *= 2) {
+        std::int64_t S = N / R;
+        auto FR = searchSmallOne(R), FS = searchSmallOne(S);
+        if (!FR || !FS)
+          continue;
+        Cands.push_back(
+            gen::ruleCooleyTukeyDIF(R, S, FR->Formula, FS->Formula));
+        Cands.push_back(
+            gen::ruleCooleyTukeyVector(R, S, FR->Formula, FS->Formula));
+        Cands.push_back(
+            gen::ruleCooleyTukeyParallel(R, S, FR->Formula, FS->Formula));
+      }
+    }
+    // The DFT by definition is also a legal (slow) candidate for tiny
+    // sizes, and the only one for primes (this makes mixed-radix sizes like
+    // 12 = 3*4 searchable: factorCompositions handles any composite).
+    if (N <= 4 || Cands.empty())
+      Cands.push_back(makeDFT(N));
+  }
+
+  std::optional<Candidate> Best;
+  for (const FormulaRef &F : Cands) {
+    auto Cost = Eval.cost(F);
+    if (!Cost)
+      continue;
+    if (!Best || *Cost < Best->Cost)
+      Best = Candidate{F, *Cost};
+  }
+  if (!Best) {
+    Diags.error(SourceLoc(), "search found no viable formula for size " +
+                                 std::to_string(N));
+    return std::nullopt;
+  }
+  SmallBest[N] = *Best;
+  return Best;
+}
+
+std::map<std::int64_t, Candidate> DPSearch::searchSmall(std::int64_t MaxN) {
+  assert(MaxN >= 2 && (MaxN & (MaxN - 1)) == 0 && MaxN <= Opts.MaxLeaf &&
+         "small search covers power-of-two sizes up to MaxLeaf");
+  std::map<std::int64_t, Candidate> Out;
+  for (std::int64_t N = 2; N <= MaxN; N *= 2) {
+    auto Best = searchSmallOne(N);
+    if (Best)
+      Out[N] = *Best;
+  }
+  return Out;
+}
+
+const std::vector<Candidate> &DPSearch::largeEntries(std::int64_t N) {
+  auto Hit = LargeBest.find(N);
+  if (Hit != LargeBest.end())
+    return Hit->second;
+
+  std::vector<Candidate> Entries;
+  if (N <= Opts.MaxLeaf) {
+    if (auto Small = searchSmallOne(N))
+      Entries.push_back(*Small);
+  } else {
+    // Right-most binary factorization: F_N = (F_r (x) I_s) T (I_r (x) F_s)
+    // L with r <= MaxLeaf a straight-line module and s factored further.
+    std::vector<Candidate> Cands;
+    for (std::int64_t R = 2; R <= Opts.MaxLeaf && R * 2 <= N; R *= 2) {
+      std::int64_t S = N / R;
+      auto FR = searchSmallOne(R);
+      if (!FR)
+        continue;
+      for (const Candidate &FS : largeEntries(S)) {
+        FormulaRef F =
+            gen::ruleCooleyTukeyDIT(R, S, FR->Formula, FS.Formula);
+        auto Cost = Eval.cost(F);
+        if (Cost)
+          Cands.push_back({F, *Cost});
+      }
+    }
+    std::sort(Cands.begin(), Cands.end(),
+              [](const Candidate &A, const Candidate &B) {
+                return A.Cost < B.Cost;
+              });
+    if (Cands.size() > static_cast<size_t>(Opts.KeepBest))
+      Cands.resize(Opts.KeepBest);
+    Entries = std::move(Cands);
+  }
+
+  if (Entries.empty())
+    Diags.error(SourceLoc(), "search found no viable formula for size " +
+                                 std::to_string(N));
+  return LargeBest.emplace(N, std::move(Entries)).first->second;
+}
+
+std::vector<Candidate> DPSearch::searchLarge(std::int64_t N) {
+  assert(N >= 2 && (N & (N - 1)) == 0 && "size must be a power of two");
+  return largeEntries(N);
+}
+
+std::optional<Candidate> DPSearch::best(std::int64_t N) {
+  if (N <= Opts.MaxLeaf)
+    return searchSmallOne(N);
+  const auto &Entries = largeEntries(N);
+  if (Entries.empty())
+    return std::nullopt;
+  return Entries.front();
+}

@@ -1,0 +1,87 @@
+//===- search/DPSearch.h - Dynamic-programming search -----------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The search engine of Section 4: dynamic programming over FFT
+/// factorizations. Small sizes (2..MaxLeaf) are searched exhaustively over
+/// Equation-10 factorizations with fully unrolled straight-line code; large
+/// sizes use the right-most binary Cooley-Tukey factorization with r <=
+/// MaxLeaf, keeping the best k (k=3 in the paper) formulas per size because
+/// the best formula for one size is not necessarily the best sub-formula
+/// for a larger one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_SEARCH_DPSEARCH_H
+#define SPL_SEARCH_DPSEARCH_H
+
+#include "search/Evaluator.h"
+
+#include <map>
+#include <vector>
+
+namespace spl {
+namespace search {
+
+/// Search configuration.
+struct SearchOptions {
+  /// Largest straight-line sub-transform (the paper uses 64).
+  std::int64_t MaxLeaf = 64;
+
+  /// How many best formulas to keep per large size (paper: 3).
+  int KeepBest = 3;
+
+  /// Include rule variants (DIF / parallel / vector splits) among the
+  /// small-size candidates in addition to Equation 10.
+  bool UseVariants = false;
+};
+
+/// One search result.
+struct Candidate {
+  FormulaRef Formula;
+  double Cost = 0;
+};
+
+/// The dynamic-programming search engine.
+class DPSearch {
+public:
+  DPSearch(Evaluator &Eval, Diagnostics &Diags,
+           SearchOptions Opts = SearchOptions())
+      : Eval(Eval), Diags(Diags), Opts(Opts) {}
+
+  /// Exhaustively searches sizes 2,4,...,MaxN (powers of two, MaxN <=
+  /// MaxLeaf) and returns the winner per size. Results are cached for use
+  /// by searchLarge.
+  std::map<std::int64_t, Candidate> searchSmall(std::int64_t MaxN);
+
+  /// Searches size N > MaxLeaf with the right-most binary strategy; returns
+  /// up to KeepBest candidates, best first. Small sizes must have been
+  /// searched first (searchSmall(MaxLeaf)); missing entries are filled in
+  /// on demand.
+  std::vector<Candidate> searchLarge(std::int64_t N);
+
+  /// The best known formula for any size (small winner or large keep-best
+  /// head). Runs searches on demand. Sizes up to MaxLeaf may be any
+  /// integer >= 2 (mixed radix included); larger sizes must be powers of
+  /// two (the right-most binary strategy).
+  std::optional<Candidate> best(std::int64_t N);
+
+private:
+  Evaluator &Eval;
+  Diagnostics &Diags;
+  SearchOptions Opts;
+
+  std::map<std::int64_t, Candidate> SmallBest;
+  std::map<std::int64_t, std::vector<Candidate>> LargeBest;
+
+  std::optional<Candidate> searchSmallOne(std::int64_t N);
+  const std::vector<Candidate> &largeEntries(std::int64_t N);
+};
+
+} // namespace search
+} // namespace spl
+
+#endif // SPL_SEARCH_DPSEARCH_H

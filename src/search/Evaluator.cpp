@@ -1,0 +1,79 @@
+//===- search/Evaluator.cpp - Candidate cost evaluation -----------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/Evaluator.h"
+
+#include "perf/KernelRunner.h"
+#include "perf/NativeCompile.h"
+#include "support/Timer.h"
+#include "vm/Executor.h"
+
+#include <random>
+
+using namespace spl;
+using namespace spl::search;
+
+std::optional<Compiled> Evaluator::compile(const FormulaRef &F) {
+  driver::Compiler Comp(Diags);
+  DirectiveState Dirs;
+  Dirs.SubName = "cand";
+  Dirs.Datatype = Datatype;
+  Dirs.CodeType = "real";
+  Dirs.Language = "c";
+  driver::CompilerOptions Opts = CompOpts;
+  // Candidates are costed from i-code (or native-compiled with run-time
+  // tables); rendering inline-table C text here would dominate the search.
+  Opts.EmitCode = false;
+  auto Unit = Comp.compileFormula(F, Dirs, Opts);
+  if (!Unit)
+    return std::nullopt;
+  return Compiled{std::move(Unit->Final), std::move(Unit->Code)};
+}
+
+std::optional<double> Evaluator::cost(const FormulaRef &F) {
+  auto C = compile(F);
+  if (!C)
+    return std::nullopt;
+  return costCompiled(*C);
+}
+
+std::optional<double> OpCountEvaluator::costCompiled(const Compiled &C) {
+  return static_cast<double>(C.Final.dynamicOpCount());
+}
+
+namespace {
+
+std::vector<double> randomRealBuffer(size_t N) {
+  std::mt19937 Gen(7);
+  std::uniform_real_distribution<double> Dist(-1.0, 1.0);
+  std::vector<double> V(N);
+  for (double &X : V)
+    X = Dist(Gen);
+  return V;
+}
+
+} // namespace
+
+std::optional<double> VMTimeEvaluator::costCompiled(const Compiled &C) {
+  vm::Executor VM(C.Final);
+  std::vector<double> In = randomRealBuffer(VM.inputLen());
+  std::vector<double> Out(VM.outputLen(), 0.0);
+  return timeBestOf([&] { VM.runReal(In.data(), Out.data()); }, Repeats);
+}
+
+bool NativeTimeEvaluator::available() {
+  return perf::NativeModule::available();
+}
+
+std::optional<double> NativeTimeEvaluator::costCompiled(const Compiled &C) {
+  std::string Err;
+  auto Kernel = perf::CompiledKernel::create(C.Final, &Err);
+  if (!Kernel) {
+    Diags.error(SourceLoc(), "native compilation failed: " + Err);
+    return std::nullopt;
+  }
+  return Kernel->time(Repeats);
+}

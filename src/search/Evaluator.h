@@ -1,0 +1,107 @@
+//===- search/Evaluator.h - Candidate cost evaluation -----------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cost evaluators for the search engine (the "performance evaluation"
+/// component of the SPIRAL framework, Figure 1). A formula is compiled
+/// through the full pipeline and costed by operation count, by timing the
+/// VM, or by timing natively compiled C — the paper's "run times and other
+/// performance metrics obtained by executing the code in the target machine
+/// or estimated using models".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_SEARCH_EVALUATOR_H
+#define SPL_SEARCH_EVALUATOR_H
+
+#include "driver/Compiler.h"
+
+#include <memory>
+#include <optional>
+
+namespace spl {
+namespace search {
+
+/// A compiled candidate ready for costing.
+struct Compiled {
+  icode::Program Final;
+  std::string CCode;
+};
+
+/// Base class: compiles candidates and assigns costs (lower is better).
+class Evaluator {
+public:
+  Evaluator(Diagnostics &Diags, driver::CompilerOptions CompOpts)
+      : Diags(Diags), CompOpts(std::move(CompOpts)) {}
+  virtual ~Evaluator() = default;
+
+  /// Cost of \p F; nullopt after reporting diagnostics on failure.
+  std::optional<double> cost(const FormulaRef &F);
+
+  /// Compiles \p F through the shared pipeline. Defaults to complex data /
+  /// real code (the FFT experiments); override via setDatatype for real
+  /// transforms such as the WHT and DCTs.
+  std::optional<Compiled> compile(const FormulaRef &F);
+
+  /// Sets the #datatype used for candidate compilation ("complex"|"real").
+  void setDatatype(std::string D) { Datatype = std::move(D); }
+
+  driver::CompilerOptions &options() { return CompOpts; }
+
+protected:
+  /// Costs an already-compiled candidate.
+  virtual std::optional<double> costCompiled(const Compiled &C) = 0;
+
+  Diagnostics &Diags;
+  driver::CompilerOptions CompOpts;
+  std::string Datatype = "complex";
+};
+
+/// Cost = dynamic floating-point operation count (a machine model).
+class OpCountEvaluator : public Evaluator {
+public:
+  using Evaluator::Evaluator;
+
+protected:
+  std::optional<double> costCompiled(const Compiled &C) override;
+};
+
+/// Cost = best-of-k VM execution time (portable measurement).
+class VMTimeEvaluator : public Evaluator {
+public:
+  VMTimeEvaluator(Diagnostics &Diags, driver::CompilerOptions CompOpts,
+                  int Repeats = 3)
+      : Evaluator(Diags, std::move(CompOpts)), Repeats(Repeats) {}
+
+protected:
+  std::optional<double> costCompiled(const Compiled &C) override;
+
+private:
+  int Repeats;
+};
+
+/// Cost = best-of-k execution time of natively compiled C (the honest
+/// measurement; requires a system C compiler — check available()).
+class NativeTimeEvaluator : public Evaluator {
+public:
+  NativeTimeEvaluator(Diagnostics &Diags, driver::CompilerOptions CompOpts,
+                      int Repeats = 3)
+      : Evaluator(Diags, std::move(CompOpts)), Repeats(Repeats) {}
+
+  /// True when native compilation works on this machine.
+  static bool available();
+
+protected:
+  std::optional<double> costCompiled(const Compiled &C) override;
+
+private:
+  int Repeats;
+};
+
+} // namespace search
+} // namespace spl
+
+#endif // SPL_SEARCH_EVALUATOR_H

@@ -1,0 +1,55 @@
+//===- support/Diagnostics.cpp - Diagnostics engine -----------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace spl;
+
+std::string Diagnostic::str() const {
+  std::string Out;
+  switch (Kind) {
+  case DiagKind::Error:
+    Out = "error: ";
+    break;
+  case DiagKind::Warning:
+    Out = "warning: ";
+    break;
+  case DiagKind::Note:
+    Out = "note: ";
+    break;
+  }
+  if (Loc.isValid())
+    Out += Loc.str() + ": ";
+  Out += Message;
+  return Out;
+}
+
+void Diagnostics::error(SourceLoc Loc, std::string Message) {
+  Messages.push_back({DiagKind::Error, Loc, std::move(Message)});
+  ++NumErrors;
+}
+
+void Diagnostics::warning(SourceLoc Loc, std::string Message) {
+  Messages.push_back({DiagKind::Warning, Loc, std::move(Message)});
+}
+
+void Diagnostics::note(SourceLoc Loc, std::string Message) {
+  Messages.push_back({DiagKind::Note, Loc, std::move(Message)});
+}
+
+std::string Diagnostics::dump() const {
+  std::string Out;
+  for (const Diagnostic &D : Messages) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}
+
+void Diagnostics::clear() {
+  Messages.clear();
+  NumErrors = 0;
+}

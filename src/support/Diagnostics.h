@@ -1,0 +1,65 @@
+//===- support/Diagnostics.h - Diagnostics engine ---------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error/warning/note reporting for the SPL compiler. The project builds
+/// without exceptions; fallible phases report through a Diagnostics instance
+/// and return null or std::nullopt. Callers inspect hasErrors() afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_SUPPORT_DIAGNOSTICS_H
+#define SPL_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace spl {
+
+/// Severity of a reported diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported diagnostic message.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders as "error: 3:7: message" (location omitted when unknown).
+  std::string str() const;
+};
+
+/// Collects diagnostics produced while processing one SPL program.
+///
+/// Messages follow the convention of starting with a lowercase letter and
+/// carrying no trailing period.
+class Diagnostics {
+public:
+  void error(SourceLoc Loc, std::string Message);
+  void warning(SourceLoc Loc, std::string Message);
+  void note(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &all() const { return Messages; }
+
+  /// Returns every collected message joined by newlines (handy in tests and
+  /// tool error paths).
+  std::string dump() const;
+
+  /// Drops all collected messages and resets the error count.
+  void clear();
+
+private:
+  std::vector<Diagnostic> Messages;
+  unsigned NumErrors = 0;
+};
+
+} // namespace spl
+
+#endif // SPL_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,47 @@
+//===- support/HostInfo.h - Host platform probing ---------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Probes the machine the benchmarks run on. The paper's Table 1 lists the
+/// evaluation platforms (CPU, clock, L1/L2 caches, memory, OS, compiler);
+/// bench_table1_platforms prints the same inventory for this host.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_SUPPORT_HOSTINFO_H
+#define SPL_SUPPORT_HOSTINFO_H
+
+#include <cstdint>
+#include <string>
+
+namespace spl {
+
+/// Description of the host, in the shape of one column of the paper's
+/// Table 1. Unknown fields are empty strings / zero.
+struct HostInfo {
+  std::string CpuModel;
+  double CpuMHz = 0;
+  std::uint64_t L1DataBytes = 0;
+  std::uint64_t L1InstBytes = 0;
+  std::uint64_t L2Bytes = 0;
+  std::uint64_t L3Bytes = 0;
+  std::uint64_t MemoryBytes = 0;
+  std::string OSName;
+  std::string Compiler;
+
+  /// Probes /proc and /sys (Linux); missing information is left defaulted.
+  static HostInfo detect();
+
+  /// Renders a two-column "field: value" table matching Table 1's rows.
+  std::string table() const;
+};
+
+/// Formats a byte count as "16KB" / "1MB" / "384MB" the way Table 1 does.
+std::string formatBytes(std::uint64_t Bytes);
+
+} // namespace spl
+
+#endif // SPL_SUPPORT_HOSTINFO_H

@@ -1,0 +1,45 @@
+//===- support/SourceLoc.h - Source locations -------------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight line/column source locations used by the SPL frontend and
+/// diagnostics engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_SUPPORT_SOURCELOC_H
+#define SPL_SUPPORT_SOURCELOC_H
+
+#include <string>
+
+namespace spl {
+
+/// A position in an SPL source buffer. Lines and columns are 1-based; a
+/// default-constructed location (line 0) means "unknown".
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(unsigned Line, unsigned Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  /// Renders the location as "line:col", or "<unknown>" when invalid.
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+
+  friend bool operator==(const SourceLoc &A, const SourceLoc &B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+};
+
+} // namespace spl
+
+#endif // SPL_SUPPORT_SOURCELOC_H

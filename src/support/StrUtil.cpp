@@ -1,0 +1,59 @@
+//===- support/StrUtil.cpp - String helpers -------------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StrUtil.h"
+
+#include <cassert>
+#include <charconv>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+using namespace spl;
+
+std::string spl::formatDouble(double V) {
+  if (V == 0.0)
+    return std::signbit(V) ? "-0.0" : "0.0";
+
+  // std::to_chars emits the shortest representation that round-trips.
+  char Buf[64];
+  auto [End, Ec] = std::to_chars(Buf, Buf + sizeof(Buf) - 4, V);
+  assert(Ec == std::errc() && "double formatting cannot fail");
+  (void)Ec;
+  std::string Out(Buf, End);
+  // Ensure the token reads as a floating constant in C and Fortran.
+  if (Out.find_first_of(".eE") == std::string::npos)
+    Out += ".0";
+  return Out;
+}
+
+std::string spl::formatComplex(std::complex<double> V) {
+  if (V.imag() == 0.0 && !std::signbit(V.imag()))
+    return formatDouble(V.real());
+  return "(" + formatDouble(V.real()) + "," + formatDouble(V.imag()) + ")";
+}
+
+std::string spl::join(const std::vector<std::string> &Parts,
+                      const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0; I != Parts.size(); ++I) {
+    if (I)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+bool spl::startsWith(const std::string &S, const std::string &Prefix) {
+  return S.size() >= Prefix.size() &&
+         S.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+std::string spl::toLower(std::string S) {
+  for (char &C : S)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  return S;
+}

@@ -1,0 +1,41 @@
+//===- support/StrUtil.h - String helpers -----------------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string formatting helpers shared by the printers and emitters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_SUPPORT_STRUTIL_H
+#define SPL_SUPPORT_STRUTIL_H
+
+#include <complex>
+#include <string>
+#include <vector>
+
+namespace spl {
+
+/// Formats a double with enough digits to round-trip exactly, trimming the
+/// noise ("0.5" rather than "5.0000000000000000e-01").
+std::string formatDouble(double V);
+
+/// Formats a complex constant as "(re,im)"; pure-real values print as a
+/// plain double.
+std::string formatComplex(std::complex<double> V);
+
+/// Joins \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Returns true when \p S starts with \p Prefix.
+bool startsWith(const std::string &S, const std::string &Prefix);
+
+/// Lower-cases ASCII characters in \p S.
+std::string toLower(std::string S);
+
+} // namespace spl
+
+#endif // SPL_SUPPORT_STRUTIL_H

@@ -1,0 +1,45 @@
+//===- support/Timer.cpp - Timing utilities -------------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace spl;
+
+double spl::timeBestOf(const std::function<void()> &Fn, int Repeats,
+                       double MinBatchSeconds) {
+  assert(Repeats > 0 && "need at least one repetition");
+
+  // Grow the batch until it is long enough to time reliably.
+  std::uint64_t Batch = 1;
+  double BatchSeconds = 0;
+  for (;;) {
+    Timer T;
+    for (std::uint64_t I = 0; I != Batch; ++I)
+      Fn();
+    BatchSeconds = T.seconds();
+    if (BatchSeconds >= MinBatchSeconds || Batch >= (1ull << 30))
+      break;
+    // Aim directly for the target batch length once we have a signal.
+    std::uint64_t Next = Batch * 2;
+    if (BatchSeconds > 1e-7) {
+      double Scale = MinBatchSeconds / BatchSeconds * 1.2;
+      Next = std::max(Next, static_cast<std::uint64_t>(Batch * Scale) + 1);
+    }
+    Batch = Next;
+  }
+
+  double Best = BatchSeconds / static_cast<double>(Batch);
+  for (int R = 1; R < Repeats; ++R) {
+    Timer T;
+    for (std::uint64_t I = 0; I != Batch; ++I)
+      Fn();
+    Best = std::min(Best, T.seconds() / static_cast<double>(Batch));
+  }
+  return Best;
+}

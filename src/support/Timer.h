@@ -1,0 +1,52 @@
+//===- support/Timer.h - Timing utilities -----------------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic wall-clock timing used by the search engine and the benchmark
+/// harnesses. Provides a best-of-k repetition helper that mirrors how the
+/// paper (and FFTW's planner) times candidate implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_SUPPORT_TIMER_H
+#define SPL_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+namespace spl {
+
+/// A simple monotonic stopwatch.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Times \p Fn and returns the best (minimum) per-call seconds observed.
+///
+/// The function is called in batches whose size grows until one batch takes
+/// at least \p MinBatchSeconds, then \p Repeats batches are measured and the
+/// fastest is returned. Minimum-of-repeats is the conventional estimator for
+/// short deterministic kernels since interference only ever adds time.
+double timeBestOf(const std::function<void()> &Fn, int Repeats = 3,
+                  double MinBatchSeconds = 1e-3);
+
+} // namespace spl
+
+#endif // SPL_SUPPORT_TIMER_H

@@ -1,0 +1,132 @@
+//===- templates/Condition.cpp - Template conditions -----------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "templates/Condition.h"
+
+#include <cassert>
+
+using namespace spl;
+using namespace spl::cond;
+
+ExprRef Expr::num(std::int64_t V) {
+  auto E = std::make_shared<Expr>();
+  E->K = Num;
+  E->NumVal = V;
+  return E;
+}
+
+ExprRef Expr::sym(std::string Name) {
+  auto E = std::make_shared<Expr>();
+  E->K = Sym;
+  E->Name = std::move(Name);
+  return E;
+}
+
+ExprRef Expr::unary(Kind K, ExprRef Sub) {
+  assert((K == Neg || K == Not) && "not a unary operator");
+  auto E = std::make_shared<Expr>();
+  E->K = K;
+  E->L = std::move(Sub);
+  return E;
+}
+
+ExprRef Expr::bin(Kind K, ExprRef L, ExprRef R) {
+  auto E = std::make_shared<Expr>();
+  E->K = K;
+  E->L = std::move(L);
+  E->R = std::move(R);
+  return E;
+}
+
+std::optional<std::int64_t> cond::eval(const ExprRef &E, const Lookup &L) {
+  if (!E)
+    return std::nullopt;
+  switch (E->K) {
+  case Expr::Num:
+    return E->NumVal;
+  case Expr::Sym:
+    return L(E->Name);
+  case Expr::Neg: {
+    auto V = eval(E->L, L);
+    if (!V)
+      return std::nullopt;
+    return -*V;
+  }
+  case Expr::Not: {
+    auto V = eval(E->L, L);
+    if (!V)
+      return std::nullopt;
+    return *V == 0 ? 1 : 0;
+  }
+  case Expr::And: {
+    // Short-circuit, but an unresolvable left side poisons the result.
+    auto A = eval(E->L, L);
+    if (!A)
+      return std::nullopt;
+    if (*A == 0)
+      return 0;
+    auto B = eval(E->R, L);
+    if (!B)
+      return std::nullopt;
+    return *B != 0 ? 1 : 0;
+  }
+  case Expr::Or: {
+    auto A = eval(E->L, L);
+    if (!A)
+      return std::nullopt;
+    if (*A != 0)
+      return 1;
+    auto B = eval(E->R, L);
+    if (!B)
+      return std::nullopt;
+    return *B != 0 ? 1 : 0;
+  }
+  default:
+    break;
+  }
+
+  auto A = eval(E->L, L), B = eval(E->R, L);
+  if (!A || !B)
+    return std::nullopt;
+  switch (E->K) {
+  case Expr::Add:
+    return *A + *B;
+  case Expr::Sub:
+    return *A - *B;
+  case Expr::Mul:
+    return *A * *B;
+  case Expr::Div:
+    if (*B == 0)
+      return std::nullopt;
+    return *A / *B;
+  case Expr::Mod:
+    if (*B == 0)
+      return std::nullopt;
+    return *A % *B;
+  case Expr::EQ:
+    return *A == *B ? 1 : 0;
+  case Expr::NE:
+    return *A != *B ? 1 : 0;
+  case Expr::LT:
+    return *A < *B ? 1 : 0;
+  case Expr::LE:
+    return *A <= *B ? 1 : 0;
+  case Expr::GT:
+    return *A > *B ? 1 : 0;
+  case Expr::GE:
+    return *A >= *B ? 1 : 0;
+  default:
+    assert(false && "unhandled condition kind");
+    return std::nullopt;
+  }
+}
+
+bool cond::holds(const ExprRef &E, const Lookup &L) {
+  if (!E)
+    return true;
+  auto V = eval(E, L);
+  return V && *V != 0;
+}

@@ -1,0 +1,78 @@
+//===- templates/Matcher.cpp - Pattern matching -----------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "templates/Matcher.h"
+
+using namespace spl;
+using namespace spl::tpl;
+
+namespace {
+
+bool bindInt(Bindings &B, const std::string &Name, std::int64_t Value) {
+  auto [It, Inserted] = B.Ints.insert({Name, Value});
+  return Inserted || It->second == Value;
+}
+
+bool bindFormula(Bindings &B, const std::string &Name,
+                 const FormulaRef &Value) {
+  auto [It, Inserted] = B.Formulas.insert({Name, Value});
+  return Inserted || formulaEqual(It->second, Value);
+}
+
+} // namespace
+
+bool tpl::matchPattern(const FormulaRef &Pattern, const FormulaRef &Subject,
+                       Bindings &B) {
+  assert(Pattern && Subject && "null formula in match");
+  assert(!Subject->isPattern() && "subjects must be concrete formulas");
+
+  if (Pattern->kind() == FKind::PatFormula)
+    return bindFormula(B, Pattern->varName(), Subject);
+
+  if (Pattern->kind() != Subject->kind())
+    return false;
+
+  switch (Pattern->kind()) {
+  case FKind::UserParam:
+    if (Pattern->varName() != Subject->varName())
+      return false;
+    break;
+  case FKind::GenMatrix:
+    if (Pattern->matrixRows() != Subject->matrixRows())
+      return false;
+    break;
+  case FKind::Diagonal:
+    if (Pattern->diagElems() != Subject->diagElems())
+      return false;
+    break;
+  case FKind::Permutation:
+    if (Pattern->permTargets() != Subject->permTargets())
+      return false;
+    break;
+  default:
+    break;
+  }
+
+  if (Pattern->params().size() != Subject->params().size())
+    return false;
+  for (size_t I = 0; I != Pattern->params().size(); ++I) {
+    const IntArg &P = Pattern->params()[I];
+    std::int64_t V = Subject->param(I);
+    if (P.isVar()) {
+      if (!bindInt(B, P.Var, V))
+        return false;
+    } else if (P.Value != V) {
+      return false;
+    }
+  }
+
+  if (Pattern->children().size() != Subject->children().size())
+    return false;
+  for (size_t I = 0; I != Pattern->children().size(); ++I)
+    if (!matchPattern(Pattern->child(I), Subject->child(I), B))
+      return false;
+  return true;
+}

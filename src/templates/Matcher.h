@@ -1,0 +1,42 @@
+//===- templates/Matcher.h - Pattern matching -------------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Matching of SPL formulas against template patterns (paper Section 3.2):
+/// integer pattern variables ("n_") bind integer parameters, formula pattern
+/// variables ("A_") bind whole sub-formulas, and literal structure must
+/// agree exactly. Repeated variables must bind consistently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_TEMPLATES_MATCHER_H
+#define SPL_TEMPLATES_MATCHER_H
+
+#include "ir/Formula.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace spl {
+namespace tpl {
+
+/// Variable bindings produced by a successful match.
+struct Bindings {
+  std::map<std::string, std::int64_t> Ints;
+  std::map<std::string, FormulaRef> Formulas;
+};
+
+/// Matches \p Subject (a concrete formula) against \p Pattern. On success
+/// returns true and fills \p B; on failure \p B may hold partial bindings
+/// and must be discarded.
+bool matchPattern(const FormulaRef &Pattern, const FormulaRef &Subject,
+                  Bindings &B);
+
+} // namespace tpl
+} // namespace spl
+
+#endif // SPL_TEMPLATES_MATCHER_H

@@ -1,0 +1,30 @@
+//===- templates/Registry.cpp - Template registry ---------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "templates/Registry.h"
+
+#include "frontend/Parser.h"
+
+#include <cassert>
+
+using namespace spl;
+using namespace spl::tpl;
+
+TemplateRegistry TemplateRegistry::withBuiltins() {
+  Diagnostics Diags;
+  std::vector<TemplateDef> Builtin =
+      parseTemplateString(builtinTemplatesText(), Diags);
+  assert(!Diags.hasErrors() && "built-in templates failed to parse");
+  (void)Diags;
+  TemplateRegistry R;
+  R.addAll(std::move(Builtin));
+  return R;
+}
+
+void TemplateRegistry::addAll(std::vector<TemplateDef> NewDefs) {
+  for (TemplateDef &D : NewDefs)
+    Defs.push_back(std::move(D));
+}

@@ -1,0 +1,225 @@
+//===- vm/Executor.cpp - I-code interpreter ---------------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Executor.h"
+
+#include <cassert>
+
+using namespace spl;
+using namespace spl::vm;
+using namespace spl::icode;
+
+Executor::Executor(const Program &ProgIn, const IntrinsicRegistry &Intrinsics)
+    : Prog(ProgIn), Intrinsics(Intrinsics) {
+  std::string Err = Prog.verify();
+  assert(Err.empty() && "invalid program handed to the VM");
+  (void)Err;
+
+  // Lay out temporary vectors then scalar temps in one slab.
+  VecBase.assign(FirstTempVec + Prog.TempVecSizes.size(), -1);
+  std::int64_t Off = 0;
+  for (size_t T = 0; T != Prog.TempVecSizes.size(); ++T) {
+    VecBase[FirstTempVec + T] = Off;
+    Off += Prog.TempVecSizes[T];
+  }
+  FltBase = Off;
+  SlabLen = Off + Prog.NumFltTemps;
+  if (Prog.Type == DataType::Real)
+    SlabR.assign(SlabLen, 0.0);
+  else
+    SlabC.assign(SlabLen, Cplx(0, 0));
+  LoopVals.assign(std::max(Prog.NumLoopVars, 1), 0);
+
+  // Pre-compute loop matching for fast skip/jump.
+  MatchEnd.assign(Prog.Body.size(), -1);
+  std::vector<int> Stack;
+  for (size_t I = 0; I != Prog.Body.size(); ++I) {
+    if (Prog.Body[I].Opcode == Op::Loop)
+      Stack.push_back(static_cast<int>(I));
+    else if (Prog.Body[I].Opcode == Op::End) {
+      assert(!Stack.empty() && "unbalanced loops");
+      MatchEnd[Stack.back()] = static_cast<int>(I);
+      Stack.pop_back();
+    }
+  }
+  assert(Stack.empty() && "unbalanced loops");
+}
+
+std::int64_t Executor::inputLen() const {
+  return Prog.LoweredToReal ? Prog.InSize * 2 : Prog.InSize;
+}
+
+std::int64_t Executor::outputLen() const {
+  return Prog.LoweredToReal ? Prog.OutSize * 2 : Prog.OutSize;
+}
+
+std::size_t Executor::workingSetBytes() const {
+  std::size_t Elem = isReal() ? sizeof(double) : sizeof(Cplx);
+  std::size_t Bytes = static_cast<std::size_t>(SlabLen) * Elem;
+  for (const auto &T : Prog.Tables)
+    Bytes += T.size() * (isReal() ? sizeof(double) : sizeof(Cplx));
+  return Bytes;
+}
+
+namespace {
+
+/// Narrows a complex scalar to the execution element type.
+template <typename T> T narrowScalar(Cplx V);
+template <> Cplx narrowScalar<Cplx>(Cplx V) { return V; }
+template <> double narrowScalar<double>(Cplx V) {
+  assert(V.imag() == 0 && "complex value in a real program");
+  return V.real();
+}
+
+} // namespace
+
+template <typename T>
+T *Executor::slot(const Operand &O, const T *In, T *Out,
+                  std::vector<T> &Slab) {
+  switch (O.Kind) {
+  case OpndKind::FltTemp:
+    return &Slab[FltBase + O.Id];
+  case OpndKind::VecElem: {
+    std::int64_t Idx = O.Subs.eval(LoopVals);
+    if (O.Id == VecOut) {
+      assert(Idx >= 0 && Idx < outputLen() && "output index out of range");
+      return &Out[Idx];
+    }
+    if (O.Id == VecIn) {
+      assert(false && "input vector is read-only");
+      return nullptr;
+    }
+    assert(Idx >= 0 && Idx < Prog.tempVecSize(O.Id) &&
+           "temporary index out of range");
+    return &Slab[VecBase[O.Id] + Idx];
+  }
+  default:
+    assert(false && "operand cannot be a destination");
+    return nullptr;
+  }
+  (void)In;
+}
+
+template <typename T>
+T Executor::load(const Operand &O, const T *In, T *Out, std::vector<T> &Slab) {
+  switch (O.Kind) {
+  case OpndKind::FltConst:
+    return narrowScalar<T>(O.FConst);
+  case OpndKind::FltTemp:
+    return Slab[FltBase + O.Id];
+  case OpndKind::VecElem: {
+    std::int64_t Idx = O.Subs.eval(LoopVals);
+    if (O.Id == VecIn) {
+      assert(Idx >= 0 && Idx < inputLen() && "input index out of range");
+      return In[Idx];
+    }
+    if (O.Id == VecOut) {
+      assert(Idx >= 0 && Idx < outputLen() && "output index out of range");
+      return Out[Idx];
+    }
+    assert(Idx >= 0 && Idx < Prog.tempVecSize(O.Id) &&
+           "temporary index out of range");
+    return Slab[VecBase[O.Id] + Idx];
+  }
+  case OpndKind::TableElem: {
+    std::int64_t Idx = O.Subs.eval(LoopVals);
+    const auto &Table = Prog.Tables[O.Id];
+    assert(Idx >= 0 && static_cast<size_t>(Idx) < Table.size() &&
+           "table index out of range");
+    return narrowScalar<T>(Table[Idx]);
+  }
+  case OpndKind::Intrinsic: {
+    std::vector<std::int64_t> Args;
+    Args.reserve(O.Args.size());
+    for (const IntExprRef &A : O.Args)
+      Args.push_back(A->eval(LoopVals));
+    return narrowScalar<T>(Intrinsics.eval(O.Name, Args));
+  }
+  default:
+    assert(false && "invalid source operand");
+    return T();
+  }
+}
+
+template <typename T>
+void Executor::runImpl(const T *In, T *Out, std::vector<T> &Slab) {
+  const std::vector<Instr> &Body = Prog.Body;
+  size_t PC = 0;
+  // Stack of active loops: index of the Loop instruction.
+  std::vector<size_t> LoopStack;
+
+  while (PC < Body.size()) {
+    const Instr &I = Body[PC];
+    switch (I.Opcode) {
+    case Op::Loop:
+      if (I.Lo > I.Hi) {
+        PC = static_cast<size_t>(MatchEnd[PC]) + 1;
+        continue;
+      }
+      LoopVals[I.LoopVar] = I.Lo;
+      LoopStack.push_back(PC);
+      break;
+    case Op::End: {
+      size_t LoopPC = LoopStack.back();
+      const Instr &L = Body[LoopPC];
+      if (++LoopVals[L.LoopVar] <= L.Hi) {
+        PC = LoopPC + 1;
+        continue;
+      }
+      LoopStack.pop_back();
+      break;
+    }
+    case Op::Copy:
+      *slot(I.Dst, In, Out, Slab) = load(I.A, In, Out, Slab);
+      break;
+    case Op::Neg:
+      *slot(I.Dst, In, Out, Slab) = -load(I.A, In, Out, Slab);
+      break;
+    case Op::Add:
+      *slot(I.Dst, In, Out, Slab) =
+          load(I.A, In, Out, Slab) + load(I.B, In, Out, Slab);
+      break;
+    case Op::Sub:
+      *slot(I.Dst, In, Out, Slab) =
+          load(I.A, In, Out, Slab) - load(I.B, In, Out, Slab);
+      break;
+    case Op::Mul:
+      *slot(I.Dst, In, Out, Slab) =
+          load(I.A, In, Out, Slab) * load(I.B, In, Out, Slab);
+      break;
+    case Op::Div:
+      *slot(I.Dst, In, Out, Slab) =
+          load(I.A, In, Out, Slab) / load(I.B, In, Out, Slab);
+      break;
+    }
+    ++PC;
+  }
+}
+
+void Executor::run(const Cplx *In, Cplx *Out) {
+  assert(!isReal() && "run() requires a complex program; use runReal()");
+  runImpl(In, Out, SlabC);
+}
+
+void Executor::run(const std::vector<Cplx> &In, std::vector<Cplx> &Out) {
+  assert(static_cast<std::int64_t>(In.size()) == inputLen() &&
+         "input buffer length mismatch");
+  Out.resize(outputLen());
+  run(In.data(), Out.data());
+}
+
+void Executor::runReal(const double *In, double *Out) {
+  assert(isReal() && "runReal() requires a real program; use run()");
+  runImpl(In, Out, SlabR);
+}
+
+void Executor::runReal(const std::vector<double> &In,
+                       std::vector<double> &Out) {
+  assert(static_cast<std::int64_t>(In.size()) == inputLen() &&
+         "input buffer length mismatch");
+  Out.resize(outputLen());
+  runReal(In.data(), Out.data());
+}

@@ -1,0 +1,86 @@
+//===- vm/Executor.h - I-code interpreter -----------------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes i-code programs directly. This is the portable evaluation
+/// substrate: tests use it to check compiled programs against the dense
+/// matrix semantics, and the search engine can use it to time candidate
+/// formulas when no native C compiler is available. Intrinsic operands are
+/// supported (evaluated on the fly), so programs are runnable at any stage
+/// of the pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_VM_EXECUTOR_H
+#define SPL_VM_EXECUTOR_H
+
+#include "icode/ICode.h"
+#include "icode/Intrinsics.h"
+
+#include <vector>
+
+namespace spl {
+namespace vm {
+
+/// An executable instance of one i-code program. Construction validates the
+/// program and allocates all storage; run() is reusable and allocation-free.
+class Executor {
+public:
+  explicit Executor(const icode::Program &Prog,
+                    const icode::IntrinsicRegistry &Intrinsics =
+                        icode::IntrinsicRegistry::builtins());
+
+  const icode::Program &program() const { return Prog; }
+
+  /// Number of scalar elements the input/output buffers must hold. In
+  /// complex mode these count Cplx elements; in real mode doubles (twice
+  /// the logical size when the program was lowered from complex).
+  std::int64_t inputLen() const;
+  std::int64_t outputLen() const;
+
+  /// True when buffers are doubles (Type == Real).
+  bool isReal() const {
+    return Prog.Type == icode::DataType::Real;
+  }
+
+  /// Runs on complex buffers; program must not be real-typed.
+  void run(const Cplx *In, Cplx *Out);
+  void run(const std::vector<Cplx> &In, std::vector<Cplx> &Out);
+
+  /// Runs on double buffers; program must be real-typed.
+  void runReal(const double *In, double *Out);
+  void runReal(const std::vector<double> &In, std::vector<double> &Out);
+
+  /// Bytes of working storage (temporaries, scalars, tables) this instance
+  /// holds. Used by the memory-consumption experiment (Figure 5).
+  std::size_t workingSetBytes() const;
+
+private:
+  icode::Program Prog;
+  const icode::IntrinsicRegistry &Intrinsics;
+
+  std::vector<std::int64_t> VecBase; ///< Vector id -> slab offset (in/out at
+                                     ///< -1: external buffers).
+  std::int64_t SlabLen = 0;          ///< Temp vectors + scalar temps.
+  std::int64_t FltBase = 0;          ///< Slab offset of scalar temps.
+  std::vector<Cplx> SlabC;
+  std::vector<double> SlabR;
+  std::vector<std::int64_t> LoopVals;
+  std::vector<int> MatchEnd; ///< Loop instr index -> matching End index.
+
+  template <typename T>
+  void runImpl(const T *In, T *Out, std::vector<T> &Slab);
+  template <typename T>
+  T load(const icode::Operand &O, const T *In, T *Out,
+         std::vector<T> &Slab);
+  template <typename T>
+  T *slot(const icode::Operand &O, const T *In, T *Out, std::vector<T> &Slab);
+};
+
+} // namespace vm
+} // namespace spl
+
+#endif // SPL_VM_EXECUTOR_H

@@ -1,0 +1,215 @@
+//===- xform/Complex2Real.cpp - Complex-to-real lowering --------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "xform/Complex2Real.h"
+
+#include <cassert>
+
+using namespace spl;
+using namespace spl::xform;
+using namespace spl::icode;
+
+namespace {
+
+class LowerImpl {
+public:
+  explicit LowerImpl(const Program &In) : In(In) {
+    Out.SubName = In.SubName;
+    Out.InSize = In.InSize;
+    Out.OutSize = In.OutSize;
+    Out.Type = DataType::Real;
+    Out.LoweredToReal = true;
+    Out.NumLoopVars = In.NumLoopVars;
+    Out.NumFltTemps = In.NumFltTemps * 2;
+    for (std::int64_t S : In.TempVecSizes)
+      Out.TempVecSizes.push_back(S * 2);
+    for (const auto &T : In.Tables) {
+      std::vector<Cplx> Flat;
+      Flat.reserve(T.size() * 2);
+      for (Cplx V : T) {
+        Flat.push_back(Cplx(V.real(), 0));
+        Flat.push_back(Cplx(V.imag(), 0));
+      }
+      Out.Tables.push_back(std::move(Flat));
+    }
+  }
+
+  Program run() {
+    for (const Instr &I : In.Body)
+      lower(I);
+    assert(Out.verify().empty() && "lowering produced invalid i-code");
+    return std::move(Out);
+  }
+
+private:
+  const Program &In;
+  Program Out;
+
+  /// Real component (Part 0) or imaginary component (Part 1) of a complex
+  /// operand.
+  Operand comp(const Operand &O, int Part) {
+    switch (O.Kind) {
+    case OpndKind::FltConst:
+      return Operand::fltConst(
+          Cplx(Part == 0 ? O.FConst.real() : O.FConst.imag(), 0));
+    case OpndKind::FltTemp:
+      return Operand::fltTemp(O.Id * 2 + Part);
+    case OpndKind::VecElem:
+      return Operand::vecElem(O.Id, O.Subs.scaled(2).plusConst(Part));
+    case OpndKind::TableElem:
+      return Operand::tableElem(O.Id, O.Subs.scaled(2).plusConst(Part));
+    default:
+      assert(false && "intrinsics must be evaluated before lowering");
+      return Operand::none();
+    }
+  }
+
+  int freshTemp() { return Out.NumFltTemps++; }
+
+  void emitCopy(Operand Dst, Operand A) {
+    Out.Body.push_back(Instr::copy(std::move(Dst), std::move(A)));
+  }
+  void emitNeg(Operand Dst, Operand A) {
+    Out.Body.push_back(Instr::neg(std::move(Dst), std::move(A)));
+  }
+  void emitBin(Op O, Operand Dst, Operand A, Operand B) {
+    Out.Body.push_back(
+        Instr::bin(O, std::move(Dst), std::move(A), std::move(B)));
+  }
+
+  /// Conservative may-alias between a destination and a source: identical
+  /// operands alias; vector elements of the same vector alias unless their
+  /// subscripts differ by a nonzero constant.
+  static bool mayAlias(const Operand &A, const Operand &B) {
+    if (A.Kind != B.Kind)
+      return false;
+    if (A.Kind == OpndKind::FltTemp)
+      return A.Id == B.Id;
+    if (A.Kind == OpndKind::VecElem) {
+      if (A.Id != B.Id)
+        return false;
+      Affine Diff = A.Subs.plus(B.Subs.scaled(-1));
+      return !Diff.isConst() || Diff.Base == 0;
+    }
+    return false;
+  }
+
+  void lower(const Instr &I) {
+    switch (I.Opcode) {
+    case Op::Loop:
+    case Op::End:
+      Out.Body.push_back(I);
+      return;
+    case Op::Copy:
+      emitCopy(comp(I.Dst, 0), comp(I.A, 0));
+      emitCopy(comp(I.Dst, 1), comp(I.A, 1));
+      return;
+    case Op::Neg:
+      emitNeg(comp(I.Dst, 0), comp(I.A, 0));
+      emitNeg(comp(I.Dst, 1), comp(I.A, 1));
+      return;
+    case Op::Add:
+    case Op::Sub:
+      emitBin(I.Opcode, comp(I.Dst, 0), comp(I.A, 0), comp(I.B, 0));
+      emitBin(I.Opcode, comp(I.Dst, 1), comp(I.A, 1), comp(I.B, 1));
+      return;
+    case Op::Mul:
+      lowerMul(I);
+      return;
+    case Op::Div:
+      lowerDiv(I);
+      return;
+    }
+  }
+
+  void lowerMul(const Instr &I) {
+    // Normalize a constant factor to the A side (multiplication commutes).
+    Operand A = I.A, B = I.B;
+    if (B.is(OpndKind::FltConst) && !A.is(OpndKind::FltConst))
+      std::swap(A, B);
+
+    if (A.is(OpndKind::FltConst)) {
+      Cplx C = A.FConst;
+      if (C.imag() == 0) {
+        // Purely real constant: two multiplies, componentwise (no cross
+        // terms, so destination aliasing is harmless).
+        Operand CR = Operand::fltConst(Cplx(C.real(), 0));
+        emitBin(Op::Mul, comp(I.Dst, 0), CR, comp(B, 0));
+        emitBin(Op::Mul, comp(I.Dst, 1), CR, comp(B, 1));
+        return;
+      }
+      if (C.real() == 0) {
+        // Purely imaginary: a swap, with negation/scaling. Guard against
+        // the destination aliasing the source (components cross).
+        Operand BRe = comp(B, 0), BIm = comp(B, 1);
+        if (mayAlias(I.Dst, B)) {
+          Operand T = Operand::fltTemp(freshTemp());
+          emitCopy(T, BRe);
+          BRe = T;
+        }
+        double S = C.imag();
+        if (S == -1) {
+          // (x)(-i): re = x_im, im = -x_re — the paper's swap + negate.
+          emitCopy(comp(I.Dst, 0), BIm);
+          emitNeg(comp(I.Dst, 1), BRe);
+        } else if (S == 1) {
+          emitNeg(comp(I.Dst, 0), BIm);
+          emitCopy(comp(I.Dst, 1), BRe);
+        } else {
+          emitBin(Op::Mul, comp(I.Dst, 0), Operand::fltConst(Cplx(-S, 0)),
+                  BIm);
+          emitBin(Op::Mul, comp(I.Dst, 1), Operand::fltConst(Cplx(S, 0)),
+                  BRe);
+        }
+        return;
+      }
+      // General constant: four multiplies through temporaries.
+    }
+
+    // General complex multiply: (ar*br - ai*bi, ar*bi + ai*br).
+    Operand T1 = Operand::fltTemp(freshTemp());
+    Operand T2 = Operand::fltTemp(freshTemp());
+    Operand T3 = Operand::fltTemp(freshTemp());
+    Operand T4 = Operand::fltTemp(freshTemp());
+    emitBin(Op::Mul, T1, comp(A, 0), comp(B, 0));
+    emitBin(Op::Mul, T2, comp(A, 1), comp(B, 1));
+    emitBin(Op::Mul, T3, comp(A, 0), comp(B, 1));
+    emitBin(Op::Mul, T4, comp(A, 1), comp(B, 0));
+    emitBin(Op::Sub, comp(I.Dst, 0), T1, T2);
+    emitBin(Op::Add, comp(I.Dst, 1), T3, T4);
+  }
+
+  void lowerDiv(const Instr &I) {
+    // a/b = a * conj(b) / |b|^2.
+    Operand T1 = Operand::fltTemp(freshTemp());
+    Operand T2 = Operand::fltTemp(freshTemp());
+    Operand Den = Operand::fltTemp(freshTemp());
+    Operand Num1 = Operand::fltTemp(freshTemp());
+    Operand Num2 = Operand::fltTemp(freshTemp());
+    Operand T3 = Operand::fltTemp(freshTemp());
+    Operand T4 = Operand::fltTemp(freshTemp());
+
+    emitBin(Op::Mul, T1, comp(I.B, 0), comp(I.B, 0));
+    emitBin(Op::Mul, T2, comp(I.B, 1), comp(I.B, 1));
+    emitBin(Op::Add, Den, T1, T2);
+    emitBin(Op::Mul, T3, comp(I.A, 0), comp(I.B, 0));
+    emitBin(Op::Mul, T4, comp(I.A, 1), comp(I.B, 1));
+    emitBin(Op::Add, Num1, T3, T4);
+    emitBin(Op::Mul, T3, comp(I.A, 1), comp(I.B, 0));
+    emitBin(Op::Mul, T4, comp(I.A, 0), comp(I.B, 1));
+    emitBin(Op::Sub, Num2, T3, T4);
+    emitBin(Op::Div, comp(I.Dst, 0), Num1, Den);
+    emitBin(Op::Div, comp(I.Dst, 1), Num2, Den);
+  }
+};
+
+} // namespace
+
+Program xform::lowerToReal(const Program &P) {
+  assert(P.Type == DataType::Complex && !P.LoweredToReal &&
+         "lowerToReal expects a complex program");
+  return LowerImpl(P).run();
+}

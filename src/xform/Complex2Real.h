@@ -1,0 +1,35 @@
+//===- xform/Complex2Real.h - Complex-to-real lowering ----------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The type transformation of paper Section 3.3.3: represents each complex
+/// value as a pair of reals (interleaved re/im) and expands every complex
+/// operation into real arithmetic. Multiplication by +-i becomes a swap
+/// followed by a negation, and multiplication by a purely real or purely
+/// imaginary constant costs two real multiplies instead of four.
+///
+/// This is what "#codetype real" requests, and the only form the C emitter
+/// accepts (C89 has no complex type).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_XFORM_COMPLEX2REAL_H
+#define SPL_XFORM_COMPLEX2REAL_H
+
+#include "icode/ICode.h"
+
+namespace spl {
+namespace xform {
+
+/// Lowers a complex program to interleaved-real form. \p P must be complex
+/// typed and free of Intrinsic operands (run evalIntrinsics first). Buffers
+/// of the result hold 2*InSize / 2*OutSize doubles.
+icode::Program lowerToReal(const icode::Program &P);
+
+} // namespace xform
+} // namespace spl
+
+#endif // SPL_XFORM_COMPLEX2REAL_H

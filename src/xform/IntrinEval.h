@@ -1,0 +1,35 @@
+//===- xform/IntrinEval.h - Intrinsic function evaluation -------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compile-time evaluation of intrinsic functions (paper Section 3.3.2).
+/// A call with constant arguments folds to a floating constant. A call whose
+/// arguments depend on loop indices is evaluated for every possible index
+/// combination; the values go into a table and the call becomes a table
+/// reference subscripted by the loop indices. Identical tables are shared.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_XFORM_INTRINEVAL_H
+#define SPL_XFORM_INTRINEVAL_H
+
+#include "icode/ICode.h"
+#include "icode/Intrinsics.h"
+
+namespace spl {
+namespace xform {
+
+/// Evaluates every intrinsic operand in \p P. The result contains no
+/// Intrinsic operands. Unknown intrinsics assert (the expander checked
+/// names against the same registry).
+icode::Program evalIntrinsics(const icode::Program &P,
+                              const icode::IntrinsicRegistry &Intrinsics =
+                                  icode::IntrinsicRegistry::builtins());
+
+} // namespace xform
+} // namespace spl
+
+#endif // SPL_XFORM_INTRINEVAL_H

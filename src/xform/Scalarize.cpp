@@ -1,0 +1,57 @@
+//===- xform/Scalarize.cpp - Temporary-vector scalarization -----------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "xform/Scalarize.h"
+
+#include <map>
+
+using namespace spl;
+using namespace spl::xform;
+using namespace spl::icode;
+
+Program xform::scalarizeTemps(const Program &P) {
+  // Pass 1: find temp vectors referenced only with constant subscripts.
+  std::vector<bool> Eligible(P.TempVecSizes.size(), true);
+  auto Inspect = [&](const Operand &O) {
+    if (O.Kind != OpndKind::VecElem || O.Id < FirstTempVec)
+      return;
+    if (!O.Subs.isConst())
+      Eligible[O.Id - FirstTempVec] = false;
+  };
+  for (const Instr &I : P.Body) {
+    Inspect(I.Dst);
+    Inspect(I.A);
+    Inspect(I.B);
+  }
+
+  // Pass 2: assign a scalar temp to each (vector, index) pair and rewrite.
+  Program Out = P;
+  std::map<std::pair<int, std::int64_t>, int> Scalars;
+  auto Rewrite = [&](Operand &O) {
+    if (O.Kind != OpndKind::VecElem || O.Id < FirstTempVec ||
+        !Eligible[O.Id - FirstTempVec])
+      return;
+    auto Key = std::make_pair(O.Id, O.Subs.Base);
+    auto [It, Inserted] = Scalars.insert({Key, 0});
+    if (Inserted)
+      It->second = Out.NumFltTemps++;
+    O = Operand::fltTemp(It->second);
+  };
+  for (Instr &I : Out.Body) {
+    if (I.Opcode == Op::Loop || I.Opcode == Op::End)
+      continue;
+    Rewrite(I.Dst);
+    Rewrite(I.A);
+    Rewrite(I.B);
+  }
+
+  // Scalarized vectors keep their slot but occupy no storage.
+  for (size_t T = 0; T != Eligible.size(); ++T)
+    if (Eligible[T])
+      Out.TempVecSizes[T] = 0;
+  assert(Out.verify().empty() && "scalarization produced invalid i-code");
+  return Out;
+}

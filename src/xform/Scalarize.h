@@ -1,0 +1,32 @@
+//===- xform/Scalarize.h - Temporary-vector scalarization -------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replaces elements of temporary vectors by scalar variables when every
+/// reference to the vector uses a constant subscript (always the case after
+/// full unrolling). This is the paper's "scalar temporary" transformation
+/// (Figure 2, version 2): back-end compilers allocate scalars to registers
+/// far more readily than array elements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_XFORM_SCALARIZE_H
+#define SPL_XFORM_SCALARIZE_H
+
+#include "icode/ICode.h"
+
+namespace spl {
+namespace xform {
+
+/// Scalarizes every temporary vector whose references all have constant
+/// subscripts. The input/output vectors are never scalarized. Vectors with
+/// any non-constant reference are left untouched.
+icode::Program scalarizeTemps(const icode::Program &P);
+
+} // namespace xform
+} // namespace spl
+
+#endif // SPL_XFORM_SCALARIZE_H

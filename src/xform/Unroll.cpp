@@ -1,0 +1,162 @@
+//===- xform/Unroll.cpp - Loop unrolling -------------------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "xform/Unroll.h"
+
+#include <cassert>
+#include <functional>
+
+using namespace spl;
+using namespace spl::xform;
+using namespace spl::icode;
+
+namespace {
+
+/// Substitutes loop variable \p Var by the affine form \p Val (and the
+/// equivalent integer expression \p ValE for intrinsic arguments) in one
+/// instruction.
+Instr substInstr(const Instr &I, int Var, const Affine &Val,
+                 const IntExprRef &ValE) {
+  auto SubstOperand = [&](const Operand &O) {
+    Operand Out = O;
+    switch (O.Kind) {
+    case OpndKind::VecElem:
+    case OpndKind::TableElem:
+      Out.Subs = O.Subs.substVar(Var, Val);
+      break;
+    case OpndKind::Intrinsic:
+      for (auto &A : Out.Args)
+        A = A->substVar(Var, ValE);
+      break;
+    default:
+      break;
+    }
+    return Out;
+  };
+  Instr Out = I;
+  if (I.Opcode != Op::Loop && I.Opcode != Op::End) {
+    Out.Dst = SubstOperand(I.Dst);
+    Out.A = SubstOperand(I.A);
+    Out.B = SubstOperand(I.B);
+  }
+  return Out;
+}
+
+/// Finds the index of the End matching the Loop at \p LoopIdx.
+size_t matchEnd(const std::vector<Instr> &Body, size_t LoopIdx) {
+  int Depth = 0;
+  for (size_t I = LoopIdx; I != Body.size(); ++I) {
+    if (Body[I].Opcode == Op::Loop)
+      ++Depth;
+    else if (Body[I].Opcode == Op::End && --Depth == 0)
+      return I;
+  }
+  assert(false && "unbalanced loops");
+  return Body.size();
+}
+
+/// Recursively processes [Begin, End) for full unrolling.
+void fullUnrollRange(const std::vector<Instr> &Body, size_t Begin, size_t End,
+                     bool OnlyFlagged, std::vector<Instr> &Out) {
+  for (size_t I = Begin; I < End;) {
+    const Instr &Ins = Body[I];
+    if (Ins.Opcode != Op::Loop) {
+      Out.push_back(Ins);
+      ++I;
+      continue;
+    }
+    size_t Close = matchEnd(Body, I);
+    if (OnlyFlagged && !Ins.UnrollFlag) {
+      // Keep the loop; recurse into the body.
+      Out.push_back(Ins);
+      fullUnrollRange(Body, I + 1, Close, OnlyFlagged, Out);
+      Out.push_back(Body[Close]);
+      I = Close + 1;
+      continue;
+    }
+    // Unroll: expand the body once per iteration with the loop variable
+    // substituted, then recursively process each expansion.
+    std::vector<Instr> Inner;
+    fullUnrollRange(Body, I + 1, Close, OnlyFlagged, Inner);
+    for (std::int64_t V = Ins.Lo; V <= Ins.Hi; ++V) {
+      Affine Val(V);
+      IntExprRef ValE = IntExpr::mkConst(V);
+      for (const Instr &BI : Inner)
+        Out.push_back(substInstr(BI, Ins.LoopVar, Val, ValE));
+    }
+    I = Close + 1;
+  }
+}
+
+} // namespace
+
+Program xform::unrollLoops(const Program &P, bool OnlyFlagged) {
+  Program Out = P;
+  Out.Body.clear();
+  fullUnrollRange(P.Body, 0, P.Body.size(), OnlyFlagged, Out.Body);
+  assert(Out.verify().empty() && "unrolling produced invalid i-code");
+  return Out;
+}
+
+Program xform::partialUnroll(const Program &P, int Factor) {
+  assert(Factor >= 2 && "partial unroll factor must be at least 2");
+  Program Out = P;
+  Out.Body.clear();
+
+  const std::vector<Instr> &Body = P.Body;
+  // Each eligible loop becomes a loop over q = 0 .. Trip/Factor - 1 whose
+  // body is the original body repeated Factor times with the old variable
+  // rewritten to v = Lo + q*Factor + j.
+  std::vector<Instr> Result;
+  std::function<void(size_t, size_t)> Process = [&](size_t Begin,
+                                                    size_t End) {
+    for (size_t I = Begin; I < End;) {
+      const Instr &Ins = Body[I];
+      if (Ins.Opcode != Op::Loop) {
+        Result.push_back(Ins);
+        ++I;
+        continue;
+      }
+      size_t Close = matchEnd(Body, I);
+      std::int64_t Trip = Ins.Hi - Ins.Lo + 1;
+      if (Trip < Factor || Trip % Factor != 0) {
+        Result.push_back(Ins);
+        Process(I + 1, Close);
+        Result.push_back(Body[Close]);
+        I = Close + 1;
+        continue;
+      }
+      int NewVar = Out.NumLoopVars++;
+      Result.push_back(Instr::loop(NewVar, 0, Trip / Factor - 1));
+      for (int J = 0; J != Factor; ++J) {
+        // old var = Lo + J + NewVar*Factor.
+        Affine Val = Affine::var(NewVar, Factor).plusConst(Ins.Lo + J);
+        IntExprRef ValE = IntExpr::mkBin(
+            IntExpr::Add,
+            IntExpr::mkBin(IntExpr::Mul, IntExpr::mkVar(NewVar),
+                           IntExpr::mkConst(Factor)),
+            IntExpr::mkConst(Ins.Lo + J));
+        size_t Mark = Result.size();
+        Process(I + 1, Close);
+        for (size_t K = Mark; K != Result.size(); ++K)
+          Result[K] = substInstr(Result[K], Ins.LoopVar, Val, ValE);
+      }
+      Result.push_back(Instr::end());
+      I = Close + 1;
+    }
+  };
+  Process(0, Body.size());
+  Out.Body = std::move(Result);
+  assert(Out.verify().empty() && "partial unrolling produced invalid i-code");
+  return Out;
+}
+
+bool xform::isStraightLine(const Program &P) {
+  for (const Instr &I : P.Body)
+    if (I.Opcode == Op::Loop)
+      return false;
+  return true;
+}

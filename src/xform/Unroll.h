@@ -1,0 +1,39 @@
+//===- xform/Unroll.h - Loop unrolling --------------------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop unrolling (paper Section 3.3.1). Full unrolling eliminates loop
+/// control and enables scalarization of temporary vectors; partial unrolling
+/// reduces loop overhead while bounding code growth. Loops are selected by
+/// the UnrollFlag the expander set (#unroll hints and the -B threshold), or
+/// all at once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_XFORM_UNROLL_H
+#define SPL_XFORM_UNROLL_H
+
+#include "icode/ICode.h"
+
+namespace spl {
+namespace xform {
+
+/// Fully unrolls loops. When \p OnlyFlagged is true (the default), just the
+/// loops carrying UnrollFlag are expanded; otherwise every loop is.
+icode::Program unrollLoops(const icode::Program &P, bool OnlyFlagged = true);
+
+/// Partially unrolls every loop whose trip count is divisible by \p Factor
+/// (other loops are left alone). Factor must be >= 2; the result computes
+/// the same function.
+icode::Program partialUnroll(const icode::Program &P, int Factor);
+
+/// True when the program contains no Loop instructions (straight-line code).
+bool isStraightLine(const icode::Program &P);
+
+} // namespace xform
+} // namespace spl
+
+#endif // SPL_XFORM_UNROLL_H

@@ -1,0 +1,125 @@
+//===- tests/BaselineTest.cpp - Baseline FFT library tests ---------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Correctness of the FFTW-substitute baseline: every codelet, every
+/// strategy at every size, and the planner in both modes, all checked
+/// against the dense DFT oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "baseline/Codelets.h"
+#include "baseline/Kernels.h"
+#include "baseline/Planner.h"
+#include "ir/Transforms.h"
+
+#include <gtest/gtest.h>
+
+using namespace spl;
+using namespace spl::test;
+
+namespace {
+
+std::vector<Cplx> oracleDFT(const std::vector<Cplx> &X) {
+  return dftMatrix(static_cast<std::int64_t>(X.size())).apply(X);
+}
+
+TEST(Codelets, AllSizesUnitStride) {
+  for (std::int64_t N : {1, 2, 4, 8, 16, 32}) {
+    ASSERT_TRUE(baseline::hasCodelet(N));
+    std::vector<Cplx> X = randomVector(N), Y(N);
+    baseline::codelet(N, X.data(), 1, Y.data());
+    EXPECT_LT(maxAbsDiff(Y, oracleDFT(X)), 1e-11) << "N=" << N;
+  }
+}
+
+TEST(Codelets, StridedInput) {
+  for (std::int64_t N : {2, 4, 8, 16, 32}) {
+    for (std::int64_t S : {2, 3}) {
+      std::vector<Cplx> Buf = randomVector(N * S);
+      std::vector<Cplx> X(N);
+      for (std::int64_t I = 0; I != N; ++I)
+        X[I] = Buf[I * S];
+      std::vector<Cplx> Y(N);
+      baseline::codelet(N, Buf.data(), S, Y.data());
+      EXPECT_LT(maxAbsDiff(Y, oracleDFT(X)), 1e-11) << "N=" << N;
+    }
+  }
+}
+
+class StrategyTest
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, int>> {};
+
+TEST_P(StrategyTest, MatchesOracle) {
+  auto [N, Idx] = GetParam();
+  auto Strategies = baseline::allStrategies(N);
+  if (Idx >= static_cast<int>(Strategies.size()))
+    GTEST_SKIP() << "strategy index not applicable at this size";
+  auto &T = Strategies[Idx];
+  std::vector<Cplx> X = randomVector(N), Y(N);
+  T->run(X.data(), Y.data());
+  EXPECT_LT(maxAbsDiff(Y, oracleDFT(X)), 1e-8 * std::sqrt(double(N)))
+      << T->name() << " N=" << N;
+  EXPECT_GT(T->memoryBytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategiesAllSizes, StrategyTest,
+    ::testing::Combine(::testing::Values<std::int64_t>(2, 4, 8, 16, 32, 64,
+                                                       128, 256, 1024),
+                       ::testing::Range(0, 7)),
+    [](const auto &Info) {
+      return "N" + std::to_string(std::get<0>(Info.param)) + "_S" +
+             std::to_string(std::get<1>(Info.param));
+    });
+
+TEST(Planner, MeasurePicksAWorkingPlan) {
+  auto Result = baseline::plan(256, baseline::PlanMode::Measure);
+  ASSERT_TRUE(Result.Best);
+  EXPECT_GE(Result.Candidates.size(), 4u);
+  EXPECT_GT(Result.PlannerPeakBytes, Result.Best->memoryBytes());
+
+  std::vector<Cplx> X = randomVector(256), Y(256);
+  Result.Best->run(X.data(), Y.data());
+  EXPECT_LT(maxAbsDiff(Y, oracleDFT(X)), 1e-9);
+}
+
+TEST(Planner, EstimateUsesNoPlanningMemory) {
+  auto Result = baseline::plan(256, baseline::PlanMode::Estimate);
+  ASSERT_TRUE(Result.Best);
+  EXPECT_EQ(Result.PlannerPeakBytes, 0u);
+  std::vector<Cplx> X = randomVector(256), Y(256);
+  Result.Best->run(X.data(), Y.data());
+  EXPECT_LT(maxAbsDiff(Y, oracleDFT(X)), 1e-9);
+}
+
+TEST(Planner, MeasuredPlanIsNoSlowerThanEstimate) {
+  // By construction the measured plan minimizes measured time; re-timing
+  // both should rank them consistently (allow generous noise margin).
+  auto M = baseline::plan(4096, baseline::PlanMode::Measure);
+  ASSERT_TRUE(M.Best);
+  double BestMeasured = 1e300;
+  for (const auto &C : M.Candidates)
+    BestMeasured = std::min(BestMeasured, C.Seconds);
+  // The winner's recorded time is the minimum.
+  for (const auto &C : M.Candidates) {
+    if (C.Name == M.Best->name()) {
+      EXPECT_LE(C.Seconds, BestMeasured * 1.0001);
+    }
+  }
+}
+
+TEST(Planner, OddSizesFallBackToDirect) {
+  auto Result = baseline::plan(12, baseline::PlanMode::Estimate);
+  ASSERT_TRUE(Result.Best);
+  std::vector<Cplx> X = randomVector(12), Y(12);
+  Result.Best->run(X.data(), Y.data());
+  EXPECT_LT(maxAbsDiff(Y, oracleDFT(X)), 1e-10);
+}
+
+} // namespace

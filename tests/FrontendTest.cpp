@@ -1,0 +1,243 @@
+//===- tests/FrontendTest.cpp - Lexer and parser tests ----------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "ir/Builder.h"
+#include "support/StrUtil.h"
+#include "templates/Registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace spl;
+
+namespace {
+
+TEST(Lexer, BasicTokens) {
+  Diagnostics Diags;
+  auto Toks = lex("(compose (F 2) (I 3)) ; comment\n(L 4 2)", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  ASSERT_GE(Toks.size(), 14u);
+  EXPECT_TRUE(Toks[0].is(Tok::LParen));
+  EXPECT_TRUE(Toks[1].isSymbol("compose"));
+  EXPECT_TRUE(Toks[3].isSymbol("F"));
+  EXPECT_TRUE(Toks[4].is(Tok::Number));
+  EXPECT_TRUE(Toks[4].IsInt);
+  EXPECT_EQ(Toks[4].Int, 2);
+  EXPECT_TRUE(Toks.back().is(Tok::Eof));
+}
+
+TEST(Lexer, HyphenatedNamesVsSubtraction) {
+  Diagnostics Diags;
+  auto Toks = lex("direct-sum n_-1 m_-n_", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Toks[0].isSymbol("direct-sum"));
+  EXPECT_TRUE(Toks[1].isSymbol("n_"));
+  EXPECT_TRUE(Toks[2].is(Tok::Minus));
+  EXPECT_EQ(Toks[3].Int, 1);
+  EXPECT_TRUE(Toks[4].isSymbol("m_"));
+  EXPECT_TRUE(Toks[5].is(Tok::Minus));
+  EXPECT_TRUE(Toks[6].isSymbol("n_"));
+}
+
+TEST(Lexer, DirectivesAndComments) {
+  Diagnostics Diags;
+  auto Toks = lex("#subname fft16 ; trailing\n(F 2)", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Toks[0].is(Tok::Directive));
+  // The comment is part of the directive line; directives keep raw text.
+  EXPECT_TRUE(startsWith(Toks[0].Text, "subname fft16"));
+  EXPECT_TRUE(Toks[1].is(Tok::LParen));
+}
+
+TEST(Lexer, NumbersIntAndFloat) {
+  Diagnostics Diags;
+  auto Toks = lex("12 1.23 2e3 7e-2", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Toks[0].IsInt);
+  EXPECT_FALSE(Toks[1].IsInt);
+  EXPECT_DOUBLE_EQ(Toks[1].Num, 1.23);
+  EXPECT_DOUBLE_EQ(Toks[2].Num, 2000.0);
+  EXPECT_DOUBLE_EQ(Toks[3].Num, 0.07);
+}
+
+TEST(Parser, ParameterizedMatrices) {
+  Diagnostics Diags;
+  FormulaRef F = parseFormulaString("(F 8)", Diags);
+  ASSERT_TRUE(F) << Diags.dump();
+  EXPECT_EQ(F->kind(), FKind::DFT);
+  EXPECT_EQ(F->param(0), 8);
+  EXPECT_EQ(F->inSize(), 8);
+
+  FormulaRef L = parseFormulaString("(L 16 4)", Diags);
+  ASSERT_TRUE(L);
+  EXPECT_EQ(L->kind(), FKind::Stride);
+  EXPECT_EQ(L->param(0), 16);
+  EXPECT_EQ(L->param(1), 4);
+}
+
+TEST(Parser, NAryAssociatesRightToLeft) {
+  Diagnostics Diags;
+  FormulaRef F = parseFormulaString("(compose (F 2) (I 2) (F 2))", Diags);
+  ASSERT_TRUE(F) << Diags.dump();
+  ASSERT_EQ(F->kind(), FKind::Compose);
+  EXPECT_EQ(F->child(0)->kind(), FKind::DFT);
+  ASSERT_EQ(F->child(1)->kind(), FKind::Compose);
+  EXPECT_EQ(F->child(1)->child(0)->kind(), FKind::Identity);
+}
+
+TEST(Parser, MatrixDiagonalPermutation) {
+  Diagnostics Diags;
+  FormulaRef M =
+      parseFormulaString("(matrix ((1 0) (0 1) (1 1)))", Diags);
+  ASSERT_TRUE(M) << Diags.dump();
+  EXPECT_EQ(M->outSize(), 3);
+  EXPECT_EQ(M->inSize(), 2);
+
+  FormulaRef D = parseFormulaString("(diagonal (1 sqrt(2) (0, -1)))", Diags);
+  ASSERT_TRUE(D) << Diags.dump();
+  ASSERT_EQ(D->diagElems().size(), 3u);
+  EXPECT_NEAR(D->diagElems()[1].real(), std::sqrt(2.0), 1e-15);
+  EXPECT_EQ(D->diagElems()[2], Cplx(0, -1));
+
+  FormulaRef P = parseFormulaString("(permutation (2 3 1))", Diags);
+  ASSERT_TRUE(P) << Diags.dump();
+  // y_i = x_{k_i - 1}: y0 = x1.
+  Matrix PM = P->toMatrix();
+  EXPECT_EQ(PM.at(0, 1), Cplx(1, 0));
+  EXPECT_EQ(PM.at(1, 2), Cplx(1, 0));
+  EXPECT_EQ(PM.at(2, 0), Cplx(1, 0));
+}
+
+TEST(Parser, ScalarConstantExpressions) {
+  Diagnostics Diags;
+  FormulaRef D = parseFormulaString(
+      "(diagonal ((cos(2*pi/3.0), sin(2*pi/3.0)) (2*pi) -3))", Diags);
+  ASSERT_TRUE(D) << Diags.dump();
+  double Pi = 3.14159265358979323846;
+  EXPECT_NEAR(D->diagElems()[0].real(), std::cos(2 * Pi / 3), 1e-15);
+  EXPECT_NEAR(D->diagElems()[0].imag(), std::sin(2 * Pi / 3), 1e-15);
+  EXPECT_NEAR(D->diagElems()[1].real(), 2 * Pi, 1e-15);
+  EXPECT_EQ(D->diagElems()[2], Cplx(-3, 0));
+}
+
+TEST(Parser, WFunctionInElements) {
+  Diagnostics Diags;
+  FormulaRef D = parseFormulaString("(diagonal (w(4, 1) w(4, 2)))", Diags);
+  ASSERT_TRUE(D) << Diags.dump();
+  EXPECT_NEAR(std::abs(D->diagElems()[0] - Cplx(0, -1)), 0, 1e-15);
+  EXPECT_NEAR(std::abs(D->diagElems()[1] - Cplx(-1, 0)), 0, 1e-15);
+}
+
+TEST(Parser, DefineAndUse) {
+  Diagnostics Diags;
+  Parser P("(define F4 (compose (tensor (F 2) (I 2)) (T 4 2) "
+           "(tensor (I 2) (F 2)) (L 4 2))) (compose F4 F4)",
+           Diags);
+  auto Prog = P.parseProgram();
+  ASSERT_TRUE(Prog) << Diags.dump();
+  ASSERT_EQ(Prog->Items.size(), 1u);
+  EXPECT_EQ(Prog->Items[0].Formula->inSize(), 4);
+  EXPECT_TRUE(Prog->Defines.count("F4"));
+}
+
+TEST(Parser, PrintParseRoundTrip) {
+  Diagnostics Diags;
+  const char *Sources[] = {
+      "(compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) (L 4 2))",
+      "(direct-sum (F 2) (I 3) (DCT2 4))",
+      "(tensor (WHT 4) (DCT4 2))",
+      "(permutation (2 1 3))",
+  };
+  for (const char *Src : Sources) {
+    FormulaRef F = parseFormulaString(Src, Diags);
+    ASSERT_TRUE(F) << Diags.dump() << Src;
+    FormulaRef G = parseFormulaString(F->print(), Diags);
+    ASSERT_TRUE(G) << Diags.dump() << F->print();
+    EXPECT_TRUE(formulaEqual(F, G)) << F->print() << " vs " << G->print();
+  }
+}
+
+TEST(Parser, Directives) {
+  Diagnostics Diags;
+  Parser P("#datatype real\n#language fortran\n#codetype complex\n"
+           "#subname mysub\n(WHT 4)",
+           Diags);
+  auto Prog = P.parseProgram();
+  ASSERT_TRUE(Prog) << Diags.dump();
+  ASSERT_EQ(Prog->Items.size(), 1u);
+  EXPECT_EQ(Prog->Items[0].Dirs.Datatype, "real");
+  EXPECT_EQ(Prog->Items[0].Dirs.Language, "fortran");
+  EXPECT_EQ(Prog->Items[0].Dirs.CodeType, "complex");
+  EXPECT_EQ(Prog->Items[0].Dirs.SubName, "mysub");
+}
+
+TEST(Parser, UnrollDirectiveAttachesToFormulas) {
+  Diagnostics Diags;
+  Parser P("#unroll on\n(define I2F2 (tensor (I 2) (F 2)))\n"
+           "#unroll off\n(tensor (I 32) I2F2)",
+           Diags);
+  auto Prog = P.parseProgram();
+  ASSERT_TRUE(Prog) << Diags.dump();
+  ASSERT_EQ(Prog->Items.size(), 1u);
+  const FormulaRef &Top = Prog->Items[0].Formula;
+  ASSERT_TRUE(Top->unrollHint().has_value());
+  EXPECT_FALSE(*Top->unrollHint());
+  // The defined sub-formula carries "on".
+  const FormulaRef &Sub = Top->child(1);
+  ASSERT_TRUE(Sub->unrollHint().has_value());
+  EXPECT_TRUE(*Sub->unrollHint());
+}
+
+TEST(Parser, ErrorsAreReported) {
+  struct {
+    const char *Src;
+    const char *Why;
+  } Cases[] = {
+      {"(F 0)", "non-positive size"},
+      {"(L 7 2)", "divisibility"},
+      {"(WHT 6)", "power of two"},
+      {"(compose (F 2) (F 3))", "size mismatch"},
+      {"(permutation (1 1 2))", "not a permutation"},
+      {"(matrix ((1 2) (3)))", "ragged rows"},
+      {"(compose (F 2))", "arity"},
+      {"(foo (F 2))", "user matrices take integer args"},
+      {"undefined_name", "undefined symbol"},
+  };
+  for (const auto &C : Cases) {
+    Diagnostics Diags;
+    FormulaRef F = parseFormulaString(C.Src, Diags);
+    EXPECT_TRUE(!F || Diags.hasErrors()) << C.Src << " (" << C.Why << ")";
+  }
+}
+
+TEST(Parser, TemplateWithConditionParses) {
+  Diagnostics Diags;
+  auto Defs = parseTemplateString(R"(
+    (template (L mn_ n_) [mn_ == n_ * n_]
+      (do $i0 = 0, mn_-1
+         $out($i0) = $in($i0)
+       end)))",
+                                  Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.dump();
+  ASSERT_EQ(Defs.size(), 1u);
+  EXPECT_TRUE(Defs[0].Condition);
+  EXPECT_EQ(Defs[0].Body.size(), 3u);
+  EXPECT_EQ(Defs[0].Body.front().K, tpl::TStmt::Do);
+}
+
+TEST(Parser, BuiltinTemplatesParse) {
+  Diagnostics Diags;
+  auto Defs = parseTemplateString(tpl::builtinTemplatesText(), Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.dump();
+  EXPECT_GE(Defs.size(), 12u);
+}
+
+} // namespace

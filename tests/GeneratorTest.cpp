@@ -1,0 +1,189 @@
+//===- tests/GeneratorTest.cpp - Breakdown rule tests --------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every breakdown rule must denote exactly the transform it factors: the
+/// dense matrix of the rule's output formula equals the dense definition.
+/// These tests pin down Equations 5, 7, 8, 9, 10 and the WHT and DCT rules.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "gen/Enumerate.h"
+#include "gen/Rules.h"
+#include "ir/Builder.h"
+#include "ir/Transforms.h"
+
+#include <gtest/gtest.h>
+
+using namespace spl;
+using namespace spl::test;
+
+namespace {
+
+void expectDenotes(const FormulaRef &F, const Matrix &Want,
+                   const char *What) {
+  ASSERT_TRUE(F) << What;
+  EXPECT_LT(F->toMatrix().maxAbsDiff(Want), 1e-10)
+      << What << ": " << F->print();
+}
+
+TEST(Rules, CooleyTukeyDITEquation5) {
+  for (auto [R, S] : {std::pair<std::int64_t, std::int64_t>{2, 2},
+                      {2, 4},
+                      {4, 2},
+                      {4, 4},
+                      {2, 8},
+                      {3, 4},
+                      {6, 2}}) {
+    expectDenotes(gen::ruleCooleyTukeyDIT(R, S, makeDFT(R), makeDFT(S)),
+                  dftMatrix(R * S), "DIT");
+  }
+}
+
+TEST(Rules, CooleyTukeyDIFEquation7) {
+  for (auto [R, S] : {std::pair<std::int64_t, std::int64_t>{2, 2},
+                      {2, 4},
+                      {4, 2},
+                      {3, 4}}) {
+    expectDenotes(gen::ruleCooleyTukeyDIF(R, S, makeDFT(R), makeDFT(S)),
+                  dftMatrix(R * S), "DIF");
+  }
+}
+
+TEST(Rules, CooleyTukeyParallelEquation8) {
+  for (auto [R, S] : {std::pair<std::int64_t, std::int64_t>{2, 2},
+                      {2, 4},
+                      {4, 2},
+                      {4, 4}}) {
+    expectDenotes(
+        gen::ruleCooleyTukeyParallel(R, S, makeDFT(R), makeDFT(S)),
+        dftMatrix(R * S), "parallel");
+  }
+}
+
+TEST(Rules, CooleyTukeyVectorEquation9) {
+  for (auto [R, S] : {std::pair<std::int64_t, std::int64_t>{2, 2},
+                      {2, 4},
+                      {4, 2},
+                      {4, 4}}) {
+    expectDenotes(gen::ruleCooleyTukeyVector(R, S, makeDFT(R), makeDFT(S)),
+                  dftMatrix(R * S), "vector");
+  }
+}
+
+TEST(Rules, Equation10AllCompositionsOf16) {
+  for (const auto &Comp : gen::factorCompositions(16)) {
+    if (Comp.size() < 2)
+      continue;
+    std::vector<std::pair<std::int64_t, FormulaRef>> Factors;
+    for (std::int64_t Ni : Comp)
+      Factors.push_back({Ni, makeDFT(Ni)});
+    expectDenotes(gen::ruleEq10(Factors), dftMatrix(16), "Eq10");
+  }
+}
+
+TEST(Rules, Equation10MixedRadix) {
+  std::vector<std::pair<std::int64_t, FormulaRef>> Factors = {
+      {2, makeDFT(2)}, {3, makeDFT(3)}, {2, makeDFT(2)}};
+  expectDenotes(gen::ruleEq10(Factors), dftMatrix(12), "Eq10 mixed");
+}
+
+TEST(Rules, RecursiveFFTAllVariants) {
+  for (int V : {0, 1, 2, 3})
+    for (std::int64_t N : {2, 4, 8, 16, 32})
+      expectDenotes(gen::recursiveFFT(N, V), dftMatrix(N), "recursiveFFT");
+}
+
+TEST(Rules, WHTFactorization) {
+  // WHT_16 = prod over factors; try (4,4), (2,8), (2,2,2,2).
+  using FP = std::vector<std::pair<std::int64_t, FormulaRef>>;
+  expectDenotes(gen::ruleWHT(FP{{4, makeWHT(4)}, {4, makeWHT(4)}}),
+                whtMatrix(16), "WHT 4x4");
+  expectDenotes(gen::ruleWHT(FP{{2, makeWHT(2)}, {8, makeWHT(8)}}),
+                whtMatrix(16), "WHT 2x8");
+  expectDenotes(gen::ruleWHT(FP{{2, makeWHT(2)},
+                                {2, makeWHT(2)},
+                                {2, makeWHT(2)},
+                                {2, makeWHT(2)}}),
+                whtMatrix(16), "WHT 2^4");
+}
+
+TEST(Rules, WHT2EqualsF2) {
+  EXPECT_LT(whtMatrix(2).maxAbsDiff(dftMatrix(2)), 1e-15);
+}
+
+TEST(Rules, DCT2Base) {
+  expectDenotes(gen::ruleDCT2Base2(), dct2Matrix(2), "DCT2 base");
+}
+
+TEST(Rules, DCT2EvenOdd) {
+  for (std::int64_t N : {4, 8, 16})
+    expectDenotes(
+        gen::ruleDCT2EvenOdd(N, makeDCT2(N / 2), makeDCT4(N / 2)),
+        dct2Matrix(N), "DCT2 even-odd");
+}
+
+TEST(Rules, DCT4ViaDCT2) {
+  for (std::int64_t N : {2, 4, 8})
+    expectDenotes(gen::ruleDCT4ViaDCT2(N, makeDCT2(N)), dct4Matrix(N),
+                  "DCT4 via DCT2");
+}
+
+TEST(Rules, RecursiveDCTsFullyExpand) {
+  for (std::int64_t N : {2, 4, 8, 16}) {
+    expectDenotes(gen::recursiveDCT2(N), dct2Matrix(N), "recursive DCT2");
+    expectDenotes(gen::recursiveDCT4(N), dct4Matrix(N), "recursive DCT4");
+  }
+}
+
+TEST(Enumerate, FactorCompositions) {
+  auto Comps = gen::factorCompositions(8);
+  // [8], [2,4], [2,2,2], [4,2].
+  EXPECT_EQ(Comps.size(), 4u);
+  auto Comps12 = gen::factorCompositions(12);
+  // [12],[2,6],[2,2,3],[2,3,2],[3,4],[3,2,2],[4,3],[6,2].
+  EXPECT_EQ(Comps12.size(), 8u);
+}
+
+TEST(Enumerate, FFTFormulasAreDistinctAndCorrect) {
+  gen::EnumOptions Opts;
+  Opts.MaxCount = 45;
+  auto Formulas = gen::enumerateFFT(32, Opts);
+  EXPECT_EQ(Formulas.size(), 45u) << "need the paper's 45 formulas";
+  std::set<std::string> Seen;
+  Matrix Want = dftMatrix(32);
+  for (const auto &F : Formulas) {
+    EXPECT_TRUE(Seen.insert(F->print()).second) << F->print();
+    EXPECT_LT(F->toMatrix().maxAbsDiff(Want), 1e-9) << F->print();
+  }
+}
+
+TEST(Enumerate, WHTFormulasAreDistinctAndCorrect) {
+  auto Formulas = gen::enumerateWHT(16);
+  // Compositions of 4 with >= 2 parts: 2^3 - 1 = 7.
+  EXPECT_EQ(Formulas.size(), 7u);
+  std::set<std::string> Seen;
+  Matrix Want = whtMatrix(16);
+  for (const auto &F : Formulas) {
+    EXPECT_TRUE(Seen.insert(F->print()).second);
+    EXPECT_LT(F->toMatrix().maxAbsDiff(Want), 1e-12) << F->print();
+  }
+  EXPECT_EQ(gen::enumerateWHT(2).size(), 1u);
+  EXPECT_EQ(gen::enumerateWHT(16, 3).size(), 3u);
+}
+
+TEST(Enumerate, SmallSizesHaveFormulas) {
+  for (std::int64_t N : {4, 8, 16}) {
+    auto Formulas = gen::enumerateFFT(N);
+    EXPECT_GE(Formulas.size(), 2u);
+    for (const auto &F : Formulas)
+      EXPECT_LT(F->toMatrix().maxAbsDiff(dftMatrix(N)), 1e-10) << F->print();
+  }
+}
+
+} // namespace

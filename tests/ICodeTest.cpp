@@ -1,0 +1,216 @@
+//===- tests/ICodeTest.cpp - I-code data structure tests ------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "icode/ICode.h"
+#include "icode/Intrinsics.h"
+#include "ir/Transforms.h"
+
+#include <gtest/gtest.h>
+
+using namespace spl;
+using namespace spl::icode;
+
+namespace {
+
+TEST(Affine, ArithmeticAndNormalization) {
+  Affine A = Affine::var(0, 2).plusConst(3); // 2*i0 + 3.
+  Affine B = Affine::var(1).plus(Affine::var(0, -2)); // i1 - 2*i0.
+  Affine Sum = A.plus(B);
+  EXPECT_EQ(Sum.Base, 3);
+  EXPECT_EQ(Sum.coefOf(0), 0); // Cancelled and dropped by normalize().
+  EXPECT_EQ(Sum.coefOf(1), 1);
+  EXPECT_FALSE(Sum.usesVar(0));
+  EXPECT_TRUE(Sum.usesVar(1));
+}
+
+TEST(Affine, ScaleAndSubstitute) {
+  Affine A = Affine::var(0, 3).plusConst(1);
+  Affine S = A.scaled(-2); // -6*i0 - 2.
+  EXPECT_EQ(S.Base, -2);
+  EXPECT_EQ(S.coefOf(0), -6);
+  EXPECT_TRUE(A.scaled(0).isConst());
+
+  // i0 := 4*i1 + 5  =>  3*(4*i1+5) + 1 = 12*i1 + 16.
+  Affine T = A.substVar(0, Affine::var(1, 4).plusConst(5));
+  EXPECT_EQ(T.Base, 16);
+  EXPECT_EQ(T.coefOf(1), 12);
+  EXPECT_FALSE(T.usesVar(0));
+}
+
+TEST(Affine, Evaluate) {
+  Affine A = Affine::var(0, 2).plus(Affine::var(2, -1)).plusConst(7);
+  std::vector<std::int64_t> Vars = {3, 99, 4};
+  EXPECT_EQ(A.eval(Vars), 2 * 3 - 4 + 7);
+}
+
+TEST(IntExpr, ConstantFoldingInBuilder) {
+  auto E = IntExpr::mkBin(IntExpr::Mul, IntExpr::mkConst(6),
+                          IntExpr::mkConst(7));
+  EXPECT_EQ(E->K, IntExpr::Const);
+  EXPECT_EQ(E->C, 42);
+  auto M = IntExpr::mkBin(IntExpr::Mod, IntExpr::mkConst(10),
+                          IntExpr::mkConst(4));
+  EXPECT_EQ(M->C, 2);
+}
+
+TEST(IntExpr, EvalAndSubstitution) {
+  // i0 * i1 + 3.
+  auto E = IntExpr::mkBin(
+      IntExpr::Add,
+      IntExpr::mkBin(IntExpr::Mul, IntExpr::mkVar(0), IntExpr::mkVar(1)),
+      IntExpr::mkConst(3));
+  std::vector<std::int64_t> Vars = {5, 4};
+  EXPECT_EQ(E->eval(Vars), 23);
+
+  auto S = E->substVar(1, IntExpr::mkConst(2));
+  EXPECT_EQ(S->eval(Vars), 13);
+  std::vector<int> Used;
+  S->collectVars(Used);
+  EXPECT_EQ(Used.size(), 1u);
+  EXPECT_EQ(Used[0], 0);
+}
+
+TEST(Operand, EqualityIgnoresIrrelevantFields) {
+  EXPECT_TRUE(Operand::fltTemp(3) == Operand::fltTemp(3));
+  EXPECT_FALSE(Operand::fltTemp(3) == Operand::fltTemp(4));
+  EXPECT_TRUE(Operand::vecElem(VecIn, Affine(2)) ==
+              Operand::vecElem(VecIn, Affine(2)));
+  EXPECT_FALSE(Operand::vecElem(VecIn, Affine(2)) ==
+               Operand::vecElem(VecOut, Affine(2)));
+  EXPECT_FALSE(Operand::fltConst(Cplx(1, 0)) == Operand::fltConst(Cplx(1, 1)));
+  // Intrinsic calls never compare equal (they are folded before CSE).
+  Operand W = Operand::intrinsic("W", {IntExpr::mkConst(2)});
+  EXPECT_FALSE(W == W);
+}
+
+TEST(Program, DynamicOpCountWeighsLoops) {
+  Program P;
+  P.InSize = P.OutSize = 4;
+  P.NumLoopVars = 2;
+  P.NumFltTemps = 1;
+  P.Body = {
+      Instr::loop(0, 0, 3),
+      Instr::loop(1, 0, 1),
+      Instr::bin(Op::Add, Operand::fltTemp(0),
+                 Operand::vecElem(VecIn, Affine::var(0)),
+                 Operand::vecElem(VecIn, Affine::var(1))),
+      Instr::end(),
+      Instr::copy(Operand::vecElem(VecOut, Affine::var(0)),
+                  Operand::fltTemp(0)),
+      Instr::end(),
+  };
+  ASSERT_EQ(P.verify(), "");
+  // Add runs 4*2 = 8 times; the Copy is not an arithmetic op.
+  EXPECT_EQ(P.dynamicOpCount(), 8u);
+}
+
+TEST(Program, VerifyCatchesViolations) {
+  Program P;
+  P.InSize = P.OutSize = 1;
+  P.NumFltTemps = 1;
+
+  // Unbalanced loop.
+  P.Body = {Instr::loop(0, 0, 1)};
+  P.NumLoopVars = 1;
+  EXPECT_NE(P.verify(), "");
+
+  // Subscript uses out-of-scope loop var.
+  P.Body = {Instr::copy(Operand::vecElem(VecOut, Affine::var(0)),
+                        Operand::fltTemp(0))};
+  EXPECT_NE(P.verify(), "");
+
+  // Constant as destination.
+  P.Body = {Instr::copy(Operand::fltConst(Cplx(0, 0)), Operand::fltTemp(0))};
+  EXPECT_NE(P.verify(), "");
+
+  // Complex constant in a real program.
+  P.Type = DataType::Real;
+  P.Body = {Instr::copy(Operand::vecElem(VecOut, Affine(0)),
+                        Operand::fltConst(Cplx(0, 1)))};
+  EXPECT_NE(P.verify(), "");
+
+  // Temp vector id out of range.
+  P.Type = DataType::Complex;
+  P.Body = {Instr::copy(Operand::vecElem(FirstTempVec, Affine(0)),
+                        Operand::fltTemp(0))};
+  EXPECT_NE(P.verify(), "");
+
+  // Float temp id out of range.
+  P.Body = {Instr::copy(Operand::vecElem(VecOut, Affine(0)),
+                        Operand::fltTemp(7))};
+  EXPECT_NE(P.verify(), "");
+}
+
+TEST(Program, PrintIsReadable) {
+  Program P;
+  P.SubName = "demo";
+  P.InSize = P.OutSize = 2;
+  P.NumLoopVars = 1;
+  P.Body = {
+      Instr::loop(0, 0, 1),
+      Instr::copy(Operand::vecElem(VecOut, Affine::var(0)),
+                  Operand::vecElem(VecIn, Affine::var(0))),
+      Instr::end(),
+  };
+  std::string S = P.print();
+  EXPECT_NE(S.find("do $i0 = 0, 1"), std::string::npos);
+  EXPECT_NE(S.find("$out($i0) = $in($i0)"), std::string::npos);
+  EXPECT_NE(S.find("end"), std::string::npos);
+}
+
+TEST(Intrinsics, BuiltinsMatchTransformDefinitions) {
+  const auto &Reg = IntrinsicRegistry::builtins();
+  EXPECT_TRUE(Reg.contains("W"));
+  EXPECT_TRUE(Reg.contains("TW"));
+  EXPECT_TRUE(Reg.contains("WHTE"));
+  EXPECT_TRUE(Reg.contains("DCT2E"));
+  EXPECT_TRUE(Reg.contains("DCT4E"));
+  EXPECT_EQ(Reg.arity("W"), 2u);
+  EXPECT_EQ(Reg.arity("TW"), 3u);
+  EXPECT_EQ(Reg.eval("W", {8, 2}), wRoot(8, 2));
+  EXPECT_EQ(Reg.eval("TW", {8, 4, 5}), twiddleEntry(8, 4, 5));
+  EXPECT_EQ(Reg.eval("WHTE", {8, 3, 5}).real(), whtEntry(8, 3, 5));
+}
+
+TEST(Intrinsics, UserRegistrationOverrides) {
+  IntrinsicRegistry Reg;
+  Reg.add("W", 2, [](const std::vector<std::int64_t> &) {
+    return Cplx(42, 0);
+  });
+  EXPECT_EQ(Reg.eval("W", {8, 1}), Cplx(42, 0));
+  Reg.add("MINE", 1, [](const std::vector<std::int64_t> &A) {
+    return Cplx(static_cast<double>(A[0] * 2), 0);
+  });
+  EXPECT_EQ(Reg.eval("MINE", {21}), Cplx(42, 0));
+}
+
+TEST(Transforms, ExactRootsOnAxesAndEighths) {
+  EXPECT_EQ(wRoot(4, 0), Cplx(1, 0));
+  EXPECT_EQ(wRoot(4, 1), Cplx(0, -1));
+  EXPECT_EQ(wRoot(4, 2), Cplx(-1, 0));
+  EXPECT_EQ(wRoot(4, 3), Cplx(0, 1));
+  EXPECT_EQ(wRoot(8, 1).real(), -wRoot(8, 3).real());
+  EXPECT_EQ(wRoot(8, 1).real(), 0.70710678118654752440084436210485);
+  // Negative and wrapping exponents reduce correctly.
+  EXPECT_EQ(wRoot(4, -1), Cplx(0, 1));
+  EXPECT_EQ(wRoot(4, 5), wRoot(4, 1));
+}
+
+TEST(Transforms, StrideIndexIsAPermutationAndInverse) {
+  // L^{12}_3 maps output index i to input strideIndex(12,3,i); composing
+  // with L^{12}_4 must give the identity.
+  std::vector<bool> Seen(12, false);
+  for (int I = 0; I < 12; ++I) {
+    std::int64_t S = strideIndex(12, 3, I);
+    ASSERT_GE(S, 0);
+    ASSERT_LT(S, 12);
+    EXPECT_FALSE(Seen[S]);
+    Seen[S] = true;
+    EXPECT_EQ(strideIndex(12, 4, S), I);
+  }
+}
+
+} // namespace

@@ -1,0 +1,220 @@
+//===- tests/PropertyTest.cpp - Randomized end-to-end properties -----------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-based sweep: random formula trees (compose / tensor /
+/// direct-sum over the parameterized and explicit matrices) are pushed
+/// through every pipeline configuration and executed; the output must match
+/// the dense-matrix semantics. One test instantiation per (seed, config)
+/// pair via INSTANTIATE_TEST_SUITE_P. Also: printing any generated formula
+/// and re-parsing it yields a structurally identical formula.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "frontend/Parser.h"
+#include "ir/Builder.h"
+#include "lower/Expander.h"
+#include "opt/Pipeline.h"
+#include "templates/Registry.h"
+#include "vm/Executor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+using namespace spl;
+using namespace spl::test;
+
+namespace {
+
+/// Random formula generator: bounded depth and size so the dense oracle
+/// stays cheap.
+class FormulaGen {
+public:
+  explicit FormulaGen(unsigned Seed) : Gen(Seed) {}
+
+  FormulaRef leaf() {
+    switch (pick(7)) {
+    case 0:
+      return makeIdentity(sizePick());
+    case 1:
+      return makeDFT(sizePick());
+    case 2: {
+      std::int64_t N = 1 + pick(3);
+      std::int64_t MN = N * (1 + pick(3));
+      return makeStride(MN, N);
+    }
+    case 3: {
+      std::int64_t N = 1 + pick(3);
+      std::int64_t MN = N * (1 + pick(3));
+      return makeTwiddle(MN, N);
+    }
+    case 4: {
+      std::vector<Cplx> D(sizePick());
+      for (auto &V : D)
+        V = randomScalar();
+      return makeDiagonal(std::move(D));
+    }
+    case 5: {
+      std::int64_t N = sizePick();
+      std::vector<std::int64_t> T(N);
+      for (std::int64_t I = 0; I != N; ++I)
+        T[I] = I + 1;
+      std::shuffle(T.begin(), T.end(), Gen);
+      return makePermutation(std::move(T));
+    }
+    default: {
+      size_t R = sizePick(), C = sizePick();
+      std::vector<std::vector<Cplx>> M(R, std::vector<Cplx>(C));
+      for (auto &Row : M)
+        for (auto &V : Row)
+          V = pick(3) == 0 ? Cplx(0, 0) : randomScalar();
+      return makeGenMatrix(std::move(M));
+    }
+    }
+  }
+
+  FormulaRef tree(int Depth) {
+    if (Depth <= 0 || pick(3) == 0)
+      return leaf();
+    switch (pick(3)) {
+    case 0: {
+      FormulaRef B = tree(Depth - 1);
+      // Compose needs matching sizes; synthesize a square left operand.
+      FormulaRef A = squareOfSize(B->outSize(), Depth - 1);
+      return makeCompose(A, B);
+    }
+    case 1:
+      return makeTensor(tree(Depth - 1), tree(Depth - 1));
+    default:
+      return makeDirectSum(tree(Depth - 1), tree(Depth - 1));
+    }
+  }
+
+private:
+  std::mt19937 Gen;
+
+  std::int64_t pick(std::int64_t N) {
+    return std::uniform_int_distribution<std::int64_t>(0, N - 1)(Gen);
+  }
+  std::int64_t sizePick() { return 1 + pick(4); } // 1..4.
+  Cplx randomScalar() {
+    std::uniform_real_distribution<double> D(-2, 2);
+    return Cplx(D(Gen), D(Gen));
+  }
+
+  FormulaRef squareOfSize(std::int64_t N, int Depth) {
+    if (Depth > 0 && N > 1 && pick(2) == 0) {
+      // Split N into a tensor or direct sum of square pieces.
+      for (std::int64_t D = 2; D * D <= N; ++D)
+        if (N % D == 0)
+          return makeTensor(squareOfSize(D, 0), squareOfSize(N / D, 0));
+      if (N > 2)
+        return makeDirectSum(squareOfSize(1, 0), squareOfSize(N - 1, 0));
+    }
+    switch (pick(3)) {
+    case 0:
+      return makeIdentity(N);
+    case 1:
+      return makeDFT(N);
+    default: {
+      std::vector<Cplx> D(N);
+      for (auto &V : D)
+        V = randomScalar();
+      return makeDiagonal(std::move(D));
+    }
+    }
+  }
+};
+
+struct Config {
+  opt::OptLevel Level;
+  bool Lower;
+  std::int64_t Threshold;
+};
+
+class RandomFormulaTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, int>> {};
+
+TEST_P(RandomFormulaTest, CompiledOutputMatchesDenseSemantics) {
+  auto [Seed, ConfigIdx] = GetParam();
+  static const Config Configs[] = {
+      {opt::OptLevel::None, false, 0},
+      {opt::OptLevel::Scalarize, false, 64},
+      {opt::OptLevel::Default, false, 0},
+      {opt::OptLevel::Default, false, 64},
+      {opt::OptLevel::Default, true, 0},
+      {opt::OptLevel::Default, true, 64},
+  };
+  const Config &Cfg = Configs[ConfigIdx];
+
+  FormulaGen G(Seed);
+  FormulaRef F = G.tree(3);
+  ASSERT_TRUE(F);
+  if (F->inSize() > 256)
+    GTEST_SKIP() << "oracle too large";
+
+  Diagnostics Diags;
+  static auto Registry = tpl::TemplateRegistry::withBuiltins();
+  lower::Expander Exp(Registry, Diags);
+  lower::ExpandOptions EOpts;
+  EOpts.UnrollThreshold = Cfg.Threshold;
+  auto P = Exp.expand(F, EOpts);
+  ASSERT_TRUE(P) << Diags.dump() << "\n" << F->print();
+
+  opt::PipelineOptions POpts;
+  POpts.Level = Cfg.Level;
+  POpts.LowerToReal = Cfg.Lower;
+  auto Final = opt::runPipeline(*P, POpts);
+  ASSERT_EQ(Final.verify(), "");
+
+  std::vector<Cplx> X = randomVector(F->inSize(), Seed * 7 + 1);
+  std::vector<Cplx> Want = F->toMatrix().apply(X);
+
+  vm::Executor VM(Final);
+  std::vector<Cplx> Got;
+  if (Cfg.Lower) {
+    std::vector<double> XR(2 * X.size()), YR;
+    for (size_t I = 0; I != X.size(); ++I) {
+      XR[2 * I] = X[I].real();
+      XR[2 * I + 1] = X[I].imag();
+    }
+    VM.runReal(XR, YR);
+    Got.resize(YR.size() / 2);
+    for (size_t I = 0; I != Got.size(); ++I)
+      Got[I] = Cplx(YR[2 * I], YR[2 * I + 1]);
+  } else {
+    VM.run(X, Got);
+  }
+  EXPECT_LT(maxAbsDiff(Got, Want), 1e-9) << F->print();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomFormulaTest,
+    ::testing::Combine(::testing::Range(1u, 26u), ::testing::Range(0, 6)),
+    [](const auto &Info) {
+      return "seed" + std::to_string(std::get<0>(Info.param)) + "_cfg" +
+             std::to_string(std::get<1>(Info.param));
+    });
+
+class RoundTripTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RoundTripTest, PrintParsePreservesStructure) {
+  FormulaGen G(GetParam());
+  FormulaRef F = G.tree(3);
+  Diagnostics Diags;
+  FormulaRef Back = parseFormulaString(F->print(), Diags);
+  ASSERT_TRUE(Back) << Diags.dump() << "\n" << F->print();
+  EXPECT_TRUE(formulaEqual(F, Back)) << F->print() << "\nvs\n"
+                                     << Back->print();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RoundTripTest, ::testing::Range(100u, 140u));
+
+} // namespace

@@ -1,0 +1,141 @@
+//===- tests/RobustnessTest.cpp - Parser robustness tests --------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The frontend must never crash: malformed, truncated, and adversarial
+/// inputs produce diagnostics (or parse cleanly), not undefined behaviour.
+/// Includes a deterministic mutation fuzzer over valid programs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace spl;
+
+namespace {
+
+/// Parses and, on success, expands nothing — we only care that the frontend
+/// terminates and reports through diagnostics.
+void mustNotCrash(const std::string &Source) {
+  Diagnostics Diags;
+  Parser P(Source, Diags);
+  auto Prog = P.parseProgram();
+  if (!Prog) {
+    EXPECT_TRUE(Diags.hasErrors()) << Source;
+  }
+}
+
+TEST(Robustness, EmptyAndWhitespaceOnly) {
+  mustNotCrash("");
+  mustNotCrash("   \n\t  ");
+  mustNotCrash("; just a comment\n");
+  mustNotCrash("#subname alone\n");
+}
+
+TEST(Robustness, TruncatedForms) {
+  mustNotCrash("(");
+  mustNotCrash("(compose");
+  mustNotCrash("(compose (F 2)");
+  mustNotCrash("(matrix ((1 2)");
+  mustNotCrash("(template (F n_)");
+  mustNotCrash("(template (F n_) [n_ > ");
+  mustNotCrash("(define");
+  mustNotCrash("(define X");
+  mustNotCrash("(diagonal (");
+}
+
+TEST(Robustness, UnbalancedAndStray) {
+  mustNotCrash(")");
+  mustNotCrash("))) (((");
+  mustNotCrash("(F 2))");
+  mustNotCrash("]");
+  mustNotCrash("(F 2) ] [");
+  mustNotCrash("& | ! =");
+}
+
+TEST(Robustness, BadNumbersAndSymbols) {
+  mustNotCrash("(F 999999999999999999999999)");
+  mustNotCrash("(F -2)");
+  mustNotCrash("(F 2.5)");
+  mustNotCrash("(I 0)");
+  mustNotCrash("(L 0 0)");
+  mustNotCrash("(T 4 0)");
+  mustNotCrash("(diagonal (nonsense))");
+  mustNotCrash("(diagonal (sqrt(-1 unclosed))");
+  mustNotCrash("(permutation (1 2 9))");
+}
+
+TEST(Robustness, BadTemplates) {
+  mustNotCrash("(template 42 (x))");
+  mustNotCrash("(template (F n_) (garbage here = =))");
+  mustNotCrash("(template (F n_) (do $i0 = 0))");
+  mustNotCrash("(template (F n_) (do $i0 = 0, n_-1 end end))");
+  mustNotCrash("(template (F n_) ($out(0) = A_($in)))");
+  mustNotCrash("(template (compose A_ B_) (A_($in, $out, 0, 0, 1)))");
+}
+
+TEST(Robustness, BadDirectives) {
+  mustNotCrash("#datatype purple\n(F 2)");
+  mustNotCrash("#language cobol\n(F 2)");
+  mustNotCrash("#unroll sideways\n(F 2)");
+  mustNotCrash("#subname\n(F 2)");
+  mustNotCrash("#\n(F 2)");
+}
+
+TEST(Robustness, DeepNestingTerminates) {
+  std::string Deep;
+  for (int I = 0; I < 200; ++I)
+    Deep += "(tensor (I 1) ";
+  Deep += "(F 2)";
+  for (int I = 0; I < 200; ++I)
+    Deep += ")";
+  mustNotCrash(Deep);
+}
+
+class MutationFuzzTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MutationFuzzTest, MutatedProgramsNeverCrashTheFrontend) {
+  const std::string Base = R"(
+(define F4 (compose (tensor (F 2) (I 2)) (T 4 2)
+                    (tensor (I 2) (F 2)) (L 4 2)))
+(template (J n_) [n_ >= 1]
+  (do $i0 = 0, n_-1
+     $out($i0) = $in(n_-1-$i0)
+   end))
+#subname prog
+(compose (tensor F4 (I 4)) (T 16 4) (tensor (I 4) F4) (L 16 4))
+)";
+  std::mt19937 Gen(GetParam());
+  std::string S = Base;
+  int Mutations = 1 + Gen() % 8;
+  for (int M = 0; M != Mutations; ++M) {
+    size_t Pos = Gen() % S.size();
+    switch (Gen() % 4) {
+    case 0:
+      S.erase(Pos, 1 + Gen() % 5);
+      break;
+    case 1:
+      S.insert(Pos, 1, static_cast<char>("()[]#;$_0a"[Gen() % 10]));
+      break;
+    case 2:
+      S[Pos] = static_cast<char>(32 + Gen() % 95);
+      break;
+    default:
+      std::swap(S[Pos], S[Gen() % S.size()]);
+      break;
+    }
+  }
+  mustNotCrash(S);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MutationFuzzTest,
+                         ::testing::Range(1000u, 1080u));
+
+} // namespace

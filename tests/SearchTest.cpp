@@ -1,0 +1,154 @@
+//===- tests/SearchTest.cpp - Search engine tests ------------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of the dynamic-programming search: winners must be correct FFT
+/// formulas, cheaper than naive candidates, and the keep-k machinery must
+/// behave as Section 4.2 describes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "ir/Builder.h"
+#include "ir/Transforms.h"
+#include "search/DPSearch.h"
+#include "vm/Executor.h"
+
+#include <gtest/gtest.h>
+
+using namespace spl;
+using namespace spl::test;
+
+namespace {
+
+driver::CompilerOptions searchOptions() {
+  driver::CompilerOptions Opts;
+  Opts.UnrollThreshold = 16; // Keep tests fast.
+  return Opts;
+}
+
+TEST(Search, SmallSearchFindsCorrectWinners) {
+  Diagnostics Diags;
+  search::OpCountEvaluator Eval(Diags, searchOptions());
+  search::SearchOptions SOpts;
+  SOpts.MaxLeaf = 16;
+  search::DPSearch Search(Eval, Diags, SOpts);
+
+  auto Best = Search.searchSmall(16);
+  ASSERT_EQ(Best.size(), 4u) << Diags.dump(); // 2, 4, 8, 16.
+  for (auto &[N, Cand] : Best) {
+    EXPECT_LT(Cand.Formula->toMatrix().maxAbsDiff(dftMatrix(N)), 1e-9)
+        << "N=" << N << ": " << Cand.Formula->print();
+    EXPECT_GT(Cand.Cost, 0);
+  }
+  // The winners beat the DFT by definition on op count for n >= 8.
+  Diagnostics D2;
+  auto Naive = Eval.cost(makeDFT(8));
+  ASSERT_TRUE(Naive);
+  EXPECT_LT(Best[8].Cost, *Naive);
+}
+
+TEST(Search, LargeSearchKeepsKBest) {
+  Diagnostics Diags;
+  search::OpCountEvaluator Eval(Diags, searchOptions());
+  search::SearchOptions SOpts;
+  SOpts.MaxLeaf = 16;
+  SOpts.KeepBest = 3;
+  search::DPSearch Search(Eval, Diags, SOpts);
+  Search.searchSmall(16);
+
+  auto Entries = Search.searchLarge(128);
+  ASSERT_GE(Entries.size(), 2u) << Diags.dump();
+  ASSERT_LE(Entries.size(), 3u);
+  // Sorted by cost.
+  for (size_t I = 1; I < Entries.size(); ++I)
+    EXPECT_LE(Entries[I - 1].Cost, Entries[I].Cost);
+  // All are genuine F_128 formulas (verify via the VM, the dense oracle
+  // would be O(n^2) but fine at 128).
+  for (const auto &E : Entries)
+    EXPECT_LT(E.Formula->toMatrix().maxAbsDiff(dftMatrix(128)), 1e-8)
+        << E.Formula->print();
+}
+
+TEST(Search, VMEvaluatorProducesPositiveTimes) {
+  Diagnostics Diags;
+  search::VMTimeEvaluator Eval(Diags, searchOptions(), /*Repeats=*/1);
+  auto Cost = Eval.cost(makeDFT(8));
+  ASSERT_TRUE(Cost) << Diags.dump();
+  EXPECT_GT(*Cost, 0);
+}
+
+TEST(Search, BestHandlesSmallAndLargeUniformly) {
+  Diagnostics Diags;
+  search::OpCountEvaluator Eval(Diags, searchOptions());
+  search::SearchOptions SOpts;
+  SOpts.MaxLeaf = 16;
+  search::DPSearch Search(Eval, Diags, SOpts);
+  auto B8 = Search.best(8);
+  auto B64 = Search.best(64);
+  ASSERT_TRUE(B8);
+  ASSERT_TRUE(B64) << Diags.dump();
+  EXPECT_LT(B64->Formula->toMatrix().maxAbsDiff(dftMatrix(64)), 1e-9);
+}
+
+TEST(Search, MixedRadixSizesAreSearchable) {
+  // 12 = 3*4 etc.: factorCompositions handles any composite; primes fall
+  // back to the DFT by definition.
+  Diagnostics Diags;
+  search::OpCountEvaluator Eval(Diags, searchOptions());
+  search::SearchOptions SOpts;
+  SOpts.MaxLeaf = 64;
+  search::DPSearch Search(Eval, Diags, SOpts);
+  for (std::int64_t N : {6, 12, 24, 15, 7}) {
+    auto Best = Search.best(N);
+    ASSERT_TRUE(Best) << Diags.dump() << " N=" << N;
+    EXPECT_LT(Best->Formula->toMatrix().maxAbsDiff(dftMatrix(N)), 1e-9)
+        << Best->Formula->print();
+  }
+  // Composite sizes beat the definition; 7 is prime so it IS the definition.
+  auto B12 = Search.best(12);
+  auto Naive12 = Eval.cost(makeDFT(12));
+  ASSERT_TRUE(B12 && Naive12);
+  EXPECT_LT(B12->Cost, *Naive12);
+}
+
+TEST(Search, RealDatatypeEvaluatorForWHT) {
+  Diagnostics Diags;
+  search::OpCountEvaluator Eval(Diags, searchOptions());
+  Eval.setDatatype("real");
+  auto Cost = Eval.cost(makeWHT(8));
+  ASSERT_TRUE(Cost) << Diags.dump();
+  auto C = Eval.compile(makeWHT(8));
+  ASSERT_TRUE(C);
+  EXPECT_EQ(C->Final.Type, icode::DataType::Real);
+  EXPECT_FALSE(C->Final.LoweredToReal);
+}
+
+TEST(Search, KeepOneIsNeverBetterThanKeepThree) {
+  // Ablation A2's invariant: with a deterministic cost model, enlarging the
+  // kept set can only improve (or tie) the final winner.
+  Diagnostics Diags;
+  search::OpCountEvaluator Eval(Diags, searchOptions());
+
+  search::SearchOptions K1;
+  K1.MaxLeaf = 16;
+  K1.KeepBest = 1;
+  search::DPSearch S1(Eval, Diags, K1);
+  auto E1 = S1.searchLarge(256);
+
+  search::SearchOptions K3;
+  K3.MaxLeaf = 16;
+  K3.KeepBest = 3;
+  search::DPSearch S3(Eval, Diags, K3);
+  auto E3 = S3.searchLarge(256);
+
+  ASSERT_FALSE(E1.empty());
+  ASSERT_FALSE(E3.empty());
+  EXPECT_LE(E3.front().Cost, E1.front().Cost * 1.0001);
+}
+
+} // namespace

@@ -1,0 +1,86 @@
+//===- tests/SupportTest.cpp - Support library tests -----------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Matrix.h"
+#include "support/Diagnostics.h"
+#include "support/StrUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <random>
+
+using namespace spl;
+
+namespace {
+
+TEST(StrUtil, FormatDoubleRoundTripsExactly) {
+  std::mt19937_64 Gen(77);
+  std::uniform_real_distribution<double> Uni(-1e3, 1e3);
+  std::uniform_int_distribution<int> Exp(-300, 300);
+  for (int I = 0; I < 2000; ++I) {
+    double V = Uni(Gen) * std::pow(10.0, Exp(Gen) / 10);
+    std::string S = formatDouble(V);
+    double Back = std::strtod(S.c_str(), nullptr);
+    EXPECT_EQ(Back, V) << S;
+  }
+}
+
+TEST(StrUtil, FormatDoubleIsAFloatingToken) {
+  // Every rendering must parse as a floating constant in C/Fortran (carry
+  // '.', 'e' or 'E'), including integral values.
+  for (double V : {1.0, -3.0, 0.0, 42.0, 1e20, 0.5, -0.25}) {
+    std::string S = formatDouble(V);
+    EXPECT_NE(S.find_first_of(".eE"), std::string::npos) << S;
+  }
+  EXPECT_EQ(formatDouble(0.0), "0.0");
+  EXPECT_EQ(formatDouble(-0.0), "-0.0");
+  EXPECT_EQ(formatDouble(1.0), "1.0");
+}
+
+TEST(StrUtil, FormatComplex) {
+  EXPECT_EQ(formatComplex(Cplx(1.5, 0)), "1.5");
+  EXPECT_EQ(formatComplex(Cplx(0, -1)), "(0.0,-1.0)");
+  EXPECT_EQ(formatComplex(Cplx(-2, 3)), "(-2.0,3.0)");
+}
+
+TEST(StrUtil, JoinStartsWithToLower) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+  EXPECT_TRUE(startsWith("$in_size", "$in"));
+  EXPECT_FALSE(startsWith("$i", "$in"));
+  EXPECT_EQ(toLower("FoRtRan77"), "fortran77");
+}
+
+TEST(Diagnostics, CountsAndFormats) {
+  Diagnostics D;
+  EXPECT_FALSE(D.hasErrors());
+  D.warning(SourceLoc(1, 2), "something odd");
+  EXPECT_FALSE(D.hasErrors());
+  D.error(SourceLoc(3, 7), "bad thing");
+  D.note(SourceLoc(), "context");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  EXPECT_EQ(D.all().size(), 3u);
+  std::string Dump = D.dump();
+  EXPECT_NE(Dump.find("warning: 1:2: something odd"), std::string::npos);
+  EXPECT_NE(Dump.find("error: 3:7: bad thing"), std::string::npos);
+  EXPECT_NE(Dump.find("note: context"), std::string::npos);
+  D.clear();
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_TRUE(D.all().empty());
+}
+
+TEST(SourceLoc, Validity) {
+  EXPECT_FALSE(SourceLoc().isValid());
+  EXPECT_TRUE(SourceLoc(1, 1).isValid());
+  EXPECT_EQ(SourceLoc().str(), "<unknown>");
+  EXPECT_EQ(SourceLoc(12, 5).str(), "12:5");
+}
+
+} // namespace

@@ -1,0 +1,61 @@
+//===- tests/TestUtil.h - Shared test helpers -------------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the test suites: random vectors, the dense-matrix
+/// oracle check (compile a formula through a chosen pipeline configuration,
+/// execute it in the VM, and compare with Formula::toMatrix), and small
+/// formula factories.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_TESTS_TESTUTIL_H
+#define SPL_TESTS_TESTUTIL_H
+
+#include "ir/Formula.h"
+
+#include <random>
+#include <string>
+#include <vector>
+
+namespace spl {
+namespace test {
+
+/// Deterministic random complex vector (unit-scale entries).
+inline std::vector<Cplx> randomVector(size_t N, unsigned Seed = 12345) {
+  std::mt19937 Gen(Seed);
+  std::uniform_real_distribution<double> Dist(-1.0, 1.0);
+  std::vector<Cplx> V(N);
+  for (auto &X : V)
+    X = Cplx(Dist(Gen), Dist(Gen));
+  return V;
+}
+
+/// Deterministic random real vector.
+inline std::vector<double> randomRealVector(size_t N, unsigned Seed = 54321) {
+  std::mt19937 Gen(Seed);
+  std::uniform_real_distribution<double> Dist(-1.0, 1.0);
+  std::vector<double> V(N);
+  for (auto &X : V)
+    X = Dist(Gen);
+  return V;
+}
+
+/// Largest elementwise |a-b|.
+inline double maxAbsDiff(const std::vector<Cplx> &A,
+                         const std::vector<Cplx> &B) {
+  if (A.size() != B.size())
+    return 1e300;
+  double M = 0;
+  for (size_t I = 0; I != A.size(); ++I)
+    M = std::max(M, std::abs(A[I] - B[I]));
+  return M;
+}
+
+} // namespace test
+} // namespace spl
+
+#endif // SPL_TESTS_TESTUTIL_H

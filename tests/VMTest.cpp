@@ -1,0 +1,204 @@
+//===- tests/VMTest.cpp - I-code interpreter tests -------------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "vm/Executor.h"
+
+#include <gtest/gtest.h>
+
+using namespace spl;
+using namespace spl::icode;
+using namespace spl::test;
+
+namespace {
+
+TEST(VM, StraightLineComplexOps) {
+  Program P;
+  P.InSize = 2;
+  P.OutSize = 4;
+  P.NumFltTemps = 1;
+  auto In0 = Operand::vecElem(VecIn, Affine(0));
+  auto In1 = Operand::vecElem(VecIn, Affine(1));
+  P.Body = {
+      Instr::bin(Op::Add, Operand::vecElem(VecOut, Affine(0)), In0, In1),
+      Instr::bin(Op::Sub, Operand::vecElem(VecOut, Affine(1)), In0, In1),
+      Instr::bin(Op::Mul, Operand::vecElem(VecOut, Affine(2)), In0, In1),
+      Instr::bin(Op::Div, Operand::vecElem(VecOut, Affine(3)), In0, In1),
+  };
+  ASSERT_EQ(P.verify(), "");
+  vm::Executor VM(P);
+  std::vector<Cplx> X = {Cplx(1, 2), Cplx(3, -1)}, Y;
+  VM.run(X, Y);
+  EXPECT_EQ(Y[0], X[0] + X[1]);
+  EXPECT_EQ(Y[1], X[0] - X[1]);
+  EXPECT_EQ(Y[2], X[0] * X[1]);
+  EXPECT_LT(std::abs(Y[3] - X[0] / X[1]), 1e-15);
+}
+
+TEST(VM, ZeroTripLoopSkipsBody) {
+  Program P;
+  P.InSize = P.OutSize = 1;
+  P.NumLoopVars = 1;
+  P.Body = {
+      Instr::copy(Operand::vecElem(VecOut, Affine(0)),
+                  Operand::fltConst(Cplx(5, 0))),
+      Instr::loop(0, 0, -1), // Empty range.
+      Instr::copy(Operand::vecElem(VecOut, Affine(0)),
+                  Operand::fltConst(Cplx(9, 0))),
+      Instr::end(),
+  };
+  vm::Executor VM(P);
+  std::vector<Cplx> X = {Cplx(0, 0)}, Y;
+  VM.run(X, Y);
+  EXPECT_EQ(Y[0], Cplx(5, 0));
+}
+
+TEST(VM, NestedLoopsAndAffineSubscripts) {
+  // y[3*i + j] = x[3*i + j] doubled, via nested loops (4x3).
+  Program P;
+  P.InSize = P.OutSize = 12;
+  P.NumLoopVars = 2;
+  Affine Idx = Affine::var(0, 3).plus(Affine::var(1));
+  P.Body = {
+      Instr::loop(0, 0, 3),
+      Instr::loop(1, 0, 2),
+      Instr::bin(Op::Add, Operand::vecElem(VecOut, Idx),
+                 Operand::vecElem(VecIn, Idx),
+                 Operand::vecElem(VecIn, Idx)),
+      Instr::end(),
+      Instr::end(),
+  };
+  vm::Executor VM(P);
+  std::vector<Cplx> X = randomVector(12), Y;
+  VM.run(X, Y);
+  for (int I = 0; I < 12; ++I)
+    EXPECT_EQ(Y[I], X[I] + X[I]);
+}
+
+TEST(VM, TableReferences) {
+  Program P;
+  P.InSize = P.OutSize = 4;
+  P.NumLoopVars = 1;
+  P.Tables.push_back({Cplx(1, 0), Cplx(2, 0), Cplx(3, 0), Cplx(4, 0)});
+  P.Body = {
+      Instr::loop(0, 0, 3),
+      Instr::bin(Op::Mul, Operand::vecElem(VecOut, Affine::var(0)),
+                 Operand::tableElem(0, Affine::var(0)),
+                 Operand::vecElem(VecIn, Affine::var(0))),
+      Instr::end(),
+  };
+  vm::Executor VM(P);
+  std::vector<Cplx> X = randomVector(4), Y;
+  VM.run(X, Y);
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(Y[I], X[I] * Cplx(I + 1, 0));
+  EXPECT_GT(VM.workingSetBytes(), 0u);
+}
+
+TEST(VM, IntrinsicOperandsEvaluateOnTheFly) {
+  // Pre-intrinsic-eval programs are runnable: y[i] = W(4, i) * x[i].
+  Program P;
+  P.InSize = P.OutSize = 4;
+  P.NumLoopVars = 1;
+  P.Body = {
+      Instr::loop(0, 0, 3),
+      Instr::bin(Op::Mul, Operand::vecElem(VecOut, Affine::var(0)),
+                 Operand::intrinsic("W", {IntExpr::mkConst(4),
+                                          IntExpr::mkVar(0)}),
+                 Operand::vecElem(VecIn, Affine::var(0))),
+      Instr::end(),
+  };
+  vm::Executor VM(P);
+  std::vector<Cplx> X = {Cplx(1, 0), Cplx(1, 0), Cplx(1, 0), Cplx(1, 0)}, Y;
+  VM.run(X, Y);
+  EXPECT_EQ(Y[0], Cplx(1, 0));
+  EXPECT_EQ(Y[1], Cplx(0, -1));
+  EXPECT_EQ(Y[2], Cplx(-1, 0));
+  EXPECT_EQ(Y[3], Cplx(0, 1));
+}
+
+TEST(VM, RealModeBuffers) {
+  Program P;
+  P.Type = DataType::Real;
+  P.InSize = P.OutSize = 3;
+  P.Body = {
+      Instr::neg(Operand::vecElem(VecOut, Affine(0)),
+                 Operand::vecElem(VecIn, Affine(2))),
+      Instr::copy(Operand::vecElem(VecOut, Affine(1)),
+                  Operand::fltConst(Cplx(7, 0))),
+      Instr::bin(Op::Mul, Operand::vecElem(VecOut, Affine(2)),
+                 Operand::vecElem(VecIn, Affine(0)),
+                 Operand::vecElem(VecIn, Affine(1))),
+  };
+  vm::Executor VM(P);
+  EXPECT_TRUE(VM.isReal());
+  EXPECT_EQ(VM.inputLen(), 3);
+  std::vector<double> X = {2, 3, 4}, Y;
+  VM.runReal(X, Y);
+  EXPECT_EQ(Y[0], -4);
+  EXPECT_EQ(Y[1], 7);
+  EXPECT_EQ(Y[2], 6);
+}
+
+TEST(VM, LoweredProgramsDoubleBufferLengths) {
+  Program P;
+  P.Type = DataType::Real;
+  P.LoweredToReal = true;
+  P.InSize = P.OutSize = 4; // Logical complex elements.
+  P.Body = {Instr::copy(Operand::vecElem(VecOut, Affine(0)),
+                        Operand::vecElem(VecIn, Affine(0)))};
+  vm::Executor VM(P);
+  EXPECT_EQ(VM.inputLen(), 8);
+  EXPECT_EQ(VM.outputLen(), 8);
+}
+
+TEST(VM, TempVectorsPersistAcrossRuns) {
+  // Writing a temp then reading it must work; a second run must not see
+  // stale data affecting the result (program fully defines its output).
+  Program P;
+  P.InSize = P.OutSize = 1;
+  P.TempVecSizes = {2};
+  P.Body = {
+      Instr::copy(Operand::vecElem(FirstTempVec, Affine(0)),
+                  Operand::vecElem(VecIn, Affine(0))),
+      Instr::bin(Op::Add, Operand::vecElem(VecOut, Affine(0)),
+                 Operand::vecElem(FirstTempVec, Affine(0)),
+                 Operand::vecElem(FirstTempVec, Affine(0))),
+  };
+  vm::Executor VM(P);
+  std::vector<Cplx> X = {Cplx(3, 1)}, Y;
+  VM.run(X, Y);
+  EXPECT_EQ(Y[0], Cplx(6, 2));
+  X[0] = Cplx(-1, 0);
+  VM.run(X, Y);
+  EXPECT_EQ(Y[0], Cplx(-2, 0));
+}
+
+TEST(VM, SequentialLoopsReuseVariables) {
+  Program P;
+  P.InSize = P.OutSize = 4;
+  P.NumLoopVars = 1;
+  P.Body = {
+      Instr::loop(0, 0, 1),
+      Instr::copy(Operand::vecElem(VecOut, Affine::var(0)),
+                  Operand::vecElem(VecIn, Affine::var(0))),
+      Instr::end(),
+      Instr::loop(0, 2, 3),
+      Instr::neg(Operand::vecElem(VecOut, Affine::var(0)),
+                 Operand::vecElem(VecIn, Affine::var(0))),
+      Instr::end(),
+  };
+  vm::Executor VM(P);
+  std::vector<Cplx> X = randomVector(4), Y;
+  VM.run(X, Y);
+  EXPECT_EQ(Y[0], X[0]);
+  EXPECT_EQ(Y[1], X[1]);
+  EXPECT_EQ(Y[2], -X[2]);
+  EXPECT_EQ(Y[3], -X[3]);
+}
+
+} // namespace

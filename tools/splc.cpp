@@ -1,0 +1,157 @@
+//===- tools/splc.cpp - The SPL compiler command-line driver -------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// splc: compiles SPL programs to C or Fortran, mirroring the paper's
+/// command-line compiler (including the -B unrolling option).
+///
+///   splc [options] [file.spl]        (no file or "-": read stdin)
+///     -o <file>      write generated code here (default: stdout)
+///     -B <n>         fully unroll sub-formulas with input size <= n
+///     -u <k>         partially unroll remaining loops by factor k
+///     -O0 -O1 -O2    optimization level: none / scalar temporaries /
+///                    default optimizations (default -O2)
+///     -l <lang>      override #language (c or fortran)
+///     --sparc        apply the SPARC-style peephole transformations
+///     --print-icode  also print the final i-code as a comment stream
+///     --stats        print per-subroutine statistics to stderr
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "support/Diagnostics.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace spl;
+
+namespace {
+
+void printUsage() {
+  std::fprintf(stderr,
+               "usage: splc [-o out] [-B n] [-u k] [-O0|-O1|-O2] "
+               "[-l c|fortran] [--sparc] [--print-icode] [--stats] "
+               "[file.spl]\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  driver::CompilerOptions Opts;
+  std::string InputPath;
+  std::string OutputPath;
+  bool PrintICode = false;
+  bool Stats = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "-o" && I + 1 < Argc) {
+      OutputPath = Argv[++I];
+    } else if (Arg == "-B" && I + 1 < Argc) {
+      Opts.UnrollThreshold = std::atoll(Argv[++I]);
+    } else if (Arg == "-u" && I + 1 < Argc) {
+      Opts.PartialUnrollFactor = std::atoi(Argv[++I]);
+    } else if (Arg == "-O0") {
+      Opts.Level = opt::OptLevel::None;
+    } else if (Arg == "-O1") {
+      Opts.Level = opt::OptLevel::Scalarize;
+    } else if (Arg == "-O2") {
+      Opts.Level = opt::OptLevel::Default;
+    } else if (Arg == "-l" && I + 1 < Argc) {
+      Opts.LanguageOverride = Argv[++I];
+      if (Opts.LanguageOverride != "c" &&
+          Opts.LanguageOverride != "fortran") {
+        std::fprintf(stderr, "splc: error: unknown language '%s'\n",
+                     Opts.LanguageOverride.c_str());
+        return 1;
+      }
+    } else if (Arg == "--sparc") {
+      Opts.SparcPeephole = true;
+    } else if (Arg == "--print-icode") {
+      PrintICode = true;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg == "-h" || Arg == "--help") {
+      printUsage();
+      return 0;
+    } else if (Arg == "-" || Arg[0] != '-') {
+      if (!InputPath.empty()) {
+        std::fprintf(stderr, "splc: error: multiple input files\n");
+        return 1;
+      }
+      InputPath = Arg;
+    } else {
+      std::fprintf(stderr, "splc: error: unknown option '%s'\n", Arg.c_str());
+      printUsage();
+      return 1;
+    }
+  }
+
+  std::string Source;
+  if (InputPath.empty() || InputPath == "-") {
+    std::ostringstream SS;
+    SS << std::cin.rdbuf();
+    Source = SS.str();
+  } else {
+    std::ifstream In(InputPath);
+    if (!In) {
+      std::fprintf(stderr, "splc: error: cannot open '%s'\n",
+                   InputPath.c_str());
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Source = SS.str();
+  }
+
+  Diagnostics Diags;
+  driver::Compiler Compiler(Diags);
+  auto Units = Compiler.compileSource(Source, Opts);
+  std::fputs(Diags.dump().c_str(), stderr);
+  if (!Units)
+    return 1;
+
+  std::ostringstream Out;
+  for (const auto &Unit : *Units) {
+    if (PrintICode) {
+      std::istringstream IC(Unit.Final.print());
+      std::string Line;
+      bool IsC = Unit.Language != "fortran";
+      while (std::getline(IC, Line))
+        Out << (IsC ? "/* " : "c ") << Line << (IsC ? " */" : "") << "\n";
+    }
+    Out << Unit.Code << "\n";
+    if (Stats) {
+      std::fprintf(stderr,
+                   "%s: in=%lld out=%lld instrs=%zu flops=%llu temps=%zu "
+                   "tables=%zu\n",
+                   Unit.SubName.c_str(),
+                   static_cast<long long>(Unit.Final.InSize),
+                   static_cast<long long>(Unit.Final.OutSize),
+                   Unit.Final.staticSize(),
+                   static_cast<unsigned long long>(
+                       Unit.Final.dynamicOpCount()),
+                   Unit.Final.TempVecSizes.size(), Unit.Final.Tables.size());
+    }
+  }
+
+  if (OutputPath.empty()) {
+    std::fputs(Out.str().c_str(), stdout);
+  } else {
+    std::ofstream OutFile(OutputPath);
+    if (!OutFile) {
+      std::fprintf(stderr, "splc: error: cannot write '%s'\n",
+                   OutputPath.c_str());
+      return 1;
+    }
+    OutFile << Out.str();
+  }
+  return 0;
+}
