@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_dp_keepk.dir/bench_abl_dp_keepk.cpp.o"
+  "CMakeFiles/bench_abl_dp_keepk.dir/bench_abl_dp_keepk.cpp.o.d"
+  "bench_abl_dp_keepk"
+  "bench_abl_dp_keepk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_dp_keepk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

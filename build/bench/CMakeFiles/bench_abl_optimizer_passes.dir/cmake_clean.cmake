@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_optimizer_passes.dir/bench_abl_optimizer_passes.cpp.o"
+  "CMakeFiles/bench_abl_optimizer_passes.dir/bench_abl_optimizer_passes.cpp.o.d"
+  "bench_abl_optimizer_passes"
+  "bench_abl_optimizer_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_optimizer_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_vm_vs_native.dir/bench_abl_vm_vs_native.cpp.o"
+  "CMakeFiles/bench_abl_vm_vs_native.dir/bench_abl_vm_vs_native.cpp.o.d"
+  "bench_abl_vm_vs_native"
+  "bench_abl_vm_vs_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_vm_vs_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

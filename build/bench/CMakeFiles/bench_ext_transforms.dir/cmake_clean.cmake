@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_transforms.dir/bench_ext_transforms.cpp.o"
+  "CMakeFiles/bench_ext_transforms.dir/bench_ext_transforms.cpp.o.d"
+  "bench_ext_transforms"
+  "bench_ext_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_search.dir/fft_search.cpp.o"
+  "CMakeFiles/fft_search.dir/fft_search.cpp.o.d"
+  "fft_search"
+  "fft_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wht_dct.dir/wht_dct.cpp.o"
+  "CMakeFiles/wht_dct.dir/wht_dct.cpp.o.d"
+  "wht_dct"
+  "wht_dct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wht_dct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

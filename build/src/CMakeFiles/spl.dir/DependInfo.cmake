@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/Codelets.cpp" "src/CMakeFiles/spl.dir/baseline/Codelets.cpp.o" "gcc" "src/CMakeFiles/spl.dir/baseline/Codelets.cpp.o.d"
+  "/root/repo/src/baseline/Kernels.cpp" "src/CMakeFiles/spl.dir/baseline/Kernels.cpp.o" "gcc" "src/CMakeFiles/spl.dir/baseline/Kernels.cpp.o.d"
+  "/root/repo/src/baseline/Planner.cpp" "src/CMakeFiles/spl.dir/baseline/Planner.cpp.o" "gcc" "src/CMakeFiles/spl.dir/baseline/Planner.cpp.o.d"
+  "/root/repo/src/codegen/CEmitter.cpp" "src/CMakeFiles/spl.dir/codegen/CEmitter.cpp.o" "gcc" "src/CMakeFiles/spl.dir/codegen/CEmitter.cpp.o.d"
+  "/root/repo/src/codegen/FortranEmitter.cpp" "src/CMakeFiles/spl.dir/codegen/FortranEmitter.cpp.o" "gcc" "src/CMakeFiles/spl.dir/codegen/FortranEmitter.cpp.o.d"
+  "/root/repo/src/driver/Compiler.cpp" "src/CMakeFiles/spl.dir/driver/Compiler.cpp.o" "gcc" "src/CMakeFiles/spl.dir/driver/Compiler.cpp.o.d"
+  "/root/repo/src/frontend/Lexer.cpp" "src/CMakeFiles/spl.dir/frontend/Lexer.cpp.o" "gcc" "src/CMakeFiles/spl.dir/frontend/Lexer.cpp.o.d"
+  "/root/repo/src/frontend/Parser.cpp" "src/CMakeFiles/spl.dir/frontend/Parser.cpp.o" "gcc" "src/CMakeFiles/spl.dir/frontend/Parser.cpp.o.d"
+  "/root/repo/src/frontend/ScalarExpr.cpp" "src/CMakeFiles/spl.dir/frontend/ScalarExpr.cpp.o" "gcc" "src/CMakeFiles/spl.dir/frontend/ScalarExpr.cpp.o.d"
+  "/root/repo/src/gen/Enumerate.cpp" "src/CMakeFiles/spl.dir/gen/Enumerate.cpp.o" "gcc" "src/CMakeFiles/spl.dir/gen/Enumerate.cpp.o.d"
+  "/root/repo/src/gen/Rules.cpp" "src/CMakeFiles/spl.dir/gen/Rules.cpp.o" "gcc" "src/CMakeFiles/spl.dir/gen/Rules.cpp.o.d"
+  "/root/repo/src/icode/ICode.cpp" "src/CMakeFiles/spl.dir/icode/ICode.cpp.o" "gcc" "src/CMakeFiles/spl.dir/icode/ICode.cpp.o.d"
+  "/root/repo/src/icode/Intrinsics.cpp" "src/CMakeFiles/spl.dir/icode/Intrinsics.cpp.o" "gcc" "src/CMakeFiles/spl.dir/icode/Intrinsics.cpp.o.d"
+  "/root/repo/src/icode/Printer.cpp" "src/CMakeFiles/spl.dir/icode/Printer.cpp.o" "gcc" "src/CMakeFiles/spl.dir/icode/Printer.cpp.o.d"
+  "/root/repo/src/ir/Builder.cpp" "src/CMakeFiles/spl.dir/ir/Builder.cpp.o" "gcc" "src/CMakeFiles/spl.dir/ir/Builder.cpp.o.d"
+  "/root/repo/src/ir/Formula.cpp" "src/CMakeFiles/spl.dir/ir/Formula.cpp.o" "gcc" "src/CMakeFiles/spl.dir/ir/Formula.cpp.o.d"
+  "/root/repo/src/ir/Matrix.cpp" "src/CMakeFiles/spl.dir/ir/Matrix.cpp.o" "gcc" "src/CMakeFiles/spl.dir/ir/Matrix.cpp.o.d"
+  "/root/repo/src/ir/Transforms.cpp" "src/CMakeFiles/spl.dir/ir/Transforms.cpp.o" "gcc" "src/CMakeFiles/spl.dir/ir/Transforms.cpp.o.d"
+  "/root/repo/src/lower/Expander.cpp" "src/CMakeFiles/spl.dir/lower/Expander.cpp.o" "gcc" "src/CMakeFiles/spl.dir/lower/Expander.cpp.o.d"
+  "/root/repo/src/opt/DCE.cpp" "src/CMakeFiles/spl.dir/opt/DCE.cpp.o" "gcc" "src/CMakeFiles/spl.dir/opt/DCE.cpp.o.d"
+  "/root/repo/src/opt/Peephole.cpp" "src/CMakeFiles/spl.dir/opt/Peephole.cpp.o" "gcc" "src/CMakeFiles/spl.dir/opt/Peephole.cpp.o.d"
+  "/root/repo/src/opt/Pipeline.cpp" "src/CMakeFiles/spl.dir/opt/Pipeline.cpp.o" "gcc" "src/CMakeFiles/spl.dir/opt/Pipeline.cpp.o.d"
+  "/root/repo/src/opt/ValueNumbering.cpp" "src/CMakeFiles/spl.dir/opt/ValueNumbering.cpp.o" "gcc" "src/CMakeFiles/spl.dir/opt/ValueNumbering.cpp.o.d"
+  "/root/repo/src/perf/Accuracy.cpp" "src/CMakeFiles/spl.dir/perf/Accuracy.cpp.o" "gcc" "src/CMakeFiles/spl.dir/perf/Accuracy.cpp.o.d"
+  "/root/repo/src/perf/KernelRunner.cpp" "src/CMakeFiles/spl.dir/perf/KernelRunner.cpp.o" "gcc" "src/CMakeFiles/spl.dir/perf/KernelRunner.cpp.o.d"
+  "/root/repo/src/perf/MemoryModel.cpp" "src/CMakeFiles/spl.dir/perf/MemoryModel.cpp.o" "gcc" "src/CMakeFiles/spl.dir/perf/MemoryModel.cpp.o.d"
+  "/root/repo/src/perf/Metrics.cpp" "src/CMakeFiles/spl.dir/perf/Metrics.cpp.o" "gcc" "src/CMakeFiles/spl.dir/perf/Metrics.cpp.o.d"
+  "/root/repo/src/perf/NativeCompile.cpp" "src/CMakeFiles/spl.dir/perf/NativeCompile.cpp.o" "gcc" "src/CMakeFiles/spl.dir/perf/NativeCompile.cpp.o.d"
+  "/root/repo/src/search/DPSearch.cpp" "src/CMakeFiles/spl.dir/search/DPSearch.cpp.o" "gcc" "src/CMakeFiles/spl.dir/search/DPSearch.cpp.o.d"
+  "/root/repo/src/search/Evaluator.cpp" "src/CMakeFiles/spl.dir/search/Evaluator.cpp.o" "gcc" "src/CMakeFiles/spl.dir/search/Evaluator.cpp.o.d"
+  "/root/repo/src/support/Diagnostics.cpp" "src/CMakeFiles/spl.dir/support/Diagnostics.cpp.o" "gcc" "src/CMakeFiles/spl.dir/support/Diagnostics.cpp.o.d"
+  "/root/repo/src/support/HostInfo.cpp" "src/CMakeFiles/spl.dir/support/HostInfo.cpp.o" "gcc" "src/CMakeFiles/spl.dir/support/HostInfo.cpp.o.d"
+  "/root/repo/src/support/StrUtil.cpp" "src/CMakeFiles/spl.dir/support/StrUtil.cpp.o" "gcc" "src/CMakeFiles/spl.dir/support/StrUtil.cpp.o.d"
+  "/root/repo/src/support/Timer.cpp" "src/CMakeFiles/spl.dir/support/Timer.cpp.o" "gcc" "src/CMakeFiles/spl.dir/support/Timer.cpp.o.d"
+  "/root/repo/src/templates/Builtins.cpp" "src/CMakeFiles/spl.dir/templates/Builtins.cpp.o" "gcc" "src/CMakeFiles/spl.dir/templates/Builtins.cpp.o.d"
+  "/root/repo/src/templates/Condition.cpp" "src/CMakeFiles/spl.dir/templates/Condition.cpp.o" "gcc" "src/CMakeFiles/spl.dir/templates/Condition.cpp.o.d"
+  "/root/repo/src/templates/Matcher.cpp" "src/CMakeFiles/spl.dir/templates/Matcher.cpp.o" "gcc" "src/CMakeFiles/spl.dir/templates/Matcher.cpp.o.d"
+  "/root/repo/src/templates/Registry.cpp" "src/CMakeFiles/spl.dir/templates/Registry.cpp.o" "gcc" "src/CMakeFiles/spl.dir/templates/Registry.cpp.o.d"
+  "/root/repo/src/vm/Executor.cpp" "src/CMakeFiles/spl.dir/vm/Executor.cpp.o" "gcc" "src/CMakeFiles/spl.dir/vm/Executor.cpp.o.d"
+  "/root/repo/src/xform/Complex2Real.cpp" "src/CMakeFiles/spl.dir/xform/Complex2Real.cpp.o" "gcc" "src/CMakeFiles/spl.dir/xform/Complex2Real.cpp.o.d"
+  "/root/repo/src/xform/IntrinEval.cpp" "src/CMakeFiles/spl.dir/xform/IntrinEval.cpp.o" "gcc" "src/CMakeFiles/spl.dir/xform/IntrinEval.cpp.o.d"
+  "/root/repo/src/xform/Scalarize.cpp" "src/CMakeFiles/spl.dir/xform/Scalarize.cpp.o" "gcc" "src/CMakeFiles/spl.dir/xform/Scalarize.cpp.o.d"
+  "/root/repo/src/xform/Unroll.cpp" "src/CMakeFiles/spl.dir/xform/Unroll.cpp.o" "gcc" "src/CMakeFiles/spl.dir/xform/Unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_test.dir/FrontendTest.cpp.o"
+  "CMakeFiles/frontend_test.dir/FrontendTest.cpp.o.d"
+  "frontend_test"
+  "frontend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icode_test.dir/ICodeTest.cpp.o"
+  "CMakeFiles/icode_test.dir/ICodeTest.cpp.o.d"
+  "icode_test"
+  "icode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splc.dir/splc.cpp.o"
+  "CMakeFiles/splc.dir/splc.cpp.o.d"
+  "splc"
+  "splc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
