@@ -43,12 +43,12 @@ bool NativeModule::available() {
 #if !defined(SPL_HAVE_DLOPEN)
   return false;
 #else
-  static int Cached = -1;
-  if (Cached < 0) {
+  // Initialized exactly once even when parallel search workers race here.
+  static const bool Cached = [] {
     std::string Cmd = ccCommand() + " --version > /dev/null 2>&1";
-    Cached = std::system(Cmd.c_str()) == 0 ? 1 : 0;
-  }
-  return Cached == 1;
+    return std::system(Cmd.c_str()) == 0;
+  }();
+  return Cached;
 #endif
 }
 

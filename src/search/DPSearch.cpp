@@ -6,6 +6,7 @@
 
 #include "search/DPSearch.h"
 
+#include "frontend/Parser.h"
 #include "gen/Enumerate.h"
 #include "gen/Rules.h"
 #include "ir/Builder.h"
@@ -15,10 +16,91 @@
 using namespace spl;
 using namespace spl::search;
 
+PlanKey DPSearch::wisdomKey(std::int64_t N) const {
+  PlanKey K;
+  // The search-space shape (leaf bound, keep-k, variant rules) changes what
+  // the winner can be, so it is folded into the transform token.
+  K.Transform = Opts.Transform + "-L" + std::to_string(Opts.MaxLeaf) + "-k" +
+                std::to_string(Opts.KeepBest) + (Opts.UseVariants ? "-v" : "");
+  K.Size = N;
+  K.Datatype = Eval.datatype();
+  K.UnrollThreshold = Eval.options().UnrollThreshold;
+  K.Evaluator = Eval.kindName();
+  K.Host = PlanCache::hostFingerprint();
+  return K;
+}
+
+std::vector<std::optional<double>>
+DPSearch::costAll(const std::vector<FormulaRef> &Cands) {
+  std::vector<std::optional<double>> Costs(Cands.size());
+  if (Opts.Threads > 1 && Cands.size() > 1) {
+    if (!Pool)
+      Pool = std::make_unique<ThreadPool>(static_cast<unsigned>(Opts.Threads));
+    parallelFor(*Pool, Cands.size(),
+                [&](size_t I) { Costs[I] = Eval.cost(Cands[I]); });
+  } else {
+    for (size_t I = 0; I != Cands.size(); ++I)
+      Costs[I] = Eval.cost(Cands[I]);
+  }
+  return Costs;
+}
+
+std::optional<Candidate> DPSearch::parseWisdomEntry(const PlanEntry &E,
+                                                    std::int64_t N) {
+  // Parse with a private engine: a stale entry must degrade to a cache miss,
+  // not poison the caller's diagnostics with errors.
+  Diagnostics ParseDiags;
+  FormulaRef F = parseFormulaString(E.FormulaText, ParseDiags);
+  if (!F || ParseDiags.hasErrors() || F->isPattern() || F->inSize() != N ||
+      F->outSize() != N) {
+    Diags.warning(SourceLoc(),
+                  "wisdom entry for size " + std::to_string(N) +
+                      " does not parse back to a size-" + std::to_string(N) +
+                      " formula; ignoring it");
+    return std::nullopt;
+  }
+  return Candidate{F, E.Cost};
+}
+
+std::optional<std::vector<Candidate>>
+DPSearch::entriesFromWisdom(std::int64_t N) {
+  if (!Wisdom)
+    return std::nullopt;
+  auto Cached = Wisdom->lookup(wisdomKey(N));
+  if (!Cached)
+    return std::nullopt;
+  std::vector<Candidate> Out;
+  for (const PlanEntry &E : *Cached) {
+    auto C = parseWisdomEntry(E, N);
+    if (!C)
+      return std::nullopt; // One bad entry invalidates the whole list.
+    Out.push_back(std::move(*C));
+  }
+  if (Out.empty())
+    return std::nullopt;
+  return Out;
+}
+
+void DPSearch::recordWisdom(std::int64_t N,
+                            const std::vector<Candidate> &Entries) {
+  if (!Wisdom || Entries.empty())
+    return;
+  std::vector<PlanEntry> Out;
+  Out.reserve(Entries.size());
+  for (const Candidate &C : Entries)
+    Out.push_back({C.Formula->print(), C.Cost});
+  Wisdom->insert(wisdomKey(N), std::move(Out));
+}
+
 std::optional<Candidate> DPSearch::searchSmallOne(std::int64_t N) {
   auto Hit = SmallBest.find(N);
   if (Hit != SmallBest.end())
     return Hit->second;
+
+  if (auto Cached = entriesFromWisdom(N)) {
+    SmallBest[N] = Cached->front();
+    return Cached->front();
+  }
 
   std::vector<FormulaRef> Cands;
   if (N == 2) {
@@ -62,13 +144,16 @@ std::optional<Candidate> DPSearch::searchSmallOne(std::int64_t N) {
       Cands.push_back(makeDFT(N));
   }
 
+  // Cost every candidate (in parallel when configured), then pick the
+  // winner with a first-minimum scan — identical to the serial loop's
+  // choice for any thread count.
+  auto Costs = costAll(Cands);
   std::optional<Candidate> Best;
-  for (const FormulaRef &F : Cands) {
-    auto Cost = Eval.cost(F);
-    if (!Cost)
+  for (size_t I = 0; I != Cands.size(); ++I) {
+    if (!Costs[I])
       continue;
-    if (!Best || *Cost < Best->Cost)
-      Best = Candidate{F, *Cost};
+    if (!Best || *Costs[I] < Best->Cost)
+      Best = Candidate{Cands[I], *Costs[I]};
   }
   if (!Best) {
     Diags.error(SourceLoc(), "search found no viable formula for size " +
@@ -76,6 +161,7 @@ std::optional<Candidate> DPSearch::searchSmallOne(std::int64_t N) {
     return std::nullopt;
   }
   SmallBest[N] = *Best;
+  recordWisdom(N, {*Best});
   return Best;
 }
 
@@ -100,30 +186,38 @@ const std::vector<Candidate> &DPSearch::largeEntries(std::int64_t N) {
   if (N <= Opts.MaxLeaf) {
     if (auto Small = searchSmallOne(N))
       Entries.push_back(*Small);
+  } else if (auto Cached = entriesFromWisdom(N)) {
+    Entries = std::move(*Cached);
   } else {
     // Right-most binary factorization: F_N = (F_r (x) I_s) T (I_r (x) F_s)
     // L with r <= MaxLeaf a straight-line module and s factored further.
-    std::vector<Candidate> Cands;
+    // Building the candidate set first (recursing into sub-sizes) and
+    // costing it as one batch keeps the recursion serial while the
+    // expensive evaluations fan out over the pool.
+    std::vector<FormulaRef> Cands;
     for (std::int64_t R = 2; R <= Opts.MaxLeaf && R * 2 <= N; R *= 2) {
       std::int64_t S = N / R;
       auto FR = searchSmallOne(R);
       if (!FR)
         continue;
-      for (const Candidate &FS : largeEntries(S)) {
-        FormulaRef F =
-            gen::ruleCooleyTukeyDIT(R, S, FR->Formula, FS.Formula);
-        auto Cost = Eval.cost(F);
-        if (Cost)
-          Cands.push_back({F, *Cost});
-      }
+      for (const Candidate &FS : largeEntries(S))
+        Cands.push_back(gen::ruleCooleyTukeyDIT(R, S, FR->Formula, FS.Formula));
     }
-    std::sort(Cands.begin(), Cands.end(),
-              [](const Candidate &A, const Candidate &B) {
-                return A.Cost < B.Cost;
-              });
-    if (Cands.size() > static_cast<size_t>(Opts.KeepBest))
-      Cands.resize(Opts.KeepBest);
-    Entries = std::move(Cands);
+    auto Costs = costAll(Cands);
+    std::vector<Candidate> Costed;
+    for (size_t I = 0; I != Cands.size(); ++I)
+      if (Costs[I])
+        Costed.push_back({Cands[I], *Costs[I]});
+    // stable_sort: candidates with equal costs keep construction order, so
+    // the kept set is identical for every thread count.
+    std::stable_sort(Costed.begin(), Costed.end(),
+                     [](const Candidate &A, const Candidate &B) {
+                       return A.Cost < B.Cost;
+                     });
+    if (Costed.size() > static_cast<size_t>(Opts.KeepBest))
+      Costed.resize(Opts.KeepBest);
+    Entries = std::move(Costed);
+    recordWisdom(N, Entries);
   }
 
   if (Entries.empty())

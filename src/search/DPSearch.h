@@ -13,14 +13,25 @@
 /// the best formula for one size is not necessarily the best sub-formula
 /// for a larger one.
 ///
+/// Two scalability additions over the paper's engine:
+///  * candidate evaluation fans out over a worker pool (SearchOptions::
+///    Threads) — candidates of one size are independent, and the winner is
+///    picked by a deterministic first-minimum scan, so any thread count
+///    returns exactly the serial result for deterministic evaluators;
+///  * results can be recorded in / served from a persistent PlanCache
+///    ("wisdom"), letting warm runs skip enumeration and timing entirely.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPL_SEARCH_DPSEARCH_H
 #define SPL_SEARCH_DPSEARCH_H
 
 #include "search/Evaluator.h"
+#include "search/PlanCache.h"
+#include "support/ThreadPool.h"
 
 #include <map>
+#include <memory>
 #include <vector>
 
 namespace spl {
@@ -37,6 +48,14 @@ struct SearchOptions {
   /// Include rule variants (DIF / parallel / vector splits) among the
   /// small-size candidates in addition to Equation 10.
   bool UseVariants = false;
+
+  /// Worker threads for candidate evaluation (1: serial). Timed evaluators
+  /// still serialize the measurement itself; with them, extra threads
+  /// overlap candidate compilation with timing.
+  int Threads = 1;
+
+  /// Transform family name used in wisdom cache keys.
+  std::string Transform = "fft";
 };
 
 /// One search result.
@@ -49,8 +68,11 @@ struct Candidate {
 class DPSearch {
 public:
   DPSearch(Evaluator &Eval, Diagnostics &Diags,
-           SearchOptions Opts = SearchOptions())
-      : Eval(Eval), Diags(Diags), Opts(Opts) {}
+           SearchOptions Opts = SearchOptions(), PlanCache *Wisdom = nullptr)
+      : Eval(Eval), Diags(Diags), Opts(Opts), Wisdom(Wisdom) {}
+
+  /// Attaches (or detaches, with null) a persistent plan cache.
+  void setWisdom(PlanCache *W) { Wisdom = W; }
 
   /// Exhaustively searches sizes 2,4,...,MaxN (powers of two, MaxN <=
   /// MaxLeaf) and returns the winner per size. Results are cached for use
@@ -69,16 +91,35 @@ public:
   /// two (the right-most binary strategy).
   std::optional<Candidate> best(std::int64_t N);
 
+  /// The wisdom key this search uses for size \p N (exposed for tests and
+  /// tools that want to inspect or pre-seed the cache).
+  PlanKey wisdomKey(std::int64_t N) const;
+
 private:
   Evaluator &Eval;
   Diagnostics &Diags;
   SearchOptions Opts;
+  PlanCache *Wisdom = nullptr;
+  std::unique_ptr<ThreadPool> Pool; ///< Created on first parallel batch.
 
   std::map<std::int64_t, Candidate> SmallBest;
   std::map<std::int64_t, std::vector<Candidate>> LargeBest;
 
   std::optional<Candidate> searchSmallOne(std::int64_t N);
   const std::vector<Candidate> &largeEntries(std::int64_t N);
+
+  /// Costs every candidate, fanning out over the pool when configured.
+  /// Result i corresponds to Cands[i]; nullopt where evaluation failed.
+  std::vector<std::optional<double>> costAll(const std::vector<FormulaRef> &Cands);
+
+  /// Parses a wisdom entry back into a candidate; warns and returns nullopt
+  /// when the recorded text does not round-trip to a size-N formula.
+  std::optional<Candidate> parseWisdomEntry(const PlanEntry &E, std::int64_t N);
+
+  /// Cached keep-best list for size \p N, if wisdom holds a usable one.
+  std::optional<std::vector<Candidate>> entriesFromWisdom(std::int64_t N);
+
+  void recordWisdom(std::int64_t N, const std::vector<Candidate> &Entries);
 };
 
 } // namespace search

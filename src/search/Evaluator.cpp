@@ -34,9 +34,16 @@ std::optional<Compiled> Evaluator::compile(const FormulaRef &F) {
 }
 
 std::optional<double> Evaluator::cost(const FormulaRef &F) {
+  NumEvals.fetch_add(1, std::memory_order_relaxed);
   auto C = compile(F);
   if (!C)
     return std::nullopt;
+  if (!isTimed())
+    return costCompiled(*C);
+  // Native compilation inside NativeTimeEvaluator::costCompiled is also
+  // serialized here; that is deliberate — cc processes competing for cores
+  // would perturb the measurement of whoever is currently timing.
+  std::lock_guard<std::mutex> Lock(TimingMutex);
   return costCompiled(*C);
 }
 

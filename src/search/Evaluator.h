@@ -19,7 +19,10 @@
 
 #include "driver/Compiler.h"
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 
 namespace spl {
@@ -32,6 +35,11 @@ struct Compiled {
 };
 
 /// Base class: compiles candidates and assigns costs (lower is better).
+///
+/// cost() is safe to call from several search workers at once: candidate
+/// compilation runs fully concurrently, while timed evaluators serialize
+/// their measurements behind a mutex so concurrent workers never distort
+/// each other's wall-clock readings.
 class Evaluator {
 public:
   Evaluator(Diagnostics &Diags, driver::CompilerOptions CompOpts)
@@ -48,6 +56,19 @@ public:
 
   /// Sets the #datatype used for candidate compilation ("complex"|"real").
   void setDatatype(std::string D) { Datatype = std::move(D); }
+  const std::string &datatype() const { return Datatype; }
+
+  /// Short cost-model name used as a wisdom cache key component
+  /// ("opcount" | "vmtime" | "nativetime").
+  virtual const char *kindName() const = 0;
+
+  /// True when costs come from wall-clock measurement. Timed evaluations
+  /// are serialized so parallel searches keep clean measurements.
+  virtual bool isTimed() const { return false; }
+
+  /// Number of candidate evaluations performed (compilation + costing).
+  /// A warm wisdom run reports 0 for cached sizes.
+  std::uint64_t evaluations() const { return NumEvals.load(); }
 
   driver::CompilerOptions &options() { return CompOpts; }
 
@@ -58,12 +79,18 @@ protected:
   Diagnostics &Diags;
   driver::CompilerOptions CompOpts;
   std::string Datatype = "complex";
+
+private:
+  std::mutex TimingMutex;
+  std::atomic<std::uint64_t> NumEvals{0};
 };
 
 /// Cost = dynamic floating-point operation count (a machine model).
 class OpCountEvaluator : public Evaluator {
 public:
   using Evaluator::Evaluator;
+
+  const char *kindName() const override { return "opcount"; }
 
 protected:
   std::optional<double> costCompiled(const Compiled &C) override;
@@ -75,6 +102,9 @@ public:
   VMTimeEvaluator(Diagnostics &Diags, driver::CompilerOptions CompOpts,
                   int Repeats = 3)
       : Evaluator(Diags, std::move(CompOpts)), Repeats(Repeats) {}
+
+  const char *kindName() const override { return "vmtime"; }
+  bool isTimed() const override { return true; }
 
 protected:
   std::optional<double> costCompiled(const Compiled &C) override;
@@ -93,6 +123,9 @@ public:
 
   /// True when native compilation works on this machine.
   static bool available();
+
+  const char *kindName() const override { return "nativetime"; }
+  bool isTimed() const override { return true; }
 
 protected:
   std::optional<double> costCompiled(const Compiled &C) override;

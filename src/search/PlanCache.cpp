@@ -1,0 +1,234 @@
+//===- search/PlanCache.cpp - Persistent plan cache ("wisdom") ----------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/PlanCache.h"
+
+#include "support/HostInfo.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace spl;
+using namespace spl::search;
+
+namespace {
+
+constexpr const char *VersionHeader = "spl-wisdom v1";
+
+/// FNV-1a 64-bit, rendered as 16 hex digits (a stable, compiler-independent
+/// hash — std::hash would tie the fingerprint to the standard library).
+std::string fnv1aHex(const std::string &S) {
+  std::uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(H));
+  return Buf;
+}
+
+std::string formatCost(double Cost) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", Cost);
+  return Buf;
+}
+
+} // namespace
+
+std::string PlanKey::str() const {
+  std::ostringstream SS;
+  SS << Transform << ' ' << Size << ' ' << Datatype << " B" << UnrollThreshold
+     << ' ' << Evaluator << ' ' << Host;
+  return SS.str();
+}
+
+const std::string &PlanCache::hostFingerprint() {
+  static const std::string FP = [] {
+    HostInfo Info = HostInfo::detect();
+    return fnv1aHex(Info.CpuModel + "|" + Info.OSName + "|" + Info.Compiler);
+  }();
+  return FP;
+}
+
+std::string PlanCache::defaultPath() {
+  if (const char *Env = std::getenv("SPL_WISDOM"))
+    if (*Env)
+      return Env;
+  if (const char *Home = std::getenv("HOME"))
+    if (*Home)
+      return std::string(Home) + "/.spl_wisdom";
+  return ".spl_wisdom";
+}
+
+bool PlanCache::loadLocked(
+    const std::string &Path,
+    std::map<std::string, std::vector<PlanEntry>> &Into,
+    bool CountStats) const {
+  std::ifstream In(Path);
+  if (!In)
+    return true; // Missing wisdom is a cold start, not an error.
+
+  std::string Line;
+  if (!std::getline(In, Line) || Line != VersionHeader) {
+    Diags.warning(SourceLoc(), "wisdom file '" + Path +
+                                   "' has an unrecognized version header; "
+                                   "ignoring it");
+    return false;
+  }
+
+  unsigned LineNo = 1;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+
+    auto Reject = [&](const char *Why) {
+      if (CountStats)
+        ++S.Skipped;
+      Diags.warning(SourceLoc(), "wisdom file '" + Path + "' line " +
+                                     std::to_string(LineNo) + ": " + Why +
+                                     "; skipping entry");
+    };
+
+    std::istringstream SS(Line);
+    std::string Tag, Transform, Datatype, Unroll, Evaluator, Host, Sep;
+    std::int64_t Size = 0;
+    int Index = 0;
+    double Cost = 0;
+    if (!(SS >> Tag) || Tag != "plan") {
+      Reject("expected a 'plan' record");
+      continue;
+    }
+    if (!(SS >> Transform >> Size >> Datatype >> Unroll >> Evaluator >> Host >>
+          Index >> Cost >> Sep) ||
+        Sep != "|") {
+      Reject("malformed plan fields");
+      continue;
+    }
+    if (Size < 2 || Unroll.size() < 2 || Unroll[0] != 'B' || Index < 0 ||
+        Index >= 64 || !(Cost >= 0)) {
+      Reject("plan fields out of range");
+      continue;
+    }
+    std::string Formula;
+    std::getline(SS, Formula);
+    if (!Formula.empty() && Formula.front() == ' ')
+      Formula.erase(0, 1);
+    if (Formula.empty()) {
+      Reject("empty formula text");
+      continue;
+    }
+
+    std::string Key = Transform + ' ' + std::to_string(Size) + ' ' + Datatype +
+                      ' ' + Unroll + ' ' + Evaluator + ' ' + Host;
+    auto &Entries = Into[Key];
+    if (Entries.size() <= static_cast<size_t>(Index))
+      Entries.resize(Index + 1);
+    Entries[static_cast<size_t>(Index)] = {Formula, Cost};
+    if (CountStats)
+      ++S.Loaded;
+  }
+  return true;
+}
+
+bool PlanCache::load(const std::string &Path) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::map<std::string, std::vector<PlanEntry>> Incoming;
+  if (!loadLocked(Path, Incoming, /*CountStats=*/true))
+    return false;
+  // Incoming entries fill gaps; entries already in memory win.
+  for (auto &[Key, Entries] : Incoming)
+    Plans.emplace(Key, std::move(Entries));
+  return true;
+}
+
+bool PlanCache::save(const std::string &Path) const {
+  std::lock_guard<std::mutex> Lock(M);
+
+  // Merge-on-save: what is on disk survives unless we hold the same key.
+  std::map<std::string, std::vector<PlanEntry>> Merged;
+  // Corrupt/alien files simply contribute nothing; their lines were already
+  // counted (if at all) by an explicit load(), so keep stats untouched here.
+  loadLocked(Path, Merged, /*CountStats=*/false);
+  for (const auto &[Key, Entries] : Plans)
+    Merged[Key] = Entries;
+
+  std::string TmpPath = Path + ".tmp";
+  {
+    std::ofstream Out(TmpPath, std::ios::trunc);
+    if (!Out) {
+      Diags.warning(SourceLoc(), "cannot write wisdom file '" + Path + "'");
+      return false;
+    }
+    Out << VersionHeader << '\n';
+    for (const auto &[Key, Entries] : Merged)
+      for (size_t I = 0; I != Entries.size(); ++I) {
+        if (Entries[I].FormulaText.empty())
+          continue; // A gap left by a sparse/duplicated index on load.
+        Out << "plan " << Key << ' ' << I << ' '
+            << formatCost(Entries[I].Cost) << " | " << Entries[I].FormulaText
+            << '\n';
+      }
+    if (!Out.good()) {
+      Diags.warning(SourceLoc(), "error writing wisdom file '" + Path + "'");
+      return false;
+    }
+  }
+  if (std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
+    Diags.warning(SourceLoc(), "cannot replace wisdom file '" + Path + "'");
+    std::remove(TmpPath.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<PlanEntry>> PlanCache::lookup(const PlanKey &K) const {
+  std::lock_guard<std::mutex> Lock(M);
+  auto Hit = Plans.find(K.str());
+  if (Hit == Plans.end() || Hit->second.empty()) {
+    ++S.Misses;
+    return std::nullopt;
+  }
+  ++S.Hits;
+  return Hit->second;
+}
+
+void PlanCache::insert(const PlanKey &K, std::vector<PlanEntry> Entries) {
+  std::lock_guard<std::mutex> Lock(M);
+  ++S.Inserts;
+  Plans[K.str()] = std::move(Entries);
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Plans.size();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return S;
+}
+
+std::string PlanCache::summary() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::ostringstream SS;
+  SS << "wisdom: " << S.Hits << " hit" << (S.Hits == 1 ? "" : "s") << ", "
+     << S.Misses << " miss" << (S.Misses == 1 ? "" : "es") << ", "
+     << Plans.size() << " plan key" << (Plans.size() == 1 ? "" : "s")
+     << " held";
+  if (S.Skipped)
+    SS << ", " << S.Skipped << " corrupt line"
+       << (S.Skipped == 1 ? "" : "s") << " skipped";
+  return SS.str();
+}
+
+void PlanCache::reportSummary() const {
+  Diags.note(SourceLoc(), summary());
+}

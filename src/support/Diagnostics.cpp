@@ -28,19 +28,23 @@ std::string Diagnostic::str() const {
 }
 
 void Diagnostics::error(SourceLoc Loc, std::string Message) {
+  std::lock_guard<std::mutex> Lock(M);
   Messages.push_back({DiagKind::Error, Loc, std::move(Message)});
   ++NumErrors;
 }
 
 void Diagnostics::warning(SourceLoc Loc, std::string Message) {
+  std::lock_guard<std::mutex> Lock(M);
   Messages.push_back({DiagKind::Warning, Loc, std::move(Message)});
 }
 
 void Diagnostics::note(SourceLoc Loc, std::string Message) {
+  std::lock_guard<std::mutex> Lock(M);
   Messages.push_back({DiagKind::Note, Loc, std::move(Message)});
 }
 
 std::string Diagnostics::dump() const {
+  std::lock_guard<std::mutex> Lock(M);
   std::string Out;
   for (const Diagnostic &D : Messages) {
     Out += D.str();
@@ -50,6 +54,7 @@ std::string Diagnostics::dump() const {
 }
 
 void Diagnostics::clear() {
+  std::lock_guard<std::mutex> Lock(M);
   Messages.clear();
   NumErrors = 0;
 }

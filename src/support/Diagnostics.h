@@ -16,6 +16,8 @@
 
 #include "support/SourceLoc.h"
 
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -38,14 +40,18 @@ struct Diagnostic {
 ///
 /// Messages follow the convention of starting with a lowercase letter and
 /// carrying no trailing period.
+///
+/// Reporting is thread-safe (the parallel search evaluates candidates on
+/// worker threads that share one engine); all() hands out a reference, so
+/// only call it once concurrent reporting has quiesced.
 class Diagnostics {
 public:
   void error(SourceLoc Loc, std::string Message);
   void warning(SourceLoc Loc, std::string Message);
   void note(SourceLoc Loc, std::string Message);
 
-  bool hasErrors() const { return NumErrors != 0; }
-  unsigned errorCount() const { return NumErrors; }
+  bool hasErrors() const { return NumErrors.load() != 0; }
+  unsigned errorCount() const { return NumErrors.load(); }
   const std::vector<Diagnostic> &all() const { return Messages; }
 
   /// Returns every collected message joined by newlines (handy in tests and
@@ -56,8 +62,9 @@ public:
   void clear();
 
 private:
+  mutable std::mutex M;
   std::vector<Diagnostic> Messages;
-  unsigned NumErrors = 0;
+  std::atomic<unsigned> NumErrors{0};
 };
 
 } // namespace spl

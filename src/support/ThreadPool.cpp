@@ -1,0 +1,73 @@
+//===- support/ThreadPool.cpp - Simple worker pool ----------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace spl;
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads < 1)
+    Threads = 1;
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I != Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    Stopping = true;
+  }
+  JobReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::run(std::function<void()> Job) {
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    Jobs.push_back(std::move(Job));
+    ++InFlight;
+  }
+  JobReady.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(M);
+  AllDone.wait(Lock, [this] { return InFlight == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      JobReady.wait(Lock, [this] { return Stopping || !Jobs.empty(); });
+      if (Jobs.empty())
+        return; // Stopping and drained.
+      Job = std::move(Jobs.front());
+      Jobs.pop_front();
+    }
+    Job();
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      if (--InFlight == 0)
+        AllDone.notify_all();
+    }
+  }
+}
+
+unsigned ThreadPool::defaultThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
+
+void spl::parallelFor(ThreadPool &Pool, size_t N,
+                      const std::function<void(size_t)> &Fn) {
+  for (size_t I = 0; I != N; ++I)
+    Pool.run([&Fn, I] { Fn(I); });
+  Pool.wait();
+}

@@ -1,0 +1,73 @@
+//===- support/ThreadPool.h - Simple worker pool ----------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size worker pool (std::thread + queue) used by the search
+/// engine to evaluate independent candidate formulas concurrently. Jobs are
+/// plain closures; wait() blocks until the queue drains so a caller can use
+/// the pool as a scoped parallel-for. Deliberately minimal: no futures, no
+/// work stealing — candidate evaluation is coarse-grained enough that a
+/// single locked deque never shows up in a profile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_SUPPORT_THREADPOOL_H
+#define SPL_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spl {
+
+/// A fixed set of worker threads consuming a FIFO job queue.
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers (minimum 1).
+  explicit ThreadPool(unsigned Threads);
+
+  /// Waits for queued jobs, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues one job. Jobs must not enqueue further jobs and then wait()
+  /// on the same pool (classic self-deadlock).
+  void run(std::function<void()> Job);
+
+  /// Blocks until every job enqueued so far has finished executing.
+  void wait();
+
+  unsigned threadCount() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// A sensible default worker count: hardware_concurrency, at least 1.
+  static unsigned defaultThreads();
+
+private:
+  void workerLoop();
+
+  std::mutex M;
+  std::condition_variable JobReady; ///< Signals workers: job or shutdown.
+  std::condition_variable AllDone;  ///< Signals wait(): queue drained.
+  std::deque<std::function<void()>> Jobs;
+  std::vector<std::thread> Workers;
+  size_t InFlight = 0; ///< Queued + currently executing jobs.
+  bool Stopping = false;
+};
+
+/// Runs Fn(0..N-1) across the pool and returns when all calls finished.
+/// Exceptions must not escape Fn (the project builds without exceptions).
+void parallelFor(ThreadPool &Pool, size_t N,
+                 const std::function<void(size_t)> &Fn);
+
+} // namespace spl
+
+#endif // SPL_SUPPORT_THREADPOOL_H

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Sanity-check fenced code blocks in the project's Markdown docs.
+
+Every fenced block in README.md and docs/*.md must have balanced
+(), [] and {} after comment text is stripped. This catches the usual
+documentation rot: a snippet edited by hand until its parentheses no
+longer close — fatal in a Cambridge Polish language.
+
+Comment syntax is chosen per fence info string:
+  lisp/spl   ';' to end of line
+  sh/shell   '#' to end of line
+  c/cpp      '//' to end of line
+  (none)     both ';' and '#' (grammar sketches, wisdom dumps, usage text)
+
+Exit status 0 when all blocks balance, 1 otherwise.
+"""
+
+import glob
+import os
+import sys
+
+BRACKETS = {")": "(", "]": "[", "}": "{"}
+OPENERS = set(BRACKETS.values())
+
+COMMENT_MARKERS = {
+    "lisp": [";"],
+    "spl": [";"],
+    "scheme": [";"],
+    "sh": ["#"],
+    "shell": ["#"],
+    "bash": ["#"],
+    "c": ["//"],
+    "cpp": ["//"],
+    "c++": ["//"],
+    "": [";", "#"],
+}
+
+
+def strip_comments(line, markers):
+    cut = len(line)
+    for m in markers:
+        pos = line.find(m)
+        if pos != -1:
+            cut = min(cut, pos)
+    return line[:cut]
+
+
+def check_block(lang, lines, path, start_line):
+    """Return a list of error strings for one fenced block."""
+    markers = COMMENT_MARKERS.get(lang, ["//"])
+    stack = []
+    errors = []
+    for off, raw in enumerate(lines):
+        line = strip_comments(raw, markers)
+        for ch in line:
+            if ch in OPENERS:
+                stack.append((ch, start_line + off))
+            elif ch in BRACKETS:
+                if not stack or stack[-1][0] != BRACKETS[ch]:
+                    errors.append(
+                        "%s:%d: unmatched '%s' in %s block"
+                        % (path, start_line + off, ch, lang or "plain")
+                    )
+                    return errors  # one report per block is enough
+                stack.pop()
+    for ch, ln in stack:
+        errors.append(
+            "%s:%d: unclosed '%s' in %s block" % (path, ln, ch, lang or "plain")
+        )
+    return errors
+
+
+def check_file(path):
+    errors = []
+    blocks = 0
+    in_block = False
+    lang = ""
+    block_lines = []
+    block_start = 0
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.rstrip("\n")
+            if line.strip().startswith("```"):
+                if not in_block:
+                    in_block = True
+                    lang = line.strip().lstrip("`").strip().lower()
+                    block_lines = []
+                    block_start = lineno + 1
+                else:
+                    in_block = False
+                    blocks += 1
+                    errors += check_block(lang, block_lines, path, block_start)
+                continue
+            if in_block:
+                block_lines.append(line)
+    if in_block:
+        errors.append("%s:%d: unterminated code fence" % (path, block_start))
+    return blocks, errors
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    paths = [os.path.join(root, "README.md")] + sorted(
+        glob.glob(os.path.join(root, "docs", "*.md"))
+    )
+    total_blocks = 0
+    all_errors = []
+    for path in paths:
+        if not os.path.exists(path):
+            continue
+        blocks, errors = check_file(path)
+        total_blocks += blocks
+        all_errors += errors
+    for e in all_errors:
+        print(e, file=sys.stderr)
+    print(
+        "check_docs: %d fenced blocks in %d files, %d errors"
+        % (total_blocks, len(paths), len(all_errors))
+    )
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

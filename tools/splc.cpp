@@ -6,28 +6,41 @@
 ///
 /// \file
 /// splc: compiles SPL programs to C or Fortran, mirroring the paper's
-/// command-line compiler (including the -B unrolling option).
+/// command-line compiler (including the -B unrolling option), plus a search
+/// mode that runs the Section-4 dynamic programming and emits the winner.
 ///
 ///   splc [options] [file.spl]        (no file or "-": read stdin)
-///     -o <file>      write generated code here (default: stdout)
-///     -B <n>         fully unroll sub-formulas with input size <= n
-///     -u <k>         partially unroll remaining loops by factor k
-///     -O0 -O1 -O2    optimization level: none / scalar temporaries /
-///                    default optimizations (default -O2)
-///     -l <lang>      override #language (c or fortran)
-///     --sparc        apply the SPARC-style peephole transformations
-///     --print-icode  also print the final i-code as a comment stream
-///     --stats        print per-subroutine statistics to stderr
+///     -o <file>          write generated code here (default: stdout)
+///     -B <n>             fully unroll sub-formulas with input size <= n
+///     -u <k>             partially unroll remaining loops by factor k
+///     -O0 -O1 -O2        optimization level: none / scalar temporaries /
+///                        default optimizations (default -O2)
+///     -l <lang>          override #language (c or fortran)
+///     --sparc            apply the SPARC-style peephole transformations
+///     --print-icode      also print the final i-code as a comment stream
+///     --stats            print per-subroutine statistics to stderr
+///
+///   Search mode (instead of an input file):
+///     --best-fft <n>     DP-search the FFT space for size n and emit the
+///                        winning subroutine
+///     --search-eval <e>  cost model: opcount (default) | vmtime | native
+///     --search-threads <t>  candidate-evaluation worker threads
+///     --search-leaf <n>  largest straight-line sub-transform (default 16)
+///     --wisdom <file>    persistent plan cache location
+///                        (default: $SPL_WISDOM or ~/.spl_wisdom)
+///     --no-wisdom        neither read nor write the plan cache
 ///
 //===----------------------------------------------------------------------===//
 
 #include "driver/Compiler.h"
+#include "search/DPSearch.h"
 #include "support/Diagnostics.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 using namespace spl;
@@ -38,7 +51,10 @@ void printUsage() {
   std::fprintf(stderr,
                "usage: splc [-o out] [-B n] [-u k] [-O0|-O1|-O2] "
                "[-l c|fortran] [--sparc] [--print-icode] [--stats] "
-               "[file.spl]\n");
+               "[file.spl]\n"
+               "       splc --best-fft n [--search-eval opcount|vmtime|native] "
+               "[--search-threads t] [--search-leaf n] "
+               "[--wisdom file] [--no-wisdom] [common options]\n");
 }
 
 } // namespace
@@ -49,6 +65,9 @@ int main(int Argc, char **Argv) {
   std::string OutputPath;
   bool PrintICode = false;
   bool Stats = false;
+  std::int64_t BestFFT = 0;
+  std::int64_t SearchLeaf = 16;
+  std::string SearchEval = "opcount";
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -78,6 +97,36 @@ int main(int Argc, char **Argv) {
       PrintICode = true;
     } else if (Arg == "--stats") {
       Stats = true;
+    } else if (Arg == "--best-fft" && I + 1 < Argc) {
+      BestFFT = std::atoll(Argv[++I]);
+      if (BestFFT < 2) {
+        std::fprintf(stderr, "splc: error: --best-fft size must be >= 2\n");
+        return 1;
+      }
+    } else if (Arg == "--search-eval" && I + 1 < Argc) {
+      SearchEval = Argv[++I];
+      if (SearchEval != "opcount" && SearchEval != "vmtime" &&
+          SearchEval != "native") {
+        std::fprintf(stderr, "splc: error: unknown cost model '%s'\n",
+                     SearchEval.c_str());
+        return 1;
+      }
+    } else if (Arg == "--search-threads" && I + 1 < Argc) {
+      Opts.SearchThreads = std::atoi(Argv[++I]);
+      if (Opts.SearchThreads < 1) {
+        std::fprintf(stderr, "splc: error: --search-threads must be >= 1\n");
+        return 1;
+      }
+    } else if (Arg == "--search-leaf" && I + 1 < Argc) {
+      SearchLeaf = std::atoll(Argv[++I]);
+      if (SearchLeaf < 2) {
+        std::fprintf(stderr, "splc: error: --search-leaf must be >= 2\n");
+        return 1;
+      }
+    } else if (Arg == "--wisdom" && I + 1 < Argc) {
+      Opts.WisdomPath = Argv[++I];
+    } else if (Arg == "--no-wisdom") {
+      Opts.UseWisdom = false;
     } else if (Arg == "-h" || Arg == "--help") {
       printUsage();
       return 0;
@@ -94,26 +143,98 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  std::string Source;
-  if (InputPath.empty() || InputPath == "-") {
-    std::ostringstream SS;
-    SS << std::cin.rdbuf();
-    Source = SS.str();
-  } else {
-    std::ifstream In(InputPath);
-    if (!In) {
-      std::fprintf(stderr, "splc: error: cannot open '%s'\n",
-                   InputPath.c_str());
-      return 1;
-    }
-    std::ostringstream SS;
-    SS << In.rdbuf();
-    Source = SS.str();
-  }
-
   Diagnostics Diags;
   driver::Compiler Compiler(Diags);
-  auto Units = Compiler.compileSource(Source, Opts);
+  std::optional<std::vector<driver::CompiledUnit>> Units;
+
+  if (BestFFT) {
+    if (!InputPath.empty()) {
+      std::fprintf(stderr,
+                   "splc: error: --best-fft does not take an input file\n");
+      return 1;
+    }
+    if (BestFFT > SearchLeaf && (BestFFT & (BestFFT - 1)) != 0) {
+      std::fprintf(stderr,
+                   "splc: error: sizes above --search-leaf must be powers "
+                   "of two\n");
+      return 1;
+    }
+
+    std::unique_ptr<search::Evaluator> Eval;
+    if (SearchEval == "vmtime") {
+      Eval = std::make_unique<search::VMTimeEvaluator>(Diags, Opts);
+    } else if (SearchEval == "native") {
+      if (!search::NativeTimeEvaluator::available()) {
+        std::fprintf(stderr,
+                     "splc: error: no working C compiler for --search-eval "
+                     "native\n");
+        return 1;
+      }
+      Eval = std::make_unique<search::NativeTimeEvaluator>(Diags, Opts);
+    } else {
+      Eval = std::make_unique<search::OpCountEvaluator>(Diags, Opts);
+    }
+
+    search::PlanCache Wisdom(Diags);
+    std::string WisdomPath =
+        Opts.WisdomPath.empty() ? search::PlanCache::defaultPath()
+                                : Opts.WisdomPath;
+    if (Opts.UseWisdom)
+      Wisdom.load(WisdomPath);
+
+    search::SearchOptions SOpts;
+    SOpts.MaxLeaf = SearchLeaf;
+    SOpts.Threads = Opts.SearchThreads;
+    search::DPSearch Search(*Eval, Diags, SOpts,
+                            Opts.UseWisdom ? &Wisdom : nullptr);
+    auto Best = Search.best(BestFFT);
+    if (!Best) {
+      std::fputs(Diags.dump().c_str(), stderr);
+      return 1;
+    }
+    if (Opts.UseWisdom)
+      Wisdom.save(WisdomPath);
+
+    DirectiveState Dirs;
+    Dirs.SubName = "fft" + std::to_string(BestFFT);
+    Dirs.Language =
+        Opts.LanguageOverride.empty() ? "c" : Opts.LanguageOverride;
+    auto Unit = Compiler.compileFormula(Best->Formula, Dirs, Opts);
+    if (!Unit) {
+      std::fputs(Diags.dump().c_str(), stderr);
+      return 1;
+    }
+    if (Stats) {
+      std::fprintf(stderr, "%s: winner %s (cost %.6g, %llu evaluations)\n",
+                   Dirs.SubName.c_str(), Best->Formula->print().c_str(),
+                   Best->Cost,
+                   static_cast<unsigned long long>(Eval->evaluations()));
+      if (Opts.UseWisdom)
+        std::fprintf(stderr, "%s (%s)\n", Wisdom.summary().c_str(),
+                     WisdomPath.c_str());
+    }
+    Units.emplace();
+    Units->push_back(std::move(*Unit));
+  } else {
+    std::string Source;
+    if (InputPath.empty() || InputPath == "-") {
+      std::ostringstream SS;
+      SS << std::cin.rdbuf();
+      Source = SS.str();
+    } else {
+      std::ifstream In(InputPath);
+      if (!In) {
+        std::fprintf(stderr, "splc: error: cannot open '%s'\n",
+                     InputPath.c_str());
+        return 1;
+      }
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      Source = SS.str();
+    }
+    Units = Compiler.compileSource(Source, Opts);
+  }
+
   std::fputs(Diags.dump().c_str(), stderr);
   if (!Units)
     return 1;
