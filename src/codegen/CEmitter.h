@@ -43,6 +43,13 @@ struct CEmitOptions {
   /// the tables and passes them in, like FFTW's plan-time twiddle setup.
   bool ExternalTables = false;
 
+  /// Make the generated routine reentrant: temporary vectors too large for
+  /// the stack are malloc'd/free'd per call instead of declared static.
+  /// Required when many threads run the same kernel concurrently (the
+  /// runtime layer's batched dispatch); off by default to keep the paper's
+  /// static-storage behavior for single-threaded benchmarks.
+  bool ThreadSafe = false;
+
   /// Extra text for the header comment (e.g. the source formula).
   std::string HeaderComment;
 };

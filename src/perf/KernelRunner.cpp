@@ -9,29 +9,61 @@
 #include "codegen/CEmitter.h"
 #include "support/Timer.h"
 
-#include <cassert>
 #include <random>
 
 using namespace spl;
 using namespace spl::perf;
 
-std::unique_ptr<CompiledKernel>
-CompiledKernel::create(const icode::Program &Final, std::string *Error) {
-  assert(Final.Type == icode::DataType::Real &&
-         "native kernels require real-typed programs");
-  if (!NativeModule::available()) {
-    if (Error)
-      *Error = "no system C compiler available";
-    return nullptr;
+const char *KernelError::kindName() const {
+  switch (Kind) {
+  case KernelErrorKind::None:
+    return "ok";
+  case KernelErrorKind::NoCompiler:
+    return "no-compiler";
+  case KernelErrorKind::NotRealTyped:
+    return "not-real-typed";
+  case KernelErrorKind::CompileFailed:
+    return "compile-failed";
+  case KernelErrorKind::MissingSymbol:
+    return "missing-symbol";
   }
+  return "unknown";
+}
+
+std::string KernelError::str() const {
+  return Message.empty() ? std::string(kindName())
+                         : std::string(kindName()) + ": " + Message;
+}
+
+std::unique_ptr<CompiledKernel>
+CompiledKernel::create(const icode::Program &Final, KernelError *Err,
+                       const KernelBuildOptions &BuildOpts) {
+  auto Fail = [&](KernelErrorKind Kind, std::string Message) {
+    if (Err)
+      *Err = KernelError{Kind, std::move(Message)};
+    return nullptr;
+  };
+  if (Err)
+    *Err = KernelError();
+
+  if (Final.Type != icode::DataType::Real)
+    return Fail(KernelErrorKind::NotRealTyped,
+                "program '" + Final.SubName +
+                    "' is complex-typed; lower it to real first");
+  if (!NativeModule::available())
+    return Fail(KernelErrorKind::NoCompiler,
+                "no system C compiler available (set SPL_CC to override)");
 
   codegen::CEmitOptions CO;
   CO.ExternalTables = true;
+  CO.ThreadSafe = BuildOpts.ThreadSafe;
   std::string Code = codegen::emitC(Final, CO);
 
-  auto Mod = NativeModule::compile(Code, Final.SubName, Error);
+  std::string CompileError;
+  auto Mod = NativeModule::compile(Code, Final.SubName, &CompileError,
+                                   BuildOpts.ExtraFlags);
   if (!Mod)
-    return nullptr;
+    return Fail(KernelErrorKind::CompileFailed, CompileError);
 
   auto K = std::unique_ptr<CompiledKernel>(new CompiledKernel());
   K->Fn = Mod->fn();
@@ -48,17 +80,24 @@ CompiledKernel::create(const icode::Program &Final, std::string *Error) {
     using SetFn = void (*)(const double *const *);
     std::string SetName = Final.SubName + "_set_tables";
     auto Set = reinterpret_cast<SetFn>(Mod->symbol(SetName.c_str()));
-    if (!Set) {
-      if (Error)
-        *Error = "generated module lacks " + SetName;
-      return nullptr;
-    }
+    if (!Set)
+      return Fail(KernelErrorKind::MissingSymbol,
+                  "generated module lacks " + SetName);
     std::vector<const double *> Ptrs;
     for (const auto &T : K->Tables)
       Ptrs.push_back(T.data());
     Set(Ptrs.data());
   }
   K->Mod = std::move(Mod);
+  return K;
+}
+
+std::unique_ptr<CompiledKernel>
+CompiledKernel::create(const icode::Program &Final, std::string *Error) {
+  KernelError Err;
+  auto K = create(Final, &Err, KernelBuildOptions());
+  if (!K && Error)
+    *Error = Err.str();
   return K;
 }
 

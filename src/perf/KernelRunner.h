@@ -26,12 +26,53 @@
 namespace spl {
 namespace perf {
 
+/// Why building a native kernel failed. Every failure mode reports through
+/// this type instead of aborting, so callers (the runtime planner in
+/// particular) can distinguish "no compiler on this machine" from "this
+/// program cannot be a native kernel" and fall back accordingly.
+enum class KernelErrorKind {
+  None,          ///< Success.
+  NoCompiler,    ///< No working system C compiler (see SPL_CC).
+  NotRealTyped,  ///< Program is complex-typed; the C backend needs real.
+  CompileFailed, ///< The C compiler or dlopen rejected the generated code.
+  MissingSymbol, ///< Generated module lacks an expected symbol.
+};
+
+/// A typed kernel-build error: machine-readable kind plus human detail.
+struct KernelError {
+  KernelErrorKind Kind = KernelErrorKind::None;
+  std::string Message;
+
+  explicit operator bool() const { return Kind != KernelErrorKind::None; }
+
+  /// Stable lowercase token for the kind ("no-compiler", ...).
+  const char *kindName() const;
+
+  /// "<kind>: <message>" (or just the kind when there is no detail).
+  std::string str() const;
+};
+
+/// Knobs for building a native kernel.
+struct KernelBuildOptions {
+  /// Emit reentrant code (no mutable static storage) so one kernel can run
+  /// on many threads at once. Used by the runtime layer's batch dispatch.
+  bool ThreadSafe = false;
+
+  /// Flags handed to the system C compiler.
+  std::string ExtraFlags = "-O2";
+};
+
 /// A natively compiled, loaded and table-bound generated kernel.
 class CompiledKernel {
 public:
-  /// Emits, compiles and loads \p Final. Returns null (with \p Error
-  /// filled when non-null) if no C compiler is available or compilation
-  /// fails. The program must be real-typed (C backend requirement).
+  /// Emits, compiles and loads \p Final. Returns null with \p Err filled
+  /// (when non-null) on any failure: no C compiler, a complex-typed
+  /// program, compilation/load trouble. Never aborts.
+  static std::unique_ptr<CompiledKernel>
+  create(const icode::Program &Final, KernelError *Err,
+         const KernelBuildOptions &BuildOpts = KernelBuildOptions());
+
+  /// Convenience overload keeping the historical string-error interface.
   static std::unique_ptr<CompiledKernel> create(const icode::Program &Final,
                                                 std::string *Error = nullptr);
 

@@ -1,0 +1,148 @@
+//===- runtime/Plan.cpp - Executable transform plans --------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Plan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <sstream>
+
+using namespace spl;
+using namespace spl::runtime;
+
+const char *spl::runtime::backendName(Backend B) {
+  switch (B) {
+  case Backend::Auto:
+    return "auto";
+  case Backend::VM:
+    return "vm";
+  case Backend::Native:
+    return "native";
+  }
+  return "unknown";
+}
+
+bool spl::runtime::parseBackend(const std::string &Name, Backend &Out) {
+  if (Name == "auto")
+    Out = Backend::Auto;
+  else if (Name == "vm")
+    Out = Backend::VM;
+  else if (Name == "native")
+    Out = Backend::Native;
+  else
+    return false;
+  return true;
+}
+
+std::string PlanSpec::key() const {
+  std::ostringstream SS;
+  SS << Transform << " " << Size << " "
+     << (Datatype.empty() ? (Transform == "wht" ? "real" : "complex")
+                          : Datatype)
+     << " B" << UnrollThreshold << " L" << MaxLeaf << " "
+     << backendName(Want);
+  return SS.str();
+}
+
+std::unique_ptr<Plan::ExecCtx> Plan::acquireCtx() {
+  {
+    std::lock_guard<std::mutex> Lock(CtxM);
+    if (!FreeCtxs.empty()) {
+      auto Ctx = std::move(FreeCtxs.back());
+      FreeCtxs.pop_back();
+      return Ctx;
+    }
+  }
+  auto Ctx = std::make_unique<ExecCtx>();
+  if (Resolved == Backend::VM)
+    Ctx->VM = std::make_unique<vm::Executor>(Final);
+  Ctx->Scratch.resize(static_cast<std::size_t>(IOLen));
+  return Ctx;
+}
+
+void Plan::releaseCtx(std::unique_ptr<ExecCtx> Ctx) {
+  std::lock_guard<std::mutex> Lock(CtxM);
+  FreeCtxs.push_back(std::move(Ctx));
+}
+
+void Plan::runOne(ExecCtx &Ctx, double *Y, const double *X) {
+  if (Y == X) {
+    // In-place request: compute into aligned scratch, then copy back. The
+    // generated kernels are out-of-place (y and x are restrict-qualified).
+    double *S = Ctx.Scratch.data();
+    if (Resolved == Backend::Native)
+      Native->run(S, X);
+    else
+      Ctx.VM->runReal(X, S);
+    std::memcpy(Y, S, static_cast<std::size_t>(IOLen) * sizeof(double));
+    return;
+  }
+  if (Resolved == Backend::Native)
+    Native->run(Y, X);
+  else
+    Ctx.VM->runReal(X, Y);
+}
+
+void Plan::execute(double *Y, const double *X) {
+  auto Ctx = acquireCtx();
+  runOne(*Ctx, Y, X);
+  releaseCtx(std::move(Ctx));
+}
+
+void Plan::executeBatch(double *Y, const double *X, std::int64_t Count,
+                        int Threads, std::int64_t StrideY,
+                        std::int64_t StrideX) {
+  if (Count <= 0)
+    return;
+  if (StrideX == 0)
+    StrideX = IOLen;
+  if (StrideY == 0)
+    StrideY = IOLen;
+  assert(StrideX >= IOLen && StrideY >= IOLen &&
+         "batch strides must not make vectors overlap");
+
+  std::int64_t T = std::clamp<std::int64_t>(Threads, 1, Count);
+  if (T == 1) {
+    auto Ctx = acquireCtx();
+    for (std::int64_t I = 0; I != Count; ++I)
+      runOne(*Ctx, Y + I * StrideY, X + I * StrideX);
+    releaseCtx(std::move(Ctx));
+    return;
+  }
+
+  // One contiguous chunk per worker: coarse-grained enough that the pool's
+  // queue never becomes the bottleneck, and each worker touches a disjoint,
+  // cache-friendly slice of the batch.
+  std::lock_guard<std::mutex> Lock(BatchM);
+  if (!Pool || PoolThreads != static_cast<int>(T)) {
+    Pool.reset(); // Join the old workers before spawning the new set.
+    Pool = std::make_unique<ThreadPool>(static_cast<unsigned>(T));
+    PoolThreads = static_cast<int>(T);
+  }
+  std::int64_t Chunk = (Count + T - 1) / T;
+  parallelFor(*Pool, static_cast<size_t>(T), [&](size_t J) {
+    std::int64_t Lo = static_cast<std::int64_t>(J) * Chunk;
+    std::int64_t Hi = std::min(Count, Lo + Chunk);
+    if (Lo >= Hi)
+      return;
+    auto Ctx = acquireCtx();
+    for (std::int64_t I = Lo; I != Hi; ++I)
+      runOne(*Ctx, Y + I * StrideY, X + I * StrideX);
+    releaseCtx(std::move(Ctx));
+  });
+}
+
+std::string Plan::describe() const {
+  std::ostringstream SS;
+  SS << Spec.Transform << " " << Spec.Size << ": backend "
+     << backendName(Resolved);
+  if (Fallback)
+    SS << " (fell back: " << FallbackReason << ")";
+  SS << ", " << IOLen << " doubles/vector, search cost " << Cost
+     << ", formula " << FormulaText;
+  return SS.str();
+}

@@ -1,0 +1,165 @@
+//===- runtime/Plan.h - Executable transform plans --------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The FFTW-style execute half of the runtime layer. A Plan is the
+/// materialized end product of the paper's generate-search-time loop: one
+/// searched, compiled transform, ready to apply to data — either as natively
+/// compiled machine code (perf::CompiledKernel) or on the portable i-code VM
+/// (vm::Executor), chosen at plan time with automatic fallback.
+///
+/// Plans are built by runtime::Planner, shared through runtime::PlanRegistry,
+/// and applied with execute() (one vector) or executeBatch() (many vectors,
+/// sharded across a worker pool). All execution entry points are thread-safe:
+/// worker state (a VM instance plus aligned scratch) lives in a checkout pool
+/// of contexts, so concurrent callers never share mutable state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_RUNTIME_PLAN_H
+#define SPL_RUNTIME_PLAN_H
+
+#include "icode/ICode.h"
+#include "perf/KernelRunner.h"
+#include "runtime/AlignedBuffer.h"
+#include "support/ThreadPool.h"
+#include "vm/Executor.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace spl {
+namespace runtime {
+
+/// Which execution substrate a plan should (or does) use.
+enum class Backend {
+  Auto,   ///< Prefer native, fall back to the VM (request only).
+  VM,     ///< Interpret i-code (always available).
+  Native, ///< Natively compiled C; falls back to VM if compilation fails.
+};
+
+/// Stable lowercase token ("auto" | "vm" | "native").
+const char *backendName(Backend B);
+
+/// Parses a backend token; returns false on an unknown name.
+bool parseBackend(const std::string &Name, Backend &Out);
+
+/// Everything that identifies a plan. Two specs with equal key() are
+/// interchangeable and PlanRegistry will hand out one shared Plan for them.
+struct PlanSpec {
+  std::string Transform = "fft"; ///< "fft" | "wht".
+  std::int64_t Size = 0;         ///< Transform size N.
+
+  /// "complex" | "real"; empty picks the transform's natural type
+  /// (fft: complex, wht: real).
+  std::string Datatype;
+
+  /// The -B threshold candidates compile under.
+  std::int64_t UnrollThreshold = 16;
+
+  /// Largest straight-line sub-transform in the search space.
+  std::int64_t MaxLeaf = 16;
+
+  /// Requested substrate.
+  Backend Want = Backend::Auto;
+
+  /// Canonical registry key, e.g. "fft 1024 complex B16 L16 auto".
+  std::string key() const;
+};
+
+/// An executable transform plan: y = Mx for the searched winner M.
+///
+/// Buffers are raw double arrays. For complex transforms (LoweredToReal),
+/// a logical vector of N complex points occupies vectorLen() == 2N doubles
+/// as interleaved (re,im) pairs; real transforms use N doubles.
+class Plan {
+public:
+  const PlanSpec &spec() const { return Spec; }
+
+  /// The substrate this plan actually runs on (VM or Native, never Auto).
+  Backend backend() const { return Resolved; }
+
+  /// Logical transform size N.
+  std::int64_t size() const { return Spec.Size; }
+
+  /// Doubles per input/output vector (2N for complex data, N for real).
+  std::int64_t vectorLen() const { return IOLen; }
+
+  /// The winning formula in SPL syntax (wisdom serialization format).
+  const std::string &formulaText() const { return FormulaText; }
+
+  /// The winner's search cost (units depend on the planner's evaluator).
+  double searchCost() const { return Cost; }
+
+  /// True when a native backend was requested (Auto/Native) but the plan
+  /// runs on the VM; fallbackReason() says why.
+  bool usedFallback() const { return Fallback; }
+  const std::string &fallbackReason() const { return FallbackReason; }
+
+  /// The compiled i-code (shared with every VM worker context).
+  const icode::Program &program() const { return Final; }
+
+  /// Applies the plan to one vector: Y = M X. Thread-safe; Y == X runs
+  /// in place through aligned scratch. Partial overlap is undefined.
+  void execute(double *Y, const double *X);
+
+  /// Applies the plan to \p Count vectors. Vector i reads from
+  /// X + i*StrideX and writes to Y + i*StrideY; a stride of 0 means densely
+  /// packed (vectorLen()). With Threads > 1 the batch is cut into one
+  /// contiguous chunk per worker and dispatched on an internal ThreadPool;
+  /// results are bit-identical for every thread count, since each vector is
+  /// computed by exactly the same code whichever worker it lands on.
+  ///
+  /// Thread-safe; concurrent multi-threaded batches serialize on the pool
+  /// (single-threaded calls and execute() never block each other).
+  void executeBatch(double *Y, const double *X, std::int64_t Count,
+                    int Threads = 1, std::int64_t StrideY = 0,
+                    std::int64_t StrideX = 0);
+
+  /// One-line human description ("fft 1024: native, 2048 doubles/vector,
+  /// ...").
+  std::string describe() const;
+
+private:
+  friend class Planner;
+  Plan() = default;
+
+  /// Per-worker execution state: a VM instance (VM backend only; the native
+  /// kernel is reentrant and shared) plus aligned scratch for in-place runs.
+  struct ExecCtx {
+    std::unique_ptr<vm::Executor> VM;
+    AlignedBuffer Scratch;
+  };
+
+  std::unique_ptr<ExecCtx> acquireCtx();
+  void releaseCtx(std::unique_ptr<ExecCtx> Ctx);
+  void runOne(ExecCtx &Ctx, double *Y, const double *X);
+
+  PlanSpec Spec;
+  Backend Resolved = Backend::VM;
+  icode::Program Final;
+  std::unique_ptr<perf::CompiledKernel> Native; ///< Null on the VM backend.
+  std::string FormulaText;
+  double Cost = 0;
+  bool Fallback = false;
+  std::string FallbackReason;
+  std::int64_t IOLen = 0;
+
+  std::mutex CtxM;
+  std::vector<std::unique_ptr<ExecCtx>> FreeCtxs;
+
+  std::mutex BatchM;
+  std::unique_ptr<ThreadPool> Pool; ///< Rebuilt when the thread count moves.
+  int PoolThreads = 0;
+};
+
+} // namespace runtime
+} // namespace spl
+
+#endif // SPL_RUNTIME_PLAN_H

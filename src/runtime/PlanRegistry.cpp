@@ -1,0 +1,69 @@
+//===- runtime/PlanRegistry.cpp - Shared plan memoization ---------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/PlanRegistry.h"
+
+using namespace spl;
+using namespace spl::runtime;
+
+std::shared_ptr<Plan> PlanRegistry::acquire(const PlanSpec &Spec) {
+  const std::string Key = Spec.key();
+  std::shared_ptr<Slot> Mine;
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    auto It = Slots.find(Key);
+    if (It != Slots.end()) {
+      std::shared_ptr<Slot> Theirs = It->second;
+      if (Theirs->Ready) {
+        ++S.Hits;
+        return Theirs->P;
+      }
+      // Another thread is planning this spec right now; share its result.
+      ++S.Waits;
+      Ready.wait(Lock, [&] { return Theirs->Ready; });
+      return Theirs->P;
+    }
+    Mine = std::make_shared<Slot>();
+    Slots.emplace(Key, Mine);
+    ++S.Misses;
+  }
+
+  // Plan outside the lock: planning can take seconds (search + compile) and
+  // other specs must not queue behind it.
+  std::shared_ptr<Plan> P = ThePlanner.plan(Spec);
+
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Mine->Ready = true;
+    Mine->P = P;
+    if (!P) {
+      // Failures are retryable, not memoized. Guard against clear() having
+      // raced in: only drop the entry if it is still ours.
+      auto It = Slots.find(Key);
+      if (It != Slots.end() && It->second == Mine)
+        Slots.erase(It);
+    }
+  }
+  Ready.notify_all();
+  return P;
+}
+
+PlanRegistry::Stats PlanRegistry::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return S;
+}
+
+size_t PlanRegistry::size() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Slots.size();
+}
+
+void PlanRegistry::clear() {
+  std::lock_guard<std::mutex> Lock(M);
+  // In-flight slots stay: their owners still hold the shared_ptr<Slot> and
+  // will publish into it; dropping the map entry just forgets the memo.
+  Slots.clear();
+}

@@ -1,0 +1,71 @@
+//===- runtime/PlanRegistry.h - Shared plan memoization ---------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe, in-process memo of plans keyed by PlanSpec::key(). The
+/// point is single-flight planning: when many threads ask for the same
+/// transform at once (a server warming up, a batch driver fanning out),
+/// exactly one runs the expensive search-and-compile pass and everyone else
+/// blocks until that plan is ready, then shares it. Plans are handed out as
+/// shared_ptr, so a registry clear() never invalidates plans still in use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_RUNTIME_PLANREGISTRY_H
+#define SPL_RUNTIME_PLANREGISTRY_H
+
+#include "runtime/Planner.h"
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace spl {
+namespace runtime {
+
+/// Memoizes Planner::plan by spec key, with single-flight concurrency.
+class PlanRegistry {
+public:
+  explicit PlanRegistry(Planner &P) : ThePlanner(P) {}
+
+  /// The plan for \p Spec: served from the memo, or planned exactly once
+  /// however many threads ask concurrently. Returns null when planning
+  /// fails; failures are NOT cached (a later acquire retries).
+  std::shared_ptr<Plan> acquire(const PlanSpec &Spec);
+
+  /// Lookup counters.
+  struct Stats {
+    size_t Hits = 0;   ///< Served an already-built plan.
+    size_t Misses = 0; ///< Ran a planning pass.
+    size_t Waits = 0;  ///< Blocked on another thread's in-flight pass.
+  };
+  Stats stats() const;
+
+  /// Number of plans currently memoized.
+  size_t size() const;
+
+  /// Drops every memoized plan (in-use plans stay alive via shared_ptr).
+  void clear();
+
+private:
+  struct Slot {
+    bool Ready = false;
+    std::shared_ptr<Plan> P;
+  };
+
+  Planner &ThePlanner;
+  mutable std::mutex M;
+  std::condition_variable Ready;
+  std::map<std::string, std::shared_ptr<Slot>> Slots;
+  Stats S;
+};
+
+} // namespace runtime
+} // namespace spl
+
+#endif // SPL_RUNTIME_PLANREGISTRY_H

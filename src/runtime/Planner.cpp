@@ -1,0 +1,234 @@
+//===- runtime/Planner.cpp - Spec-to-plan materialization ---------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Planner.h"
+
+#include "driver/Compiler.h"
+#include "frontend/Parser.h"
+#include "gen/Enumerate.h"
+#include "search/DPSearch.h"
+#include "search/Evaluator.h"
+
+using namespace spl;
+using namespace spl::runtime;
+
+namespace {
+
+bool isPow2(std::int64_t N) { return N >= 2 && (N & (N - 1)) == 0; }
+
+/// Normalized copy of \p Spec: transform/datatype defaults filled in.
+PlanSpec normalize(const PlanSpec &Spec) {
+  PlanSpec S = Spec;
+  if (S.Transform.empty())
+    S.Transform = "fft";
+  if (S.Datatype.empty())
+    S.Datatype = S.Transform == "wht" ? "real" : "complex";
+  return S;
+}
+
+} // namespace
+
+Planner::Planner(Diagnostics &Diags, PlannerOptions Opts)
+    : Diags(Diags), Opts(std::move(Opts)), Wisdom(Diags) {}
+
+std::string Planner::wisdomPath() const {
+  return Opts.WisdomPath.empty() ? search::PlanCache::defaultPath()
+                                 : Opts.WisdomPath;
+}
+
+bool Planner::saveWisdom() {
+  if (!Opts.UseWisdom)
+    return true;
+  return Wisdom.save(wisdomPath());
+}
+
+std::unique_ptr<search::Evaluator>
+Planner::makeEvaluator(const std::string &Datatype,
+                       std::int64_t UnrollThreshold) {
+  driver::CompilerOptions CO;
+  CO.UnrollThreshold = UnrollThreshold;
+  CO.EmitCode = false; // Costing needs i-code, not rendered text.
+  std::unique_ptr<search::Evaluator> E;
+  if (Opts.Evaluator == "vmtime") {
+    E = std::make_unique<search::VMTimeEvaluator>(Diags, CO,
+                                                  Opts.TimingRepeats);
+  } else if (Opts.Evaluator == "native") {
+    if (search::NativeTimeEvaluator::available()) {
+      E = std::make_unique<search::NativeTimeEvaluator>(Diags, CO,
+                                                        Opts.TimingRepeats);
+    } else {
+      Diags.warning(SourceLoc(), "no working C compiler for the nativetime "
+                                 "cost model; using opcount instead");
+      E = std::make_unique<search::OpCountEvaluator>(Diags, CO);
+    }
+  } else {
+    E = std::make_unique<search::OpCountEvaluator>(Diags, CO);
+  }
+  E->setDatatype(Datatype);
+  return E;
+}
+
+bool Planner::chooseWHT(const PlanSpec &Spec, search::Evaluator &Eval,
+                        FormulaRef &FOut, double &CostOut) {
+  search::PlanKey Key;
+  Key.Transform = "wht-flat" + std::to_string(Opts.WhtCandidateCap);
+  Key.Size = Spec.Size;
+  Key.Datatype = Eval.datatype();
+  Key.UnrollThreshold = Spec.UnrollThreshold;
+  Key.Evaluator = Eval.kindName();
+  Key.Host = search::PlanCache::hostFingerprint();
+
+  if (Opts.UseWisdom) {
+    if (auto Cached = Wisdom.lookup(Key); Cached && !Cached->empty()) {
+      Diagnostics ParseDiags; // A stale entry degrades to a miss.
+      FormulaRef F = parseFormulaString(Cached->front().FormulaText,
+                                        ParseDiags);
+      if (F && !ParseDiags.hasErrors() && !F->isPattern() &&
+          F->inSize() == Spec.Size && F->outSize() == Spec.Size) {
+        FOut = F;
+        CostOut = Cached->front().Cost;
+        return true;
+      }
+      Diags.warning(SourceLoc(),
+                    "wisdom entry for wht " + std::to_string(Spec.Size) +
+                        " does not round-trip; re-searching");
+    }
+  }
+
+  auto Cands = gen::enumerateWHT(
+      Spec.Size, static_cast<size_t>(Opts.WhtCandidateCap));
+  FormulaRef Best;
+  double BestCost = 0;
+  for (const FormulaRef &F : Cands) {
+    auto C = Eval.cost(F);
+    if (!C)
+      continue;
+    if (!Best || *C < BestCost) { // First-minimum: deterministic winner.
+      Best = F;
+      BestCost = *C;
+    }
+  }
+  if (!Best) {
+    Diags.error(SourceLoc(), "no WHT candidate of size " +
+                                 std::to_string(Spec.Size) +
+                                 " survived evaluation");
+    return false;
+  }
+  if (Opts.UseWisdom)
+    Wisdom.insert(Key, {search::PlanEntry{Best->print(), BestCost}});
+  FOut = Best;
+  CostOut = BestCost;
+  return true;
+}
+
+std::shared_ptr<Plan> Planner::plan(const PlanSpec &Spec) {
+  PlanSpec S = normalize(Spec);
+
+  if (S.Size < 2) {
+    Diags.error(SourceLoc(), "plan size must be >= 2 (got " +
+                                 std::to_string(S.Size) + ")");
+    return nullptr;
+  }
+  if (S.Datatype != "complex" && S.Datatype != "real") {
+    Diags.error(SourceLoc(), "unknown datatype '" + S.Datatype + "'");
+    return nullptr;
+  }
+  if (S.Transform == "fft") {
+    if (S.Datatype != "complex") {
+      Diags.error(SourceLoc(), "the fft transform requires complex data");
+      return nullptr;
+    }
+    if (S.Size > S.MaxLeaf && !isPow2(S.Size)) {
+      Diags.error(SourceLoc(),
+                  "fft sizes above the search leaf must be powers of two");
+      return nullptr;
+    }
+  } else if (S.Transform == "wht") {
+    if (!isPow2(S.Size)) {
+      Diags.error(SourceLoc(), "wht sizes must be powers of two");
+      return nullptr;
+    }
+  } else {
+    Diags.error(SourceLoc(), "unknown transform '" + S.Transform +
+                                 "' (expected fft or wht)");
+    return nullptr;
+  }
+
+  std::call_once(WisdomOnce, [&] {
+    if (Opts.UseWisdom)
+      Wisdom.load(wisdomPath());
+  });
+
+  auto Eval = makeEvaluator(S.Datatype, S.UnrollThreshold);
+  FormulaRef Winner;
+  double Cost = 0;
+  if (S.Transform == "fft") {
+    search::SearchOptions SO;
+    SO.MaxLeaf = S.MaxLeaf;
+    SO.Threads = Opts.SearchThreads;
+    search::DPSearch Search(*Eval, Diags, SO,
+                            Opts.UseWisdom ? &Wisdom : nullptr);
+    auto Best = Search.best(S.Size);
+    if (!Best)
+      return nullptr;
+    Winner = Best->Formula;
+    Cost = Best->Cost;
+  } else {
+    if (!chooseWHT(S, *Eval, Winner, Cost))
+      return nullptr;
+  }
+
+  driver::Compiler Compiler(Diags);
+  driver::CompilerOptions CO;
+  CO.UnrollThreshold = S.UnrollThreshold;
+  CO.EmitCode = false; // Plans hold i-code; the backends render on demand.
+  DirectiveState Dirs;
+  Dirs.SubName = S.Transform + std::to_string(S.Size);
+  Dirs.Datatype = S.Datatype;
+  Dirs.Language = "c";
+  auto Unit = Compiler.compileFormula(Winner, Dirs, CO);
+  if (!Unit)
+    return nullptr;
+
+  auto P = std::shared_ptr<Plan>(new Plan());
+  P->Spec = S;
+  P->Final = std::move(Unit->Final);
+  P->FormulaText = Winner->print();
+  P->Cost = Cost;
+  P->IOLen = P->Final.LoweredToReal ? P->Final.InSize * 2 : P->Final.InSize;
+
+  if (S.Want == Backend::VM) {
+    P->Resolved = Backend::VM;
+  } else {
+    perf::KernelError KErr;
+    std::unique_ptr<perf::CompiledKernel> Kernel;
+    if (Opts.ForceNativeFail) {
+      KErr = perf::KernelError{perf::KernelErrorKind::CompileFailed,
+                               "forced failure "
+                               "(PlannerOptions::ForceNativeFail)"};
+    } else {
+      perf::KernelBuildOptions BO;
+      BO.ThreadSafe = true; // Batch dispatch runs one kernel on many threads.
+      Kernel = perf::CompiledKernel::create(P->Final, &KErr, BO);
+    }
+    if (Kernel) {
+      P->Native = std::move(Kernel);
+      P->Resolved = Backend::Native;
+    } else {
+      P->Resolved = Backend::VM;
+      P->Fallback = true;
+      P->FallbackReason = KErr.str();
+      Diags.note(SourceLoc(), "native backend unavailable for " +
+                                  Dirs.SubName + " (" + KErr.str() +
+                                  "); falling back to the VM");
+    }
+  }
+
+  // Pre-warm one execution context: validates the program in the VM case
+  // and sizes the aligned scratch, so the first execute() is allocation-free.
+  P->releaseCtx(P->acquireCtx());
+  return P;
+}

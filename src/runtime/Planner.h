@@ -1,0 +1,101 @@
+//===- runtime/Planner.h - Spec-to-plan materialization ---------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The FFTW-style plan half of the runtime layer. Planner turns a PlanSpec
+/// ("fft, 1024 points, unroll 16") into an executable Plan: it consults the
+/// persistent wisdom cache, runs the Section-4 dynamic-programming search on
+/// a miss, compiles the winning formula through the full pipeline, and picks
+/// the execution substrate — natively compiled C when the system compiler
+/// cooperates, the i-code VM otherwise. Every native failure path is a typed
+/// perf::KernelError, so fallback is a decision, not a crash.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_RUNTIME_PLANNER_H
+#define SPL_RUNTIME_PLANNER_H
+
+#include "ir/Formula.h"
+#include "runtime/Plan.h"
+#include "search/PlanCache.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace spl {
+namespace search {
+class Evaluator;
+}
+namespace runtime {
+
+/// Planner-wide configuration (shared by every plan it builds).
+struct PlannerOptions {
+  /// Search cost model: "opcount" (deterministic, default) | "vmtime" |
+  /// "native" (needs a working C compiler; degrades to opcount with a
+  /// warning when there is none).
+  std::string Evaluator = "opcount";
+
+  /// Worker threads for candidate evaluation during searches.
+  int SearchThreads = 1;
+
+  /// Best-of-k repetitions for timed evaluators.
+  int TimingRepeats = 2;
+
+  /// Consult / record the persistent plan cache ("wisdom").
+  bool UseWisdom = true;
+
+  /// Wisdom file; empty means search::PlanCache::defaultPath().
+  std::string WisdomPath;
+
+  /// Candidate cap for the flat WHT search.
+  int WhtCandidateCap = 24;
+
+  /// Test hook: pretend every native kernel build fails, exercising the
+  /// VM fallback path deterministically.
+  bool ForceNativeFail = false;
+};
+
+/// Builds executable plans. Thread-safe: concurrent plan() calls share the
+/// diagnostics engine and wisdom cache, both of which are internally locked.
+class Planner {
+public:
+  explicit Planner(Diagnostics &Diags, PlannerOptions Opts = PlannerOptions());
+
+  /// Materializes a plan for \p Spec. Returns null after reporting
+  /// diagnostics when the spec is invalid or compilation fails.
+  std::shared_ptr<Plan> plan(const PlanSpec &Spec);
+
+  /// Persists accumulated wisdom (merge-on-save). No-op without UseWisdom.
+  bool saveWisdom();
+
+  /// The wisdom cache (exposed for stats and tests).
+  search::PlanCache &wisdom() { return Wisdom; }
+
+  const PlannerOptions &options() const { return Opts; }
+
+  /// The wisdom path in effect (resolved default when unset).
+  std::string wisdomPath() const;
+
+private:
+  std::unique_ptr<search::Evaluator>
+  makeEvaluator(const std::string &Datatype, std::int64_t UnrollThreshold);
+
+  /// Flat best-of-enumeration search for the WHT (wisdom-backed).
+  bool chooseWHT(const PlanSpec &Spec, search::Evaluator &Eval,
+                 FormulaRef &FOut, double &CostOut);
+
+  Diagnostics &Diags;
+  PlannerOptions Opts;
+  search::PlanCache Wisdom;
+  std::once_flag WisdomOnce;
+};
+
+} // namespace runtime
+} // namespace spl
+
+#endif // SPL_RUNTIME_PLANNER_H

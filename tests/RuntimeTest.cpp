@@ -1,0 +1,350 @@
+//===- tests/RuntimeTest.cpp - Plan/execute runtime layer tests ---------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the FFTW-style runtime layer: planning against the dense-matrix
+/// oracle, plan sharing through the registry, VM-vs-native agreement,
+/// thread-count determinism of batched execution, and the typed-error
+/// fallback from the native backend to the VM.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "ir/Transforms.h"
+#include "perf/NativeCompile.h"
+#include "runtime/PlanRegistry.h"
+#include "support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+using namespace spl;
+using namespace spl::test;
+
+namespace {
+
+/// Options every test shares: deterministic cost model, no wisdom file I/O.
+runtime::PlannerOptions testOptions() {
+  runtime::PlannerOptions Opts;
+  Opts.Evaluator = "opcount";
+  Opts.UseWisdom = false;
+  return Opts;
+}
+
+/// Interleaves a complex vector into (re,im) pairs as the lowered plans
+/// expect.
+std::vector<double> interleave(const std::vector<Cplx> &V) {
+  std::vector<double> Out(V.size() * 2);
+  for (size_t I = 0; I != V.size(); ++I) {
+    Out[2 * I] = V[I].real();
+    Out[2 * I + 1] = V[I].imag();
+  }
+  return Out;
+}
+
+std::vector<Cplx> deinterleave(const std::vector<double> &V) {
+  std::vector<Cplx> Out(V.size() / 2);
+  for (size_t I = 0; I != Out.size(); ++I)
+    Out[I] = Cplx(V[2 * I], V[2 * I + 1]);
+  return Out;
+}
+
+TEST(Plan, FftMatchesDenseOracle) {
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, testOptions());
+  for (std::int64_t N : {4, 16, 64}) {
+    runtime::PlanSpec Spec;
+    Spec.Size = N;
+    Spec.Want = runtime::Backend::VM; // Deterministically available.
+    auto P = Planner.plan(Spec);
+    ASSERT_TRUE(P) << Diags.dump();
+    EXPECT_EQ(P->vectorLen(), 2 * N); // Complex data, interleaved.
+
+    auto X = randomVector(N);
+    std::vector<double> XR = interleave(X), YR(2 * N);
+    P->execute(YR.data(), XR.data());
+    EXPECT_LT(maxAbsDiff(deinterleave(YR), dftMatrix(N).apply(X)), 1e-10)
+        << "N=" << N;
+  }
+}
+
+TEST(Plan, WhtMatchesDenseOracle) {
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, testOptions());
+  runtime::PlanSpec Spec;
+  Spec.Transform = "wht";
+  Spec.Size = 32;
+  Spec.Want = runtime::Backend::VM;
+  auto P = Planner.plan(Spec);
+  ASSERT_TRUE(P) << Diags.dump();
+  EXPECT_EQ(P->vectorLen(), 32); // Real data.
+
+  auto XD = randomRealVector(32);
+  std::vector<Cplx> X(32);
+  for (size_t I = 0; I != 32; ++I)
+    X[I] = Cplx(XD[I], 0);
+  std::vector<double> Y(32);
+  P->execute(Y.data(), XD.data());
+  auto Want = whtMatrix(32).apply(X);
+  double Max = 0;
+  for (size_t I = 0; I != 32; ++I)
+    Max = std::max(Max, std::abs(Y[I] - Want[I].real()));
+  EXPECT_LT(Max, 1e-10);
+}
+
+TEST(Plan, InPlaceExecuteMatchesOutOfPlace) {
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, testOptions());
+  runtime::PlanSpec Spec;
+  Spec.Size = 16;
+  Spec.Want = runtime::Backend::VM;
+  auto P = Planner.plan(Spec);
+  ASSERT_TRUE(P) << Diags.dump();
+
+  std::vector<double> X = interleave(randomVector(16));
+  std::vector<double> Y(32), InPlace = X;
+  P->execute(Y.data(), X.data());
+  P->execute(InPlace.data(), InPlace.data()); // Y == X aliasing.
+  EXPECT_EQ(std::memcmp(Y.data(), InPlace.data(), 32 * sizeof(double)), 0);
+}
+
+TEST(Plan, InvalidSpecsFailWithDiagnostics) {
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, testOptions());
+
+  runtime::PlanSpec NonPow2;
+  NonPow2.Size = 20; // Not a power of two above MaxLeaf.
+  EXPECT_FALSE(Planner.plan(NonPow2));
+
+  runtime::PlanSpec BadTransform;
+  BadTransform.Transform = "dct";
+  BadTransform.Size = 8;
+  EXPECT_FALSE(Planner.plan(BadTransform));
+
+  runtime::PlanSpec RealFft;
+  RealFft.Size = 8;
+  RealFft.Datatype = "real"; // The FFT needs complex data.
+  EXPECT_FALSE(Planner.plan(RealFft));
+
+  EXPECT_GT(Diags.errorCount(), 0u);
+}
+
+TEST(PlanRegistry, SharesOnePlanPerSpec) {
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, testOptions());
+  runtime::PlanRegistry Registry(Planner);
+
+  runtime::PlanSpec Spec;
+  Spec.Size = 16;
+  Spec.Want = runtime::Backend::VM;
+  auto A = Registry.acquire(Spec);
+  auto B = Registry.acquire(Spec);
+  ASSERT_TRUE(A);
+  EXPECT_EQ(A.get(), B.get()); // The very same plan object.
+
+  runtime::PlanSpec Other = Spec;
+  Other.Size = 32;
+  auto C = Registry.acquire(Other);
+  ASSERT_TRUE(C);
+  EXPECT_NE(A.get(), C.get());
+
+  auto S = Registry.stats();
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Misses, 2u);
+  EXPECT_EQ(Registry.size(), 2u);
+
+  // Old plans survive a clear; the next acquire re-plans.
+  Registry.clear();
+  EXPECT_EQ(Registry.size(), 0u);
+  auto D = Registry.acquire(Spec);
+  ASSERT_TRUE(D);
+  EXPECT_NE(A.get(), D.get());
+  std::vector<double> X = interleave(randomVector(16)), Y(32);
+  A->execute(Y.data(), X.data()); // Still executable after clear().
+}
+
+TEST(PlanRegistry, ConcurrentAcquiresSingleFlight) {
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, testOptions());
+  runtime::PlanRegistry Registry(Planner);
+
+  runtime::PlanSpec Spec;
+  Spec.Size = 64;
+  Spec.Want = runtime::Backend::VM;
+
+  constexpr int NThreads = 8;
+  std::vector<std::shared_ptr<runtime::Plan>> Got(NThreads);
+  std::vector<std::thread> Threads;
+  for (int I = 0; I != NThreads; ++I)
+    Threads.emplace_back([&, I] { Got[I] = Registry.acquire(Spec); });
+  for (auto &T : Threads)
+    T.join();
+
+  ASSERT_TRUE(Got[0]);
+  for (int I = 1; I != NThreads; ++I)
+    EXPECT_EQ(Got[I].get(), Got[0].get());
+  // Exactly one planning pass ran, however the threads interleaved.
+  EXPECT_EQ(Registry.stats().Misses, 1u);
+}
+
+TEST(Plan, NativeAgreesWithVmTo1e10) {
+  if (!perf::NativeModule::available())
+    GTEST_SKIP() << "no working C compiler on this host";
+
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, testOptions());
+  runtime::PlanSpec Spec;
+  Spec.Size = 64;
+  Spec.Want = runtime::Backend::Native;
+  auto NP = Planner.plan(Spec);
+  ASSERT_TRUE(NP) << Diags.dump();
+  ASSERT_EQ(NP->backend(), runtime::Backend::Native)
+      << NP->fallbackReason();
+
+  Spec.Want = runtime::Backend::VM;
+  auto VP = Planner.plan(Spec);
+  ASSERT_TRUE(VP) << Diags.dump();
+
+  constexpr std::int64_t Batch = 16;
+  const std::int64_t Len = NP->vectorLen();
+  std::vector<double> X, YN(Batch * Len), YV(Batch * Len);
+  for (std::int64_t I = 0; I != Batch; ++I) {
+    auto V = interleave(randomVector(64, 100 + static_cast<unsigned>(I)));
+    X.insert(X.end(), V.begin(), V.end());
+  }
+  NP->executeBatch(YN.data(), X.data(), Batch, 2);
+  VP->executeBatch(YV.data(), X.data(), Batch, 2);
+  double Max = 0;
+  for (size_t I = 0; I != YN.size(); ++I)
+    Max = std::max(Max, std::abs(YN[I] - YV[I]));
+  EXPECT_LT(Max, 1e-10);
+}
+
+TEST(Plan, BatchIsBitIdenticalAcrossThreadCounts) {
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, testOptions());
+  runtime::PlanSpec Spec;
+  Spec.Size = 16;
+  Spec.Want = runtime::Backend::VM; // Works on compiler-less hosts too.
+  auto P = Planner.plan(Spec);
+  ASSERT_TRUE(P) << Diags.dump();
+
+  constexpr std::int64_t Batch = 37; // Not a multiple of any thread count.
+  const std::int64_t Len = P->vectorLen();
+  std::vector<double> X;
+  for (std::int64_t I = 0; I != Batch; ++I) {
+    auto V = interleave(randomVector(16, 7 + static_cast<unsigned>(I)));
+    X.insert(X.end(), V.begin(), V.end());
+  }
+
+  std::vector<double> Y1(Batch * Len);
+  P->executeBatch(Y1.data(), X.data(), Batch, 1);
+  for (int T : {2, 3, 4, 8}) {
+    std::vector<double> YT(Batch * Len, -1.0);
+    P->executeBatch(YT.data(), X.data(), Batch, T);
+    EXPECT_EQ(std::memcmp(Y1.data(), YT.data(),
+                          static_cast<size_t>(Batch * Len) * sizeof(double)),
+              0)
+        << "threads=" << T;
+  }
+}
+
+TEST(Plan, StridedBatchTouchesOnlyItsLanes) {
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, testOptions());
+  runtime::PlanSpec Spec;
+  Spec.Size = 4;
+  Spec.Want = runtime::Backend::VM;
+  auto P = Planner.plan(Spec);
+  ASSERT_TRUE(P) << Diags.dump();
+
+  const std::int64_t Len = P->vectorLen(), Stride = Len + 3, Batch = 5;
+  std::vector<double> X(Batch * Stride, 0.5), Y(Batch * Stride, -7.0);
+  P->executeBatch(Y.data(), X.data(), Batch, 2, Stride, Stride);
+  for (std::int64_t I = 0; I != Batch; ++I)
+    for (std::int64_t J = Len; J != Stride; ++J)
+      EXPECT_EQ(Y[I * Stride + J], -7.0) << "pad lane written";
+}
+
+TEST(Plan, ForcedNativeFailureFallsBackToVm) {
+  Diagnostics Diags;
+  auto Opts = testOptions();
+  Opts.ForceNativeFail = true;
+  runtime::Planner Planner(Diags, Opts);
+
+  runtime::PlanSpec Spec;
+  Spec.Size = 16;
+  Spec.Want = runtime::Backend::Native;
+  auto P = Planner.plan(Spec);
+  ASSERT_TRUE(P) << Diags.dump(); // Fallback, not failure.
+  EXPECT_EQ(P->backend(), runtime::Backend::VM);
+  EXPECT_TRUE(P->usedFallback());
+  EXPECT_NE(P->fallbackReason().find("compile-failed"), std::string::npos)
+      << P->fallbackReason();
+  EXPECT_EQ(Diags.errorCount(), 0u); // A note, never an error.
+
+  // The fallback plan still computes the right answer.
+  auto X = randomVector(16);
+  std::vector<double> XR = interleave(X), YR(32);
+  P->execute(YR.data(), XR.data());
+  EXPECT_LT(maxAbsDiff(deinterleave(YR), dftMatrix(16).apply(X)), 1e-10);
+}
+
+TEST(Plan, DescribeMentionsBackendAndFormula) {
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, testOptions());
+  runtime::PlanSpec Spec;
+  Spec.Size = 8;
+  Spec.Want = runtime::Backend::VM;
+  auto P = Planner.plan(Spec);
+  ASSERT_TRUE(P) << Diags.dump();
+  auto D = P->describe();
+  EXPECT_NE(D.find("fft 8"), std::string::npos) << D;
+  EXPECT_NE(D.find("vm"), std::string::npos) << D;
+  EXPECT_FALSE(P->formulaText().empty());
+  EXPECT_NE(D.find(P->formulaText()), std::string::npos) << D;
+}
+
+TEST(Planner, WisdomRoundTripSkipsResearch) {
+  std::string Path = "/tmp/spl-runtime-wisdom-" + std::to_string(getpid());
+  {
+    Diagnostics Diags;
+    auto Opts = testOptions();
+    Opts.UseWisdom = true;
+    Opts.WisdomPath = Path;
+    runtime::Planner Planner(Diags, Opts);
+    runtime::PlanSpec Spec;
+    Spec.Size = 32;
+    Spec.Want = runtime::Backend::VM;
+    ASSERT_TRUE(Planner.plan(Spec)) << Diags.dump();
+    EXPECT_TRUE(Planner.saveWisdom());
+  }
+  {
+    Diagnostics Diags;
+    auto Opts = testOptions();
+    Opts.UseWisdom = true;
+    Opts.WisdomPath = Path;
+    runtime::Planner Planner(Diags, Opts);
+    runtime::PlanSpec Spec;
+    Spec.Size = 32;
+    Spec.Want = runtime::Backend::VM;
+    auto P = Planner.plan(Spec);
+    ASSERT_TRUE(P) << Diags.dump();
+    EXPECT_GT(Planner.wisdom().stats().Hits, 0u) << "wisdom not consulted";
+
+    // And the remembered formula still checks out against the oracle.
+    auto X = randomVector(32);
+    std::vector<double> XR = interleave(X), YR(64);
+    P->execute(YR.data(), XR.data());
+    EXPECT_LT(maxAbsDiff(deinterleave(YR), dftMatrix(32).apply(X)), 1e-10);
+  }
+  std::remove(Path.c_str());
+}
+
+} // namespace

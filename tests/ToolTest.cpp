@@ -30,28 +30,41 @@ std::string splcPath() {
 #endif
 }
 
+std::string splrunPath() {
+#ifdef SPLRUN_PATH
+  return SPLRUN_PATH;
+#else
+  return "splrun";
+#endif
+}
+
 struct RunResult {
   int ExitCode;
   std::string Output;
 };
 
+/// Runs a prepared command line, capturing stdout+stderr.
+RunResult runCommand(const std::string &Cmd) {
+  std::string Out =
+      "/tmp/spl-tool-test-" + std::to_string(getpid()) + ".out";
+  int RC = std::system((Cmd + " > " + Out + " 2>&1").c_str());
+  std::ifstream F(Out);
+  std::ostringstream SS;
+  SS << F.rdbuf();
+  std::remove(Out.c_str());
+  return {RC, SS.str()};
+}
+
 /// Runs splc with \p Args; stdin/stdout via files.
 RunResult runSplc(const std::string &Args, const std::string &Source) {
-  std::string Stem = "/tmp/splc-test-" + std::to_string(getpid());
-  std::string In = Stem + ".spl", Out = Stem + ".out";
+  std::string In = "/tmp/splc-test-" + std::to_string(getpid()) + ".spl";
   {
     std::ofstream F(In);
     F << Source;
   }
-  std::string Cmd =
-      splcPath() + " " + Args + " " + In + " > " + Out + " 2>&1";
-  int RC = std::system(Cmd.c_str());
-  std::ifstream F(Out);
-  std::ostringstream SS;
-  SS << F.rdbuf();
+  auto R = runCommand(splcPath() + " " + Args + " " + In);
   std::remove(In.c_str());
-  std::remove(Out.c_str());
-  return {RC, SS.str()};
+  return R;
 }
 
 const char *Fft16Source = R"(
@@ -118,6 +131,53 @@ TEST(Splc, PartialUnrollFactorAccepted) {
   auto R = runSplc("-u 2", "(tensor (I 8) (F 2))");
   EXPECT_EQ(R.ExitCode, 0) << R.Output;
   EXPECT_NE(R.Output.find("void sub0"), std::string::npos);
+}
+
+TEST(Splc, MissingInputFileFailsWithDiagnostic) {
+  auto R = runCommand(splcPath() + " /tmp/no-such-spl-input-" +
+                      std::to_string(getpid()) + ".spl");
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("error: cannot open"), std::string::npos)
+      << R.Output;
+  // One-line diagnostic, not a stack trace.
+  EXPECT_LT(R.Output.size(), 200u) << R.Output;
+}
+
+TEST(Splc, DirectoryInputFailsWithDiagnostic) {
+  auto R = runCommand(splcPath() + " /tmp");
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("is a directory"), std::string::npos) << R.Output;
+}
+
+TEST(Splrun, PlansAndVerifiesSmallFft) {
+  auto R = runCommand(splrunPath() + " --transform fft --size 16 --batch 8 "
+                                     "--threads 2 --verify --no-wisdom");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("plan: fft 16"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("bit-identical OK"), std::string::npos) << R.Output;
+}
+
+TEST(Splrun, VmBackendWorksWithoutCompiler) {
+  auto R = runCommand(splrunPath() + " --transform wht --size 8 --batch 4 "
+                                     "--backend vm --verify --no-wisdom");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("backend vm"), std::string::npos) << R.Output;
+}
+
+TEST(Splrun, RejectsBadArguments) {
+  auto NoSize = runCommand(splrunPath() + " --transform fft");
+  EXPECT_NE(NoSize.ExitCode, 0);
+  EXPECT_NE(NoSize.Output.find("--size"), std::string::npos);
+
+  auto BadBackend =
+      runCommand(splrunPath() + " --size 8 --backend turbo");
+  EXPECT_NE(BadBackend.ExitCode, 0);
+  EXPECT_NE(BadBackend.Output.find("unknown backend"), std::string::npos);
+
+  auto NonPow2 = runCommand(splrunPath() + " --size 20 --no-wisdom");
+  EXPECT_NE(NonPow2.ExitCode, 0);
+  EXPECT_NE(NonPow2.Output.find("error"), std::string::npos)
+      << NonPow2.Output;
 }
 
 TEST(Splc, OutputFileOption) {

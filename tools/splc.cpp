@@ -36,8 +36,10 @@
 #include "search/DPSearch.h"
 #include "support/Diagnostics.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -222,14 +224,29 @@ int main(int Argc, char **Argv) {
       SS << std::cin.rdbuf();
       Source = SS.str();
     } else {
-      std::ifstream In(InputPath);
-      if (!In) {
-        std::fprintf(stderr, "splc: error: cannot open '%s'\n",
+      // Reading a directory through an ifstream "succeeds" with an empty
+      // stream on Linux, which would compile to silence; reject it up front.
+      std::error_code EC;
+      if (std::filesystem::is_directory(InputPath, EC)) {
+        std::fprintf(stderr, "splc: error: '%s' is a directory\n",
                      InputPath.c_str());
+        return 1;
+      }
+      errno = 0;
+      std::ifstream In(InputPath, std::ios::binary);
+      if (!In) {
+        std::fprintf(stderr, "splc: error: cannot open '%s': %s\n",
+                     InputPath.c_str(),
+                     errno ? std::strerror(errno) : "unknown error");
         return 1;
       }
       std::ostringstream SS;
       SS << In.rdbuf();
+      if (In.bad()) {
+        std::fprintf(stderr, "splc: error: cannot read '%s'\n",
+                     InputPath.c_str());
+        return 1;
+      }
       Source = SS.str();
     }
     Units = Compiler.compileSource(Source, Opts);

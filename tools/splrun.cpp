@@ -1,0 +1,249 @@
+//===- tools/splrun.cpp - The SPL runtime command-line driver ------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// splrun: plan a transform with the runtime layer and execute it, FFTW
+/// benchmark style — one planning pass, then a (possibly multi-threaded)
+/// batch of executions with timing. The --verify mode cross-checks the
+/// native backend against the VM and 1-thread against N-thread batches.
+///
+///   splrun --transform fft --size 1024 --batch 4096 --threads 8 --verify
+///     --transform fft|wht   transform family (default fft)
+///     --size <n>            transform size (required)
+///     --batch <b>           vectors per batch (default 1)
+///     --threads <t>         batch worker threads (default 1)
+///     --backend auto|native|vm   execution substrate (default auto)
+///     --unroll <n>          -B unroll threshold (default 16)
+///     --leaf <n>            largest straight-line sub-transform (default 16)
+///     --eval opcount|vmtime|native   search cost model (default opcount)
+///     --search-threads <t>  candidate-evaluation worker threads
+///     --wisdom <file>       plan cache location ($SPL_WISDOM/~/.spl_wisdom)
+///     --no-wisdom           neither read nor write the plan cache
+///     --verify              cross-check backends and thread counts
+///     --stats               plan, wisdom and registry details on stderr
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/AlignedBuffer.h"
+#include "runtime/PlanRegistry.h"
+#include "support/Timer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+
+using namespace spl;
+
+namespace {
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: splrun --size n [--transform fft|wht] [--batch b] "
+      "[--threads t]\n"
+      "              [--backend auto|native|vm] [--unroll n] [--leaf n]\n"
+      "              [--eval opcount|vmtime|native] [--search-threads t]\n"
+      "              [--wisdom file] [--no-wisdom] [--verify] [--stats]\n");
+}
+
+/// Deterministic random batch input.
+void fillRandom(double *X, std::int64_t Len, unsigned Seed) {
+  std::mt19937 Gen(Seed);
+  std::uniform_real_distribution<double> Dist(-1.0, 1.0);
+  for (std::int64_t I = 0; I != Len; ++I)
+    X[I] = Dist(Gen);
+}
+
+double maxAbsDiff(const double *A, const double *B, std::int64_t Len) {
+  double M = 0;
+  for (std::int64_t I = 0; I != Len; ++I)
+    M = std::max(M, std::fabs(A[I] - B[I]));
+  return M;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  runtime::PlanSpec Spec;
+  runtime::PlannerOptions POpts;
+  std::int64_t Batch = 1;
+  int Threads = 1;
+  bool Verify = false;
+  bool Stats = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "splrun: error: %s needs a value\n", Flag);
+        std::exit(1);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--transform") {
+      Spec.Transform = Next("--transform");
+    } else if (Arg == "--size") {
+      Spec.Size = std::atoll(Next("--size"));
+    } else if (Arg == "--batch") {
+      Batch = std::atoll(Next("--batch"));
+    } else if (Arg == "--threads") {
+      Threads = std::atoi(Next("--threads"));
+    } else if (Arg == "--backend") {
+      std::string Name = Next("--backend");
+      if (!runtime::parseBackend(Name, Spec.Want)) {
+        std::fprintf(stderr, "splrun: error: unknown backend '%s'\n",
+                     Name.c_str());
+        return 1;
+      }
+    } else if (Arg == "--unroll") {
+      Spec.UnrollThreshold = std::atoll(Next("--unroll"));
+    } else if (Arg == "--leaf") {
+      Spec.MaxLeaf = std::atoll(Next("--leaf"));
+    } else if (Arg == "--eval") {
+      POpts.Evaluator = Next("--eval");
+      if (POpts.Evaluator != "opcount" && POpts.Evaluator != "vmtime" &&
+          POpts.Evaluator != "native") {
+        std::fprintf(stderr, "splrun: error: unknown cost model '%s'\n",
+                     POpts.Evaluator.c_str());
+        return 1;
+      }
+    } else if (Arg == "--search-threads") {
+      POpts.SearchThreads = std::atoi(Next("--search-threads"));
+    } else if (Arg == "--wisdom") {
+      POpts.WisdomPath = Next("--wisdom");
+    } else if (Arg == "--no-wisdom") {
+      POpts.UseWisdom = false;
+    } else if (Arg == "--verify") {
+      Verify = true;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg == "-h" || Arg == "--help") {
+      printUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "splrun: error: unknown option '%s'\n",
+                   Arg.c_str());
+      printUsage();
+      return 1;
+    }
+  }
+
+  if (Spec.Size < 2) {
+    std::fprintf(stderr, "splrun: error: --size must be >= 2\n");
+    return 1;
+  }
+  if (Batch < 1 || Threads < 1 || POpts.SearchThreads < 1) {
+    std::fprintf(stderr,
+                 "splrun: error: --batch, --threads and --search-threads "
+                 "must be >= 1\n");
+    return 1;
+  }
+
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, POpts);
+  runtime::PlanRegistry Registry(Planner);
+
+  Timer PlanWall;
+  auto Plan = Registry.acquire(Spec);
+  double PlanSeconds = PlanWall.seconds();
+  if (!Plan) {
+    std::fputs(Diags.dump().c_str(), stderr);
+    return 1;
+  }
+  if (POpts.UseWisdom)
+    Planner.saveWisdom();
+
+  std::printf("plan: %s\n", Plan->describe().c_str());
+  std::printf("planning took %.3f s\n", PlanSeconds);
+
+  const std::int64_t Len = Plan->vectorLen();
+  runtime::AlignedBuffer X(static_cast<size_t>(Batch * Len));
+  runtime::AlignedBuffer Y(static_cast<size_t>(Batch * Len));
+  fillRandom(X.data(), Batch * Len, 7);
+
+  // Single-vector latency (best-of-3, FFTW benchmark style).
+  double Single =
+      timeBestOf([&] { Plan->execute(Y.data(), X.data()); }, 3);
+  std::printf("single-vector latency: %.3f us (%.1f kvec/s)\n", Single * 1e6,
+              1e-3 / Single);
+
+  // Batched throughput at the requested thread count.
+  Timer BatchWall;
+  Plan->executeBatch(Y.data(), X.data(), Batch, Threads);
+  double BatchSeconds = BatchWall.seconds();
+  std::printf("batch %lld @ %d thread%s: %.3f s (%.1f kvec/s)\n",
+              static_cast<long long>(Batch), Threads,
+              Threads == 1 ? "" : "s", BatchSeconds,
+              1e-3 * static_cast<double>(Batch) / BatchSeconds);
+
+  if (Stats) {
+    auto RS = Registry.stats();
+    std::fprintf(stderr, "registry: %zu plans, %zu hits, %zu misses\n",
+                 Registry.size(), RS.Hits, RS.Misses);
+    if (POpts.UseWisdom)
+      std::fprintf(stderr, "%s (%s)\n", Planner.wisdom().summary().c_str(),
+                   Planner.wisdomPath().c_str());
+  }
+
+  int Failures = 0;
+  if (Verify) {
+    const double Tol = 1e-10;
+    // Cross-check against the VM on a bounded prefix of the batch (the VM
+    // interprets i-code, so a full 4096-vector sweep would dominate run
+    // time without strengthening the check).
+    std::int64_t NCheck = std::min<std::int64_t>(Batch, 256);
+    if (Plan->backend() == runtime::Backend::Native) {
+      runtime::PlanSpec VMSpec = Spec;
+      VMSpec.Want = runtime::Backend::VM;
+      auto VMPlan = Registry.acquire(VMSpec);
+      if (!VMPlan) {
+        std::fputs(Diags.dump().c_str(), stderr);
+        return 1;
+      }
+      runtime::AlignedBuffer YV(static_cast<size_t>(NCheck * Len));
+      VMPlan->executeBatch(YV.data(), X.data(), NCheck, Threads);
+      Plan->executeBatch(Y.data(), X.data(), NCheck, Threads);
+      double Delta = maxAbsDiff(Y.data(), YV.data(), NCheck * Len);
+      bool OK = Delta <= Tol;
+      std::printf("verify: native vs vm on %lld vectors: max |delta| = "
+                  "%.3g (tol %g): %s\n",
+                  static_cast<long long>(NCheck), Delta, Tol,
+                  OK ? "OK" : "FAIL");
+      Failures += !OK;
+    } else {
+      std::printf("verify: native backend not in use (%s); skipping the "
+                  "native-vs-vm check\n",
+                  Plan->usedFallback() ? Plan->fallbackReason().c_str()
+                                       : "vm requested");
+    }
+
+    // Thread-count determinism: 1 thread vs the requested count must be
+    // bit-identical. Bounded for the interpreted backend.
+    std::int64_t NDet = Plan->backend() == runtime::Backend::Native
+                            ? Batch
+                            : std::min<std::int64_t>(Batch, 256);
+    runtime::AlignedBuffer Y1(static_cast<size_t>(NDet * Len));
+    Plan->executeBatch(Y1.data(), X.data(), NDet, 1);
+    Plan->executeBatch(Y.data(), X.data(), NDet, Threads);
+    bool Identical =
+        std::memcmp(Y1.data(), Y.data(),
+                    static_cast<size_t>(NDet * Len) * sizeof(double)) == 0;
+    std::printf("verify: 1-thread vs %d-thread batch of %lld: %s\n", Threads,
+                static_cast<long long>(NDet),
+                Identical ? "bit-identical OK" : "MISMATCH");
+    Failures += !Identical;
+  }
+
+  std::fputs(Diags.dump().c_str(), stderr);
+  if (Failures) {
+    std::fprintf(stderr, "splrun: %d verification failure%s\n", Failures,
+                 Failures == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
+}
