@@ -16,6 +16,11 @@ using namespace spl::driver;
 std::optional<CompiledUnit>
 Compiler::compileFormula(const FormulaRef &F, const DirectiveState &Dirs,
                          const CompilerOptions &Opts) {
+  if (!F) {
+    // A failed builder call upstream already produced the real diagnostic.
+    Diags.error(SourceLoc(), "cannot compile a null formula");
+    return std::nullopt;
+  }
   CompiledUnit Unit;
   Unit.Formula = F;
   Unit.SubName = Dirs.SubName.empty() ? "sub" : Dirs.SubName;

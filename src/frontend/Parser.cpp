@@ -238,7 +238,7 @@ FormulaRef Parser::parseFormula(bool PatternMode) {
   if (cur().is(Tok::Symbol)) {
     Token T = take();
     if (PatternMode && isFormulaVarName(T.Text))
-      return makePatFormula(T.Text, T.Loc);
+      return makePatFormula(T.Text, T.Loc, &Diags);
     auto It = Defines.find(T.Text);
     if (It != Defines.end())
       return It->second;
@@ -307,19 +307,19 @@ FormulaRef Parser::parseParenFormula(bool PatternMode) {
       return nullptr;
     }
     if (Name == "I")
-      return makeIdentity(*N, Loc);
+      return makeIdentity(*N, Loc, &Diags);
     if (Name == "F")
-      return makeDFT(*N, Loc);
+      return makeDFT(*N, Loc, &Diags);
     if (Name == "WHT") {
       if (!N->isVar() && (N->Value & (N->Value - 1)) != 0) {
         Diags.error(Loc, "WHT size must be a power of two");
         return nullptr;
       }
-      return makeWHT(*N, Loc);
+      return makeWHT(*N, Loc, &Diags);
     }
     if (Name == "DCT2")
-      return makeDCT2(*N, Loc);
-    return makeDCT4(*N, Loc);
+      return makeDCT2(*N, Loc, &Diags);
+    return makeDCT4(*N, Loc, &Diags);
   }
 
   // Two-parameter matrices: (L mn n) and (T mn n).
@@ -338,7 +338,8 @@ FormulaRef Parser::parseParenFormula(bool PatternMode) {
         return nullptr;
       }
     }
-    return Name == "L" ? makeStride(*MN, *N, Loc) : makeTwiddle(*MN, *N, Loc);
+    return Name == "L" ? makeStride(*MN, *N, Loc, &Diags)
+                       : makeTwiddle(*MN, *N, Loc, &Diags);
   }
 
   // Operators.
@@ -366,11 +367,11 @@ FormulaRef Parser::parseParenFormula(bool PatternMode) {
           return nullptr;
         }
       }
-      return makeCompose(std::move(Fs), Loc);
+      return makeCompose(std::move(Fs), Loc, &Diags);
     }
     if (Name == "tensor")
-      return makeTensor(std::move(Fs), Loc);
-    return makeDirectSum(std::move(Fs), Loc);
+      return makeTensor(std::move(Fs), Loc, &Diags);
+    return makeDirectSum(std::move(Fs), Loc, &Diags);
   }
 
   if (Name == "matrix")
@@ -398,7 +399,7 @@ FormulaRef Parser::parseParenFormula(bool PatternMode) {
   }
   if (!CloseParen())
     return nullptr;
-  return makeUserParam(Name, std::move(Params), Loc);
+  return makeUserParam(Name, std::move(Params), Loc, &Diags);
 }
 
 FormulaRef Parser::parseMatrixForm(SourceLoc Loc) {
@@ -435,7 +436,7 @@ FormulaRef Parser::parseMatrixForm(SourceLoc Loc) {
       Diags.error(Loc, "matrix rows must all have the same length");
       return nullptr;
     }
-  return makeGenMatrix(std::move(Rows), Loc);
+  return makeGenMatrix(std::move(Rows), Loc, &Diags);
 }
 
 FormulaRef Parser::parseDiagonalForm(SourceLoc Loc) {
@@ -455,7 +456,7 @@ FormulaRef Parser::parseDiagonalForm(SourceLoc Loc) {
     Diags.error(Loc, "diagonal must be nonempty");
     return nullptr;
   }
-  return makeDiagonal(std::move(Elems), Loc);
+  return makeDiagonal(std::move(Elems), Loc, &Diags);
 }
 
 FormulaRef Parser::parsePermutationForm(SourceLoc Loc) {
@@ -480,7 +481,7 @@ FormulaRef Parser::parsePermutationForm(SourceLoc Loc) {
     }
     Seen[T - 1] = true;
   }
-  return makePermutation(std::move(Targets), Loc);
+  return makePermutation(std::move(Targets), Loc, &Diags);
 }
 
 //===----------------------------------------------------------------------===//

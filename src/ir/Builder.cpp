@@ -7,6 +7,7 @@
 #include "ir/Builder.h"
 
 #include <algorithm>
+#include <limits>
 
 using namespace spl;
 
@@ -53,10 +54,28 @@ public:
 
 namespace {
 
+/// Reports \p Msg into \p Diags when given and returns null — the shared
+/// failure path of every validating builder.
+FormulaRef invalid(Diagnostics *Diags, SourceLoc Loc, const std::string &Msg) {
+  if (Diags)
+    Diags->error(Loc, Msg);
+  return nullptr;
+}
+
+/// True when \p A * \p B overflows int64 (both nonnegative).
+bool mulOverflows(std::int64_t A, std::int64_t B) {
+  return A != 0 && B > std::numeric_limits<std::int64_t>::max() / A;
+}
+
 /// Builds a square parameterized matrix whose size is its parameter \p N
 /// (valid for I, F, WHT, DCT2, DCT4).
-FormulaRef makeSquareParam(FKind Kind, IntArg N, SourceLoc Loc) {
-  assert((N.isVar() || N.Value > 0) && "matrix size must be positive");
+FormulaRef makeSquareParam(FKind Kind, IntArg N, SourceLoc Loc,
+                           Diagnostics *Diags) {
+  if (!N.isVar() && N.Value <= 0)
+    return invalid(Diags, Loc,
+                   std::string("(") + kindName(Kind) +
+                       " n) requires a positive size (got " +
+                       std::to_string(N.Value) + ")");
   auto F = FormulaFactory::create(Kind, Loc);
   FormulaFactory::setParams(*F, {N});
   if (!N.isVar())
@@ -65,66 +84,82 @@ FormulaRef makeSquareParam(FKind Kind, IntArg N, SourceLoc Loc) {
 }
 
 /// Builds L or T, which take parameters (mn, n) with n | mn.
-FormulaRef makeStrideLike(FKind Kind, IntArg MN, IntArg N, SourceLoc Loc) {
+FormulaRef makeStrideLike(FKind Kind, IntArg MN, IntArg N, SourceLoc Loc,
+                          Diagnostics *Diags) {
   auto F = FormulaFactory::create(Kind, Loc);
   FormulaFactory::setParams(*F, {MN, N});
   if (!MN.isVar() && !N.isVar()) {
-    assert(MN.Value > 0 && N.Value > 0 && MN.Value % N.Value == 0 &&
-           "L/T parameters require n | mn");
+    if (MN.Value <= 0 || N.Value <= 0 || MN.Value % N.Value != 0)
+      return invalid(Diags, Loc,
+                     std::string("(") + kindName(Kind) +
+                         " mn n) requires positive parameters with n "
+                         "dividing mn (got mn=" +
+                         std::to_string(MN.Value) + ", n=" +
+                         std::to_string(N.Value) + ")");
     FormulaFactory::setSizes(*F, MN.Value, MN.Value);
   }
   return F;
 }
 
 /// Folds a non-empty list right-to-left with the given binary builder,
-/// matching the parser's association rule for n-ary forms.
+/// matching the parser's association rule for n-ary forms. A null element
+/// (or an invalid intermediate) propagates to a null result.
 FormulaRef foldRight(std::vector<FormulaRef> Fs,
-                     FormulaRef (*Bin)(FormulaRef, FormulaRef, SourceLoc),
-                     SourceLoc Loc) {
-  assert(!Fs.empty() && "n-ary operator needs at least one operand");
+                     FormulaRef (*Bin)(FormulaRef, FormulaRef, SourceLoc,
+                                       Diagnostics *),
+                     SourceLoc Loc, Diagnostics *Diags) {
+  if (Fs.empty())
+    return invalid(Diags, Loc, "n-ary operator needs at least one operand");
   FormulaRef Acc = Fs.back();
-  for (size_t I = Fs.size() - 1; I-- > 0;)
-    Acc = Bin(Fs[I], Acc, Loc);
+  for (size_t I = Fs.size() - 1; Acc && I-- > 0;)
+    Acc = Bin(Fs[I], Acc, Loc, Diags);
   return Acc;
 }
 
 } // namespace
 
-FormulaRef spl::makeIdentity(IntArg N, SourceLoc Loc) {
-  return makeSquareParam(FKind::Identity, N, Loc);
+FormulaRef spl::makeIdentity(IntArg N, SourceLoc Loc, Diagnostics *Diags) {
+  return makeSquareParam(FKind::Identity, N, Loc, Diags);
 }
 
-FormulaRef spl::makeDFT(IntArg N, SourceLoc Loc) {
-  return makeSquareParam(FKind::DFT, N, Loc);
+FormulaRef spl::makeDFT(IntArg N, SourceLoc Loc, Diagnostics *Diags) {
+  return makeSquareParam(FKind::DFT, N, Loc, Diags);
 }
 
-FormulaRef spl::makeWHT(IntArg N, SourceLoc Loc) {
-  assert((N.isVar() || (N.Value & (N.Value - 1)) == 0) &&
-         "WHT size must be a power of two");
-  return makeSquareParam(FKind::WHT, N, Loc);
+FormulaRef spl::makeWHT(IntArg N, SourceLoc Loc, Diagnostics *Diags) {
+  if (!N.isVar() && (N.Value <= 0 || (N.Value & (N.Value - 1)) != 0))
+    return invalid(Diags, Loc,
+                   "(WHT n) requires a positive power-of-two size (got " +
+                       std::to_string(N.Value) + ")");
+  return makeSquareParam(FKind::WHT, N, Loc, Diags);
 }
 
-FormulaRef spl::makeDCT2(IntArg N, SourceLoc Loc) {
-  return makeSquareParam(FKind::DCT2, N, Loc);
+FormulaRef spl::makeDCT2(IntArg N, SourceLoc Loc, Diagnostics *Diags) {
+  return makeSquareParam(FKind::DCT2, N, Loc, Diags);
 }
 
-FormulaRef spl::makeDCT4(IntArg N, SourceLoc Loc) {
-  return makeSquareParam(FKind::DCT4, N, Loc);
+FormulaRef spl::makeDCT4(IntArg N, SourceLoc Loc, Diagnostics *Diags) {
+  return makeSquareParam(FKind::DCT4, N, Loc, Diags);
 }
 
-FormulaRef spl::makeStride(IntArg MN, IntArg N, SourceLoc Loc) {
-  return makeStrideLike(FKind::Stride, MN, N, Loc);
+FormulaRef spl::makeStride(IntArg MN, IntArg N, SourceLoc Loc,
+                           Diagnostics *Diags) {
+  return makeStrideLike(FKind::Stride, MN, N, Loc, Diags);
 }
 
-FormulaRef spl::makeTwiddle(IntArg MN, IntArg N, SourceLoc Loc) {
-  return makeStrideLike(FKind::Twiddle, MN, N, Loc);
+FormulaRef spl::makeTwiddle(IntArg MN, IntArg N, SourceLoc Loc,
+                            Diagnostics *Diags) {
+  return makeStrideLike(FKind::Twiddle, MN, N, Loc, Diags);
 }
 
 FormulaRef spl::makeGenMatrix(std::vector<std::vector<Cplx>> Rows,
-                              SourceLoc Loc) {
-  assert(!Rows.empty() && !Rows[0].empty() && "matrix must be nonempty");
+                              SourceLoc Loc, Diagnostics *Diags) {
+  if (Rows.empty() || Rows[0].empty())
+    return invalid(Diags, Loc, "(matrix ...) must have nonempty rows");
   for (const auto &Row : Rows)
-    assert(Row.size() == Rows[0].size() && "matrix rows must be equal length");
+    if (Row.size() != Rows[0].size())
+      return invalid(Diags, Loc,
+                     "(matrix ...) rows must all have the same length");
   auto F = FormulaFactory::create(FKind::GenMatrix, Loc);
   std::int64_t Out = static_cast<std::int64_t>(Rows.size());
   std::int64_t In = static_cast<std::int64_t>(Rows[0].size());
@@ -133,8 +168,10 @@ FormulaRef spl::makeGenMatrix(std::vector<std::vector<Cplx>> Rows,
   return F;
 }
 
-FormulaRef spl::makeDiagonal(std::vector<Cplx> Elems, SourceLoc Loc) {
-  assert(!Elems.empty() && "diagonal must be nonempty");
+FormulaRef spl::makeDiagonal(std::vector<Cplx> Elems, SourceLoc Loc,
+                             Diagnostics *Diags) {
+  if (Elems.empty())
+    return invalid(Diags, Loc, "(diagonal ...) must be nonempty");
   auto F = FormulaFactory::create(FKind::Diagonal, Loc);
   std::int64_t N = static_cast<std::int64_t>(Elems.size());
   FormulaFactory::setDiagElems(*F, std::move(Elems));
@@ -143,17 +180,16 @@ FormulaRef spl::makeDiagonal(std::vector<Cplx> Elems, SourceLoc Loc) {
 }
 
 FormulaRef spl::makePermutation(std::vector<std::int64_t> Targets,
-                                SourceLoc Loc) {
-  assert(!Targets.empty() && "permutation must be nonempty");
-#ifndef NDEBUG
-  {
-    std::vector<std::int64_t> Sorted = Targets;
-    std::sort(Sorted.begin(), Sorted.end());
-    for (size_t I = 0; I != Sorted.size(); ++I)
-      assert(Sorted[I] == static_cast<std::int64_t>(I) + 1 &&
-             "targets must be a permutation of 1..n");
-  }
-#endif
+                                SourceLoc Loc, Diagnostics *Diags) {
+  if (Targets.empty())
+    return invalid(Diags, Loc, "(permutation ...) must be nonempty");
+  std::vector<std::int64_t> Sorted = Targets;
+  std::sort(Sorted.begin(), Sorted.end());
+  for (size_t I = 0; I != Sorted.size(); ++I)
+    if (Sorted[I] != static_cast<std::int64_t>(I) + 1)
+      return invalid(Diags, Loc,
+                     "(permutation ...) targets must form a permutation "
+                     "of 1..n");
   auto F = FormulaFactory::create(FKind::Permutation, Loc);
   std::int64_t N = static_cast<std::int64_t>(Targets.size());
   FormulaFactory::setPermTargets(*F, std::move(Targets));
@@ -161,11 +197,15 @@ FormulaRef spl::makePermutation(std::vector<std::int64_t> Targets,
   return F;
 }
 
-FormulaRef spl::makeCompose(FormulaRef A, FormulaRef B, SourceLoc Loc) {
-  assert(A && B && "compose operands must be non-null");
-  assert((A->inSize() < 0 || B->outSize() < 0 ||
-          A->inSize() == B->outSize()) &&
-         "compose requires A.in_size == B.out_size");
+FormulaRef spl::makeCompose(FormulaRef A, FormulaRef B, SourceLoc Loc,
+                            Diagnostics *Diags) {
+  if (!A || !B)
+    return nullptr; // A reported failure upstream propagates.
+  if (A->inSize() >= 0 && B->outSize() >= 0 && A->inSize() != B->outSize())
+    return invalid(Diags, Loc,
+                   "compose size mismatch: in_size " +
+                       std::to_string(A->inSize()) + " vs out_size " +
+                       std::to_string(B->outSize()));
   auto F = FormulaFactory::create(FKind::Compose, Loc);
   std::int64_t In = B->inSize(), Out = A->outSize();
   FormulaFactory::setChildren(*F, {std::move(A), std::move(B)});
@@ -174,29 +214,38 @@ FormulaRef spl::makeCompose(FormulaRef A, FormulaRef B, SourceLoc Loc) {
   return F;
 }
 
-FormulaRef spl::makeCompose(std::vector<FormulaRef> Fs, SourceLoc Loc) {
-  return foldRight(std::move(Fs), &spl::makeCompose, Loc);
+FormulaRef spl::makeCompose(std::vector<FormulaRef> Fs, SourceLoc Loc,
+                            Diagnostics *Diags) {
+  return foldRight(std::move(Fs), &spl::makeCompose, Loc, Diags);
 }
 
-FormulaRef spl::makeTensor(FormulaRef A, FormulaRef B, SourceLoc Loc) {
-  assert(A && B && "tensor operands must be non-null");
-  auto F = FormulaFactory::create(FKind::Tensor, Loc);
+FormulaRef spl::makeTensor(FormulaRef A, FormulaRef B, SourceLoc Loc,
+                           Diagnostics *Diags) {
+  if (!A || !B)
+    return nullptr;
   std::int64_t In = -1, Out = -1;
   if (A->inSize() >= 0 && B->inSize() >= 0) {
+    if (mulOverflows(A->inSize(), B->inSize()) ||
+        mulOverflows(A->outSize(), B->outSize()))
+      return invalid(Diags, Loc, "tensor product size overflows");
     In = A->inSize() * B->inSize();
     Out = A->outSize() * B->outSize();
   }
+  auto F = FormulaFactory::create(FKind::Tensor, Loc);
   FormulaFactory::setChildren(*F, {std::move(A), std::move(B)});
   FormulaFactory::setSizes(*F, In, Out);
   return F;
 }
 
-FormulaRef spl::makeTensor(std::vector<FormulaRef> Fs, SourceLoc Loc) {
-  return foldRight(std::move(Fs), &spl::makeTensor, Loc);
+FormulaRef spl::makeTensor(std::vector<FormulaRef> Fs, SourceLoc Loc,
+                           Diagnostics *Diags) {
+  return foldRight(std::move(Fs), &spl::makeTensor, Loc, Diags);
 }
 
-FormulaRef spl::makeDirectSum(FormulaRef A, FormulaRef B, SourceLoc Loc) {
-  assert(A && B && "direct-sum operands must be non-null");
+FormulaRef spl::makeDirectSum(FormulaRef A, FormulaRef B, SourceLoc Loc,
+                              Diagnostics *Diags) {
+  if (!A || !B)
+    return nullptr;
   auto F = FormulaFactory::create(FKind::DirectSum, Loc);
   std::int64_t In = -1, Out = -1;
   if (A->inSize() >= 0 && B->inSize() >= 0) {
@@ -208,21 +257,24 @@ FormulaRef spl::makeDirectSum(FormulaRef A, FormulaRef B, SourceLoc Loc) {
   return F;
 }
 
-FormulaRef spl::makeDirectSum(std::vector<FormulaRef> Fs, SourceLoc Loc) {
-  return foldRight(std::move(Fs), &spl::makeDirectSum, Loc);
+FormulaRef spl::makeDirectSum(std::vector<FormulaRef> Fs, SourceLoc Loc,
+                              Diagnostics *Diags) {
+  return foldRight(std::move(Fs), &spl::makeDirectSum, Loc, Diags);
 }
 
-FormulaRef spl::makePatFormula(std::string Name, SourceLoc Loc) {
-  assert(!Name.empty() && Name.back() == '_' &&
-         "pattern variable names end with '_'");
+FormulaRef spl::makePatFormula(std::string Name, SourceLoc Loc,
+                               Diagnostics *Diags) {
+  if (Name.empty() || Name.back() != '_')
+    return invalid(Diags, Loc, "pattern variable names must end with '_'");
   auto F = FormulaFactory::create(FKind::PatFormula, Loc);
   FormulaFactory::setVarName(*F, std::move(Name));
   return F;
 }
 
 FormulaRef spl::makeUserParam(std::string Name, std::vector<IntArg> Params,
-                              SourceLoc Loc) {
-  assert(!Name.empty() && "user-defined matrix needs a name");
+                              SourceLoc Loc, Diagnostics *Diags) {
+  if (Name.empty())
+    return invalid(Diags, Loc, "user-defined matrix needs a name");
   auto F = FormulaFactory::create(FKind::UserParam, Loc);
   FormulaFactory::setVarName(*F, std::move(Name));
   FormulaFactory::setParams(*F, std::move(Params));
@@ -230,7 +282,8 @@ FormulaRef spl::makeUserParam(std::string Name, std::vector<IntArg> Params,
 }
 
 FormulaRef spl::withUnrollHint(const FormulaRef &F, bool On) {
-  assert(F && "null formula");
+  if (!F)
+    return nullptr;
   auto Copy = FormulaFactory::clone(*F);
   FormulaFactory::setUnrollHint(*Copy, On);
   return Copy;

@@ -67,8 +67,21 @@ bool Formula::isPattern() const {
   return false;
 }
 
+bool Formula::hasDenseSemantics() const {
+  if (Kind == FKind::PatFormula || Kind == FKind::UserParam)
+    return false;
+  for (const IntArg &P : Params)
+    if (P.isVar())
+      return false;
+  for (const FormulaRef &C : Children)
+    if (!C || !C->hasDenseSemantics())
+      return false;
+  return true;
+}
+
 Matrix Formula::toMatrix() const {
-  assert(!isPattern() && "cannot evaluate a pattern to a matrix");
+  assert(hasDenseSemantics() && "no dense semantics for this formula; "
+                                "check hasDenseSemantics() first");
   switch (Kind) {
   case FKind::Identity:
     return Matrix::identity(param(0));

@@ -136,8 +136,14 @@ public:
   /// was in effect when this (sub)formula was defined.
   std::optional<bool> unrollHint() const { return UnrollHint; }
 
-  /// Dense matrix denoted by this formula. Must not contain pattern
-  /// variables. Quadratic in size; intended for tests and small examples.
+  /// True when toMatrix() is callable on this tree: no pattern variables
+  /// and no user-defined matrices (whose semantics live in templates, not
+  /// in a dense interpretation). Check before building an oracle.
+  bool hasDenseSemantics() const;
+
+  /// Dense matrix denoted by this formula. hasDenseSemantics() must be
+  /// true. Quadratic in size; intended for tests, small examples, and the
+  /// runtime's oracle tier.
   Matrix toMatrix() const;
 
   /// Renders in Cambridge Polish notation, flattening right-nested chains of

@@ -7,9 +7,15 @@
 #include "perf/KernelRunner.h"
 
 #include "codegen/CEmitter.h"
+#include "support/FaultInjection.h"
+#include "support/Subprocess.h"
 #include "support/Timer.h"
 
+#include <chrono>
+#include <cmath>
+#include <csignal>
 #include <random>
+#include <thread>
 
 using namespace spl;
 using namespace spl::perf;
@@ -24,8 +30,12 @@ const char *KernelError::kindName() const {
     return "not-real-typed";
   case KernelErrorKind::CompileFailed:
     return "compile-failed";
+  case KernelErrorKind::CompileTimeout:
+    return "compile-timeout";
   case KernelErrorKind::MissingSymbol:
     return "missing-symbol";
+  case KernelErrorKind::TrialFailed:
+    return "trial-failed";
   }
   return "unknown";
 }
@@ -60,10 +70,13 @@ CompiledKernel::create(const icode::Program &Final, KernelError *Err,
   std::string Code = codegen::emitC(Final, CO);
 
   std::string CompileError;
+  bool TimedOut = false;
   auto Mod = NativeModule::compile(Code, Final.SubName, &CompileError,
-                                   BuildOpts.ExtraFlags);
+                                   BuildOpts.ExtraFlags, &TimedOut);
   if (!Mod)
-    return Fail(KernelErrorKind::CompileFailed, CompileError);
+    return Fail(TimedOut ? KernelErrorKind::CompileTimeout
+                         : KernelErrorKind::CompileFailed,
+                CompileError);
 
   auto K = std::unique_ptr<CompiledKernel>(new CompiledKernel());
   K->Fn = Mod->fn();
@@ -99,6 +112,50 @@ CompiledKernel::create(const icode::Program &Final, std::string *Error) {
   if (!K && Error)
     *Error = Err.str();
   return K;
+}
+
+CompiledKernel::TrialResult
+CompiledKernel::trial(double TimeoutSeconds) const {
+  // Consume the fault budgets in the parent: the forked child's memory is a
+  // throwaway copy, so decrements inside it would not stick.
+  const bool InjectCrash = fault::at("trial-crash");
+  const bool InjectHang = fault::at("trial-hang");
+
+  auto Run = [&]() -> int {
+    if (InjectCrash)
+      ::raise(SIGSEGV);
+    if (InjectHang)
+      std::this_thread::sleep_for(std::chrono::seconds(600));
+    std::mt19937 Gen(17);
+    std::uniform_real_distribution<double> Dist(-1.0, 1.0);
+    std::vector<double> X(static_cast<size_t>(InLen));
+    std::vector<double> Y(static_cast<size_t>(OutLen), 0.0);
+    for (double &V : X)
+      V = Dist(Gen);
+    Fn(Y.data(), X.data());
+    for (double V : Y)
+      if (!std::isfinite(V))
+        return 2;
+    return 0;
+  };
+
+  GuardedResult G = runGuarded(Run, TimeoutSeconds);
+  TrialResult T;
+  if (G.ok()) {
+    T.Ok = true;
+    return T;
+  }
+  if (G.TimedOut)
+    T.Reason = "trial execution timed out after " +
+               std::to_string(TimeoutSeconds) +
+               " s (see SPL_TRIAL_TIMEOUT_MS)";
+  else if (G.Signal != 0)
+    T.Reason = "trial execution died on signal " + std::to_string(G.Signal);
+  else if (G.ExitCode == 2)
+    T.Reason = "trial execution produced non-finite output";
+  else
+    T.Reason = "trial execution failed (" + G.describe() + ")";
+  return T;
 }
 
 double CompiledKernel::time(int Repeats) const {

@@ -31,11 +31,13 @@ namespace perf {
 /// particular) can distinguish "no compiler on this machine" from "this
 /// program cannot be a native kernel" and fall back accordingly.
 enum class KernelErrorKind {
-  None,          ///< Success.
-  NoCompiler,    ///< No working system C compiler (see SPL_CC).
-  NotRealTyped,  ///< Program is complex-typed; the C backend needs real.
-  CompileFailed, ///< The C compiler or dlopen rejected the generated code.
-  MissingSymbol, ///< Generated module lacks an expected symbol.
+  None,           ///< Success.
+  NoCompiler,     ///< No working system C compiler (see SPL_CC).
+  NotRealTyped,   ///< Program is complex-typed; the C backend needs real.
+  CompileFailed,  ///< The C compiler or dlopen rejected the generated code.
+  CompileTimeout, ///< The C compile exceeded SPL_CC_TIMEOUT_MS and was killed.
+  MissingSymbol,  ///< Generated module lacks an expected symbol.
+  TrialFailed,    ///< The kernel crashed or hung during trial execution.
 };
 
 /// A typed kernel-build error: machine-readable kind plus human detail.
@@ -86,6 +88,19 @@ public:
 
   /// Best-of-\p Repeats seconds per transform on random data.
   double time(int Repeats = 3) const;
+
+  /// Outcome of a guarded trial execution.
+  struct TrialResult {
+    bool Ok = false;
+    std::string Reason; ///< "died on signal 11", "timed out", ... when !Ok.
+  };
+
+  /// Proves the kernel once in a forked guard process bounded by
+  /// \p TimeoutSeconds: runs it on deterministic random data and checks
+  /// every output is finite. A kernel that crashes, hangs, or emits
+  /// NaN/Inf fails the trial without harming this process. On platforms
+  /// without fork the kernel runs inline (unguarded).
+  TrialResult trial(double TimeoutSeconds) const;
 
 private:
   CompiledKernel() = default;

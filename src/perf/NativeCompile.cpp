@@ -6,7 +6,11 @@
 
 #include "perf/NativeCompile.h"
 
+#include "support/FaultInjection.h"
+#include "support/Subprocess.h"
+
 #include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -23,11 +27,12 @@ using namespace spl::perf;
 
 namespace {
 
-/// Compiler command; overridable with the SPL_CC environment variable.
-std::string ccCommand() {
+/// Compiler command; overridable with the SPL_CC environment variable. May
+/// contain extra tokens ("gcc -pipe"), so it is split into argv form.
+std::vector<std::string> ccArgv() {
   if (const char *Env = std::getenv("SPL_CC"))
-    return Env;
-  return "cc";
+    return splitCommandArgs(Env);
+  return {"cc"};
 }
 
 std::string uniqueStem() {
@@ -37,7 +42,35 @@ std::string uniqueStem() {
   return SS.str();
 }
 
+/// One compiler invocation, with every fault-injection site that can afflict
+/// it. The hang site swaps in a sleeping child so the real kill-on-expiry
+/// path is exercised; the crash and plain-failure sites synthesize results.
+SubprocessResult invokeCompiler(const std::vector<std::string> &Argv,
+                                double TimeoutSeconds) {
+  if (fault::at("native-compile")) {
+    SubprocessResult R;
+    R.ExitCode = 1;
+    R.Output = fault::describe("native-compile");
+    return R;
+  }
+  if (fault::at("native-compile-crash")) {
+    SubprocessResult R;
+    R.Signal = SIGSEGV;
+    R.Output = fault::describe("native-compile-crash");
+    return R;
+  }
+  SubprocessOptions Opts;
+  Opts.TimeoutSeconds = TimeoutSeconds;
+  if (fault::at("native-compile-hang"))
+    return runSubprocess({"sh", "-c", "sleep 600"}, Opts);
+  return runSubprocess(Argv, Opts);
+}
+
 } // namespace
+
+double NativeModule::compileTimeoutSeconds() {
+  return envTimeoutSeconds("SPL_CC_TIMEOUT_MS", 60.0);
+}
 
 bool NativeModule::available() {
 #if !defined(SPL_HAVE_DLOPEN)
@@ -45,8 +78,11 @@ bool NativeModule::available() {
 #else
   // Initialized exactly once even when parallel search workers race here.
   static const bool Cached = [] {
-    std::string Cmd = ccCommand() + " --version > /dev/null 2>&1";
-    return std::system(Cmd.c_str()) == 0;
+    std::vector<std::string> Argv = ccArgv();
+    Argv.push_back("--version");
+    SubprocessOptions Opts;
+    Opts.TimeoutSeconds = 10.0;
+    return runSubprocess(Argv, Opts).ok();
   }();
   return Cached;
 #endif
@@ -54,8 +90,14 @@ bool NativeModule::available() {
 
 std::unique_ptr<NativeModule>
 NativeModule::compile(const std::string &CSource, const std::string &FnName,
-                      std::string *Error, const std::string &ExtraFlags) {
+                      std::string *Error, const std::string &ExtraFlags,
+                      bool *TimedOut) {
+  if (TimedOut)
+    *TimedOut = false;
 #if !defined(SPL_HAVE_DLOPEN)
+  (void)CSource;
+  (void)FnName;
+  (void)ExtraFlags;
   if (Error)
     *Error = "dlopen is not available on this platform";
   return nullptr;
@@ -63,7 +105,12 @@ NativeModule::compile(const std::string &CSource, const std::string &FnName,
   std::string Stem = uniqueStem();
   std::string CPath = Stem + ".c";
   std::string SoPath = Stem + ".so";
-  std::string LogPath = Stem + ".log";
+  // Every early exit removes the source; the .so is owned by the module (or
+  // removed on its own failure paths below).
+  struct SourceGuard {
+    const std::string &Path;
+    ~SourceGuard() { std::remove(Path.c_str()); }
+  } Guard{CPath};
 
   {
     std::ofstream Out(CPath);
@@ -73,41 +120,68 @@ NativeModule::compile(const std::string &CSource, const std::string &FnName,
       return nullptr;
     }
     Out << CSource;
+    if (!Out.good()) {
+      if (Error)
+        *Error = "error writing " + CPath;
+      return nullptr;
+    }
   }
 
-  std::string Cmd = ccCommand() + " " + ExtraFlags +
-                    " -shared -fPIC -o " + SoPath + " " + CPath + " > " +
-                    LogPath + " 2>&1";
-  int RC = std::system(Cmd.c_str());
-  if (RC != 0) {
+  std::vector<std::string> Argv = ccArgv();
+  for (std::string &F : splitCommandArgs(ExtraFlags))
+    Argv.push_back(std::move(F));
+  Argv.push_back("-shared");
+  Argv.push_back("-fPIC");
+  Argv.push_back("-o");
+  Argv.push_back(SoPath);
+  Argv.push_back(CPath);
+
+  const double Timeout = compileTimeoutSeconds();
+  // One bounded retry, and only for transient failures (a crashed or
+  // timed-out compiler); a deterministic nonzero exit is a real diagnostic
+  // and retrying it would just double the latency of every bad kernel.
+  SubprocessResult R;
+  for (int Attempt = 0;; ++Attempt) {
+    R = invokeCompiler(Argv, Timeout);
+    if (R.ok() || !R.transient() || Attempt >= 1)
+      break;
+  }
+  if (!R.ok()) {
+    if (TimedOut)
+      *TimedOut = R.TimedOut;
     if (Error) {
-      std::ifstream Log(LogPath);
       std::ostringstream SS;
-      SS << "compilation failed (exit " << RC << "):\n" << Log.rdbuf();
+      SS << "compilation " << (R.TimedOut ? "timed out" : "failed") << " ("
+         << R.describe();
+      if (R.TimedOut)
+        SS << " after " << Timeout << " s; see SPL_CC_TIMEOUT_MS";
+      SS << ")";
+      if (!R.Output.empty())
+        SS << ":\n" << R.Output;
       *Error = SS.str();
     }
-    std::remove(CPath.c_str());
-    std::remove(LogPath.c_str());
+    std::remove(SoPath.c_str());
     return nullptr;
   }
 
-  void *Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  void *Handle = nullptr;
+  if (!fault::at("dlopen"))
+    Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (!Handle) {
-    if (Error)
-      *Error = std::string("dlopen failed: ") + dlerror();
-    std::remove(CPath.c_str());
+    if (Error) {
+      const char *DLErr = dlerror();
+      *Error = std::string("dlopen failed: ") +
+               (DLErr ? DLErr : fault::describe("dlopen").c_str());
+    }
     std::remove(SoPath.c_str());
-    std::remove(LogPath.c_str());
     return nullptr;
   }
-  void *Sym = dlsym(Handle, FnName.c_str());
+  void *Sym = fault::at("dlsym") ? nullptr : dlsym(Handle, FnName.c_str());
   if (!Sym) {
     if (Error)
       *Error = "symbol '" + FnName + "' not found in generated module";
     dlclose(Handle);
-    std::remove(CPath.c_str());
     std::remove(SoPath.c_str());
-    std::remove(LogPath.c_str());
     return nullptr;
   }
 
@@ -115,8 +189,6 @@ NativeModule::compile(const std::string &CSource, const std::string &FnName,
   M->Handle = Handle;
   M->Fn = reinterpret_cast<KernelFn>(Sym);
   M->SoPath = SoPath;
-  std::remove(CPath.c_str());
-  std::remove(LogPath.c_str());
   return M;
 #endif
 }

@@ -11,6 +11,12 @@
 /// back-end Fortran/C compilers produced it. Falls back gracefully (callers
 /// check available()) when no compiler is installed.
 ///
+/// Compiler invocations run through support/Subprocess: wall-clock bounded
+/// (SPL_CC_TIMEOUT_MS, default 60 s), output captured into the error
+/// message, one bounded retry on transient failure (compiler crash or
+/// timeout), and SPL_FAULT sites on every failure path — see
+/// docs/RELIABILITY.md.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPL_PERF_NATIVECOMPILE_H
@@ -31,13 +37,18 @@ public:
 
   /// Compiles \p CSource and loads symbol \p FnName. On failure returns
   /// nullptr and, when \p Error is non-null, stores the compiler output.
+  /// \p TimedOut (when non-null) reports whether the failure was the
+  /// compile deadline expiring rather than a compiler diagnostic.
   static std::unique_ptr<NativeModule>
   compile(const std::string &CSource, const std::string &FnName,
           std::string *Error = nullptr,
-          const std::string &ExtraFlags = "-O2");
+          const std::string &ExtraFlags = "-O2", bool *TimedOut = nullptr);
 
   /// True when a working C compiler was found on this machine (cached).
   static bool available();
+
+  /// The per-invocation compile deadline (SPL_CC_TIMEOUT_MS, default 60 s).
+  static double compileTimeoutSeconds();
 
   KernelFn fn() const { return Fn; }
 

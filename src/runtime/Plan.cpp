@@ -22,6 +22,8 @@ const char *spl::runtime::backendName(Backend B) {
     return "vm";
   case Backend::Native:
     return "native";
+  case Backend::Oracle:
+    return "oracle";
   }
   return "unknown";
 }
@@ -33,6 +35,8 @@ bool spl::runtime::parseBackend(const std::string &Name, Backend &Out) {
     Out = Backend::VM;
   else if (Name == "native")
     Out = Backend::Native;
+  else if (Name == "oracle")
+    Out = Backend::Oracle;
   else
     return false;
   return true;
@@ -69,7 +73,33 @@ void Plan::releaseCtx(std::unique_ptr<ExecCtx> Ctx) {
   FreeCtxs.push_back(std::move(Ctx));
 }
 
+void Plan::applyOracle(double *Y, const double *X) const {
+  // The input is fully read into a complex vector before Y is written, so
+  // in-place calls (Y == X) need no scratch on this tier.
+  const size_t N = OracleMat.cols();
+  std::vector<Cplx> In(N);
+  if (Final.LoweredToReal) {
+    for (size_t I = 0; I != N; ++I)
+      In[I] = Cplx(X[2 * I], X[2 * I + 1]);
+    std::vector<Cplx> Out = OracleMat.apply(In);
+    for (size_t I = 0; I != Out.size(); ++I) {
+      Y[2 * I] = Out[I].real();
+      Y[2 * I + 1] = Out[I].imag();
+    }
+    return;
+  }
+  for (size_t I = 0; I != N; ++I)
+    In[I] = Cplx(X[I], 0.0);
+  std::vector<Cplx> Out = OracleMat.apply(In);
+  for (size_t I = 0; I != Out.size(); ++I)
+    Y[I] = Out[I].real();
+}
+
 void Plan::runOne(ExecCtx &Ctx, double *Y, const double *X) {
+  if (Resolved == Backend::Oracle) {
+    applyOracle(Y, X);
+    return;
+  }
   if (Y == X) {
     // In-place request: compute into aligned scratch, then copy back. The
     // generated kernels are out-of-place (y and x are restrict-qualified).

@@ -7,9 +7,11 @@
 /// \file
 /// The FFTW-style execute half of the runtime layer. A Plan is the
 /// materialized end product of the paper's generate-search-time loop: one
-/// searched, compiled transform, ready to apply to data — either as natively
-/// compiled machine code (perf::CompiledKernel) or on the portable i-code VM
-/// (vm::Executor), chosen at plan time with automatic fallback.
+/// searched, compiled transform, ready to apply to data — as natively
+/// compiled machine code (perf::CompiledKernel), on the portable i-code VM
+/// (vm::Executor), or — last resort — as a dense matrix-vector product.
+/// The tier is chosen at plan time by runtime::Planner's degradation chain
+/// (native -> vm -> oracle); see docs/RELIABILITY.md.
 ///
 /// Plans are built by runtime::Planner, shared through runtime::PlanRegistry,
 /// and applied with execute() (one vector) or executeBatch() (many vectors,
@@ -23,6 +25,8 @@
 #define SPL_RUNTIME_PLAN_H
 
 #include "icode/ICode.h"
+#include "ir/Formula.h"
+#include "ir/Matrix.h"
 #include "perf/KernelRunner.h"
 #include "runtime/AlignedBuffer.h"
 #include "support/ThreadPool.h"
@@ -42,9 +46,10 @@ enum class Backend {
   Auto,   ///< Prefer native, fall back to the VM (request only).
   VM,     ///< Interpret i-code (always available).
   Native, ///< Natively compiled C; falls back to VM if compilation fails.
+  Oracle, ///< Dense matrix-vector product — the last degradation tier.
 };
 
-/// Stable lowercase token ("auto" | "vm" | "native").
+/// Stable lowercase token ("auto" | "vm" | "native" | "oracle").
 const char *backendName(Backend B);
 
 /// Parses a backend token; returns false on an unknown name.
@@ -82,7 +87,8 @@ class Plan {
 public:
   const PlanSpec &spec() const { return Spec; }
 
-  /// The substrate this plan actually runs on (VM or Native, never Auto).
+  /// The substrate this plan actually runs on — the tier the degradation
+  /// chain native -> vm -> oracle landed on (never Auto).
   Backend backend() const { return Resolved; }
 
   /// Logical transform size N.
@@ -94,11 +100,15 @@ public:
   /// The winning formula in SPL syntax (wisdom serialization format).
   const std::string &formulaText() const { return FormulaText; }
 
+  /// The winning formula itself; lets callers build an independent dense
+  /// oracle (Formula::toMatrix) to verify the plan's output.
+  const FormulaRef &formula() const { return Winner; }
+
   /// The winner's search cost (units depend on the planner's evaluator).
   double searchCost() const { return Cost; }
 
-  /// True when a native backend was requested (Auto/Native) but the plan
-  /// runs on the VM; fallbackReason() says why.
+  /// True when the plan runs on a lower tier than requested (the
+  /// degradation chain demoted it); fallbackReason() accumulates why.
   bool usedFallback() const { return Fallback; }
   const std::string &fallbackReason() const { return FallbackReason; }
 
@@ -140,11 +150,14 @@ private:
   std::unique_ptr<ExecCtx> acquireCtx();
   void releaseCtx(std::unique_ptr<ExecCtx> Ctx);
   void runOne(ExecCtx &Ctx, double *Y, const double *X);
+  void applyOracle(double *Y, const double *X) const;
 
   PlanSpec Spec;
   Backend Resolved = Backend::VM;
   icode::Program Final;
-  std::unique_ptr<perf::CompiledKernel> Native; ///< Null on the VM backend.
+  std::unique_ptr<perf::CompiledKernel> Native; ///< Null off the native tier.
+  Matrix OracleMat; ///< Dense winner matrix (oracle tier only).
+  FormulaRef Winner;
   std::string FormulaText;
   double Cost = 0;
   bool Fallback = false;

@@ -11,6 +11,10 @@
 #include "gen/Enumerate.h"
 #include "search/DPSearch.h"
 #include "search/Evaluator.h"
+#include "support/FaultInjection.h"
+#include "support/Subprocess.h"
+
+#include <cmath>
 
 using namespace spl;
 using namespace spl::runtime;
@@ -124,38 +128,50 @@ bool Planner::chooseWHT(const PlanSpec &Spec, search::Evaluator &Eval,
   return true;
 }
 
-std::shared_ptr<Plan> Planner::plan(const PlanSpec &Spec) {
+double Planner::trialTimeoutSeconds() {
+  return envTimeoutSeconds("SPL_TRIAL_TIMEOUT_MS", 5.0);
+}
+
+bool Planner::validateSpec(const PlanSpec &Spec, Diagnostics &Diags) {
   PlanSpec S = normalize(Spec);
 
   if (S.Size < 2) {
     Diags.error(SourceLoc(), "plan size must be >= 2 (got " +
                                  std::to_string(S.Size) + ")");
-    return nullptr;
+    return false;
   }
   if (S.Datatype != "complex" && S.Datatype != "real") {
     Diags.error(SourceLoc(), "unknown datatype '" + S.Datatype + "'");
-    return nullptr;
+    return false;
   }
   if (S.Transform == "fft") {
     if (S.Datatype != "complex") {
       Diags.error(SourceLoc(), "the fft transform requires complex data");
-      return nullptr;
+      return false;
     }
     if (S.Size > S.MaxLeaf && !isPow2(S.Size)) {
       Diags.error(SourceLoc(),
                   "fft sizes above the search leaf must be powers of two");
-      return nullptr;
+      return false;
     }
   } else if (S.Transform == "wht") {
     if (!isPow2(S.Size)) {
       Diags.error(SourceLoc(), "wht sizes must be powers of two");
-      return nullptr;
+      return false;
     }
   } else {
     Diags.error(SourceLoc(), "unknown transform '" + S.Transform +
                                  "' (expected fft or wht)");
-    return nullptr;
+    return false;
   }
+  return true;
+}
+
+std::shared_ptr<Plan> Planner::plan(const PlanSpec &Spec) {
+  PlanSpec S = normalize(Spec);
+
+  if (!validateSpec(S, Diags))
+    return nullptr;
 
   std::call_once(WisdomOnce, [&] {
     if (Opts.UseWisdom)
@@ -196,13 +212,24 @@ std::shared_ptr<Plan> Planner::plan(const PlanSpec &Spec) {
   auto P = std::shared_ptr<Plan>(new Plan());
   P->Spec = S;
   P->Final = std::move(Unit->Final);
+  P->Winner = Winner;
   P->FormulaText = Winner->print();
   P->Cost = Cost;
   P->IOLen = P->Final.LoweredToReal ? P->Final.InSize * 2 : P->Final.InSize;
 
-  if (S.Want == Backend::VM) {
-    P->Resolved = Backend::VM;
-  } else {
+  // Walk the degradation chain native -> vm -> oracle, recording why each
+  // tier was skipped. A tier only joins the plan after proving itself.
+  std::string Demotions;
+  auto Demote = [&](const std::string &Tier, const std::string &Why) {
+    if (!Demotions.empty())
+      Demotions += "; ";
+    Demotions += Tier + ": " + Why;
+    Diags.note(SourceLoc(), Tier + " backend unavailable for " +
+                                Dirs.SubName + " (" + Why + ")");
+  };
+  bool Placed = false;
+
+  if (S.Want == Backend::Auto || S.Want == Backend::Native) {
     perf::KernelError KErr;
     std::unique_ptr<perf::CompiledKernel> Kernel;
     if (Opts.ForceNativeFail) {
@@ -214,17 +241,76 @@ std::shared_ptr<Plan> Planner::plan(const PlanSpec &Spec) {
       BO.ThreadSafe = true; // Batch dispatch runs one kernel on many threads.
       Kernel = perf::CompiledKernel::create(P->Final, &KErr, BO);
     }
+    if (Kernel && Opts.TrialExecution) {
+      auto Trial = Kernel->trial(trialTimeoutSeconds());
+      if (!Trial.Ok) {
+        KErr = perf::KernelError{perf::KernelErrorKind::TrialFailed,
+                                 Trial.Reason};
+        Kernel.reset();
+      }
+    }
     if (Kernel) {
       P->Native = std::move(Kernel);
       P->Resolved = Backend::Native;
+      Placed = true;
     } else {
-      P->Resolved = Backend::VM;
-      P->Fallback = true;
-      P->FallbackReason = KErr.str();
-      Diags.note(SourceLoc(), "native backend unavailable for " +
-                                  Dirs.SubName + " (" + KErr.str() +
-                                  "); falling back to the VM");
+      Demote("native", KErr.str());
     }
+  }
+
+  if (!Placed && S.Want != Backend::Oracle) {
+    // Prove the interpreter on this program once: one in-process run on
+    // zero input must produce finite output (the VM cannot take the
+    // process down the way a bad native kernel can).
+    std::string VMErr;
+    if (fault::at("vm-exec")) {
+      VMErr = fault::describe("vm-exec");
+    } else {
+      vm::Executor VM(P->Final);
+      std::vector<double> In(static_cast<size_t>(VM.inputLen()), 0.0);
+      std::vector<double> Out(static_cast<size_t>(VM.outputLen()), 0.0);
+      VM.runReal(In.data(), Out.data());
+      for (double V : Out)
+        if (!std::isfinite(V)) {
+          VMErr = "interpreted program produced non-finite output";
+          break;
+        }
+    }
+    if (VMErr.empty()) {
+      P->Resolved = Backend::VM;
+      Placed = true;
+    } else {
+      Demote("vm", VMErr);
+    }
+  }
+
+  if (!Placed) {
+    // Last tier: the dense matrix the formula denotes, applied directly.
+    // O(N^2) per transform and O(N^2) doubles of storage, so capped.
+    constexpr std::int64_t OracleSizeCap = 4096;
+    if (S.Size > OracleSizeCap || !Winner->hasDenseSemantics()) {
+      Diags.error(SourceLoc(),
+                  "no usable backend for " + Dirs.SubName +
+                      (Demotions.empty() ? std::string()
+                                         : " (" + Demotions + ")") +
+                      "; the dense oracle tier " +
+                      (S.Size > OracleSizeCap
+                           ? "is capped at size " +
+                                 std::to_string(OracleSizeCap)
+                           : std::string(
+                                 "needs a formula with dense semantics")));
+      return nullptr;
+    }
+    P->OracleMat = Winner->toMatrix();
+    P->Resolved = Backend::Oracle;
+  }
+
+  if (!Demotions.empty()) {
+    P->Fallback = true;
+    P->FallbackReason = Demotions;
+    Diags.note(SourceLoc(), "plan for " + Dirs.SubName + " degraded to the " +
+                                std::string(backendName(P->Resolved)) +
+                                " backend");
   }
 
   // Pre-warm one execution context: validates the program in the VM case

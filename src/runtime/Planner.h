@@ -9,9 +9,11 @@
 /// ("fft, 1024 points, unroll 16") into an executable Plan: it consults the
 /// persistent wisdom cache, runs the Section-4 dynamic-programming search on
 /// a miss, compiles the winning formula through the full pipeline, and picks
-/// the execution substrate — natively compiled C when the system compiler
-/// cooperates, the i-code VM otherwise. Every native failure path is a typed
-/// perf::KernelError, so fallback is a decision, not a crash.
+/// the execution substrate by walking a degradation chain: natively compiled
+/// C (proved by a guarded trial execution first), the i-code VM, and — when
+/// even that fails — a dense matrix-vector oracle. Every failure along the
+/// chain is a typed perf::KernelError or recorded reason, so fallback is a
+/// decision, not a crash. See docs/RELIABILITY.md.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -55,6 +57,13 @@ struct PlannerOptions {
   /// Candidate cap for the flat WHT search.
   int WhtCandidateCap = 24;
 
+  /// Prove every newly compiled native kernel with a guarded trial
+  /// execution (forked subprocess, wall-clock bounded by
+  /// SPL_TRIAL_TIMEOUT_MS, default 5 s) before it joins the plan. A kernel
+  /// that crashes, hangs, or emits non-finite output is demoted to the VM
+  /// tier without harming the planning process.
+  bool TrialExecution = true;
+
   /// Test hook: pretend every native kernel build fails, exercising the
   /// VM fallback path deterministically.
   bool ForceNativeFail = false;
@@ -69,6 +78,15 @@ public:
   /// Materializes a plan for \p Spec. Returns null after reporting
   /// diagnostics when the spec is invalid or compilation fails.
   std::shared_ptr<Plan> plan(const PlanSpec &Spec);
+
+  /// Checks \p Spec without planning: reports Diagnostics errors and
+  /// returns false on an invalid transform/size/datatype combination.
+  /// Tools use this to distinguish "bad request" from "planning failed".
+  static bool validateSpec(const PlanSpec &Spec, Diagnostics &Diags);
+
+  /// The per-kernel trial-execution deadline (SPL_TRIAL_TIMEOUT_MS,
+  /// default 5 s).
+  static double trialTimeoutSeconds();
 
   /// Persists accumulated wisdom (merge-on-save). No-op without UseWisdom.
   bool saveWisdom();

@@ -8,13 +8,23 @@
 
 #include "perf/KernelRunner.h"
 #include "perf/NativeCompile.h"
+#include "support/FaultInjection.h"
+#include "support/Subprocess.h"
 #include "support/Timer.h"
 #include "vm/Executor.h"
 
+#include <chrono>
+#include <condition_variable>
+#include <limits>
 #include <random>
+#include <thread>
 
 using namespace spl;
 using namespace spl::search;
+
+Evaluator::Evaluator(Diagnostics &Diags, driver::CompilerOptions CompOpts)
+    : Diags(Diags), CompOpts(std::move(CompOpts)),
+      TimingTimeoutSeconds(envTimeoutSeconds("SPL_EVAL_TIMEOUT_MS", 10.0)) {}
 
 std::optional<Compiled> Evaluator::compile(const FormulaRef &F) {
   driver::Compiler Comp(Diags);
@@ -47,6 +57,74 @@ std::optional<double> Evaluator::cost(const FormulaRef &F) {
   return costCompiled(*C);
 }
 
+namespace {
+
+/// Runs \p Fn on a watchdog thread with a wall-clock deadline. On timeout
+/// the thread is detached (it finishes — or not — on its own; Fn must own
+/// its captures) and nullopt is returned. A non-positive deadline runs
+/// \p Fn inline.
+std::optional<double> runWithDeadline(const std::function<double()> &Fn,
+                                      double Seconds) {
+  if (Seconds <= 0)
+    return Fn();
+  struct Shared {
+    std::mutex M;
+    std::condition_variable CV;
+    bool Done = false;
+    double Value = 0;
+  };
+  auto S = std::make_shared<Shared>();
+  std::thread T([S, Fn] {
+    double V = Fn();
+    std::lock_guard<std::mutex> Lock(S->M);
+    S->Value = V;
+    S->Done = true;
+    S->CV.notify_all();
+  });
+  std::unique_lock<std::mutex> Lock(S->M);
+  bool Finished = S->CV.wait_for(Lock, std::chrono::duration<double>(Seconds),
+                                 [&] { return S->Done; });
+  Lock.unlock();
+  if (Finished) {
+    T.join();
+    return S->Value;
+  }
+  T.detach();
+  return std::nullopt;
+}
+
+} // namespace
+
+std::optional<double> Evaluator::timedCost(std::function<double()> Fn,
+                                           const char *What) {
+  const double Budget = TimingTimeoutSeconds;
+  for (int Attempt = 0; Attempt <= TimingRetries; ++Attempt) {
+    std::function<double()> Run = Fn;
+    if (fault::at("eval-hang")) {
+      // Sleep past the deadline, then fall through to the real measurement
+      // so the abandoned thread terminates on its own.
+      Run = [Fn, Budget]() -> double {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(Budget > 0 ? Budget + 1.0 : 1.0));
+        return Fn();
+      };
+    }
+    auto V = runWithDeadline(Run, Budget);
+    if (V)
+      return V;
+    Diags.warning(SourceLoc(),
+                  std::string(What) + " run exceeded the timing budget (" +
+                      std::to_string(Budget) +
+                      " s, SPL_EVAL_TIMEOUT_MS); attempt " +
+                      std::to_string(Attempt + 1) + " of " +
+                      std::to_string(TimingRetries + 1));
+  }
+  Diags.warning(SourceLoc(), std::string(What) +
+                                 " timing budget exhausted; scoring the "
+                                 "candidate as infinite cost");
+  return std::numeric_limits<double>::infinity();
+}
+
 std::optional<double> OpCountEvaluator::costCompiled(const Compiled &C) {
   return static_cast<double>(C.Final.dynamicOpCount());
 }
@@ -65,10 +143,19 @@ std::vector<double> randomRealBuffer(size_t N) {
 } // namespace
 
 std::optional<double> VMTimeEvaluator::costCompiled(const Compiled &C) {
-  vm::Executor VM(C.Final);
-  std::vector<double> In = randomRealBuffer(VM.inputLen());
-  std::vector<double> Out(VM.outputLen(), 0.0);
-  return timeBestOf([&] { VM.runReal(In.data(), Out.data()); }, Repeats);
+  // The closure owns a copy of the program: if it is abandoned on timeout,
+  // it must not reference this call's stack.
+  auto Prog = std::make_shared<icode::Program>(C.Final);
+  const int Reps = Repeats;
+  return timedCost(
+      [Prog, Reps]() -> double {
+        vm::Executor VM(*Prog);
+        std::vector<double> In =
+            randomRealBuffer(static_cast<size_t>(VM.inputLen()));
+        std::vector<double> Out(static_cast<size_t>(VM.outputLen()), 0.0);
+        return timeBestOf([&] { VM.runReal(In.data(), Out.data()); }, Reps);
+      },
+      "vm timing");
 }
 
 bool NativeTimeEvaluator::available() {
@@ -76,11 +163,17 @@ bool NativeTimeEvaluator::available() {
 }
 
 std::optional<double> NativeTimeEvaluator::costCompiled(const Compiled &C) {
-  std::string Err;
-  auto Kernel = perf::CompiledKernel::create(C.Final, &Err);
-  if (!Kernel) {
-    Diags.error(SourceLoc(), "native compilation failed: " + Err);
+  perf::KernelError Err;
+  auto Built = perf::CompiledKernel::create(C.Final, &Err,
+                                            perf::KernelBuildOptions());
+  if (!Built) {
+    Diags.error(SourceLoc(), "native compilation failed: " + Err.str());
     return std::nullopt;
   }
-  return Kernel->time(Repeats);
+  // Shared ownership keeps the module loaded for a timing thread abandoned
+  // by the watchdog.
+  std::shared_ptr<perf::CompiledKernel> K(std::move(Built));
+  const int Reps = Repeats;
+  return timedCost([K, Reps]() -> double { return K->time(Reps); },
+                   "native timing");
 }

@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -40,10 +41,14 @@ struct Compiled {
 /// compilation runs fully concurrently, while timed evaluators serialize
 /// their measurements behind a mutex so concurrent workers never distort
 /// each other's wall-clock readings.
+///
+/// Timed evaluations run under a watchdog: a candidate whose measurement
+/// exceeds the timing budget (SPL_EVAL_TIMEOUT_MS, default 10 s) is retried
+/// once and then scored as infinite cost, so one pathological kernel slows
+/// the DP search by a bounded amount instead of hanging it.
 class Evaluator {
 public:
-  Evaluator(Diagnostics &Diags, driver::CompilerOptions CompOpts)
-      : Diags(Diags), CompOpts(std::move(CompOpts)) {}
+  Evaluator(Diagnostics &Diags, driver::CompilerOptions CompOpts);
   virtual ~Evaluator() = default;
 
   /// Cost of \p F; nullopt after reporting diagnostics on failure.
@@ -72,15 +77,32 @@ public:
 
   driver::CompilerOptions &options() { return CompOpts; }
 
+  /// Overrides the per-measurement wall-clock budget and retry count.
+  /// A budget <= 0 disables the watchdog.
+  void setTimingBudget(double TimeoutSeconds, int Retries) {
+    TimingTimeoutSeconds = TimeoutSeconds;
+    TimingRetries = Retries < 0 ? 0 : Retries;
+  }
+  double timingTimeoutSeconds() const { return TimingTimeoutSeconds; }
+
 protected:
   /// Costs an already-compiled candidate.
   virtual std::optional<double> costCompiled(const Compiled &C) = 0;
+
+  /// Runs one measurement closure under the watchdog with the retry
+  /// budget; \p Fn must own everything it touches (shared_ptr captures),
+  /// because on timeout its thread is abandoned and may still be running.
+  /// Returns infinity (with a warning) when every attempt times out.
+  std::optional<double> timedCost(std::function<double()> Fn,
+                                  const char *What);
 
   Diagnostics &Diags;
   driver::CompilerOptions CompOpts;
   std::string Datatype = "complex";
 
 private:
+  double TimingTimeoutSeconds;
+  int TimingRetries = 1;
   std::mutex TimingMutex;
   std::atomic<std::uint64_t> NumEvals{0};
 };

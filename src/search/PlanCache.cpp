@@ -6,6 +6,7 @@
 
 #include "search/PlanCache.h"
 
+#include "support/FaultInjection.h"
 #include "support/HostInfo.h"
 
 #include <cstdio>
@@ -18,7 +19,10 @@ using namespace spl::search;
 
 namespace {
 
-constexpr const char *VersionHeader = "spl-wisdom v1";
+// v2 added a per-line FNV-1a checksum between the "plan" tag and the
+// payload; v1 files (no checksums) are ignored with a warning — wisdom is
+// a cache, so dropping an old file only costs a re-search.
+constexpr const char *VersionHeader = "spl-wisdom v2";
 
 /// FNV-1a 64-bit, rendered as 16 hex digits (a stable, compiler-independent
 /// hash — std::hash would tie the fingerprint to the standard library).
@@ -98,7 +102,8 @@ bool PlanCache::loadLocked(
     };
 
     std::istringstream SS(Line);
-    std::string Tag, Transform, Datatype, Unroll, Evaluator, Host, Sep;
+    std::string Tag, Checksum, Transform, Datatype, Unroll, Evaluator, Host,
+        Sep;
     std::int64_t Size = 0;
     int Index = 0;
     double Cost = 0;
@@ -106,6 +111,21 @@ bool PlanCache::loadLocked(
       Reject("expected a 'plan' record");
       continue;
     }
+    if (!(SS >> Checksum)) {
+      Reject("missing line checksum");
+      continue;
+    }
+    // Everything after "plan <checksum> " is the checksummed payload.
+    std::string Payload;
+    std::getline(SS, Payload);
+    if (!Payload.empty() && Payload.front() == ' ')
+      Payload.erase(0, 1);
+    if (fnv1aHex(Payload) != Checksum) {
+      Reject("line checksum mismatch (corrupt or truncated entry)");
+      continue;
+    }
+    SS.clear();
+    SS.str(Payload);
     if (!(SS >> Transform >> Size >> Datatype >> Unroll >> Evaluator >> Host >>
           Index >> Cost >> Sep) ||
         Sep != "|") {
@@ -140,6 +160,11 @@ bool PlanCache::loadLocked(
 
 bool PlanCache::load(const std::string &Path) {
   std::lock_guard<std::mutex> Lock(M);
+  if (fault::at("wisdom-load")) {
+    Diags.warning(SourceLoc(), "cannot read wisdom file '" + Path + "' (" +
+                                   fault::describe("wisdom-load") + ")");
+    return false;
+  }
   std::map<std::string, std::vector<PlanEntry>> Incoming;
   if (!loadLocked(Path, Incoming, /*CountStats=*/true))
     return false;
@@ -151,6 +176,11 @@ bool PlanCache::load(const std::string &Path) {
 
 bool PlanCache::save(const std::string &Path) const {
   std::lock_guard<std::mutex> Lock(M);
+  if (fault::at("wisdom-save")) {
+    Diags.warning(SourceLoc(), "cannot write wisdom file '" + Path + "' (" +
+                                   fault::describe("wisdom-save") + ")");
+    return false;
+  }
 
   // Merge-on-save: what is on disk survives unless we hold the same key.
   std::map<std::string, std::vector<PlanEntry>> Merged;
@@ -172,9 +202,10 @@ bool PlanCache::save(const std::string &Path) const {
       for (size_t I = 0; I != Entries.size(); ++I) {
         if (Entries[I].FormulaText.empty())
           continue; // A gap left by a sparse/duplicated index on load.
-        Out << "plan " << Key << ' ' << I << ' '
-            << formatCost(Entries[I].Cost) << " | " << Entries[I].FormulaText
-            << '\n';
+        std::string Payload = Key + ' ' + std::to_string(I) + ' ' +
+                              formatCost(Entries[I].Cost) + " | " +
+                              Entries[I].FormulaText;
+        Out << "plan " << fnv1aHex(Payload) << ' ' << Payload << '\n';
       }
     if (!Out.good()) {
       Diags.warning(SourceLoc(), "error writing wisdom file '" + Path + "'");

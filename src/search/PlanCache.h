@@ -13,17 +13,19 @@
 /// fingerprint — lets later runs skip both enumeration and timing entirely.
 ///
 /// The on-disk format is a line-oriented versioned text file
-/// (~/.spl_wisdom by default):
+/// (~/.spl_wisdom by default). Each plan line carries an FNV-1a checksum of
+/// its payload right after the tag:
 ///
-///   spl-wisdom v1
-///   plan fft 16 complex B16 vmtime a1b2c3d4e5f60708 0 1.25e-06 | [formula]
+///   spl-wisdom v2
+///   plan 0011223344556677 fft 16 complex B16 vmtime a1b2c3d4 0 1.2e-06 | F
 ///
 /// Robustness rules: an unknown version header invalidates the whole file;
-/// malformed plan lines are skipped with a warning; entries whose host
-/// fingerprint differs from the running machine are carried along (so a
-/// wisdom file can roam between machines) but never served as hits.
-/// save() merges with the file already on disk, in-memory entries winning,
-/// so concurrent tools lose nothing but a race's duplicates.
+/// malformed or checksum-failing plan lines (bit flips, truncation) are
+/// skipped with a warning and dropped for good by the next save(); entries
+/// whose host fingerprint differs from the running machine are carried
+/// along (so a wisdom file can roam between machines) but never served as
+/// hits. save() merges with the file already on disk, in-memory entries
+/// winning, so concurrent tools lose nothing but a race's duplicates.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,113 @@
+//===- support/FaultInjection.cpp - Deterministic fault injection -------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <mutex>
+
+using namespace spl;
+
+namespace {
+
+struct FaultState {
+  std::mutex M;
+  /// Site -> remaining firings. A negative budget means unlimited.
+  std::map<std::string, long long> Budgets;
+  bool Parsed = false;
+};
+
+FaultState &state() {
+  static FaultState S;
+  return S;
+}
+
+/// Fast-path flag: false until SPL_FAULT is seen non-empty. Rechecked only
+/// by reset().
+std::atomic<bool> Armed{false};
+
+/// Parses "site[:n],site2[:n2]" into the budget table.
+void parseLocked(FaultState &S) {
+  S.Budgets.clear();
+  S.Parsed = true;
+  const char *Env = std::getenv("SPL_FAULT");
+  if (!Env || !*Env) {
+    Armed.store(false, std::memory_order_relaxed);
+    return;
+  }
+  std::string Spec = Env;
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string Item = Spec.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    Pos = Comma == std::string::npos ? Spec.size() : Comma + 1;
+    if (Item.empty())
+      continue;
+    long long Budget = -1; // Unlimited unless ":n" is given.
+    size_t Colon = Item.find(':');
+    std::string Site = Item.substr(0, Colon);
+    if (Colon != std::string::npos) {
+      char *End = nullptr;
+      long long N = std::strtoll(Item.c_str() + Colon + 1, &End, 10);
+      if (End && *End == '\0' && N >= 0)
+        Budget = N;
+    }
+    if (!Site.empty())
+      S.Budgets[Site] = Budget;
+  }
+  Armed.store(!S.Budgets.empty(), std::memory_order_relaxed);
+}
+
+} // namespace
+
+bool fault::at(const char *Site) {
+  FaultState &S = state();
+  if (!Armed.load(std::memory_order_relaxed)) {
+    // Not yet parsed at all? Parse once so a process started with SPL_FAULT
+    // set arms itself lazily; afterwards the unarmed path stays lock-free.
+    if (S.Parsed)
+      return false;
+    std::lock_guard<std::mutex> Lock(S.M);
+    if (!S.Parsed)
+      parseLocked(S);
+    if (!Armed.load(std::memory_order_relaxed))
+      return false;
+  }
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto Hit = S.Budgets.find(Site);
+  if (Hit == S.Budgets.end())
+    return false;
+  if (Hit->second < 0)
+    return true; // Unlimited.
+  if (Hit->second == 0)
+    return false; // Budget spent.
+  --Hit->second;
+  return true;
+}
+
+bool fault::armed() {
+  FaultState &S = state();
+  if (!S.Parsed) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    if (!S.Parsed)
+      parseLocked(S);
+  }
+  return Armed.load(std::memory_order_relaxed);
+}
+
+void fault::reset() {
+  FaultState &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  parseLocked(S);
+}
+
+std::string fault::describe(const char *Site) {
+  return std::string("injected fault at '") + Site + "' (SPL_FAULT)";
+}

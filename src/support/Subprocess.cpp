@@ -1,0 +1,258 @@
+//===- support/Subprocess.cpp - Guarded process execution ---------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Subprocess.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <cerrno>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define SPL_HAVE_FORK 1
+#endif
+
+using namespace spl;
+
+std::string SubprocessResult::describe() const {
+  if (SpawnFailed)
+    return "could not spawn process";
+  if (TimedOut)
+    return "timed out";
+  if (Signal != 0)
+    return "killed by signal " + std::to_string(Signal);
+  return "exit " + std::to_string(ExitCode);
+}
+
+std::string GuardedResult::describe() const {
+  if (SpawnFailed)
+    return "could not spawn guard process";
+  if (TimedOut)
+    return "timed out";
+  if (Signal != 0)
+    return "died on signal " + std::to_string(Signal);
+  return "exit " + std::to_string(ExitCode);
+}
+
+std::vector<std::string> spl::splitCommandArgs(const std::string &S) {
+  std::vector<std::string> Out;
+  std::istringstream SS(S);
+  std::string Tok;
+  while (SS >> Tok)
+    Out.push_back(Tok);
+  return Out;
+}
+
+double spl::envTimeoutSeconds(const char *Name, double DefSeconds) {
+  const char *Env = std::getenv(Name);
+  if (!Env || !*Env)
+    return DefSeconds;
+  char *End = nullptr;
+  double Ms = std::strtod(Env, &End);
+  if (End == Env || Ms <= 0)
+    return DefSeconds;
+  return Ms / 1000.0;
+}
+
+#if defined(SPL_HAVE_FORK)
+
+namespace {
+
+/// Waits for \p Pid with an optional deadline. On expiry kills the child's
+/// whole process group, reaps it, and reports TimedOut through \p TimedOut.
+/// Returns the waitpid status.
+int waitWithDeadline(pid_t Pid, double TimeoutSeconds, bool &TimedOut,
+                     int ReadFd, std::string *Output,
+                     std::size_t MaxOutputBytes) {
+  using Clock = std::chrono::steady_clock;
+  TimedOut = false;
+  const bool HasDeadline = TimeoutSeconds > 0;
+  const Clock::time_point Deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(TimeoutSeconds));
+  auto RemainingMs = [&]() -> long {
+    if (!HasDeadline)
+      return -1;
+    auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    Deadline - Clock::now())
+                    .count();
+    return Left > 0 ? static_cast<long>(Left) : 0;
+  };
+
+  // Drain the output pipe until EOF (child exited and the write ends are
+  // closed) or the deadline expires. poll() doubles as the timeout clock.
+  char Buf[4096];
+  bool PipeOpen = ReadFd >= 0;
+  while (PipeOpen) {
+    long Left = RemainingMs();
+    if (HasDeadline && Left == 0) {
+      TimedOut = true;
+      break;
+    }
+    struct pollfd PFD = {ReadFd, POLLIN, 0};
+    const long SliceMs = HasDeadline ? std::min<long>(Left, 50) : 200;
+    int PR = ::poll(&PFD, 1, static_cast<int>(SliceMs));
+    if (PR > 0) {
+      ssize_t N = ::read(ReadFd, Buf, sizeof(Buf));
+      if (N > 0) {
+        if (Output && Output->size() < MaxOutputBytes)
+          Output->append(Buf, Buf + std::min<std::size_t>(
+                                        static_cast<std::size_t>(N),
+                                        MaxOutputBytes - Output->size()));
+        continue;
+      }
+      PipeOpen = false; // EOF or read error: the child is done writing.
+    } else if (PR < 0 && errno != EINTR) {
+      PipeOpen = false;
+    }
+  }
+
+  if (!TimedOut && HasDeadline) {
+    // Pipe EOF (or no pipe at all) with budget left: poll the child
+    // directly — it may have closed its stdio yet still be running.
+    for (;;) {
+      int Status = 0;
+      pid_t R = ::waitpid(Pid, &Status, WNOHANG);
+      if (R == Pid)
+        return Status;
+      if (R < 0 && errno != EINTR)
+        break;
+      if (RemainingMs() == 0) {
+        TimedOut = true;
+        break;
+      }
+      struct timespec TS = {0, 20 * 1000 * 1000};
+      ::nanosleep(&TS, nullptr);
+    }
+  }
+  if (TimedOut) {
+    // Kill the whole group: compilers spawn their own children (cc1, as).
+    ::kill(-Pid, SIGKILL);
+  }
+
+  int Status = 0;
+  while (::waitpid(Pid, &Status, 0) < 0 && errno == EINTR) {
+  }
+  return Status;
+}
+
+} // namespace
+
+SubprocessResult spl::runSubprocess(const std::vector<std::string> &Argv,
+                                    const SubprocessOptions &Opts) {
+  SubprocessResult Res;
+  if (Argv.empty()) {
+    Res.SpawnFailed = true;
+    return Res;
+  }
+
+  int Pipe[2];
+  if (::pipe(Pipe) != 0) {
+    Res.SpawnFailed = true;
+    return Res;
+  }
+
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    ::close(Pipe[0]);
+    ::close(Pipe[1]);
+    Res.SpawnFailed = true;
+    return Res;
+  }
+
+  if (Pid == 0) {
+    // Child: own process group (so a timeout can kill compiler descendants),
+    // stdout+stderr into the pipe, stdin from /dev/null.
+    ::setpgid(0, 0);
+    ::close(Pipe[0]);
+    ::dup2(Pipe[1], STDOUT_FILENO);
+    ::dup2(Pipe[1], STDERR_FILENO);
+    ::close(Pipe[1]);
+    int DevNull = ::open("/dev/null", O_RDONLY);
+    if (DevNull >= 0) {
+      ::dup2(DevNull, STDIN_FILENO);
+      ::close(DevNull);
+    }
+    std::vector<char *> CArgv;
+    CArgv.reserve(Argv.size() + 1);
+    for (const std::string &A : Argv)
+      CArgv.push_back(const_cast<char *>(A.c_str()));
+    CArgv.push_back(nullptr);
+    ::execvp(CArgv[0], CArgv.data());
+    // exec failed; 127 mirrors the shell's "command not found".
+    ::_exit(127);
+  }
+
+  ::setpgid(Pid, Pid); // Also from the parent: closes the startup race.
+  ::close(Pipe[1]);
+
+  bool TimedOut = false;
+  int Status = waitWithDeadline(Pid, Opts.TimeoutSeconds, TimedOut, Pipe[0],
+                                &Res.Output, Opts.MaxOutputBytes);
+  ::close(Pipe[0]);
+
+  Res.TimedOut = TimedOut;
+  if (TimedOut)
+    return Res;
+  if (WIFSIGNALED(Status))
+    Res.Signal = WTERMSIG(Status);
+  else if (WIFEXITED(Status))
+    Res.ExitCode = WEXITSTATUS(Status);
+  return Res;
+}
+
+GuardedResult spl::runGuarded(const std::function<int()> &Fn,
+                              double TimeoutSeconds) {
+  GuardedResult Res;
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    Res.SpawnFailed = true;
+    return Res;
+  }
+  if (Pid == 0) {
+    ::setpgid(0, 0);
+    ::_exit(Fn());
+  }
+  ::setpgid(Pid, Pid);
+
+  bool TimedOut = false;
+  int Status = waitWithDeadline(Pid, TimeoutSeconds, TimedOut, /*ReadFd=*/-1,
+                                nullptr, 0);
+  Res.TimedOut = TimedOut;
+  if (TimedOut)
+    return Res;
+  if (WIFSIGNALED(Status))
+    Res.Signal = WTERMSIG(Status);
+  else if (WIFEXITED(Status))
+    Res.ExitCode = WEXITSTATUS(Status);
+  return Res;
+}
+
+#else // !SPL_HAVE_FORK
+
+SubprocessResult spl::runSubprocess(const std::vector<std::string> &,
+                                    const SubprocessOptions &) {
+  SubprocessResult Res;
+  Res.SpawnFailed = true;
+  Res.Output = "subprocess execution is not supported on this platform";
+  return Res;
+}
+
+GuardedResult spl::runGuarded(const std::function<int()> &Fn, double) {
+  // No isolation available: run inline so the feature degrades to the old
+  // in-process behavior instead of refusing to work.
+  GuardedResult Res;
+  Res.ExitCode = Fn();
+  return Res;
+}
+
+#endif // SPL_HAVE_FORK

@@ -44,6 +44,7 @@ driver::CompiledUnit compileOne(const std::string &Source,
 void checkNativeC(const std::string &Source, std::int64_t Threshold) {
   if (!perf::NativeModule::available())
     GTEST_SKIP() << "no system C compiler";
+  SPL_SKIP_IF_FAULTS_ARMED();
   driver::CompilerOptions Opts;
   Opts.UnrollThreshold = Threshold;
   auto Unit = compileOne(Source, Opts);
@@ -86,6 +87,7 @@ TEST(CEmitter, EmitsCompilableLoopCode) {
 TEST(CEmitter, RealDatatypeWHT) {
   if (!perf::NativeModule::available())
     GTEST_SKIP() << "no system C compiler";
+  SPL_SKIP_IF_FAULTS_ARMED();
   driver::CompilerOptions Opts;
   Opts.UnrollThreshold = 64;
   auto Unit = compileOne("#datatype real\n#subname wht8\n"
@@ -109,6 +111,7 @@ TEST(CEmitter, RealDatatypeWHT) {
 TEST(CEmitter, StrideParametersAddressLogicalElements) {
   if (!perf::NativeModule::available())
     GTEST_SKIP() << "no system C compiler";
+  SPL_SKIP_IF_FAULTS_ARMED();
   Diagnostics Diags;
   driver::Compiler C(Diags);
   driver::CompilerOptions Opts;
@@ -152,6 +155,7 @@ TEST(CEmitter, StrideParametersAddressLogicalElements) {
 TEST(CEmitter, VectorizeWrapperComputesTensorWithIdentity) {
   if (!perf::NativeModule::available())
     GTEST_SKIP() << "no system C compiler";
+  SPL_SKIP_IF_FAULTS_ARMED();
   Diagnostics Diags;
   driver::Compiler C(Diags);
   driver::CompilerOptions Opts;

@@ -1,0 +1,342 @@
+//===- tests/FaultInjectionTest.cpp - SPL_FAULT end-to-end tests ---------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives every SPL_FAULT site (support/FaultInjection.h) through the real
+/// pipeline: compiler invocations that fail, crash or hang; symbol lookups
+/// that vanish; wisdom I/O that breaks; evaluator measurements and trial
+/// executions that never return. Each test asserts the corresponding
+/// degradation behaves — typed errors, bounded wall-clock, and a plan that
+/// still computes the right numbers on whatever tier the chain lands on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "driver/Compiler.h"
+#include "frontend/Parser.h"
+#include "ir/Transforms.h"
+#include "perf/KernelRunner.h"
+#include "perf/NativeCompile.h"
+#include "runtime/Planner.h"
+#include "search/DPSearch.h"
+#include "search/Evaluator.h"
+#include "search/PlanCache.h"
+#include "support/Diagnostics.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+using namespace spl;
+using namespace spl::test;
+
+namespace {
+
+/// Saves and restores the SPL_FAULT environment around every test (and
+/// re-parses the budget table), so this suite composes with an externally
+/// armed fault matrix instead of leaking arms into later suites.
+class FaultTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    const char *Old = std::getenv("SPL_FAULT");
+    HadOld = Old != nullptr;
+    if (HadOld)
+      OldValue = Old;
+    arm(nullptr);
+  }
+
+  void TearDown() override {
+    if (HadOld)
+      setenv("SPL_FAULT", OldValue.c_str(), 1);
+    else
+      unsetenv("SPL_FAULT");
+    fault::reset();
+  }
+
+  /// Re-arms SPL_FAULT with \p Spec (null or empty disarms).
+  void arm(const char *Spec) {
+    if (Spec && *Spec)
+      setenv("SPL_FAULT", Spec, 1);
+    else
+      unsetenv("SPL_FAULT");
+    fault::reset();
+  }
+
+  /// (F 4) compiled down to a real-typed, kernel-ready i-code program.
+  icode::Program smallProgram() {
+    Diagnostics Diags;
+    driver::Compiler C(Diags);
+    driver::CompilerOptions Opts;
+    Opts.UnrollThreshold = 16;
+    Opts.EmitCode = false;
+    DirectiveState Dirs;
+    Dirs.SubName = "f4k";
+    auto Unit =
+        C.compileFormula(parseFormulaString("(F 4)", Diags), Dirs, Opts);
+    EXPECT_TRUE(Unit) << Diags.dump();
+    return Unit->Final;
+  }
+
+  runtime::PlannerOptions chainOptions() {
+    runtime::PlannerOptions O;
+    O.UseWisdom = false; // Each test plans from scratch, hermetically.
+    return O;
+  }
+
+  bool HadOld = false;
+  std::string OldValue;
+};
+
+TEST_F(FaultTest, UnarmedFastPathNeverFires) {
+  EXPECT_FALSE(fault::armed());
+  EXPECT_FALSE(fault::at("native-compile"));
+  EXPECT_FALSE(fault::at("no-such-site"));
+}
+
+TEST_F(FaultTest, BudgetsLimitFirings) {
+  arm("native-compile:2,dlsym");
+  EXPECT_TRUE(fault::armed());
+  EXPECT_TRUE(fault::at("native-compile"));
+  EXPECT_TRUE(fault::at("native-compile"));
+  EXPECT_FALSE(fault::at("native-compile")) << "budget of 2 must be spent";
+  EXPECT_TRUE(fault::at("dlsym"));
+  EXPECT_TRUE(fault::at("dlsym")) << "no budget means unlimited";
+  EXPECT_FALSE(fault::at("vm-exec")) << "unarmed site must stay quiet";
+  EXPECT_NE(fault::describe("dlsym").find("dlsym"), std::string::npos);
+}
+
+TEST_F(FaultTest, CompileFaultYieldsTypedError) {
+  if (!perf::NativeModule::available())
+    GTEST_SKIP() << "no system C compiler";
+  auto P = smallProgram();
+  arm("native-compile");
+  perf::KernelError Err;
+  auto K = perf::CompiledKernel::create(P, &Err);
+  EXPECT_FALSE(K);
+  EXPECT_EQ(Err.Kind, perf::KernelErrorKind::CompileFailed) << Err.str();
+  EXPECT_NE(Err.Message.find("injected fault"), std::string::npos)
+      << Err.str();
+}
+
+TEST_F(FaultTest, CompilerCrashIsRetriedOnce) {
+  if (!perf::NativeModule::available())
+    GTEST_SKIP() << "no system C compiler";
+  auto P = smallProgram();
+  // Exactly one crashed invocation: the bounded retry must absorb it.
+  arm("native-compile-crash:1");
+  perf::KernelError Err;
+  auto K = perf::CompiledKernel::create(P, &Err);
+  EXPECT_TRUE(K) << Err.str();
+
+  // Two crashes exhaust the single retry and surface as a typed failure.
+  arm("native-compile-crash:2");
+  K = perf::CompiledKernel::create(P, &Err);
+  EXPECT_FALSE(K);
+  EXPECT_EQ(Err.Kind, perf::KernelErrorKind::CompileFailed) << Err.str();
+  EXPECT_NE(Err.Message.find("signal"), std::string::npos) << Err.str();
+}
+
+TEST_F(FaultTest, CompileHangIsKilledAtTheDeadline) {
+  if (!perf::NativeModule::available())
+    GTEST_SKIP() << "no system C compiler";
+  auto P = smallProgram();
+  setenv("SPL_CC_TIMEOUT_MS", "300", 1);
+  arm("native-compile-hang");
+  Timer T;
+  perf::KernelError Err;
+  auto K = perf::CompiledKernel::create(P, &Err);
+  unsetenv("SPL_CC_TIMEOUT_MS");
+  EXPECT_FALSE(K);
+  EXPECT_EQ(Err.Kind, perf::KernelErrorKind::CompileTimeout) << Err.str();
+  // Two bounded attempts at ~0.3 s each, nothing like the 600 s sleep the
+  // injected child was put to.
+  EXPECT_LT(T.seconds(), 30.0);
+}
+
+TEST_F(FaultTest, MissingSymbolIsReported) {
+  if (!perf::NativeModule::available())
+    GTEST_SKIP() << "no system C compiler";
+  auto P = smallProgram();
+  arm("dlsym:1");
+  perf::KernelError Err;
+  auto K = perf::CompiledKernel::create(P, &Err);
+  EXPECT_FALSE(K);
+  EXPECT_NE(Err.Message.find("not found"), std::string::npos) << Err.str();
+}
+
+TEST_F(FaultTest, WisdomIOFaultsAreSoftFailures) {
+  Diagnostics Diags;
+  search::PlanCache Cache(Diags);
+  search::PlanKey K;
+  K.Transform = "fft";
+  K.Size = 8;
+  K.Datatype = "complex";
+  K.UnrollThreshold = 16;
+  K.Evaluator = "opcount";
+  K.Host = search::PlanCache::hostFingerprint();
+  Cache.insert(K, {search::PlanEntry{"(F 8)", 1.0}});
+
+  std::string Path =
+      "/tmp/spl-fault-wisdom-" + std::to_string(getpid()) + ".txt";
+  arm("wisdom-save");
+  EXPECT_FALSE(Cache.save(Path));
+  arm("wisdom-load");
+  EXPECT_FALSE(Cache.load(Path));
+  arm(nullptr);
+  EXPECT_TRUE(Cache.save(Path));
+  EXPECT_TRUE(Cache.load(Path));
+  std::remove(Path.c_str());
+  // Soft failures: warnings only, never errors.
+  EXPECT_EQ(Diags.errorCount(), 0u) << Diags.dump();
+}
+
+TEST_F(FaultTest, EvaluatorHangScoresInfiniteCost) {
+  Diagnostics Diags;
+  driver::CompilerOptions CO;
+  CO.EmitCode = false;
+  search::VMTimeEvaluator Eval(Diags, CO, /*Repeats=*/1);
+  Eval.setTimingBudget(/*TimeoutSeconds=*/0.2, /*Retries=*/1);
+  arm("eval-hang");
+  auto F = parseFormulaString("(F 4)", Diags);
+  Timer T;
+  auto C = Eval.cost(F);
+  ASSERT_TRUE(C) << "a timed-out candidate is scored, not dropped";
+  EXPECT_TRUE(std::isinf(*C));
+  EXPECT_LT(T.seconds(), 10.0) << "two 0.2 s attempts, not a real hang";
+  EXPECT_EQ(Diags.errorCount(), 0u) << Diags.dump();
+}
+
+TEST_F(FaultTest, SearchSurvivesAHangingCandidate) {
+  Diagnostics Diags;
+  driver::CompilerOptions CO;
+  CO.EmitCode = false;
+  search::VMTimeEvaluator Eval(Diags, CO, /*Repeats=*/1);
+  Eval.setTimingBudget(/*TimeoutSeconds=*/0.2, /*Retries=*/0);
+  arm("eval-hang:1"); // Exactly one measurement hangs mid-search.
+  search::SearchOptions SO;
+  SO.MaxLeaf = 4;
+  search::DPSearch Search(Eval, Diags, SO, nullptr);
+  auto Best = Search.best(8);
+  ASSERT_TRUE(Best) << Diags.dump();
+  EXPECT_TRUE(std::isfinite(Best->Cost))
+      << "the infinite-cost candidate must lose, not win";
+}
+
+TEST_F(FaultTest, TrialCrashDemotesToVm) {
+  if (!perf::NativeModule::available())
+    GTEST_SKIP() << "no system C compiler";
+  arm("trial-crash");
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, chainOptions());
+  runtime::PlanSpec Spec;
+  Spec.Size = 8;
+  auto P = Planner.plan(Spec);
+  ASSERT_TRUE(P) << Diags.dump();
+  EXPECT_EQ(P->backend(), runtime::Backend::VM);
+  EXPECT_TRUE(P->usedFallback());
+  EXPECT_NE(P->fallbackReason().find("trial-failed"), std::string::npos)
+      << P->fallbackReason();
+  EXPECT_NE(P->fallbackReason().find("signal"), std::string::npos)
+      << P->fallbackReason();
+  EXPECT_EQ(Diags.errorCount(), 0u) << Diags.dump();
+}
+
+TEST_F(FaultTest, TrialHangIsBoundedByItsDeadline) {
+  if (!perf::NativeModule::available())
+    GTEST_SKIP() << "no system C compiler";
+  setenv("SPL_TRIAL_TIMEOUT_MS", "300", 1);
+  arm("trial-hang");
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, chainOptions());
+  runtime::PlanSpec Spec;
+  Spec.Size = 8;
+  Timer T;
+  auto P = Planner.plan(Spec);
+  unsetenv("SPL_TRIAL_TIMEOUT_MS");
+  ASSERT_TRUE(P) << Diags.dump();
+  EXPECT_EQ(P->backend(), runtime::Backend::VM);
+  EXPECT_NE(P->fallbackReason().find("timed out"), std::string::npos)
+      << P->fallbackReason();
+  EXPECT_LT(T.seconds(), 30.0) << "the hung trial must be killed, not joined";
+}
+
+TEST_F(FaultTest, OracleBackendCanBeRequestedDirectly) {
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, chainOptions());
+  runtime::PlanSpec Spec;
+  Spec.Size = 8;
+  Spec.Want = runtime::Backend::Oracle;
+  auto P = Planner.plan(Spec);
+  ASSERT_TRUE(P) << Diags.dump();
+  EXPECT_EQ(P->backend(), runtime::Backend::Oracle);
+  EXPECT_FALSE(P->usedFallback()) << "a direct request is not a demotion";
+
+  auto X = randomVector(8);
+  std::vector<double> XR(16), YR(16);
+  for (int I = 0; I != 8; ++I) {
+    XR[2 * I] = X[I].real();
+    XR[2 * I + 1] = X[I].imag();
+  }
+  P->execute(YR.data(), XR.data());
+  auto Want = dftMatrix(8).apply(X);
+  double Max = 0;
+  for (int I = 0; I != 8; ++I) {
+    Max = std::max(Max, std::fabs(YR[2 * I] - Want[I].real()));
+    Max = std::max(Max, std::fabs(YR[2 * I + 1] - Want[I].imag()));
+  }
+  EXPECT_LT(Max, 1e-10);
+}
+
+TEST_F(FaultTest, FullChainLandsOnTheOracleAndIsCorrect) {
+  // The acceptance scenario: native compilation fails AND the VM tier is
+  // faulted, so the chain must walk native -> vm -> oracle and the
+  // resulting plan must still match the true DFT to 1e-10.
+  arm("native-compile,vm-exec");
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, chainOptions());
+  runtime::PlanSpec Spec;
+  Spec.Size = 16;
+  auto P = Planner.plan(Spec);
+  ASSERT_TRUE(P) << Diags.dump();
+  EXPECT_EQ(P->backend(), runtime::Backend::Oracle);
+  EXPECT_TRUE(P->usedFallback());
+  EXPECT_NE(P->fallbackReason().find("vm"), std::string::npos)
+      << P->fallbackReason();
+  EXPECT_EQ(Diags.errorCount(), 0u) << Diags.dump();
+
+  auto X = randomVector(16);
+  std::vector<double> XR(32), YR(32);
+  for (int I = 0; I != 16; ++I) {
+    XR[2 * I] = X[I].real();
+    XR[2 * I + 1] = X[I].imag();
+  }
+  P->execute(YR.data(), XR.data());
+  auto Want = dftMatrix(16).apply(X);
+  double Max = 0;
+  for (int I = 0; I != 16; ++I) {
+    Max = std::max(Max, std::fabs(YR[2 * I] - Want[I].real()));
+    Max = std::max(Max, std::fabs(YR[2 * I + 1] - Want[I].imag()));
+  }
+  EXPECT_LT(Max, 1e-10);
+
+  // Batched dispatch works on the oracle tier too, bit-identically across
+  // thread counts.
+  std::vector<double> XB(4 * 32), Y1(4 * 32), Y4(4 * 32);
+  for (int I = 0; I != 4 * 32; ++I)
+    XB[static_cast<size_t>(I)] = XR[static_cast<size_t>(I) % 32];
+  P->executeBatch(Y1.data(), XB.data(), 4, 1);
+  P->executeBatch(Y4.data(), XB.data(), 4, 4);
+  EXPECT_EQ(Y1, Y4);
+}
+
+} // namespace

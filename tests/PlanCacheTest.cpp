@@ -211,9 +211,56 @@ TEST(PlanCache, WisdomFileIsVersionedText) {
   C.insert(testKey(8), {{makeDFT(8)->print(), 1.0}});
   ASSERT_TRUE(C.save(Path));
   std::string Text = slurp(Path);
-  EXPECT_EQ(Text.rfind("spl-wisdom v1\n", 0), 0u) << Text;
-  EXPECT_NE(Text.find("plan fft 8 complex B16 opcount "), std::string::npos)
+  EXPECT_EQ(Text.rfind("spl-wisdom v2\n", 0), 0u) << Text;
+  // Each plan line is "plan <16-hex-checksum> <payload>".
+  EXPECT_NE(Text.find(" fft 8 complex B16 opcount "), std::string::npos)
       << Text;
+  size_t PlanAt = Text.find("plan ");
+  ASSERT_NE(PlanAt, std::string::npos);
+  std::string Checksum = Text.substr(PlanAt + 5, 16);
+  EXPECT_EQ(Checksum.find_first_not_of("0123456789abcdef"),
+            std::string::npos)
+      << Checksum;
+  std::remove(Path.c_str());
+}
+
+TEST(PlanCache, BitFlippedLinesFailChecksumAndAreRewritten) {
+  std::string Path = tempPath("spl_wisdom_bitflip");
+  Diagnostics D1;
+  search::PlanCache C1(D1);
+  C1.insert(testKey(8), {{makeDFT(8)->print(), 1.5}});
+  C1.insert(testKey(16), {{makeDFT(16)->print(), 2.5}});
+  ASSERT_TRUE(C1.save(Path));
+
+  // Flip one character inside the *payload* of the size-16 line (past the
+  // "plan <checksum> " prefix) and truncate a copy of the size-8 line.
+  std::string Text = slurp(Path);
+  size_t Line16 = Text.find(" 16 complex");
+  ASSERT_NE(Line16, std::string::npos);
+  Text[Line16 + 1] = Text[Line16 + 1] == '1' ? '9' : '1';
+  {
+    std::ofstream Out(Path, std::ios::trunc);
+    Out << Text;
+    Out << "plan 0123456789abcdef fft 4 complex"; // Truncated mid-line.
+  }
+
+  Diagnostics D2;
+  search::PlanCache C2(D2);
+  ASSERT_TRUE(C2.load(Path)); // Corruption never fails the whole load.
+  EXPECT_EQ(C2.stats().Skipped, 2u);
+  EXPECT_EQ(C2.stats().Loaded, 1u);
+  EXPECT_FALSE(C2.lookup(testKey(16))); // The flipped entry is gone...
+  auto E8 = C2.lookup(testKey(8));      // ...the intact one survives.
+  ASSERT_TRUE(E8);
+  EXPECT_DOUBLE_EQ((*E8)[0].Cost, 1.5);
+
+  // save() rewrites the file clean: a fresh load sees no corruption.
+  ASSERT_TRUE(C2.save(Path));
+  Diagnostics D3;
+  search::PlanCache C3(D3);
+  ASSERT_TRUE(C3.load(Path));
+  EXPECT_EQ(C3.stats().Skipped, 0u);
+  EXPECT_EQ(C3.stats().Loaded, 1u);
   std::remove(Path.c_str());
 }
 

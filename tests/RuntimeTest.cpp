@@ -196,6 +196,7 @@ TEST(PlanRegistry, ConcurrentAcquiresSingleFlight) {
 TEST(Plan, NativeAgreesWithVmTo1e10) {
   if (!perf::NativeModule::available())
     GTEST_SKIP() << "no working C compiler on this host";
+  SPL_SKIP_IF_FAULTS_ARMED();
 
   Diagnostics Diags;
   runtime::Planner Planner(Diags, testOptions());

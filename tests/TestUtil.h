@@ -16,10 +16,23 @@
 #define SPL_TESTS_TESTUTIL_H
 
 #include "ir/Formula.h"
+#include "support/FaultInjection.h"
 
 #include <random>
 #include <string>
 #include <vector>
+
+/// Skips the current test when an externally imposed SPL_FAULT matrix is
+/// armed (the CI fault job runs the whole suite that way): tests that
+/// assert healthy-path behavior — a native kernel compiling, a trial
+/// passing — would otherwise report the injected fault as a failure.
+/// Requires <gtest/gtest.h> at the use site.
+#define SPL_SKIP_IF_FAULTS_ARMED()                                           \
+  do {                                                                       \
+    if (::spl::fault::armed())                                               \
+      GTEST_SKIP() << "SPL_FAULT is armed; this test asserts healthy-path "  \
+                      "behavior";                                            \
+  } while (0)
 
 namespace spl {
 namespace test {

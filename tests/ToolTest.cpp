@@ -8,7 +8,9 @@
 /// Integration tests that drive the splc binary the way a user would:
 /// write an .spl file, invoke the tool, inspect its output and exit code.
 /// The binary location comes from the SPLC_PATH compile definition set by
-/// the test CMakeLists.
+/// the test CMakeLists. Also asserts the documented exit codes
+/// (tools/ExitCodes.h) that distinguish usage, parse, compile and
+/// execution failures.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +21,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <sys/wait.h>
 
 namespace {
 
@@ -42,6 +45,12 @@ struct RunResult {
   int ExitCode;
   std::string Output;
 };
+
+/// Decodes the raw std::system() wait status into the child's exit code,
+/// or -1 if the tool died on a signal.
+int exitStatus(const RunResult &R) {
+  return WIFEXITED(R.ExitCode) ? WEXITSTATUS(R.ExitCode) : -1;
+}
 
 /// Runs a prepared command line, capturing stdout+stderr.
 RunResult runCommand(const std::string &Cmd) {
@@ -166,18 +175,50 @@ TEST(Splrun, VmBackendWorksWithoutCompiler) {
 
 TEST(Splrun, RejectsBadArguments) {
   auto NoSize = runCommand(splrunPath() + " --transform fft");
-  EXPECT_NE(NoSize.ExitCode, 0);
+  EXPECT_EQ(exitStatus(NoSize), 2) << NoSize.Output;
   EXPECT_NE(NoSize.Output.find("--size"), std::string::npos);
 
   auto BadBackend =
       runCommand(splrunPath() + " --size 8 --backend turbo");
-  EXPECT_NE(BadBackend.ExitCode, 0);
+  EXPECT_EQ(exitStatus(BadBackend), 2) << BadBackend.Output;
   EXPECT_NE(BadBackend.Output.find("unknown backend"), std::string::npos);
 
+  // A well-formed command line whose spec is rejected exits with the
+  // distinct parse code, not the usage code.
   auto NonPow2 = runCommand(splrunPath() + " --size 20 --no-wisdom");
-  EXPECT_NE(NonPow2.ExitCode, 0);
+  EXPECT_EQ(exitStatus(NonPow2), 3) << NonPow2.Output;
   EXPECT_NE(NonPow2.Output.find("error"), std::string::npos)
       << NonPow2.Output;
+}
+
+TEST(Splc, ExitCodesDistinguishFailureStages) {
+  // Usage error: unknown flag.
+  EXPECT_EQ(exitStatus(runSplc("--frobnicate", "(F 2)")), 2);
+  // Parse error: truncated source.
+  EXPECT_EQ(exitStatus(runSplc("", "(compose (F 2)")), 3);
+  // Parse error: semantic rejection raised while building the formula.
+  EXPECT_EQ(exitStatus(runSplc("", "(compose (F 2) (F 3))")), 3);
+  // Compile error: parses cleanly, then the pipeline rejects complex
+  // constants under #datatype real.
+  EXPECT_EQ(exitStatus(runSplc("", "#datatype real\n(T 4 2)")), 4);
+  // Success.
+  EXPECT_EQ(exitStatus(runSplc("", "(F 2)")), 0);
+}
+
+TEST(Splrun, DegradationChainSurvivesInjectedFaults) {
+  // Acceptance criterion: with the native compile *and* the VM tier both
+  // forced to fail, splrun must fall through to the dense-matrix oracle
+  // and still produce a numerically correct (1e-10) verified result.
+  auto R = runCommand("SPL_FAULT=native-compile,vm-exec " + splrunPath() +
+                      " --transform fft --size 16 --batch 4 --verify "
+                      "--no-wisdom");
+  EXPECT_EQ(exitStatus(R), 0) << R.Output;
+  EXPECT_NE(R.Output.find("backend oracle"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("oracle backend vs dense oracle"),
+            std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("OK"), std::string::npos) << R.Output;
+  EXPECT_EQ(R.Output.find("FAIL"), std::string::npos) << R.Output;
 }
 
 TEST(Splc, OutputFileOption) {

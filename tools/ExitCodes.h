@@ -1,0 +1,37 @@
+//===- tools/ExitCodes.h - Shared CLI exit codes ----------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exit codes shared by the command-line tools (splc, splrun) so scripts
+/// and CI can tell failure stages apart. Documented in docs/RELIABILITY.md
+/// and asserted by tests/ToolTest.cpp.
+///
+///   0  success
+///   2  usage error: bad flags, missing values, unreadable input file
+///   3  parse error: the SPL source or transform spec was rejected
+///   4  compile/search error: planning, search, or code generation failed
+///   5  execution error: running or verifying the transform failed
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_TOOLS_EXITCODES_H
+#define SPL_TOOLS_EXITCODES_H
+
+namespace spl {
+namespace tools {
+
+enum ExitCode {
+  ExitOK = 0,
+  ExitUsage = 2,
+  ExitParse = 3,
+  ExitCompile = 4,
+  ExitExec = 5,
+};
+
+} // namespace tools
+} // namespace spl
+
+#endif // SPL_TOOLS_EXITCODES_H

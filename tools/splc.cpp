@@ -30,9 +30,15 @@
 ///                        (default: $SPL_WISDOM or ~/.spl_wisdom)
 ///     --no-wisdom        neither read nor write the plan cache
 ///
+/// Exit codes (tools/ExitCodes.h): 0 ok, 2 usage, 3 parse error,
+/// 4 compile/search error, 5 cannot write output.
+///
 //===----------------------------------------------------------------------===//
 
+#include "ExitCodes.h"
+
 #include "driver/Compiler.h"
+#include "frontend/Parser.h"
 #include "search/DPSearch.h"
 #include "support/Diagnostics.h"
 
@@ -91,7 +97,7 @@ int main(int Argc, char **Argv) {
           Opts.LanguageOverride != "fortran") {
         std::fprintf(stderr, "splc: error: unknown language '%s'\n",
                      Opts.LanguageOverride.c_str());
-        return 1;
+        return tools::ExitUsage;
       }
     } else if (Arg == "--sparc") {
       Opts.SparcPeephole = true;
@@ -103,7 +109,7 @@ int main(int Argc, char **Argv) {
       BestFFT = std::atoll(Argv[++I]);
       if (BestFFT < 2) {
         std::fprintf(stderr, "splc: error: --best-fft size must be >= 2\n");
-        return 1;
+        return tools::ExitUsage;
       }
     } else if (Arg == "--search-eval" && I + 1 < Argc) {
       SearchEval = Argv[++I];
@@ -111,19 +117,19 @@ int main(int Argc, char **Argv) {
           SearchEval != "native") {
         std::fprintf(stderr, "splc: error: unknown cost model '%s'\n",
                      SearchEval.c_str());
-        return 1;
+        return tools::ExitUsage;
       }
     } else if (Arg == "--search-threads" && I + 1 < Argc) {
       Opts.SearchThreads = std::atoi(Argv[++I]);
       if (Opts.SearchThreads < 1) {
         std::fprintf(stderr, "splc: error: --search-threads must be >= 1\n");
-        return 1;
+        return tools::ExitUsage;
       }
     } else if (Arg == "--search-leaf" && I + 1 < Argc) {
       SearchLeaf = std::atoll(Argv[++I]);
       if (SearchLeaf < 2) {
         std::fprintf(stderr, "splc: error: --search-leaf must be >= 2\n");
-        return 1;
+        return tools::ExitUsage;
       }
     } else if (Arg == "--wisdom" && I + 1 < Argc) {
       Opts.WisdomPath = Argv[++I];
@@ -135,13 +141,13 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "-" || Arg[0] != '-') {
       if (!InputPath.empty()) {
         std::fprintf(stderr, "splc: error: multiple input files\n");
-        return 1;
+        return tools::ExitUsage;
       }
       InputPath = Arg;
     } else {
       std::fprintf(stderr, "splc: error: unknown option '%s'\n", Arg.c_str());
       printUsage();
-      return 1;
+      return tools::ExitUsage;
     }
   }
 
@@ -153,13 +159,13 @@ int main(int Argc, char **Argv) {
     if (!InputPath.empty()) {
       std::fprintf(stderr,
                    "splc: error: --best-fft does not take an input file\n");
-      return 1;
+      return tools::ExitUsage;
     }
     if (BestFFT > SearchLeaf && (BestFFT & (BestFFT - 1)) != 0) {
       std::fprintf(stderr,
                    "splc: error: sizes above --search-leaf must be powers "
                    "of two\n");
-      return 1;
+      return tools::ExitUsage;
     }
 
     std::unique_ptr<search::Evaluator> Eval;
@@ -170,7 +176,7 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr,
                      "splc: error: no working C compiler for --search-eval "
                      "native\n");
-        return 1;
+        return tools::ExitUsage;
       }
       Eval = std::make_unique<search::NativeTimeEvaluator>(Diags, Opts);
     } else {
@@ -192,7 +198,7 @@ int main(int Argc, char **Argv) {
     auto Best = Search.best(BestFFT);
     if (!Best) {
       std::fputs(Diags.dump().c_str(), stderr);
-      return 1;
+      return tools::ExitCompile;
     }
     if (Opts.UseWisdom)
       Wisdom.save(WisdomPath);
@@ -204,7 +210,7 @@ int main(int Argc, char **Argv) {
     auto Unit = Compiler.compileFormula(Best->Formula, Dirs, Opts);
     if (!Unit) {
       std::fputs(Diags.dump().c_str(), stderr);
-      return 1;
+      return tools::ExitCompile;
     }
     if (Stats) {
       std::fprintf(stderr, "%s: winner %s (cost %.6g, %llu evaluations)\n",
@@ -230,7 +236,7 @@ int main(int Argc, char **Argv) {
       if (std::filesystem::is_directory(InputPath, EC)) {
         std::fprintf(stderr, "splc: error: '%s' is a directory\n",
                      InputPath.c_str());
-        return 1;
+        return tools::ExitUsage;
       }
       errno = 0;
       std::ifstream In(InputPath, std::ios::binary);
@@ -238,23 +244,34 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "splc: error: cannot open '%s': %s\n",
                      InputPath.c_str(),
                      errno ? std::strerror(errno) : "unknown error");
-        return 1;
+        return tools::ExitUsage;
       }
       std::ostringstream SS;
       SS << In.rdbuf();
       if (In.bad()) {
         std::fprintf(stderr, "splc: error: cannot read '%s'\n",
                      InputPath.c_str());
-        return 1;
+        return tools::ExitUsage;
       }
       Source = SS.str();
+    }
+    // Parse first so a syntax/validation error exits with the parse
+    // code, distinct from a later compilation failure.
+    {
+      Diagnostics ParseDiags;
+      Parser P(Source, ParseDiags);
+      auto Prog = P.parseProgram();
+      if (!Prog || ParseDiags.hasErrors()) {
+        std::fputs(ParseDiags.dump().c_str(), stderr);
+        return tools::ExitParse;
+      }
     }
     Units = Compiler.compileSource(Source, Opts);
   }
 
   std::fputs(Diags.dump().c_str(), stderr);
   if (!Units)
-    return 1;
+    return tools::ExitCompile;
 
   std::ostringstream Out;
   for (const auto &Unit : *Units) {
@@ -287,9 +304,9 @@ int main(int Argc, char **Argv) {
     if (!OutFile) {
       std::fprintf(stderr, "splc: error: cannot write '%s'\n",
                    OutputPath.c_str());
-      return 1;
+      return tools::ExitExec;
     }
     OutFile << Out.str();
   }
-  return 0;
+  return tools::ExitOK;
 }

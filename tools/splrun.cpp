@@ -15,20 +15,28 @@
 ///     --size <n>            transform size (required)
 ///     --batch <b>           vectors per batch (default 1)
 ///     --threads <t>         batch worker threads (default 1)
-///     --backend auto|native|vm   execution substrate (default auto)
+///     --backend auto|native|vm|oracle   execution substrate (default auto)
 ///     --unroll <n>          -B unroll threshold (default 16)
 ///     --leaf <n>            largest straight-line sub-transform (default 16)
 ///     --eval opcount|vmtime|native   search cost model (default opcount)
 ///     --search-threads <t>  candidate-evaluation worker threads
 ///     --wisdom <file>       plan cache location ($SPL_WISDOM/~/.spl_wisdom)
 ///     --no-wisdom           neither read nor write the plan cache
-///     --verify              cross-check backends and thread counts
+///     --verify              cross-check backends, a dense oracle, and
+///                           thread counts
 ///     --stats               plan, wisdom and registry details on stderr
+///
+/// Exit codes (tools/ExitCodes.h): 0 ok, 2 usage, 3 spec rejected,
+/// 4 planning/search failed, 5 verification failed.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "ExitCodes.h"
+
+#include "ir/Formula.h"
 #include "runtime/AlignedBuffer.h"
 #include "runtime/PlanRegistry.h"
+#include "runtime/Planner.h"
 #include "support/Timer.h"
 
 #include <cmath>
@@ -46,7 +54,7 @@ void printUsage() {
       stderr,
       "usage: splrun --size n [--transform fft|wht] [--batch b] "
       "[--threads t]\n"
-      "              [--backend auto|native|vm] [--unroll n] [--leaf n]\n"
+      "              [--backend auto|native|vm|oracle] [--unroll n] [--leaf n]\n"
       "              [--eval opcount|vmtime|native] [--search-threads t]\n"
       "              [--wisdom file] [--no-wisdom] [--verify] [--stats]\n");
 }
@@ -81,7 +89,7 @@ int main(int Argc, char **Argv) {
     auto Next = [&](const char *Flag) -> const char * {
       if (I + 1 >= Argc) {
         std::fprintf(stderr, "splrun: error: %s needs a value\n", Flag);
-        std::exit(1);
+        std::exit(tools::ExitUsage);
       }
       return Argv[++I];
     };
@@ -98,7 +106,7 @@ int main(int Argc, char **Argv) {
       if (!runtime::parseBackend(Name, Spec.Want)) {
         std::fprintf(stderr, "splrun: error: unknown backend '%s'\n",
                      Name.c_str());
-        return 1;
+        return tools::ExitUsage;
       }
     } else if (Arg == "--unroll") {
       Spec.UnrollThreshold = std::atoll(Next("--unroll"));
@@ -110,7 +118,7 @@ int main(int Argc, char **Argv) {
           POpts.Evaluator != "native") {
         std::fprintf(stderr, "splrun: error: unknown cost model '%s'\n",
                      POpts.Evaluator.c_str());
-        return 1;
+        return tools::ExitUsage;
       }
     } else if (Arg == "--search-threads") {
       POpts.SearchThreads = std::atoi(Next("--search-threads"));
@@ -129,22 +137,28 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "splrun: error: unknown option '%s'\n",
                    Arg.c_str());
       printUsage();
-      return 1;
+      return tools::ExitUsage;
     }
   }
 
   if (Spec.Size < 2) {
     std::fprintf(stderr, "splrun: error: --size must be >= 2\n");
-    return 1;
+    return tools::ExitUsage;
   }
   if (Batch < 1 || Threads < 1 || POpts.SearchThreads < 1) {
     std::fprintf(stderr,
                  "splrun: error: --batch, --threads and --search-threads "
                  "must be >= 1\n");
-    return 1;
+    return tools::ExitUsage;
   }
 
   Diagnostics Diags;
+  // Spec rejection exits with the parse code; later planning trouble (a
+  // search or compilation failure) is a distinct stage.
+  if (!runtime::Planner::validateSpec(Spec, Diags)) {
+    std::fputs(Diags.dump().c_str(), stderr);
+    return tools::ExitParse;
+  }
   runtime::Planner Planner(Diags, POpts);
   runtime::PlanRegistry Registry(Planner);
 
@@ -153,7 +167,7 @@ int main(int Argc, char **Argv) {
   double PlanSeconds = PlanWall.seconds();
   if (!Plan) {
     std::fputs(Diags.dump().c_str(), stderr);
-    return 1;
+    return tools::ExitCompile;
   }
   if (POpts.UseWisdom)
     Planner.saveWisdom();
@@ -203,7 +217,7 @@ int main(int Argc, char **Argv) {
       auto VMPlan = Registry.acquire(VMSpec);
       if (!VMPlan) {
         std::fputs(Diags.dump().c_str(), stderr);
-        return 1;
+        return tools::ExitCompile;
       }
       runtime::AlignedBuffer YV(static_cast<size_t>(NCheck * Len));
       VMPlan->executeBatch(YV.data(), X.data(), NCheck, Threads);
@@ -220,6 +234,39 @@ int main(int Argc, char **Argv) {
                   "native-vs-vm check\n",
                   Plan->usedFallback() ? Plan->fallbackReason().c_str()
                                        : "vm requested");
+    }
+
+    // Independent dense-oracle check: the winning formula's matrix is
+    // recomputed from scratch here, so whatever tier the degradation chain
+    // landed on, the plan's numbers are checked against the transform's
+    // exact semantics. Bounded: the dense apply is O(N^2).
+    const FormulaRef &F = Plan->formula();
+    if (Plan->size() <= 4096 && F && F->hasDenseSemantics()) {
+      Matrix M = F->toMatrix();
+      const size_t N = M.cols();
+      const bool ComplexData = Plan->program().LoweredToReal;
+      std::vector<Cplx> In(N);
+      for (size_t I = 0; I != N; ++I)
+        In[I] = ComplexData ? Cplx(X.data()[2 * I], X.data()[2 * I + 1])
+                            : Cplx(X.data()[I], 0.0);
+      std::vector<Cplx> Ref = M.apply(In);
+      Plan->execute(Y.data(), X.data());
+      double Delta = 0;
+      for (size_t I = 0; I != Ref.size(); ++I)
+        if (ComplexData) {
+          Delta = std::max(Delta,
+                           std::fabs(Y.data()[2 * I] - Ref[I].real()));
+          Delta = std::max(Delta,
+                           std::fabs(Y.data()[2 * I + 1] - Ref[I].imag()));
+        } else {
+          Delta = std::max(Delta, std::fabs(Y.data()[I] - Ref[I].real()));
+        }
+      bool OK = Delta <= Tol;
+      std::printf("verify: %s backend vs dense oracle: max |delta| = %.3g "
+                  "(tol %g): %s\n",
+                  runtime::backendName(Plan->backend()), Delta, Tol,
+                  OK ? "OK" : "FAIL");
+      Failures += !OK;
     }
 
     // Thread-count determinism: 1 thread vs the requested count must be
@@ -243,7 +290,7 @@ int main(int Argc, char **Argv) {
   if (Failures) {
     std::fprintf(stderr, "splrun: %d verification failure%s\n", Failures,
                  Failures == 1 ? "" : "s");
-    return 1;
+    return tools::ExitExec;
   }
-  return 0;
+  return tools::ExitOK;
 }
