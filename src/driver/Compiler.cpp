@@ -9,6 +9,7 @@
 #include "codegen/CEmitter.h"
 #include "codegen/FortranEmitter.h"
 #include "lower/Expander.h"
+#include "telemetry/Trace.h"
 
 using namespace spl;
 using namespace spl::driver;
@@ -33,7 +34,13 @@ Compiler::compileFormula(const FormulaRef &F, const DirectiveState &Dirs,
   EOpts.Datatype = Dirs.Datatype == "real" ? icode::DataType::Real
                                            : icode::DataType::Complex;
   EOpts.UnrollThreshold = Opts.UnrollThreshold;
-  auto Expanded = Exp.expand(F, EOpts);
+  std::optional<icode::Program> Expanded;
+  {
+    static telemetry::Histogram &ExpandNs =
+        telemetry::histogram("compile.expand_ns");
+    telemetry::StageTimer T("expand", &ExpandNs);
+    Expanded = Exp.expand(F, EOpts);
+  }
   if (!Expanded)
     return std::nullopt;
   Unit.Expanded = *Expanded;
@@ -50,7 +57,12 @@ Compiler::compileFormula(const FormulaRef &F, const DirectiveState &Dirs,
                          Dirs.CodeType == "complex";
   POpts.LowerToReal = EOpts.Datatype == icode::DataType::Complex &&
                       !WantComplexCode;
-  Unit.Final = opt::runPipeline(*Expanded, POpts, Intrinsics);
+  {
+    static telemetry::Histogram &OptNs =
+        telemetry::histogram("compile.optimize_ns");
+    telemetry::StageTimer T("optimize", &OptNs);
+    Unit.Final = opt::runPipeline(*Expanded, POpts, Intrinsics);
+  }
 
   // #datatype real promises real arithmetic; intrinsics evaluated during
   // the pipeline (e.g. twiddle tables) may disprove it only now.
@@ -74,6 +86,9 @@ Compiler::compileFormula(const FormulaRef &F, const DirectiveState &Dirs,
   }
 
   if (Opts.EmitCode) {
+    static telemetry::Histogram &CodegenNs =
+        telemetry::histogram("compile.codegen_ns");
+    telemetry::StageTimer T("codegen", &CodegenNs);
     if (Unit.Language == "fortran") {
       codegen::FortranEmitOptions FOpts;
       FOpts.AutomaticTemps = Opts.SparcPeephole;
@@ -90,8 +105,14 @@ Compiler::compileFormula(const FormulaRef &F, const DirectiveState &Dirs,
 std::optional<std::vector<CompiledUnit>>
 Compiler::compileSource(const std::string &Source,
                         const CompilerOptions &Opts) {
-  Parser P(Source, Diags);
-  auto Prog = P.parseProgram();
+  std::optional<SplProgram> Prog;
+  {
+    static telemetry::Histogram &ParseNs =
+        telemetry::histogram("compile.parse_ns");
+    telemetry::StageTimer T("parse", &ParseNs);
+    Parser P(Source, Diags);
+    Prog = P.parseProgram();
+  }
   if (!Prog)
     return std::nullopt;
   Registry.addAll(std::move(Prog->Templates));

@@ -8,6 +8,7 @@
 
 #include "support/FaultInjection.h"
 #include "support/Subprocess.h"
+#include "telemetry/Trace.h"
 
 #include <atomic>
 #include <csignal>
@@ -137,16 +138,33 @@ NativeModule::compile(const std::string &CSource, const std::string &FnName,
   Argv.push_back(CPath);
 
   const double Timeout = compileTimeoutSeconds();
+  static telemetry::Counter &Compiles = telemetry::counter("native.compiles");
+  static telemetry::Counter &Retries =
+      telemetry::counter("native.compile_retries");
+  static telemetry::Counter &Failures =
+      telemetry::counter("native.compile_failures");
+  static telemetry::Counter &Timeouts =
+      telemetry::counter("native.compile_timeouts");
+  static telemetry::Histogram &CompileNs =
+      telemetry::histogram("native.compile_ns");
+  Compiles.add();
   // One bounded retry, and only for transient failures (a crashed or
   // timed-out compiler); a deterministic nonzero exit is a real diagnostic
   // and retrying it would just double the latency of every bad kernel.
   SubprocessResult R;
-  for (int Attempt = 0;; ++Attempt) {
-    R = invokeCompiler(Argv, Timeout);
-    if (R.ok() || !R.transient() || Attempt >= 1)
-      break;
+  {
+    telemetry::StageTimer T("native-compile", &CompileNs);
+    for (int Attempt = 0;; ++Attempt) {
+      R = invokeCompiler(Argv, Timeout);
+      if (R.ok() || !R.transient() || Attempt >= 1)
+        break;
+      Retries.add();
+    }
   }
   if (!R.ok()) {
+    Failures.add();
+    if (R.TimedOut)
+      Timeouts.add();
     if (TimedOut)
       *TimedOut = R.TimedOut;
     if (Error) {

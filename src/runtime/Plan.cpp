@@ -6,6 +6,8 @@
 
 #include "runtime/Plan.h"
 
+#include "telemetry/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstring>
@@ -118,9 +120,32 @@ void Plan::runOne(ExecCtx &Ctx, double *Y, const double *X) {
 }
 
 void Plan::execute(double *Y, const double *X) {
+  // Disarmed hot path: one relaxed load of the telemetry mask, then work.
+  unsigned Mask = telemetry::armedMask();
+  if (Mask == 0) {
+    auto Ctx = acquireCtx();
+    runOne(*Ctx, Y, X);
+    releaseCtx(std::move(Ctx));
+    return;
+  }
+
+  std::uint64_t Start = telemetry::traceNowNs();
   auto Ctx = acquireCtx();
   runOne(*Ctx, Y, X);
   releaseCtx(std::move(Ctx));
+  std::uint64_t Dur = telemetry::traceNowNs() - Start;
+  if (Mask & telemetry::kMetrics) {
+    NumExecutes.fetch_add(1, std::memory_order_relaxed);
+    ExecuteNs.recordAlways(Dur);
+    static telemetry::Counter &Executes =
+        telemetry::counter("runtime.executes");
+    static telemetry::Histogram &GlobalNs =
+        telemetry::histogram("runtime.execute_ns");
+    Executes.add();
+    GlobalNs.recordAlways(Dur);
+  }
+  if (Mask & telemetry::kTrace)
+    telemetry::Tracer::instance().record("execute", Start, Dur);
 }
 
 void Plan::executeBatch(double *Y, const double *X, std::int64_t Count,
@@ -128,6 +153,37 @@ void Plan::executeBatch(double *Y, const double *X, std::int64_t Count,
                         std::int64_t StrideX) {
   if (Count <= 0)
     return;
+  // Batch-granular instrumentation: when armed, the whole batch is one
+  // sample/span; when disarmed this is the single relaxed mask load.
+  unsigned Mask = telemetry::armedMask();
+  if (Mask != 0) {
+    std::uint64_t Start = telemetry::traceNowNs();
+    runBatch(Y, X, Count, Threads, StrideY, StrideX);
+    std::uint64_t Dur = telemetry::traceNowNs() - Start;
+    if (Mask & telemetry::kMetrics) {
+      NumBatches.fetch_add(1, std::memory_order_relaxed);
+      NumVectors.fetch_add(static_cast<std::uint64_t>(Count),
+                           std::memory_order_relaxed);
+      BatchNs.recordAlways(Dur);
+      static telemetry::Counter &Batches =
+          telemetry::counter("runtime.batches");
+      static telemetry::Counter &Vectors =
+          telemetry::counter("runtime.batch_vectors");
+      static telemetry::Histogram &GlobalNs =
+          telemetry::histogram("runtime.batch_ns");
+      Batches.add();
+      Vectors.add(static_cast<std::uint64_t>(Count));
+      GlobalNs.recordAlways(Dur);
+    }
+    if (Mask & telemetry::kTrace)
+      telemetry::Tracer::instance().record("executeBatch", Start, Dur);
+    return;
+  }
+  runBatch(Y, X, Count, Threads, StrideY, StrideX);
+}
+
+void Plan::runBatch(double *Y, const double *X, std::int64_t Count,
+                    int Threads, std::int64_t StrideY, std::int64_t StrideX) {
   if (StrideX == 0)
     StrideX = IOLen;
   if (StrideY == 0)
@@ -164,6 +220,16 @@ void Plan::executeBatch(double *Y, const double *X, std::int64_t Count,
       runOne(*Ctx, Y + I * StrideY, X + I * StrideX);
     releaseCtx(std::move(Ctx));
   });
+}
+
+ExecStats Plan::stats() const {
+  ExecStats S;
+  S.Executes = NumExecutes.load(std::memory_order_relaxed);
+  S.Batches = NumBatches.load(std::memory_order_relaxed);
+  S.Vectors = NumVectors.load(std::memory_order_relaxed);
+  S.ExecuteNs = ExecuteNs.snapshot();
+  S.BatchNs = BatchNs.snapshot();
+  return S;
 }
 
 std::string Plan::describe() const {

@@ -30,8 +30,10 @@
 #include "perf/KernelRunner.h"
 #include "runtime/AlignedBuffer.h"
 #include "support/ThreadPool.h"
+#include "telemetry/Metrics.h"
 #include "vm/Executor.h"
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -76,6 +78,18 @@ struct PlanSpec {
 
   /// Canonical registry key, e.g. "fft 1024 complex B16 L16 auto".
   std::string key() const;
+};
+
+/// Point-in-time execution statistics for one Plan (see Plan::stats()).
+/// Populated only while telemetry metrics are armed (SPL_METRICS=1,
+/// telemetry::setMetricsEnabled, or a tool's --stats-json flag) — the
+/// disarmed execute path stays a single relaxed atomic load.
+struct ExecStats {
+  std::uint64_t Executes = 0; ///< execute() calls.
+  std::uint64_t Batches = 0;  ///< executeBatch() calls.
+  std::uint64_t Vectors = 0;  ///< Vectors processed across those batches.
+  telemetry::HistogramSnapshot ExecuteNs; ///< Single-vector execute latency.
+  telemetry::HistogramSnapshot BatchNs;   ///< Whole-batch latency.
 };
 
 /// An executable transform plan: y = Mx for the searched winner M.
@@ -136,6 +150,10 @@ public:
   /// ...").
   std::string describe() const;
 
+  /// Snapshot of this plan's execution counters and latency histograms.
+  /// Counts accumulate only while telemetry metrics are armed.
+  ExecStats stats() const;
+
 private:
   friend class Planner;
   Plan() = default;
@@ -150,6 +168,8 @@ private:
   std::unique_ptr<ExecCtx> acquireCtx();
   void releaseCtx(std::unique_ptr<ExecCtx> Ctx);
   void runOne(ExecCtx &Ctx, double *Y, const double *X);
+  void runBatch(double *Y, const double *X, std::int64_t Count, int Threads,
+                std::int64_t StrideY, std::int64_t StrideX);
   void applyOracle(double *Y, const double *X) const;
 
   PlanSpec Spec;
@@ -170,6 +190,13 @@ private:
   std::mutex BatchM;
   std::unique_ptr<ThreadPool> Pool; ///< Rebuilt when the thread count moves.
   int PoolThreads = 0;
+
+  // Per-plan telemetry, written only on the armed execute paths.
+  std::atomic<std::uint64_t> NumExecutes{0};
+  std::atomic<std::uint64_t> NumBatches{0};
+  std::atomic<std::uint64_t> NumVectors{0};
+  telemetry::Histogram ExecuteNs;
+  telemetry::Histogram BatchNs;
 };
 
 } // namespace runtime

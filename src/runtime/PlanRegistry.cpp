@@ -6,10 +6,16 @@
 
 #include "runtime/PlanRegistry.h"
 
+#include "telemetry/Metrics.h"
+
 using namespace spl;
 using namespace spl::runtime;
 
 std::shared_ptr<Plan> PlanRegistry::acquire(const PlanSpec &Spec) {
+  static telemetry::Counter &Hits = telemetry::counter("registry.hits");
+  static telemetry::Counter &Misses = telemetry::counter("registry.misses");
+  static telemetry::Counter &Waits = telemetry::counter("registry.waits");
+  static telemetry::Gauge &Plans = telemetry::gauge("registry.plans");
   const std::string Key = Spec.key();
   std::shared_ptr<Slot> Mine;
   {
@@ -19,16 +25,20 @@ std::shared_ptr<Plan> PlanRegistry::acquire(const PlanSpec &Spec) {
       std::shared_ptr<Slot> Theirs = It->second;
       if (Theirs->Ready) {
         ++S.Hits;
+        Hits.add();
         return Theirs->P;
       }
       // Another thread is planning this spec right now; share its result.
       ++S.Waits;
+      Waits.add();
       Ready.wait(Lock, [&] { return Theirs->Ready; });
       return Theirs->P;
     }
     Mine = std::make_shared<Slot>();
     Slots.emplace(Key, Mine);
     ++S.Misses;
+    Misses.add();
+    Plans.set(static_cast<std::int64_t>(Slots.size()));
   }
 
   // Plan outside the lock: planning can take seconds (search + compile) and
@@ -46,6 +56,7 @@ std::shared_ptr<Plan> PlanRegistry::acquire(const PlanSpec &Spec) {
       if (It != Slots.end() && It->second == Mine)
         Slots.erase(It);
     }
+    Plans.set(static_cast<std::int64_t>(Slots.size()));
   }
   Ready.notify_all();
   return P;
@@ -66,4 +77,5 @@ void PlanRegistry::clear() {
   // In-flight slots stay: their owners still hold the shared_ptr<Slot> and
   // will publish into it; dropping the map entry just forgets the memo.
   Slots.clear();
+  telemetry::gauge("registry.plans").set(0);
 }

@@ -13,6 +13,7 @@
 #include "search/Evaluator.h"
 #include "support/FaultInjection.h"
 #include "support/Subprocess.h"
+#include "telemetry/Trace.h"
 
 #include <cmath>
 
@@ -36,7 +37,12 @@ PlanSpec normalize(const PlanSpec &Spec) {
 } // namespace
 
 Planner::Planner(Diagnostics &Diags, PlannerOptions Opts)
-    : Diags(Diags), Opts(std::move(Opts)), Wisdom(Diags) {}
+    : Diags(Diags), Opts(std::move(Opts)), Wisdom(Diags) {
+  // Pre-register the degradation-chain counters so a healthy run's metrics
+  // dump still shows them (as zeros) — absence would be ambiguous.
+  telemetry::counter("runtime.demote.native");
+  telemetry::counter("runtime.demote.vm");
+}
 
 std::string Planner::wisdomPath() const {
   return Opts.WisdomPath.empty() ? search::PlanCache::defaultPath()
@@ -168,6 +174,9 @@ bool Planner::validateSpec(const PlanSpec &Spec, Diagnostics &Diags) {
 }
 
 std::shared_ptr<Plan> Planner::plan(const PlanSpec &Spec) {
+  static telemetry::Histogram &PlanNs = telemetry::histogram("plan.total_ns");
+  telemetry::StageTimer PlanTimer("plan", &PlanNs);
+
   PlanSpec S = normalize(Spec);
 
   if (!validateSpec(S, Diags))
@@ -181,20 +190,25 @@ std::shared_ptr<Plan> Planner::plan(const PlanSpec &Spec) {
   auto Eval = makeEvaluator(S.Datatype, S.UnrollThreshold);
   FormulaRef Winner;
   double Cost = 0;
-  if (S.Transform == "fft") {
-    search::SearchOptions SO;
-    SO.MaxLeaf = S.MaxLeaf;
-    SO.Threads = Opts.SearchThreads;
-    search::DPSearch Search(*Eval, Diags, SO,
-                            Opts.UseWisdom ? &Wisdom : nullptr);
-    auto Best = Search.best(S.Size);
-    if (!Best)
-      return nullptr;
-    Winner = Best->Formula;
-    Cost = Best->Cost;
-  } else {
-    if (!chooseWHT(S, *Eval, Winner, Cost))
-      return nullptr;
+  {
+    static telemetry::Histogram &SearchNs =
+        telemetry::histogram("plan.search_ns");
+    telemetry::StageTimer SearchTimer("search", &SearchNs);
+    if (S.Transform == "fft") {
+      search::SearchOptions SO;
+      SO.MaxLeaf = S.MaxLeaf;
+      SO.Threads = Opts.SearchThreads;
+      search::DPSearch Search(*Eval, Diags, SO,
+                              Opts.UseWisdom ? &Wisdom : nullptr);
+      auto Best = Search.best(S.Size);
+      if (!Best)
+        return nullptr;
+      Winner = Best->Formula;
+      Cost = Best->Cost;
+    } else {
+      if (!chooseWHT(S, *Eval, Winner, Cost))
+        return nullptr;
+    }
   }
 
   driver::Compiler Compiler(Diags);
@@ -224,6 +238,7 @@ std::shared_ptr<Plan> Planner::plan(const PlanSpec &Spec) {
     if (!Demotions.empty())
       Demotions += "; ";
     Demotions += Tier + ": " + Why;
+    telemetry::counter("runtime.demote." + Tier).add();
     Diags.note(SourceLoc(), Tier + " backend unavailable for " +
                                 Dirs.SubName + " (" + Why + ")");
   };

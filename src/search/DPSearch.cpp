@@ -10,6 +10,7 @@
 #include "gen/Enumerate.h"
 #include "gen/Rules.h"
 #include "ir/Builder.h"
+#include "telemetry/Metrics.h"
 
 #include <algorithm>
 
@@ -94,8 +95,11 @@ void DPSearch::recordWisdom(std::int64_t N,
 
 std::optional<Candidate> DPSearch::searchSmallOne(std::int64_t N) {
   auto Hit = SmallBest.find(N);
-  if (Hit != SmallBest.end())
+  if (Hit != SmallBest.end()) {
+    static telemetry::Counter &DpHits = telemetry::counter("search.dp_hits");
+    DpHits.add();
     return Hit->second;
+  }
 
   if (auto Cached = entriesFromWisdom(N)) {
     SmallBest[N] = Cached->front();
@@ -179,8 +183,11 @@ std::map<std::int64_t, Candidate> DPSearch::searchSmall(std::int64_t MaxN) {
 
 const std::vector<Candidate> &DPSearch::largeEntries(std::int64_t N) {
   auto Hit = LargeBest.find(N);
-  if (Hit != LargeBest.end())
+  if (Hit != LargeBest.end()) {
+    static telemetry::Counter &DpHits = telemetry::counter("search.dp_hits");
+    DpHits.add();
     return Hit->second;
+  }
 
   std::vector<Candidate> Entries;
   if (N <= Opts.MaxLeaf) {

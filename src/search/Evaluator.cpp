@@ -11,6 +11,7 @@
 #include "support/FaultInjection.h"
 #include "support/Subprocess.h"
 #include "support/Timer.h"
+#include "telemetry/Metrics.h"
 #include "vm/Executor.h"
 
 #include <chrono>
@@ -45,6 +46,9 @@ std::optional<Compiled> Evaluator::compile(const FormulaRef &F) {
 
 std::optional<double> Evaluator::cost(const FormulaRef &F) {
   NumEvals.fetch_add(1, std::memory_order_relaxed);
+  static telemetry::Counter &Evals =
+      telemetry::counter("search.candidates_evaluated");
+  Evals.add();
   auto C = compile(F);
   if (!C)
     return std::nullopt;

@@ -8,6 +8,7 @@
 
 #include "support/FaultInjection.h"
 #include "support/HostInfo.h"
+#include "telemetry/Metrics.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -94,8 +95,12 @@ bool PlanCache::loadLocked(
       continue;
 
     auto Reject = [&](const char *Why) {
-      if (CountStats)
+      if (CountStats) {
         ++S.Skipped;
+        static telemetry::Counter &Corrupt =
+            telemetry::counter("wisdom.corrupt_lines");
+        Corrupt.add();
+      }
       Diags.warning(SourceLoc(), "wisdom file '" + Path + "' line " +
                                      std::to_string(LineNo) + ": " + Why +
                                      "; skipping entry");
@@ -152,8 +157,11 @@ bool PlanCache::loadLocked(
     if (Entries.size() <= static_cast<size_t>(Index))
       Entries.resize(Index + 1);
     Entries[static_cast<size_t>(Index)] = {Formula, Cost};
-    if (CountStats)
+    if (CountStats) {
       ++S.Loaded;
+      static telemetry::Counter &Loaded = telemetry::counter("wisdom.loaded");
+      Loaded.add();
+    }
   }
   return true;
 }
@@ -222,18 +230,24 @@ bool PlanCache::save(const std::string &Path) const {
 
 std::optional<std::vector<PlanEntry>> PlanCache::lookup(const PlanKey &K) const {
   std::lock_guard<std::mutex> Lock(M);
+  static telemetry::Counter &Hits = telemetry::counter("wisdom.hits");
+  static telemetry::Counter &Misses = telemetry::counter("wisdom.misses");
   auto Hit = Plans.find(K.str());
   if (Hit == Plans.end() || Hit->second.empty()) {
     ++S.Misses;
+    Misses.add();
     return std::nullopt;
   }
   ++S.Hits;
+  Hits.add();
   return Hit->second;
 }
 
 void PlanCache::insert(const PlanKey &K, std::vector<PlanEntry> Entries) {
   std::lock_guard<std::mutex> Lock(M);
   ++S.Inserts;
+  static telemetry::Counter &Inserts = telemetry::counter("wisdom.inserts");
+  Inserts.add();
   Plans[K.str()] = std::move(Entries);
 }
 

@@ -1,0 +1,133 @@
+//===- telemetry/Trace.cpp - Scoped-span tracer -------------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Trace.h"
+
+#include <array>
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <unistd.h>
+#include <vector>
+
+namespace spl::telemetry {
+
+namespace {
+
+/// Process-wide trace epoch: the first call to traceNowNs() pins it.
+std::chrono::steady_clock::time_point traceEpoch() {
+  static const auto Epoch = std::chrono::steady_clock::now();
+  return Epoch;
+}
+
+/// Small dense thread ordinals (chrome://tracing renders one row per tid;
+/// raw pthread ids are unreadable 64-bit values).
+std::uint32_t currentTid() {
+  static std::atomic<std::uint32_t> NextTid{1};
+  thread_local std::uint32_t Tid =
+      NextTid.fetch_add(1, std::memory_order_relaxed);
+  return Tid;
+}
+
+} // namespace
+
+std::uint64_t traceNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - traceEpoch())
+          .count());
+}
+
+struct Tracer::Impl {
+  // Each slot is written completely before the next claim of the same slot
+  // can happen in practice (a wrap-around race needs a thread stalled
+  // across 64K records); toJson() additionally skips never-written slots
+  // via the Name null check.
+  std::array<TraceEvent, Capacity> Ring{};
+  std::atomic<std::uint64_t> Next{0};
+};
+
+Tracer::Tracer() = default;
+
+Tracer &Tracer::instance() {
+  static Tracer T;
+  return T;
+}
+
+Tracer::Impl &Tracer::impl() const {
+  static Impl I;
+  return I;
+}
+
+void Tracer::record(const char *Name, std::uint64_t StartNs,
+                    std::uint64_t DurNs) {
+  if (!tracingEnabled())
+    return;
+  Impl &I = impl();
+  std::uint64_t Idx = I.Next.fetch_add(1, std::memory_order_relaxed);
+  TraceEvent &E = I.Ring[Idx & (Capacity - 1)];
+  E.StartNs = StartNs;
+  E.DurNs = DurNs;
+  E.Tid = currentTid();
+  E.Name = Name; // Written last: toJson treats null Name as an empty slot.
+}
+
+std::uint64_t Tracer::recorded() const {
+  return impl().Next.load(std::memory_order_relaxed);
+}
+
+void Tracer::reset() {
+  Impl &I = impl();
+  I.Next.store(0, std::memory_order_relaxed);
+  for (auto &E : I.Ring)
+    E = TraceEvent{};
+}
+
+std::string Tracer::toJson() const {
+  Impl &I = impl();
+  std::uint64_t N = I.Next.load(std::memory_order_relaxed);
+  std::uint64_t First = N > Capacity ? N - Capacity : 0;
+  std::ostringstream OS;
+  OS << "[";
+  int Pid = static_cast<int>(::getpid());
+  bool Wrote = false;
+  for (std::uint64_t Idx = First; Idx != N; ++Idx) {
+    const TraceEvent &E = I.Ring[Idx & (Capacity - 1)];
+    if (!E.Name)
+      continue;
+    if (Wrote)
+      OS << ",\n";
+    Wrote = true;
+    // chrome://tracing wants microsecond floats; keep ns precision.
+    OS << "{\"name\":\"" << E.Name << "\",\"ph\":\"X\",\"ts\":"
+       << static_cast<double>(E.StartNs) / 1e3
+       << ",\"dur\":" << static_cast<double>(E.DurNs) / 1e3
+       << ",\"pid\":" << Pid << ",\"tid\":" << E.Tid << "}";
+  }
+  OS << "]\n";
+  return OS.str();
+}
+
+std::string traceJson() { return Tracer::instance().toJson(); }
+
+void resetTrace() { Tracer::instance().reset(); }
+
+// Defined in Metrics.cpp, which owns the parsed env configuration.
+std::string configuredTraceDumpPath();
+
+bool dumpTraceIfConfigured() {
+  std::string Path = configuredTraceDumpPath();
+  if (Path.empty())
+    return true;
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  OS << traceJson();
+  return static_cast<bool>(OS);
+}
+
+} // namespace spl::telemetry

@@ -19,6 +19,7 @@
 #include "ir/Builder.h"
 #include "search/DPSearch.h"
 #include "search/PlanCache.h"
+#include "telemetry/Metrics.h"
 
 #include <gtest/gtest.h>
 
@@ -159,6 +160,11 @@ TEST(PlanCache, CorruptLinesAreSkippedWithDiagnostics) {
         << search::PlanCache::hostFingerprint() << " 0 1.5 |\n";
   }
 
+  // The skips must also surface in the telemetry registry (corrupt lines
+  // used to be invisible to metrics).
+  telemetry::setMetricsEnabled(true);
+  telemetry::resetAllMetrics();
+
   Diagnostics D2;
   search::PlanCache C2(D2);
   ASSERT_TRUE(C2.load(Path)); // Bad lines never fail the whole load.
@@ -167,10 +173,18 @@ TEST(PlanCache, CorruptLinesAreSkippedWithDiagnostics) {
   EXPECT_FALSE(D2.hasErrors()); // Warnings only.
   EXPECT_GE(D2.all().size(), 4u);
 
-  // The good entry survived.
+  EXPECT_EQ(telemetry::counter("wisdom.corrupt_lines").value(), 4u);
+  EXPECT_EQ(telemetry::counter("wisdom.loaded").value(), 1u);
+
+  // The good entry survived, and the registry counts the hit.
   auto E8 = C2.lookup(testKey(8));
   ASSERT_TRUE(E8);
   EXPECT_DOUBLE_EQ((*E8)[0].Cost, 1.5);
+  EXPECT_EQ(telemetry::counter("wisdom.hits").value(), 1u);
+  EXPECT_EQ(telemetry::counter("wisdom.misses").value(), 0u);
+
+  telemetry::setMetricsEnabled(false);
+  telemetry::resetAllMetrics();
   std::remove(Path.c_str());
 }
 

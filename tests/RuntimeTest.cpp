@@ -18,6 +18,7 @@
 #include "perf/NativeCompile.h"
 #include "runtime/PlanRegistry.h"
 #include "support/Diagnostics.h"
+#include "telemetry/Metrics.h"
 
 #include <gtest/gtest.h>
 
@@ -112,6 +113,42 @@ TEST(Plan, InPlaceExecuteMatchesOutOfPlace) {
   P->execute(Y.data(), X.data());
   P->execute(InPlace.data(), InPlace.data()); // Y == X aliasing.
   EXPECT_EQ(std::memcmp(Y.data(), InPlace.data(), 32 * sizeof(double)), 0);
+}
+
+TEST(Plan, StatsSnapshotTracksArmedExecutes) {
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, testOptions());
+  runtime::PlanSpec Spec;
+  Spec.Size = 8;
+  Spec.Want = runtime::Backend::VM;
+  auto P = Planner.plan(Spec);
+  ASSERT_TRUE(P) << Diags.dump();
+
+  std::vector<double> X(static_cast<size_t>(P->vectorLen() * 4), 0.5);
+  std::vector<double> Y(X.size());
+
+  // Disarmed executions leave no trace in the snapshot.
+  telemetry::setMetricsEnabled(false);
+  P->execute(Y.data(), X.data());
+  runtime::ExecStats S0 = P->stats();
+  EXPECT_EQ(S0.Executes, 0u);
+  EXPECT_EQ(S0.Batches, 0u);
+
+  telemetry::setMetricsEnabled(true);
+  P->execute(Y.data(), X.data());
+  P->execute(Y.data(), X.data());
+  P->executeBatch(Y.data(), X.data(), 4);
+  telemetry::setMetricsEnabled(false);
+  telemetry::resetAllMetrics(); // Keep the process-global registry clean.
+
+  runtime::ExecStats S = P->stats();
+  EXPECT_EQ(S.Executes, 2u);
+  EXPECT_EQ(S.Batches, 1u);
+  EXPECT_EQ(S.Vectors, 4u);
+  EXPECT_EQ(S.ExecuteNs.Count, 2u);
+  EXPECT_EQ(S.BatchNs.Count, 1u);
+  EXPECT_GE(S.ExecuteNs.Max, S.ExecuteNs.Min);
+  EXPECT_GT(S.ExecuteNs.p50(), 0u);
 }
 
 TEST(Plan, InvalidSpecsFailWithDiagnostics) {

@@ -1,0 +1,298 @@
+//===- tests/TelemetryTest.cpp - Metrics and tracer tests ---------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the telemetry subsystem: the armed mask, counter/gauge
+/// disarmed no-ops, histogram edge cases (empty, single sample, saturating
+/// overflow bucket, 8-thread concurrent recording), registry JSON shape,
+/// the span tracer ring, and the StageTimer stage instrument.
+///
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Metrics.h"
+#include "telemetry/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+using namespace spl;
+
+namespace {
+
+/// Arms metrics (and optionally tracing) for one test, restoring the fully
+/// disarmed state afterwards so tests compose in any order.
+struct ArmedScope {
+  explicit ArmedScope(bool Metrics = true, bool Trace = false) {
+    telemetry::setMetricsEnabled(Metrics);
+    telemetry::setTracingEnabled(Trace);
+  }
+  ~ArmedScope() {
+    telemetry::setMetricsEnabled(false);
+    telemetry::setTracingEnabled(false);
+    telemetry::resetAllMetrics();
+    telemetry::resetTrace();
+  }
+};
+
+TEST(Telemetry, DisarmedCounterIsANoOp) {
+  telemetry::setMetricsEnabled(false);
+  telemetry::Counter C;
+  C.add();
+  C.add(41);
+  EXPECT_EQ(C.value(), 0u);
+
+  telemetry::Gauge G;
+  G.set(7);
+  G.add(3);
+  EXPECT_EQ(G.value(), 0);
+
+  telemetry::Histogram H;
+  H.record(123);
+  EXPECT_EQ(H.snapshot().Count, 0u);
+}
+
+TEST(Telemetry, ArmedCounterAccumulates) {
+  ArmedScope Armed;
+  telemetry::Counter C;
+  C.add();
+  C.add(41);
+  EXPECT_EQ(C.value(), 42u);
+  C.reset();
+  EXPECT_EQ(C.value(), 0u);
+
+  telemetry::Gauge G;
+  G.set(7);
+  G.add(-3);
+  EXPECT_EQ(G.value(), 4);
+}
+
+TEST(Telemetry, SetterFlagsComposeIndependently) {
+  telemetry::setMetricsEnabled(true);
+  telemetry::setTracingEnabled(false);
+  EXPECT_TRUE(telemetry::metricsEnabled());
+  EXPECT_FALSE(telemetry::tracingEnabled());
+  EXPECT_TRUE(telemetry::active());
+
+  telemetry::setMetricsEnabled(false);
+  telemetry::setTracingEnabled(true);
+  EXPECT_FALSE(telemetry::metricsEnabled());
+  EXPECT_TRUE(telemetry::tracingEnabled());
+  EXPECT_TRUE(telemetry::active());
+
+  telemetry::setTracingEnabled(false);
+  EXPECT_FALSE(telemetry::active());
+  telemetry::resetTrace();
+}
+
+TEST(Histogram, EmptySnapshot) {
+  telemetry::Histogram H;
+  telemetry::HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 0u);
+  EXPECT_EQ(S.Sum, 0u);
+  EXPECT_EQ(S.Min, 0u); // Not the internal UINT64_MAX sentinel.
+  EXPECT_EQ(S.Max, 0u);
+  EXPECT_EQ(S.p50(), 0u);
+  EXPECT_EQ(S.p95(), 0u);
+  EXPECT_EQ(S.p99(), 0u);
+}
+
+TEST(Histogram, SingleSample) {
+  ArmedScope Armed;
+  telemetry::Histogram H;
+  H.record(1500);
+  telemetry::HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 1u);
+  EXPECT_EQ(S.Sum, 1500u);
+  EXPECT_EQ(S.Min, 1500u);
+  EXPECT_EQ(S.Max, 1500u);
+  // Every quantile of a one-sample distribution is that sample (the bucket
+  // upper bound is clamped to the observed Max).
+  EXPECT_EQ(S.p50(), 1500u);
+  EXPECT_EQ(S.p95(), 1500u);
+  EXPECT_EQ(S.p99(), 1500u);
+}
+
+TEST(Histogram, ZeroSampleLandsInBucketZero) {
+  ArmedScope Armed;
+  telemetry::Histogram H;
+  H.record(0);
+  telemetry::HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 1u);
+  EXPECT_EQ(S.Buckets[0], 1u);
+  EXPECT_EQ(S.p50(), 0u);
+}
+
+TEST(Histogram, BucketIndexing) {
+  using H = telemetry::Histogram;
+  EXPECT_EQ(H::bucketIndex(0), 0);
+  EXPECT_EQ(H::bucketIndex(1), 1);
+  EXPECT_EQ(H::bucketIndex(2), 2);
+  EXPECT_EQ(H::bucketIndex(3), 2);
+  EXPECT_EQ(H::bucketIndex(4), 3);
+  EXPECT_EQ(H::bucketIndex(1023), 10);
+  EXPECT_EQ(H::bucketIndex(1024), 11);
+  // The top of the range saturates into the last bucket.
+  EXPECT_EQ(H::bucketIndex(UINT64_MAX), H::NumBuckets - 1);
+  EXPECT_EQ(H::bucketIndex(std::uint64_t(1) << 63), H::NumBuckets - 1);
+}
+
+TEST(Histogram, SaturatingOverflowBucket) {
+  ArmedScope Armed;
+  telemetry::Histogram H;
+  // All three are wider than the second-to-last bucket; they must pile into
+  // the final (saturating) bucket rather than be dropped.
+  H.record(UINT64_MAX);
+  H.record(std::uint64_t(1) << 63);
+  H.record((std::uint64_t(1) << 63) + 12345);
+  telemetry::HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 3u);
+  EXPECT_EQ(S.Buckets[telemetry::Histogram::NumBuckets - 1], 3u);
+  EXPECT_EQ(S.Max, UINT64_MAX);
+  EXPECT_EQ(S.Min, std::uint64_t(1) << 63);
+  // Quantiles resolve to the saturating bucket, clamped to the real max.
+  EXPECT_EQ(S.p99(), UINT64_MAX);
+  EXPECT_EQ(
+      telemetry::HistogramSnapshot::bucketUpperBound(
+          telemetry::Histogram::NumBuckets - 1),
+      UINT64_MAX);
+}
+
+TEST(Histogram, ConcurrentRecordingFromEightThreads) {
+  ArmedScope Armed;
+  telemetry::Histogram H;
+  constexpr int NumThreads = 8;
+  constexpr std::uint64_t PerThread = 1000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&H] {
+      for (std::uint64_t V = 1; V <= PerThread; ++V)
+        H.record(V);
+    });
+  for (auto &T : Threads)
+    T.join();
+
+  telemetry::HistogramSnapshot S = H.snapshot();
+  // Deterministic totals: every sample lands exactly once whatever the
+  // interleaving.
+  EXPECT_EQ(S.Count, NumThreads * PerThread);
+  EXPECT_EQ(S.Sum, NumThreads * (PerThread * (PerThread + 1) / 2));
+  EXPECT_EQ(S.Min, 1u);
+  EXPECT_EQ(S.Max, PerThread);
+  std::uint64_t BucketTotal = 0;
+  for (std::uint64_t B : S.Buckets)
+    BucketTotal += B;
+  EXPECT_EQ(BucketTotal, S.Count);
+}
+
+TEST(Registry, InstrumentsHaveStableIdentity) {
+  telemetry::Counter &A = telemetry::counter("test.registry.stable");
+  telemetry::Counter &B = telemetry::counter("test.registry.stable");
+  EXPECT_EQ(&A, &B);
+  EXPECT_NE(&A, &telemetry::counter("test.registry.other"));
+}
+
+TEST(Registry, JsonShape) {
+  ArmedScope Armed;
+  telemetry::counter("test.json.counter").add(3);
+  telemetry::gauge("test.json.gauge").set(-5);
+  telemetry::histogram("test.json.hist").record(100);
+
+  std::string J = telemetry::metricsJson();
+  EXPECT_NE(J.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(J.find("\"test.json.counter\":3"), std::string::npos);
+  EXPECT_NE(J.find("\"test.json.gauge\":-5"), std::string::npos);
+  EXPECT_NE(J.find("\"test.json.hist\":{\"count\":1"), std::string::npos);
+  // Histogram buckets serialize as [lower_bound, count] pairs.
+  EXPECT_NE(J.find("\"buckets\":[[64,1]]"), std::string::npos);
+}
+
+TEST(Registry, ResetAllZeroesEverything) {
+  ArmedScope Armed;
+  telemetry::Counter &C = telemetry::counter("test.reset.counter");
+  telemetry::Histogram &H = telemetry::histogram("test.reset.hist");
+  C.add(9);
+  H.record(9);
+  telemetry::resetAllMetrics();
+  EXPECT_EQ(C.value(), 0u);
+  EXPECT_EQ(H.snapshot().Count, 0u);
+}
+
+TEST(Registry, ProfileTableListsActiveHistograms) {
+  ArmedScope Armed;
+  telemetry::histogram("test.profile.stage_ns").record(2048);
+  telemetry::counter("test.profile.events").add(4);
+  std::string Table = telemetry::profileTable();
+  EXPECT_NE(Table.find("test.profile.stage_ns"), std::string::npos);
+  EXPECT_NE(Table.find("test.profile.events"), std::string::npos);
+  // Zero-count histograms stay out of the table.
+  telemetry::histogram("test.profile.silent_ns");
+  EXPECT_EQ(telemetry::profileTable().find("test.profile.silent_ns"),
+            std::string::npos);
+}
+
+TEST(Tracer, DisarmedSpanRecordsNothing) {
+  telemetry::setTracingEnabled(false);
+  telemetry::resetTrace();
+  { telemetry::Span S("should-not-appear"); }
+  EXPECT_EQ(telemetry::Tracer::instance().recorded(), 0u);
+}
+
+TEST(Tracer, SpansExportAsChromeTracingJson) {
+  ArmedScope Armed(/*Metrics=*/false, /*Trace=*/true);
+  { telemetry::Span S("outer"); }
+  { telemetry::Span S("inner"); }
+  EXPECT_EQ(telemetry::Tracer::instance().recorded(), 2u);
+
+  std::string J = telemetry::traceJson();
+  ASSERT_FALSE(J.empty());
+  EXPECT_EQ(J.front(), '[');
+  EXPECT_NE(J.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(J.find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(J.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(J.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(J.find("\"dur\":"), std::string::npos);
+}
+
+TEST(Tracer, RingKeepsOnlyTheNewestCapacityEvents) {
+  ArmedScope Armed(/*Metrics=*/false, /*Trace=*/true);
+  telemetry::Tracer &T = telemetry::Tracer::instance();
+  const std::uint64_t Extra = 10;
+  for (std::uint64_t I = 0; I != telemetry::Tracer::Capacity + Extra; ++I)
+    T.record("spin", 0, 1);
+  EXPECT_EQ(T.recorded(), telemetry::Tracer::Capacity + Extra);
+
+  // The export holds exactly one ring's worth — the oldest Extra are gone.
+  std::string J = T.toJson();
+  size_t Events = 0;
+  for (size_t Pos = J.find("\"name\""); Pos != std::string::npos;
+       Pos = J.find("\"name\"", Pos + 1))
+    ++Events;
+  EXPECT_EQ(Events, telemetry::Tracer::Capacity);
+}
+
+TEST(StageTimer, RecordsBothHistogramAndSpan) {
+  ArmedScope Armed(/*Metrics=*/true, /*Trace=*/true);
+  telemetry::Histogram H;
+  { telemetry::StageTimer T("stage-under-test", &H); }
+  EXPECT_EQ(H.snapshot().Count, 1u);
+  EXPECT_NE(telemetry::traceJson().find("stage-under-test"),
+            std::string::npos);
+}
+
+TEST(StageTimer, FullyDisarmedIsSilent) {
+  telemetry::setMetricsEnabled(false);
+  telemetry::setTracingEnabled(false);
+  telemetry::resetTrace();
+  telemetry::Histogram H;
+  { telemetry::StageTimer T("silent-stage", &H); }
+  EXPECT_EQ(H.snapshot().Count, 0u);
+  EXPECT_EQ(telemetry::Tracer::instance().recorded(), 0u);
+}
+
+} // namespace

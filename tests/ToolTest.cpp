@@ -234,4 +234,80 @@ TEST(Splc, OutputFileOption) {
   std::remove(OutFile.c_str());
 }
 
+TEST(Splc, VersionPrintsBuildInfo) {
+  auto R = runCommand(splcPath() + " --version");
+  EXPECT_EQ(exitStatus(R), 0) << R.Output;
+  EXPECT_NE(R.Output.find("splc (spl)"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("built "), std::string::npos) << R.Output;
+  // --help documents the flag.
+  auto H = runCommand(splcPath() + " --help");
+  EXPECT_NE(H.Output.find("--version"), std::string::npos) << H.Output;
+}
+
+TEST(Splrun, VersionPrintsBuildInfo) {
+  auto R = runCommand(splrunPath() + " --version");
+  EXPECT_EQ(exitStatus(R), 0) << R.Output;
+  EXPECT_NE(R.Output.find("splrun (spl)"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("built "), std::string::npos) << R.Output;
+  auto H = runCommand(splrunPath() + " --help");
+  EXPECT_NE(H.Output.find("--version"), std::string::npos) << H.Output;
+  EXPECT_NE(H.Output.find("--stats-json"), std::string::npos) << H.Output;
+}
+
+TEST(Splc, ProfilePrintsStageTable) {
+  auto R = runSplc("--profile -B 16", Fft16Source);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("profile:"), std::string::npos) << R.Output;
+  // The table lists the instrumented pipeline stages with their latencies.
+  EXPECT_NE(R.Output.find("compile.parse_ns"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("compile.codegen_ns"), std::string::npos)
+      << R.Output;
+}
+
+TEST(Splrun, StatsJsonAndTraceJsonDumps) {
+  std::string Stem = "/tmp/splrun-telemetry-" + std::to_string(getpid());
+  std::string StatsPath = Stem + ".json";
+  std::string TracePath = Stem + ".trace.json";
+  // Cold search (--no-wisdom) guarantees candidates are actually evaluated.
+  auto R = runCommand(splrunPath() + " --transform fft --size 16 --batch 4 " +
+                      "--no-wisdom --stats-json " + StatsPath +
+                      " --trace-json " + TracePath);
+  EXPECT_EQ(exitStatus(R), 0) << R.Output;
+
+  std::ifstream SF(StatsPath);
+  ASSERT_TRUE(SF.good());
+  std::ostringstream SS;
+  SS << SF.rdbuf();
+  std::string Stats = SS.str();
+  std::remove(StatsPath.c_str());
+  // The acceptance trio: candidates were evaluated, the execute histogram
+  // is populated, and the per-tier demotion counters are present.
+  auto numberAfter = [](const std::string &Json,
+                        const std::string &Prefix) -> long long {
+    auto Pos = Json.find(Prefix);
+    if (Pos == std::string::npos)
+      return -1;
+    return std::atoll(Json.c_str() + Pos + Prefix.size());
+  };
+  EXPECT_GT(numberAfter(Stats, "\"search.candidates_evaluated\":"), 0)
+      << Stats;
+  EXPECT_GT(numberAfter(Stats, "\"runtime.execute_ns\":{\"count\":"), 0)
+      << Stats;
+  EXPECT_GE(numberAfter(Stats, "\"runtime.demote.native\":"), 0) << Stats;
+  EXPECT_GE(numberAfter(Stats, "\"runtime.demote.vm\":"), 0) << Stats;
+
+  std::ifstream TF(TracePath);
+  ASSERT_TRUE(TF.good());
+  std::ostringstream TS;
+  TS << TF.rdbuf();
+  std::string Trace = TS.str();
+  std::remove(TracePath.c_str());
+  // A chrome://tracing complete-event array with the pipeline spans.
+  ASSERT_FALSE(Trace.empty());
+  EXPECT_EQ(Trace.front(), '[');
+  EXPECT_NE(Trace.find("\"ph\":\"X\""), std::string::npos) << Trace;
+  EXPECT_NE(Trace.find("\"name\":\"plan\""), std::string::npos) << Trace;
+  EXPECT_NE(Trace.find("\"name\":\"execute\""), std::string::npos) << Trace;
+}
+
 } // namespace

@@ -1,0 +1,40 @@
+//===- tools/Version.h - Shared --version output ----------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One `--version` string for both CLIs: tool name, project version, build
+/// date, and the compiler that produced the binary. Kept header-only so each
+/// tool stamps its own translation-unit build date.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_TOOLS_VERSION_H
+#define SPL_TOOLS_VERSION_H
+
+#include <string>
+
+namespace spl::tools {
+
+/// Project version, bumped per stacked PR.
+inline constexpr const char *ProjectVersion = "0.5.0";
+
+/// e.g. "splc (spl) 0.5.0\nbuilt Aug  5 2026 12:00:00 with GNU C++ 13.2.0".
+inline std::string versionString(const char *Tool) {
+  std::string S = std::string(Tool) + " (spl) " + ProjectVersion + "\n";
+  S += "built " __DATE__ " " __TIME__ " with ";
+#if defined(__clang_version__)
+  S += "clang " __clang_version__;
+#elif defined(__VERSION__)
+  S += "GNU C++ " __VERSION__;
+#else
+  S += "an unknown compiler";
+#endif
+  return S;
+}
+
+} // namespace spl::tools
+
+#endif // SPL_TOOLS_VERSION_H

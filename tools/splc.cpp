@@ -19,6 +19,8 @@
 ///     --sparc            apply the SPARC-style peephole transformations
 ///     --print-icode      also print the final i-code as a comment stream
 ///     --stats            print per-subroutine statistics to stderr
+///     --profile          print a per-stage time/metric table to stderr
+///     --version          print version, build date and compiler
 ///
 ///   Search mode (instead of an input file):
 ///     --best-fft <n>     DP-search the FFT space for size n and emit the
@@ -36,11 +38,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "ExitCodes.h"
+#include "Version.h"
 
 #include "driver/Compiler.h"
 #include "frontend/Parser.h"
 #include "search/DPSearch.h"
 #include "support/Diagnostics.h"
+#include "telemetry/Metrics.h"
 
 #include <cerrno>
 #include <cstdio>
@@ -59,10 +63,12 @@ void printUsage() {
   std::fprintf(stderr,
                "usage: splc [-o out] [-B n] [-u k] [-O0|-O1|-O2] "
                "[-l c|fortran] [--sparc] [--print-icode] [--stats] "
-               "[file.spl]\n"
+               "[--profile] [file.spl]\n"
                "       splc --best-fft n [--search-eval opcount|vmtime|native] "
                "[--search-threads t] [--search-leaf n] "
-               "[--wisdom file] [--no-wisdom] [common options]\n");
+               "[--wisdom file] [--no-wisdom] [common options]\n"
+               "       splc --version    print version, build date and "
+               "compiler\n");
 }
 
 } // namespace
@@ -73,6 +79,7 @@ int main(int Argc, char **Argv) {
   std::string OutputPath;
   bool PrintICode = false;
   bool Stats = false;
+  bool Profile = false;
   std::int64_t BestFFT = 0;
   std::int64_t SearchLeaf = 16;
   std::string SearchEval = "opcount";
@@ -105,6 +112,12 @@ int main(int Argc, char **Argv) {
       PrintICode = true;
     } else if (Arg == "--stats") {
       Stats = true;
+    } else if (Arg == "--profile") {
+      Profile = true;
+      telemetry::setMetricsEnabled(true);
+    } else if (Arg == "--version") {
+      std::printf("%s\n", tools::versionString("splc").c_str());
+      return tools::ExitOK;
     } else if (Arg == "--best-fft" && I + 1 < Argc) {
       BestFFT = std::atoll(Argv[++I]);
       if (BestFFT < 2) {
@@ -308,5 +321,7 @@ int main(int Argc, char **Argv) {
     }
     OutFile << Out.str();
   }
+  if (Profile)
+    std::fprintf(stderr, "profile:\n%s", telemetry::profileTable().c_str());
   return tools::ExitOK;
 }

@@ -25,6 +25,9 @@
 ///     --verify              cross-check backends, a dense oracle, and
 ///                           thread counts
 ///     --stats               plan, wisdom and registry details on stderr
+///     --stats-json <file>   dump the telemetry metrics registry as JSON
+///     --trace-json <file>   dump pipeline spans as chrome://tracing JSON
+///     --version             print version, build date and compiler
 ///
 /// Exit codes (tools/ExitCodes.h): 0 ok, 2 usage, 3 spec rejected,
 /// 4 planning/search failed, 5 verification failed.
@@ -32,16 +35,19 @@
 //===----------------------------------------------------------------------===//
 
 #include "ExitCodes.h"
+#include "Version.h"
 
 #include "ir/Formula.h"
 #include "runtime/AlignedBuffer.h"
 #include "runtime/PlanRegistry.h"
 #include "runtime/Planner.h"
 #include "support/Timer.h"
+#include "telemetry/Trace.h"
 
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <random>
 #include <string>
 
@@ -56,7 +62,22 @@ void printUsage() {
       "[--threads t]\n"
       "              [--backend auto|native|vm|oracle] [--unroll n] [--leaf n]\n"
       "              [--eval opcount|vmtime|native] [--search-threads t]\n"
-      "              [--wisdom file] [--no-wisdom] [--verify] [--stats]\n");
+      "              [--wisdom file] [--no-wisdom] [--verify] [--stats]\n"
+      "              [--stats-json file] [--trace-json file] [--version]\n");
+}
+
+/// Writes \p Content to \p Path; a one-line error on failure.
+bool writeFileOrComplain(const std::string &Path, const std::string &Content,
+                         const char *What) {
+  std::ofstream Out(Path);
+  if (Out)
+    Out << Content;
+  if (!Out) {
+    std::fprintf(stderr, "splrun: error: cannot write %s to '%s'\n", What,
+                 Path.c_str());
+    return false;
+  }
+  return true;
 }
 
 /// Deterministic random batch input.
@@ -83,6 +104,8 @@ int main(int Argc, char **Argv) {
   int Threads = 1;
   bool Verify = false;
   bool Stats = false;
+  std::string StatsJsonPath;
+  std::string TraceJsonPath;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -130,6 +153,15 @@ int main(int Argc, char **Argv) {
       Verify = true;
     } else if (Arg == "--stats") {
       Stats = true;
+    } else if (Arg == "--stats-json") {
+      StatsJsonPath = Next("--stats-json");
+      telemetry::setMetricsEnabled(true);
+    } else if (Arg == "--trace-json") {
+      TraceJsonPath = Next("--trace-json");
+      telemetry::setTracingEnabled(true);
+    } else if (Arg == "--version") {
+      std::printf("%s\n", tools::versionString("splrun").c_str());
+      return tools::ExitOK;
     } else if (Arg == "-h" || Arg == "--help") {
       printUsage();
       return 0;
@@ -202,6 +234,17 @@ int main(int Argc, char **Argv) {
     if (POpts.UseWisdom)
       std::fprintf(stderr, "%s (%s)\n", Planner.wisdom().summary().c_str(),
                    Planner.wisdomPath().c_str());
+    if (telemetry::metricsEnabled()) {
+      runtime::ExecStats PS = Plan->stats();
+      std::fprintf(stderr,
+                   "plan stats: %llu executes (p50 %llu ns), %llu batches "
+                   "over %llu vectors (p50 %llu ns)\n",
+                   static_cast<unsigned long long>(PS.Executes),
+                   static_cast<unsigned long long>(PS.ExecuteNs.p50()),
+                   static_cast<unsigned long long>(PS.Batches),
+                   static_cast<unsigned long long>(PS.Vectors),
+                   static_cast<unsigned long long>(PS.BatchNs.p50()));
+    }
   }
 
   int Failures = 0;
@@ -287,10 +330,21 @@ int main(int Argc, char **Argv) {
   }
 
   std::fputs(Diags.dump().c_str(), stderr);
+
+  bool DumpFailed = false;
+  if (!StatsJsonPath.empty())
+    DumpFailed |= !writeFileOrComplain(StatsJsonPath,
+                                       telemetry::metricsJson() + "\n",
+                                       "metrics JSON");
+  if (!TraceJsonPath.empty())
+    DumpFailed |=
+        !writeFileOrComplain(TraceJsonPath, telemetry::traceJson(),
+                             "trace JSON");
+
   if (Failures) {
     std::fprintf(stderr, "splrun: %d verification failure%s\n", Failures,
                  Failures == 1 ? "" : "s");
     return tools::ExitExec;
   }
-  return tools::ExitOK;
+  return DumpFailed ? tools::ExitExec : tools::ExitOK;
 }
