@@ -1,0 +1,267 @@
+//===- bench/bench_spld_manyclient.cpp - spld under many-client load ----------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives an in-process spld Server with hundreds of concurrent client
+/// threads issuing mixed plan/execute traffic over the real Unix-domain
+/// socket, then checks the claims docs/SERVICE.md makes: no request is lost
+/// (typed BUSY rejections are retried and eventually served), every daemon
+/// result is bit-identical to an in-process plan of the same spec, execute
+/// latency p99 (from the daemon's own spld.execute_ns histogram) stays
+/// bounded, and no wisdom entry is lost across a drain-and-save shutdown.
+/// Exit status is nonzero when any of those checks fails, so the CI smoke
+/// job can run this as a gate rather than eyeballing a table.
+///
+/// Environment knobs (in addition to BenchUtil's):
+///   SPL_SPLD_CLIENTS=<n>   concurrent client threads (default 200)
+///   SPL_SPLD_REQS=<n>      requests per client (default 20)
+///   SPL_SPLD_P99_MS=<n>    execute p99 budget in milliseconds (default 500)
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "runtime/Planner.h"
+#include "search/PlanCache.h"
+#include "service/Client.h"
+#include "service/Server.h"
+#include "telemetry/Metrics.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace spl;
+using namespace spl::bench;
+using namespace spl::service;
+
+namespace {
+
+/// The mixed workload: small VM-tier transforms so the bench is about the
+/// service layer (admission, framing, registry sharing), not kernel speed.
+struct WorkItem {
+  const char *Transform;
+  std::int64_t Size;
+};
+
+constexpr WorkItem kWork[] = {
+    {"fft", 8}, {"fft", 16}, {"fft", 32}, {"fft", 64},
+    {"wht", 8}, {"wht", 16}, {"wht", 32}, {"wht", 64},
+};
+constexpr int kNumWork = static_cast<int>(sizeof(kWork) / sizeof(kWork[0]));
+
+runtime::PlanSpec specFor(const WorkItem &W) {
+  runtime::PlanSpec S;
+  S.Transform = W.Transform;
+  S.Size = W.Size;
+  S.Want = runtime::Backend::VM; // Identical tier daemon-side and locally.
+  return S;
+}
+
+/// Deterministic per-(item, vector) input so every thread hitting the same
+/// work item checks against the same reference output.
+void fillInput(std::vector<double> &X, int Item) {
+  for (std::size_t I = 0; I != X.size(); ++I)
+    X[I] = std::sin(0.13 * static_cast<double>(I + 7 * Item)) * 2.0 - 0.25;
+}
+
+} // namespace
+
+int main() {
+  printPreamble("spld many-client soak: mixed plan/execute traffic",
+                "daemon parity with in-process plan/execute");
+
+  const int Clients = static_cast<int>(envInt("SPL_SPLD_CLIENTS", 200));
+  const int Reqs = static_cast<int>(envInt("SPL_SPLD_REQS", 20));
+  const std::int64_t P99BudgetMs = envInt("SPL_SPLD_P99_MS", 500);
+  const std::int64_t Batch = 4;
+
+  telemetry::setMetricsEnabled(true);
+
+  const std::string Socket =
+      "/tmp/spl-bench-spld-" + std::to_string(getpid()) + ".sock";
+  const std::string Wisdom = Socket + ".wisdom";
+  ::unlink(Wisdom.c_str());
+
+  ServerOptions Opts;
+  Opts.SocketPath = Socket;
+  Opts.Workers = 8;
+  Opts.MaxInflight = 64;
+  Opts.PerClientInflight = 2;
+  Opts.Planner.UseWisdom = true;
+  Opts.Planner.WisdomPath = Wisdom;
+  Opts.Planner.Evaluator = "opcount";
+  Server Srv(Opts);
+  if (!Srv.start()) {
+    std::fprintf(stderr, "FAIL: server did not start:\n%s",
+                 Srv.diagnostics().dump().c_str());
+    return 1;
+  }
+
+  // In-process references: one plan per work item, same options minus the
+  // wisdom file (never race the daemon's).
+  Diagnostics Diags;
+  runtime::PlannerOptions LocalOpts = Opts.Planner;
+  LocalOpts.UseWisdom = false;
+  runtime::Planner Local(Diags, LocalOpts);
+  std::vector<std::shared_ptr<runtime::Plan>> RefPlans(kNumWork);
+  std::vector<std::vector<double>> RefX(kNumWork), RefY(kNumWork);
+  for (int I = 0; I != kNumWork; ++I) {
+    RefPlans[I] = Local.plan(specFor(kWork[I]));
+    if (!RefPlans[I]) {
+      std::fprintf(stderr, "FAIL: reference plan %d:\n%s", I,
+                   Diags.dump().c_str());
+      return 1;
+    }
+    const std::int64_t Len = RefPlans[I]->vectorLen();
+    RefX[I].resize(Batch * Len);
+    RefY[I].resize(Batch * Len);
+    fillInput(RefX[I], I);
+    RefPlans[I]->executeBatch(RefY[I].data(), RefX[I].data(), Batch, 1);
+  }
+
+  std::printf("clients=%d  reqs/client=%d  workers=%d  max-inflight=%d  "
+              "per-client=%d\n\n",
+              Clients, Reqs, Opts.Workers, Opts.MaxInflight,
+              Opts.PerClientInflight);
+
+  std::atomic<std::uint64_t> Plans{0}, Executes{0}, Mismatches{0},
+      Failures{0};
+  std::mutex FirstErrM;
+  std::string FirstErr;
+
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<std::thread> Threads;
+  Threads.reserve(Clients);
+  for (int T = 0; T != Clients; ++T)
+    Threads.emplace_back([&, T] {
+      Client C;
+      if (!C.connect(Socket)) {
+        Failures.fetch_add(1);
+        std::lock_guard<std::mutex> L(FirstErrM);
+        if (FirstErr.empty())
+          FirstErr = "connect: " + C.lastError();
+        return;
+      }
+      std::vector<double> Y;
+      for (int R = 0; R != Reqs; ++R) {
+        const int Item = (T + R) % kNumWork;
+        const runtime::PlanSpec Spec = specFor(kWork[Item]);
+        // Odd requests plan-only; even requests plan+execute. Retries
+        // absorb typed BUSY so a bounded daemon still loses nothing.
+        auto PR = C.planRetryBusy(Spec, /*Retries=*/256);
+        if (!PR) {
+          Failures.fetch_add(1);
+          std::lock_guard<std::mutex> L(FirstErrM);
+          if (FirstErr.empty())
+            FirstErr = "plan " + Spec.key() + ": " + C.lastError();
+          return;
+        }
+        Plans.fetch_add(1);
+        if (R % 2 != 0)
+          continue;
+        const std::int64_t Len = PR->VectorLen;
+        Y.assign(Batch * Len, 0.0);
+        if (!C.executeRetryBusy(Spec, Y.data(), RefX[Item].data(), Batch,
+                                Len, /*Threads=*/1, /*Retries=*/256)) {
+          Failures.fetch_add(1);
+          std::lock_guard<std::mutex> L(FirstErrM);
+          if (FirstErr.empty())
+            FirstErr = "execute " + Spec.key() + ": " + C.lastError();
+          return;
+        }
+        Executes.fetch_add(1);
+        if (std::memcmp(Y.data(), RefY[Item].data(),
+                        Y.size() * sizeof(double)) != 0)
+          Mismatches.fetch_add(1);
+      }
+    });
+  for (auto &T : Threads)
+    T.join();
+  const double WallS =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+
+  const Server::Stats SS = Srv.stats();
+  const auto RegStats = Srv.registry().stats();
+  const telemetry::HistogramSnapshot Exec =
+      telemetry::histogram("spld.execute_ns").snapshot();
+  const telemetry::HistogramSnapshot Plan =
+      telemetry::histogram("spld.plan_ns").snapshot();
+
+  std::printf("%-28s %12s\n", "measure", "value");
+  std::printf("%-28s %12.2f\n", "wall seconds", WallS);
+  std::printf("%-28s %12llu\n", "plans served",
+              static_cast<unsigned long long>(Plans.load()));
+  std::printf("%-28s %12llu\n", "executes served",
+              static_cast<unsigned long long>(Executes.load()));
+  std::printf("%-28s %12.0f\n", "requests/second",
+              WallS > 0 ? (Plans.load() + Executes.load()) / WallS : 0.0);
+  std::printf("%-28s %12llu\n", "busy rejections (retried)",
+              static_cast<unsigned long long>(SS.RejectedBusy));
+  std::printf("%-28s %12llu\n", "registry misses (searches)",
+              static_cast<unsigned long long>(RegStats.Misses));
+  std::printf("%-28s %12llu\n", "registry hits+waits",
+              static_cast<unsigned long long>(RegStats.Hits + RegStats.Waits));
+  std::printf("%-28s %12.3f\n", "plan p99 ms",
+              static_cast<double>(Plan.p99()) / 1e6);
+  std::printf("%-28s %12.3f\n", "execute p99 ms",
+              static_cast<double>(Exec.p99()) / 1e6);
+
+  const std::size_t HeldWisdom = Srv.planner().wisdom().size();
+  Srv.stop();
+
+  // --- Gates ------------------------------------------------------------
+  int Rc = 0;
+  auto gate = [&](bool OK, const char *What) {
+    std::printf("%-44s %s\n", What, OK ? "OK" : "FAIL");
+    if (!OK)
+      Rc = 1;
+  };
+  std::printf("\n");
+  gate(Failures.load() == 0 && FirstErr.empty(), "no lost requests");
+  if (!FirstErr.empty())
+    std::printf("  first error: %s\n", FirstErr.c_str());
+  gate(Mismatches.load() == 0, "bit-identical vs in-process execution");
+  gate(Plans.load() ==
+           static_cast<std::uint64_t>(Clients) * static_cast<std::uint64_t>(Reqs),
+       "every plan request answered");
+  // Eight distinct specs across thousands of requests: the registry must
+  // have searched each exactly once.
+  gate(RegStats.Misses == static_cast<std::size_t>(kNumWork),
+       "one search per distinct spec (single-flight)");
+  gate(Exec.Count == Executes.load() && Exec.p99() > 0,
+       "execute histogram saw every request");
+  gate(static_cast<double>(Exec.p99()) / 1e6 <=
+           static_cast<double>(P99BudgetMs),
+       "execute p99 within budget");
+
+  // No lost wisdom: the daemon saved on stop(); a fresh cache must load
+  // every entry cleanly.
+  {
+    Diagnostics D2;
+    search::PlanCache Reloaded(D2);
+    const bool Loaded = Reloaded.load(Wisdom);
+    gate(Loaded && Reloaded.stats().Skipped == 0 &&
+             Reloaded.size() >= HeldWisdom && HeldWisdom > 0,
+         "no lost wisdom across shutdown");
+    if (Loaded)
+      std::printf("  wisdom entries: held %zu, reloaded %zu\n", HeldWisdom,
+                  Reloaded.size());
+  }
+  ::unlink(Wisdom.c_str());
+
+  std::printf("\n%s\n", Rc == 0 ? "ALL GATES PASSED" : "GATES FAILED");
+  return Rc;
+}

@@ -15,10 +15,44 @@
 #include <fstream>
 #include <sstream>
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 using namespace spl;
 using namespace spl::search;
 
 namespace {
+
+/// Advisory inter-process lock on <wisdom>.lock. Wisdom writes are
+/// merge-then-rename; without this, two processes saving concurrently can
+/// both merge against the same on-disk state and the second rename silently
+/// drops the first writer's new entries. flock() serializes the
+/// read-merge-write window (spld, splrun, and tests all cooperate through
+/// the same lock file). Best-effort: if the lock file cannot be created the
+/// caller proceeds unlocked, which is exactly the pre-lock behavior.
+class FileLock {
+public:
+  FileLock(const std::string &Path, int Operation)
+      : Fd(::open((Path + ".lock").c_str(), O_CREAT | O_RDWR | O_CLOEXEC,
+                  0644)) {
+    if (Fd >= 0 && ::flock(Fd, Operation) != 0) {
+      ::close(Fd);
+      Fd = -1;
+    }
+  }
+  ~FileLock() {
+    if (Fd >= 0) {
+      ::flock(Fd, LOCK_UN);
+      ::close(Fd);
+    }
+  }
+  FileLock(const FileLock &) = delete;
+  FileLock &operator=(const FileLock &) = delete;
+
+private:
+  int Fd;
+};
 
 // v2 added a per-line FNV-1a checksum between the "plan" tag and the
 // payload; v1 files (no checksums) are ignored with a warning — wisdom is
@@ -174,6 +208,8 @@ bool PlanCache::load(const std::string &Path) {
     return false;
   }
   std::map<std::string, std::vector<PlanEntry>> Incoming;
+  // Shared lock: don't read a file mid-merge-rename from another process.
+  FileLock FL(Path, LOCK_SH);
   if (!loadLocked(Path, Incoming, /*CountStats=*/true))
     return false;
   // Incoming entries fill gaps; entries already in memory win.
@@ -189,6 +225,10 @@ bool PlanCache::save(const std::string &Path) const {
                                    fault::describe("wisdom-save") + ")");
     return false;
   }
+
+  // Exclusive lock across the whole read-merge-write-rename window, so two
+  // savers serialize and neither's entries are lost.
+  FileLock FL(Path, LOCK_EX);
 
   // Merge-on-save: what is on disk survives unless we hold the same key.
   std::map<std::string, std::vector<PlanEntry>> Merged;

@@ -1,0 +1,173 @@
+//===- service/Client.cpp - spld client library -------------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include "service/Socket.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <unistd.h>
+
+using namespace spl;
+using namespace spl::service;
+
+bool Client::connect(const std::string &SocketPath) {
+  disconnect();
+  std::string Err;
+  Fd = connectUnix(SocketPath, Err);
+  if (Fd < 0) {
+    fail(Status::Protocol, Err);
+    return false;
+  }
+  LastStatus = Status::Ok;
+  LastError.clear();
+  return true;
+}
+
+void Client::disconnect() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+void Client::fail(Status S, std::string Message) {
+  LastStatus = S;
+  LastError = std::move(Message);
+}
+
+std::optional<Frame> Client::roundTrip(MsgType Type,
+                                       const std::vector<std::uint8_t> &Body,
+                                       MsgType ExpectedResp) {
+  if (Fd < 0) {
+    fail(Status::Protocol, "not connected");
+    return std::nullopt;
+  }
+  std::uint32_t Id = NextId++;
+  if (!writeFrame(Fd, Type, Id, Body)) {
+    fail(Status::Protocol, "send failed (daemon gone?)");
+    disconnect();
+    return std::nullopt;
+  }
+  Frame F;
+  IoStatus St = readFrame(Fd, kDefaultMaxFrameBytes, F);
+  if (St != IoStatus::Ok) {
+    fail(Status::Protocol, St == IoStatus::Closed
+                               ? "connection closed by daemon"
+                               : "response read failed");
+    disconnect();
+    return std::nullopt;
+  }
+  if (F.RequestId != Id) {
+    fail(Status::Protocol, "response id mismatch (pipelining misuse?)");
+    disconnect();
+    return std::nullopt;
+  }
+  if (F.Type == MsgType::ErrorResp) {
+    ErrorBody E;
+    if (!ErrorBody::decode(F.Body.data(), F.Body.size(), E)) {
+      fail(Status::Protocol, "undecodable error response");
+      disconnect();
+      return std::nullopt;
+    }
+    fail(E.Code, E.Message);
+    return std::nullopt;
+  }
+  if (F.Type != ExpectedResp) {
+    fail(Status::Protocol, "unexpected response type");
+    disconnect();
+    return std::nullopt;
+  }
+  LastStatus = Status::Ok;
+  LastError.clear();
+  return F;
+}
+
+std::optional<PlanResponse> Client::plan(const runtime::PlanSpec &Spec) {
+  PlanRequest Req;
+  Req.Spec = WireSpec::fromSpec(Spec);
+  auto F = roundTrip(MsgType::PlanReq, Req.encode(), MsgType::PlanResp);
+  if (!F)
+    return std::nullopt;
+  PlanResponse Resp;
+  if (!PlanResponse::decode(F->Body.data(), F->Body.size(), Resp)) {
+    fail(Status::Protocol, "undecodable plan response");
+    return std::nullopt;
+  }
+  return Resp;
+}
+
+bool Client::execute(const runtime::PlanSpec &Spec, double *Y, const double *X,
+                     std::int64_t Count, std::int64_t VectorLen, int Threads) {
+  ExecuteRequest Req;
+  Req.Spec = WireSpec::fromSpec(Spec);
+  Req.Count = Count;
+  Req.Threads = Threads;
+  Req.Data.assign(X, X + Count * VectorLen);
+  auto F = roundTrip(MsgType::ExecuteReq, Req.encode(), MsgType::ExecuteResp);
+  if (!F)
+    return false;
+  ExecuteResponse Resp;
+  if (!ExecuteResponse::decode(F->Body.data(), F->Body.size(), Resp)) {
+    fail(Status::Protocol, "undecodable execute response");
+    return false;
+  }
+  if (Resp.Count != Count || Resp.VectorLen != VectorLen ||
+      Resp.Data.size() != static_cast<std::size_t>(Count * VectorLen)) {
+    fail(Status::Protocol, "execute response shape mismatch");
+    return false;
+  }
+  std::memcpy(Y, Resp.Data.data(), Resp.Data.size() * sizeof(double));
+  return true;
+}
+
+std::optional<PlanResponse>
+Client::planRetryBusy(const runtime::PlanSpec &Spec, int Retries) {
+  for (int Attempt = 0;; ++Attempt) {
+    if (auto R = plan(Spec))
+      return R;
+    if (LastStatus != Status::Busy || Attempt >= Retries)
+      return std::nullopt;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 + Attempt));
+  }
+}
+
+bool Client::executeRetryBusy(const runtime::PlanSpec &Spec, double *Y,
+                              const double *X, std::int64_t Count,
+                              std::int64_t VectorLen, int Threads,
+                              int Retries) {
+  for (int Attempt = 0;; ++Attempt) {
+    if (execute(Spec, Y, X, Count, VectorLen, Threads))
+      return true;
+    if (LastStatus != Status::Busy || Attempt >= Retries)
+      return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 + Attempt));
+  }
+}
+
+std::optional<std::string> Client::stats() {
+  auto F = roundTrip(MsgType::StatsReq, {}, MsgType::StatsResp);
+  if (!F)
+    return std::nullopt;
+  StatsResponse Resp;
+  if (!StatsResponse::decode(F->Body.data(), F->Body.size(), Resp)) {
+    fail(Status::Protocol, "undecodable stats response");
+    return std::nullopt;
+  }
+  return Resp.Json;
+}
+
+bool Client::ping() {
+  return roundTrip(MsgType::PingReq, {}, MsgType::PingResp).has_value();
+}
+
+bool Client::shutdownServer() {
+  return roundTrip(MsgType::ShutdownReq, {}, MsgType::ShutdownResp)
+      .has_value();
+}

@@ -1,0 +1,100 @@
+//===- service/Client.h - spld client library -------------------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synchronous client for the spld plan-serving daemon: one connection, one
+/// request in flight at a time (the protocol allows pipelining; this client
+/// keeps the common case simple — `splrun --connect` and the many-client
+/// bench each run one Client per thread). Every call returns false/nullopt
+/// on failure and records a typed Status plus a message, so callers can
+/// distinguish a BUSY worth retrying from a hard protocol error. Not
+/// thread-safe; use one Client per thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_SERVICE_CLIENT_H
+#define SPL_SERVICE_CLIENT_H
+
+#include "service/Protocol.h"
+#include "service/Socket.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spl {
+namespace service {
+
+/// A connected spld client.
+class Client {
+public:
+  Client() = default;
+  ~Client() { disconnect(); }
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects to the daemon socket. False (with lastError set) on failure.
+  bool connect(const std::string &SocketPath);
+
+  /// Closes the connection (idempotent).
+  void disconnect();
+
+  bool connected() const { return Fd >= 0; }
+
+  /// Round-trips a plan request.
+  std::optional<PlanResponse> plan(const runtime::PlanSpec &Spec);
+
+  /// Round-trips an execute request: \p Count vectors of \p VectorLen
+  /// doubles from \p X into \p Y (caller-sized). VectorLen must match the
+  /// plan's (a plan() call reports it).
+  bool execute(const runtime::PlanSpec &Spec, double *Y, const double *X,
+               std::int64_t Count, std::int64_t VectorLen, int Threads = 1);
+
+  /// Like plan()/execute() but retrying typed BUSY rejections up to
+  /// \p Retries times with linear backoff. Any other failure is final.
+  std::optional<PlanResponse> planRetryBusy(const runtime::PlanSpec &Spec,
+                                            int Retries = 64);
+  bool executeRetryBusy(const runtime::PlanSpec &Spec, double *Y,
+                        const double *X, std::int64_t Count,
+                        std::int64_t VectorLen, int Threads = 1,
+                        int Retries = 64);
+
+  /// Fetches the daemon's stats JSON (server identity + telemetry
+  /// registry).
+  std::optional<std::string> stats();
+
+  /// Liveness probe.
+  bool ping();
+
+  /// Asks the daemon to drain and exit. The connection is useless after a
+  /// true return.
+  bool shutdownServer();
+
+  /// The status/message of the most recent failure (Status::Ok after a
+  /// success).
+  Status lastStatus() const { return LastStatus; }
+  const std::string &lastError() const { return LastError; }
+
+private:
+  /// Sends \p Body as \p Type and reads the matching response frame.
+  /// Returns nullopt on transport failure or a typed ErrorResp (recorded).
+  std::optional<Frame> roundTrip(MsgType Type,
+                                 const std::vector<std::uint8_t> &Body,
+                                 MsgType ExpectedResp);
+
+  void fail(Status S, std::string Message);
+
+  int Fd = -1;
+  std::uint32_t NextId = 1;
+  Status LastStatus = Status::Ok;
+  std::string LastError;
+};
+
+} // namespace service
+} // namespace spl
+
+#endif // SPL_SERVICE_CLIENT_H

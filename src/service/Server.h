@@ -1,0 +1,182 @@
+//===- service/Server.h - Multi-tenant plan-serving daemon core -*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The spld daemon core: one long-lived process that serves plan and
+/// execute traffic from many clients over a Unix-domain socket, amortizing
+/// search, compiled kernels, and wisdom across all of them — the FFTW
+/// plan/execute split turned into a service (see docs/SERVICE.md).
+///
+/// Ownership: the Server holds the single Planner (and through it the
+/// wisdom store), the single-flight PlanRegistry, and a support::ThreadPool
+/// the planning/execution work runs on. Each accepted connection gets a
+/// reader thread; parsed requests are admitted onto the pool under two
+/// bounds — a server-wide in-flight cap and a per-client quota — and
+/// rejected with typed BUSY instead of queueing without bound. Oversized
+/// frames and transforms come back TOO_LARGE. Stats requests are answered
+/// inline (never queued) so the telemetry registry stays scrapeable even
+/// when the pool is saturated.
+///
+/// Degradation: the planner's native -> VM -> oracle chain (SPL_FAULT
+/// drivable) runs unchanged inside the daemon, so a broken compiler or a
+/// crashing kernel demotes plans instead of killing the process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_SERVICE_SERVER_H
+#define SPL_SERVICE_SERVER_H
+
+#include "runtime/PlanRegistry.h"
+#include "runtime/Planner.h"
+#include "service/Protocol.h"
+#include "service/Socket.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace spl {
+namespace service {
+
+/// Daemon configuration.
+struct ServerOptions {
+  std::string SocketPath; ///< Required: where to listen.
+
+  /// Worker threads for planning/execution (0: ThreadPool default).
+  int Workers = 0;
+
+  /// Server-wide cap on admitted-but-unfinished plan/execute requests.
+  /// Admission past this answers BUSY.
+  int MaxInflight = 64;
+
+  /// Per-connection cap on in-flight requests (pipelining quota).
+  int PerClientInflight = 4;
+
+  /// Largest accepted frame body; bigger requests answer TOO_LARGE.
+  std::uint32_t MaxFrameBytes = kDefaultMaxFrameBytes;
+
+  /// Largest accepted transform size (oracle memory is O(N^2); a million-
+  /// point plan request from one tenant must not OOM the daemon).
+  std::int64_t MaxTransformSize = 1 << 16;
+
+  /// Cap on the per-request batch worker count a client may ask for.
+  int MaxExecThreads = 4;
+
+  /// Planner configuration (evaluator, wisdom path, search threads...).
+  runtime::PlannerOptions Planner;
+};
+
+/// The daemon core. start() spawns the accept loop and returns; stop()
+/// drains and joins everything and saves wisdom. Thread-safe throughout.
+class Server {
+public:
+  explicit Server(ServerOptions Opts);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds the socket and starts serving. False (with a diagnostic on the
+  /// engine) when the socket cannot be created.
+  bool start();
+
+  /// Stops accepting, drains in-flight work, joins all threads, saves
+  /// wisdom, removes the socket file. Idempotent.
+  void stop();
+
+  /// True after a client's SHUTDOWN request or an explicit call; spld's
+  /// main loop polls this to know when to stop().
+  bool shutdownRequested() const { return ShutdownFlag.load(); }
+
+  /// Marks the daemon as draining: new plan/execute admissions answer
+  /// SHUTTING_DOWN and shutdownRequested() flips true.
+  void requestShutdown() { ShutdownFlag.store(true); }
+
+  /// Blocks until shutdownRequested() (used by tests; spld polls so it can
+  /// also react to signals).
+  void waitForShutdownRequest();
+
+  const ServerOptions &options() const { return Opts; }
+  runtime::Planner &planner() { return ThePlanner; }
+  runtime::PlanRegistry &registry() { return Registry; }
+  Diagnostics &diagnostics() { return Diags; }
+
+  /// Live served-request counters (also exported as spld.* telemetry).
+  struct Stats {
+    std::uint64_t Connections = 0;
+    std::uint64_t Requests = 0;
+    std::uint64_t Plans = 0;
+    std::uint64_t Executes = 0;
+    std::uint64_t RejectedBusy = 0;
+    std::uint64_t RejectedTooLarge = 0;
+    std::uint64_t Errors = 0;
+  };
+  Stats stats() const;
+
+private:
+  struct Conn {
+    int Fd = -1;
+    std::uint64_t Id = 0;
+    std::thread Reader;
+    std::mutex WriteM;           ///< Serializes response frames.
+    std::atomic<int> Inflight{0}; ///< Admitted jobs not yet answered.
+    std::atomic<bool> Done{false};
+  };
+
+  void acceptLoop();
+  void connLoop(std::shared_ptr<Conn> C);
+  void reapFinishedConns();
+
+  /// True when the request was admitted (quota + global bounds); on false
+  /// the typed rejection was already sent.
+  bool admit(Conn &C, std::uint32_t RequestId);
+
+  void handlePlan(std::shared_ptr<Conn> C, Frame F);
+  void handleExecute(std::shared_ptr<Conn> C, Frame F);
+  void handleStats(Conn &C, std::uint32_t RequestId);
+
+  bool sendFrame(Conn &C, MsgType Type, std::uint32_t RequestId,
+                 const std::vector<std::uint8_t> &Body);
+  void sendError(Conn &C, std::uint32_t RequestId, Status Code,
+                 const std::string &Message);
+
+  /// Validates and acquires the plan for a wire spec; on failure sends the
+  /// typed error itself and returns null.
+  std::shared_ptr<runtime::Plan> acquirePlan(Conn &C, std::uint32_t RequestId,
+                                             const WireSpec &WS);
+
+  ServerOptions Opts;
+  Diagnostics Diags;
+  runtime::Planner ThePlanner;
+  runtime::PlanRegistry Registry;
+  std::unique_ptr<ThreadPool> Pool;
+
+  int ListenFd = -1;
+  std::thread Acceptor;
+  std::atomic<bool> Running{false};
+  std::atomic<bool> ShutdownFlag{false};
+  std::atomic<int> GlobalInflight{0};
+
+  mutable std::mutex ConnsM;
+  std::vector<std::shared_ptr<Conn>> Conns;
+  std::uint64_t NextConnId = 1;
+
+  std::mutex ShutdownM;
+  std::condition_variable ShutdownCv;
+
+  mutable std::mutex StatsM;
+  Stats S;
+};
+
+} // namespace service
+} // namespace spl
+
+#endif // SPL_SERVICE_SERVER_H

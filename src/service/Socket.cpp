@@ -1,0 +1,160 @@
+//===- service/Socket.cpp - Unix-domain stream transport ----------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Socket.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace spl;
+using namespace spl::service;
+
+namespace {
+
+/// Fills a sockaddr_un for \p Path; false when the path does not fit (the
+/// classic 108-byte sun_path limit).
+bool makeAddr(const std::string &Path, sockaddr_un &Addr, std::string &Err) {
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.empty() || Path.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path '" + Path + "' is empty or longer than " +
+          std::to_string(sizeof(Addr.sun_path) - 1) + " bytes";
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+} // namespace
+
+int spl::service::listenUnix(const std::string &Path, int Backlog,
+                             std::string &Err) {
+  sockaddr_un Addr;
+  if (!makeAddr(Path, Addr, Err))
+    return -1;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  // A previous daemon's socket file would make bind fail with EADDRINUSE;
+  // the daemon owns its path, so replace it unconditionally.
+  ::unlink(Path.c_str());
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Err = "bind '" + Path + "': " + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  if (::listen(Fd, Backlog) != 0) {
+    Err = "listen '" + Path + "': " + std::strerror(errno);
+    ::close(Fd);
+    ::unlink(Path.c_str());
+    return -1;
+  }
+  return Fd;
+}
+
+int spl::service::connectUnix(const std::string &Path, std::string &Err) {
+  sockaddr_un Addr;
+  if (!makeAddr(Path, Addr, Err))
+    return -1;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Err = "connect '" + Path + "': " + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+bool spl::service::sendAll(int Fd, const void *Data, std::size_t Len) {
+  const std::uint8_t *P = static_cast<const std::uint8_t *>(Data);
+  while (Len) {
+    ssize_t N = ::send(Fd, P, Len, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += N;
+    Len -= static_cast<std::size_t>(N);
+  }
+  return true;
+}
+
+IoStatus spl::service::recvAll(int Fd, void *Data, std::size_t Len) {
+  std::uint8_t *P = static_cast<std::uint8_t *>(Data);
+  std::size_t Got = 0;
+  while (Got != Len) {
+    ssize_t N = ::recv(Fd, P + Got, Len - Got, 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return IoStatus::Error;
+    }
+    if (N == 0)
+      return Got == 0 ? IoStatus::Closed : IoStatus::Error;
+    Got += static_cast<std::size_t>(N);
+  }
+  return IoStatus::Ok;
+}
+
+bool spl::service::writeFrame(int Fd, MsgType Type, std::uint32_t RequestId,
+                              const std::vector<std::uint8_t> &Body) {
+  FrameHeader H;
+  H.Type = Type;
+  H.RequestId = RequestId;
+  H.BodyLen = static_cast<std::uint32_t>(Body.size());
+  std::uint8_t Hdr[kHeaderBytes];
+  H.encode(Hdr);
+  // One send per part is fine: Unix sockets are streams and the frames are
+  // small next to the kernel buffer; coalescing would only copy.
+  if (!sendAll(Fd, Hdr, kHeaderBytes))
+    return false;
+  return Body.empty() || sendAll(Fd, Body.data(), Body.size());
+}
+
+IoStatus spl::service::readFrame(int Fd, std::uint32_t MaxBodyBytes,
+                                 Frame &Out) {
+  std::uint8_t Hdr[kHeaderBytes];
+  IoStatus St = recvAll(Fd, Hdr, kHeaderBytes);
+  if (St != IoStatus::Ok)
+    return St;
+  FrameHeader H;
+  if (!FrameHeader::decode(Hdr, H))
+    return IoStatus::BadFrame;
+  Out.Type = H.Type;
+  Out.RequestId = H.RequestId;
+  if (H.BodyLen > MaxBodyBytes) {
+    // Drain and discard so the connection stays usable for the TOO_LARGE
+    // reply and whatever the client sends next.
+    std::vector<std::uint8_t> Sink(64 << 10);
+    std::uint64_t Left = H.BodyLen;
+    while (Left) {
+      std::size_t Chunk =
+          static_cast<std::size_t>(std::min<std::uint64_t>(Left, Sink.size()));
+      if (recvAll(Fd, Sink.data(), Chunk) != IoStatus::Ok)
+        return IoStatus::Error;
+      Left -= Chunk;
+    }
+    Out.Body.clear();
+    return IoStatus::TooBig;
+  }
+  Out.Body.resize(H.BodyLen);
+  if (H.BodyLen == 0)
+    return IoStatus::Ok;
+  St = recvAll(Fd, Out.Body.data(), Out.Body.size());
+  return St == IoStatus::Ok ? IoStatus::Ok : IoStatus::Error;
+}

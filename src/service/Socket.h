@@ -1,0 +1,74 @@
+//===- service/Socket.h - Unix-domain stream transport ----------*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin POSIX wrappers the service layer builds on: listen/connect on a
+/// Unix-domain stream socket, EINTR-safe full reads/writes, and framed
+/// message I/O (header validation + body-size caps) in terms of
+/// service/Protocol.h. Every failure mode is a returned status — no
+/// exceptions, no errno spelunking for callers. SIGPIPE is never raised
+/// (MSG_NOSIGNAL); a peer hangup surfaces as Closed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_SERVICE_SOCKET_H
+#define SPL_SERVICE_SOCKET_H
+
+#include "service/Protocol.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spl {
+namespace service {
+
+/// Outcome of one framed read/write.
+enum class IoStatus {
+  Ok,
+  Closed,   ///< Orderly EOF (peer closed between frames) or EPIPE.
+  Error,    ///< Syscall failure or a truncated frame mid-message.
+  BadFrame, ///< Header failed validation (magic/version) — unrecoverable.
+  TooBig,   ///< Body length exceeds the caller's cap; body was not read.
+};
+
+/// One received frame.
+struct Frame {
+  MsgType Type = MsgType::PingReq;
+  std::uint32_t RequestId = 0;
+  std::vector<std::uint8_t> Body;
+};
+
+/// Creates, binds and listens on a Unix-domain stream socket at \p Path,
+/// replacing any stale socket file. Returns the listening fd, or -1 with
+/// \p Err describing the failing step.
+int listenUnix(const std::string &Path, int Backlog, std::string &Err);
+
+/// Connects to the daemon socket at \p Path. Returns the fd, or -1 with
+/// \p Err set.
+int connectUnix(const std::string &Path, std::string &Err);
+
+/// Writes all \p Len bytes (EINTR-safe, MSG_NOSIGNAL). False on any error.
+bool sendAll(int Fd, const void *Data, std::size_t Len);
+
+/// Reads exactly \p Len bytes. Returns Ok, Closed (clean EOF at offset 0),
+/// or Error (mid-buffer EOF or syscall failure).
+IoStatus recvAll(int Fd, void *Data, std::size_t Len);
+
+/// Sends one frame: header + body.
+bool writeFrame(int Fd, MsgType Type, std::uint32_t RequestId,
+                const std::vector<std::uint8_t> &Body);
+
+/// Reads one frame, validating the header and capping the body at
+/// \p MaxBodyBytes. On TooBig the offending body is consumed (so the
+/// caller can answer with a typed error and keep the connection); on
+/// BadFrame the stream cannot be resynchronized and must be closed.
+IoStatus readFrame(int Fd, std::uint32_t MaxBodyBytes, Frame &Out);
+
+} // namespace service
+} // namespace spl
+
+#endif // SPL_SERVICE_SOCKET_H

@@ -23,8 +23,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <thread>
+#include <vector>
 
 using namespace spl;
 
@@ -107,6 +110,43 @@ TEST(PlanCache, SaveLoadRoundTrip) {
   EXPECT_EQ(Back->inSize(), 16);
   EXPECT_FALSE(D2.hasErrors());
   std::remove(Path.c_str());
+}
+
+TEST(PlanCache, ConcurrentSaversLoseNoEntries) {
+  // Each saver holds one distinct key and all save to the same file at
+  // once. save() is read-merge-write-rename; without the advisory flock
+  // around that window, two savers merge against the same on-disk state
+  // and the later rename drops the earlier writer's key. flock locks live
+  // on the open file description, so same-process threads contend exactly
+  // like separate processes do.
+  std::string Path = tempPath("spl_wisdom_flock");
+  const int N = 8;
+  std::vector<std::thread> Ts;
+  std::atomic<int> SaveFailures{0};
+  for (int I = 0; I != N; ++I)
+    Ts.emplace_back([&, I] {
+      Diagnostics D;
+      search::PlanCache C(D);
+      C.insert(testKey(8 << I), {{makeDFT(8)->print(), 1.0 + I}});
+      // Save twice: the second pass re-merges everyone else's entries too.
+      for (int Pass = 0; Pass != 2; ++Pass)
+        if (!C.save(Path))
+          SaveFailures.fetch_add(1);
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(SaveFailures.load(), 0);
+
+  Diagnostics D2;
+  search::PlanCache Reloaded(D2);
+  ASSERT_TRUE(Reloaded.load(Path));
+  EXPECT_EQ(Reloaded.stats().Skipped, 0u) << "corrupt lines after races";
+  EXPECT_EQ(Reloaded.size(), static_cast<size_t>(N))
+      << "a concurrent saver's entries were lost";
+  for (int I = 0; I != N; ++I)
+    EXPECT_TRUE(Reloaded.lookup(testKey(8 << I))) << "missing key " << I;
+  std::remove(Path.c_str());
+  std::remove((Path + ".lock").c_str());
 }
 
 TEST(PlanCache, SaveMergesWithExistingFile) {

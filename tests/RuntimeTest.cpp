@@ -22,6 +22,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <cstring>
 #include <thread>
 
@@ -228,6 +230,70 @@ TEST(PlanRegistry, ConcurrentAcquiresSingleFlight) {
     EXPECT_EQ(Got[I].get(), Got[0].get());
   // Exactly one planning pass ran, however the threads interleaved.
   EXPECT_EQ(Registry.stats().Misses, 1u);
+}
+
+TEST(PlanRegistry, ContentionStressMixedKeys) {
+  // The spld case: many tenants hammering a mix of hot (identical) and
+  // cold (distinct) specs at once. Whatever the interleaving, each
+  // distinct key must be searched exactly once (single-flight), every
+  // thread must get the same shared plan for its key, and the counters
+  // must account for every acquire as a miss, a hit, or a wait.
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, testOptions());
+  runtime::PlanRegistry Registry(Planner);
+
+  constexpr int NThreads = 16;
+  constexpr int Rounds = 8;
+  const std::int64_t Sizes[] = {8, 16, 32, 64};
+  constexpr int NKeys = 4;
+
+  std::atomic<int> Ready{0};
+  std::atomic<bool> Go{false};
+  std::atomic<int> Failures{0};
+  // [key] -> the plan each thread observed last; all must agree per key.
+  std::array<std::array<const runtime::Plan *, NKeys>, NThreads> Seen{};
+
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != NThreads; ++T)
+    Threads.emplace_back([&, T] {
+      Ready.fetch_add(1);
+      while (!Go.load())
+        std::this_thread::yield();
+      for (int R = 0; R != Rounds; ++R)
+        for (int K = 0; K != NKeys; ++K) {
+          runtime::PlanSpec Spec;
+          // Stagger the visiting order per thread so every key sees
+          // first-acquire races from different threads.
+          const int Key = (K + T + R) % NKeys;
+          Spec.Size = Sizes[Key];
+          Spec.Want = runtime::Backend::VM;
+          auto P = Registry.acquire(Spec);
+          if (!P) {
+            Failures.fetch_add(1);
+            return;
+          }
+          Seen[T][Key] = P.get();
+        }
+    });
+  while (Ready.load() != NThreads)
+    std::this_thread::yield();
+  Go.store(true);
+  for (auto &T : Threads)
+    T.join();
+  ASSERT_EQ(Failures.load(), 0);
+
+  for (int K = 0; K != NKeys; ++K)
+    for (int T = 1; T != NThreads; ++T)
+      EXPECT_EQ(Seen[T][K], Seen[0][K]) << "key " << K << " not shared";
+
+  const auto S = Registry.stats();
+  EXPECT_EQ(Registry.size(), static_cast<size_t>(NKeys));
+  EXPECT_EQ(S.Misses, static_cast<size_t>(NKeys))
+      << "a key was planned more than once under contention";
+  // Every other acquire either hit the memo or waited on the in-flight
+  // search — nothing is lost and nothing is double-counted.
+  EXPECT_EQ(S.Hits + S.Waits,
+            static_cast<size_t>(NThreads) * Rounds * NKeys - NKeys);
 }
 
 TEST(Plan, NativeAgreesWithVmTo1e10) {

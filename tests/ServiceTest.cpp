@@ -1,0 +1,472 @@
+//===- tests/ServiceTest.cpp - spld service layer tests -----------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the plan-serving service layer (src/service): wire-protocol
+/// round trips and malformed-input rejection, then live Server/Client
+/// integration over a real Unix-domain socket — plan/execute parity with
+/// in-process plans, typed error codes, admission control (BUSY,
+/// TOO_LARGE), stats scraping, shutdown draining, and degradation under
+/// injected faults.
+///
+//===----------------------------------------------------------------------===//
+
+#include "search/PlanCache.h"
+#include "service/Client.h"
+#include "service/Server.h"
+#include "service/Socket.h"
+#include "support/FaultInjection.h"
+#include "telemetry/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <thread>
+
+#include <unistd.h>
+
+using namespace spl;
+using namespace spl::service;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Protocol unit tests (no sockets)
+//===----------------------------------------------------------------------===//
+
+TEST(Protocol, HeaderRoundTrip) {
+  FrameHeader H;
+  H.Type = MsgType::ExecuteReq;
+  H.RequestId = 0xDEADBEEF;
+  H.BodyLen = 12345;
+  std::uint8_t Buf[kHeaderBytes];
+  H.encode(Buf);
+
+  FrameHeader Out;
+  ASSERT_TRUE(FrameHeader::decode(Buf, Out));
+  EXPECT_EQ(Out.Type, MsgType::ExecuteReq);
+  EXPECT_EQ(Out.RequestId, 0xDEADBEEFu);
+  EXPECT_EQ(Out.BodyLen, 12345u);
+}
+
+TEST(Protocol, HeaderRejectsBadMagicAndVersion) {
+  FrameHeader H;
+  std::uint8_t Buf[kHeaderBytes];
+  H.encode(Buf);
+  FrameHeader Out;
+
+  std::uint8_t Bad[kHeaderBytes];
+  std::memcpy(Bad, Buf, kHeaderBytes);
+  Bad[0] ^= 0xFF; // Corrupt the magic.
+  EXPECT_FALSE(FrameHeader::decode(Bad, Out));
+
+  std::memcpy(Bad, Buf, kHeaderBytes);
+  Bad[4] += 1; // Unsupported version.
+  EXPECT_FALSE(FrameHeader::decode(Bad, Out));
+}
+
+TEST(Protocol, PlanMessagesRoundTrip) {
+  PlanRequest Req;
+  Req.Spec.Transform = "wht";
+  Req.Spec.Size = 64;
+  Req.Spec.Datatype = "real";
+  Req.Spec.UnrollThreshold = 8;
+  Req.Spec.MaxLeaf = 32;
+  Req.Spec.Backend = "vm";
+  auto Bytes = Req.encode();
+  PlanRequest Back;
+  ASSERT_TRUE(PlanRequest::decode(Bytes.data(), Bytes.size(), Back));
+  EXPECT_EQ(Back.Spec.Transform, "wht");
+  EXPECT_EQ(Back.Spec.Size, 64);
+  EXPECT_EQ(Back.Spec.Backend, "vm");
+
+  bool OK = false;
+  runtime::PlanSpec Spec = Back.Spec.toSpec(OK);
+  ASSERT_TRUE(OK);
+  EXPECT_EQ(Spec.Want, runtime::Backend::VM);
+  EXPECT_EQ(Spec.key(), "wht 64 real B8 L32 vm");
+
+  PlanResponse Resp;
+  Resp.Key = Spec.key();
+  Resp.Backend = "vm";
+  Resp.VectorLen = 64;
+  Resp.Cost = 2.5;
+  Resp.Fallback = true;
+  Resp.FallbackReason = "native compile failed";
+  Resp.FormulaText = "(F 2)";
+  auto RB = Resp.encode();
+  PlanResponse RBack;
+  ASSERT_TRUE(PlanResponse::decode(RB.data(), RB.size(), RBack));
+  EXPECT_EQ(RBack.Key, Resp.Key);
+  EXPECT_EQ(RBack.VectorLen, 64);
+  EXPECT_DOUBLE_EQ(RBack.Cost, 2.5);
+  EXPECT_TRUE(RBack.Fallback);
+  EXPECT_EQ(RBack.FallbackReason, "native compile failed");
+}
+
+TEST(Protocol, ExecuteMessagesRoundTripBitExact) {
+  ExecuteRequest Req;
+  Req.Spec.Transform = "fft";
+  Req.Spec.Size = 4;
+  Req.Count = 2;
+  Req.Threads = 3;
+  // Bit patterns that punish any text or float conversion on the path.
+  Req.Data = {0.1, -0.0, 1e-308, 3.141592653589793, -2.5e17, 0.0, 7.0, -1.0,
+              42.0, 1e-17, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0};
+  auto Bytes = Req.encode();
+  ExecuteRequest Back;
+  ASSERT_TRUE(ExecuteRequest::decode(Bytes.data(), Bytes.size(), Back));
+  EXPECT_EQ(Back.Count, 2);
+  EXPECT_EQ(Back.Threads, 3);
+  ASSERT_EQ(Back.Data.size(), Req.Data.size());
+  EXPECT_EQ(std::memcmp(Back.Data.data(), Req.Data.data(),
+                        Req.Data.size() * sizeof(double)),
+            0);
+
+  ExecuteResponse Resp;
+  Resp.Count = 2;
+  Resp.VectorLen = 8;
+  Resp.Data = Req.Data;
+  auto RB = Resp.encode();
+  ExecuteResponse RBack;
+  ASSERT_TRUE(ExecuteResponse::decode(RB.data(), RB.size(), RBack));
+  EXPECT_EQ(std::memcmp(RBack.Data.data(), Req.Data.data(),
+                        Req.Data.size() * sizeof(double)),
+            0);
+}
+
+TEST(Protocol, TruncatedBodiesAreRejected) {
+  PlanRequest Req;
+  Req.Spec.Size = 16;
+  auto Bytes = Req.encode();
+  PlanRequest Out;
+  for (std::size_t Cut = 0; Cut < Bytes.size(); ++Cut)
+    EXPECT_FALSE(PlanRequest::decode(Bytes.data(), Cut, Out))
+        << "accepted a body truncated to " << Cut << " bytes";
+
+  ExecuteRequest EReq;
+  EReq.Spec.Size = 4;
+  EReq.Count = 1;
+  EReq.Data = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto EBytes = EReq.encode();
+  ExecuteRequest EOut;
+  EXPECT_TRUE(ExecuteRequest::decode(EBytes.data(), EBytes.size(), EOut));
+  EXPECT_FALSE(
+      ExecuteRequest::decode(EBytes.data(), EBytes.size() - 1, EOut));
+  // Trailing garbage is as corrupt as truncation.
+  EBytes.push_back(0);
+  EXPECT_FALSE(
+      ExecuteRequest::decode(EBytes.data(), EBytes.size(), EOut));
+}
+
+TEST(Protocol, StatusMapsOntoCliExitCodes) {
+  EXPECT_EQ(statusToExitCode(Status::Ok), 0);
+  EXPECT_EQ(statusToExitCode(Status::BadRequest), 2);
+  EXPECT_EQ(statusToExitCode(Status::BadSpec), 3);
+  EXPECT_EQ(statusToExitCode(Status::PlanFailed), 4);
+  EXPECT_EQ(statusToExitCode(Status::ExecFailed), 5);
+  // Service-only statuses collapse onto the execution stage.
+  EXPECT_EQ(statusToExitCode(Status::Busy), 5);
+  EXPECT_EQ(statusToExitCode(Status::TooLarge), 5);
+  EXPECT_EQ(statusToExitCode(Status::ShuttingDown), 5);
+  EXPECT_EQ(statusToExitCode(Status::Protocol), 5);
+  EXPECT_STREQ(statusName(Status::Busy), "busy");
+  EXPECT_STREQ(statusName(Status::TooLarge), "too-large");
+}
+
+//===----------------------------------------------------------------------===//
+// Server/Client integration
+//===----------------------------------------------------------------------===//
+
+/// Starts a Server on a per-test socket and tears it down afterwards.
+class ServiceTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Path = "/tmp/spl-service-test-" + std::to_string(getpid()) + "-" +
+           std::to_string(Seq++) + ".sock";
+    telemetry::setMetricsEnabled(true);
+  }
+
+  void TearDown() override {
+    if (Srv)
+      Srv->stop();
+    Srv.reset();
+    telemetry::setMetricsEnabled(false);
+    ::unlink(Path.c_str());
+  }
+
+  /// Builds and starts a server; tests tweak \p Mutate for limits.
+  void startServer(const std::function<void(ServerOptions &)> &Mutate = {}) {
+    ServerOptions Opts;
+    Opts.SocketPath = Path;
+    Opts.Workers = 4;
+    Opts.Planner.UseWisdom = false;
+    Opts.Planner.Evaluator = "opcount";
+    if (Mutate)
+      Mutate(Opts);
+    Srv = std::make_unique<Server>(Opts);
+    ASSERT_TRUE(Srv->start()) << Srv->diagnostics().dump();
+  }
+
+  /// The canonical cheap spec: VM tier, no compiler dependency.
+  static runtime::PlanSpec vmSpec(const char *Transform, std::int64_t N) {
+    runtime::PlanSpec S;
+    S.Transform = Transform;
+    S.Size = N;
+    S.Want = runtime::Backend::VM;
+    return S;
+  }
+
+  std::string Path;
+  std::unique_ptr<Server> Srv;
+  static int Seq;
+};
+
+int ServiceTest::Seq = 0;
+
+TEST_F(ServiceTest, PingAndStats) {
+  startServer();
+  Client C;
+  ASSERT_TRUE(C.connect(Path)) << C.lastError();
+  EXPECT_TRUE(C.ping()) << C.lastError();
+
+  auto Json = C.stats();
+  ASSERT_TRUE(Json) << C.lastError();
+  // The daemon's own identity plus the process telemetry registry.
+  EXPECT_NE(Json->find("\"server\""), std::string::npos);
+  EXPECT_NE(Json->find("\"socket\""), std::string::npos);
+  EXPECT_NE(Json->find("\"metrics\""), std::string::npos);
+  EXPECT_NE(Json->find("spld.requests"), std::string::npos);
+}
+
+TEST_F(ServiceTest, PlanExecuteMatchesInProcessBitExact) {
+  startServer();
+  auto Spec = vmSpec("fft", 16);
+
+  // In-process reference with the same options.
+  Diagnostics Diags;
+  runtime::PlannerOptions PO;
+  PO.UseWisdom = false;
+  runtime::Planner Local(Diags, PO);
+  auto Ref = Local.plan(Spec);
+  ASSERT_TRUE(Ref) << Diags.dump();
+  const std::int64_t Len = Ref->vectorLen();
+
+  Client C;
+  ASSERT_TRUE(C.connect(Path)) << C.lastError();
+  auto PR = C.plan(Spec);
+  ASSERT_TRUE(PR) << C.lastError();
+  EXPECT_EQ(PR->Key, Spec.key());
+  EXPECT_EQ(PR->Backend, std::string("vm"));
+  EXPECT_EQ(PR->VectorLen, Len);
+  EXPECT_EQ(PR->FormulaText, Ref->formulaText());
+
+  const std::int64_t Count = 8;
+  std::vector<double> X(Count * Len), YD(Count * Len), YL(Count * Len);
+  for (std::size_t I = 0; I != X.size(); ++I)
+    X[I] = std::sin(0.37 * static_cast<double>(I)) * 2.0 - 0.5;
+  ASSERT_TRUE(C.execute(Spec, YD.data(), X.data(), Count, Len, 2))
+      << C.lastError();
+  Ref->executeBatch(YL.data(), X.data(), Count, 1);
+  EXPECT_EQ(std::memcmp(YD.data(), YL.data(), YD.size() * sizeof(double)), 0)
+      << "daemon and in-process execution disagree bit-for-bit";
+}
+
+TEST_F(ServiceTest, ManyClientsShareOneRegistryEntry) {
+  startServer();
+  auto Spec = vmSpec("wht", 16);
+  const int N = 8;
+  std::vector<std::thread> Ts;
+  std::atomic<int> Failures{0};
+  for (int I = 0; I != N; ++I)
+    Ts.emplace_back([&] {
+      Client C;
+      if (!C.connect(Path) || !C.planRetryBusy(Spec))
+        Failures.fetch_add(1);
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+  // All eight clients were served by one planning pass.
+  EXPECT_EQ(Srv->registry().size(), 1u);
+  auto RS = Srv->registry().stats();
+  EXPECT_EQ(RS.Misses, 1u);
+  EXPECT_EQ(RS.Hits + RS.Waits, static_cast<std::size_t>(N - 1));
+}
+
+TEST_F(ServiceTest, TypedErrorsForBadRequests) {
+  startServer();
+  Client C;
+  ASSERT_TRUE(C.connect(Path)) << C.lastError();
+
+  // Non-power-of-two: spec validation rejects it.
+  auto Bad = C.plan(vmSpec("fft", 20));
+  EXPECT_FALSE(Bad);
+  EXPECT_EQ(C.lastStatus(), Status::BadSpec) << C.lastError();
+  EXPECT_NE(C.lastError().find("error"), std::string::npos);
+
+  // Unknown transform.
+  EXPECT_FALSE(C.plan(vmSpec("dst", 16)));
+  EXPECT_EQ(C.lastStatus(), Status::BadSpec);
+
+  // Execute payload that disagrees with the plan's vector length.
+  auto Spec = vmSpec("wht", 8);
+  std::vector<double> X(4), Y(4);
+  EXPECT_FALSE(C.execute(Spec, Y.data(), X.data(), 1, 4));
+  EXPECT_EQ(C.lastStatus(), Status::BadRequest) << C.lastError();
+
+  // The connection survives typed errors.
+  EXPECT_TRUE(C.ping()) << C.lastError();
+}
+
+TEST_F(ServiceTest, OversizedTransformAndFrameAreRejected) {
+  startServer([](ServerOptions &O) {
+    O.MaxTransformSize = 64;
+    O.MaxFrameBytes = 4096;
+  });
+  Client C;
+  ASSERT_TRUE(C.connect(Path)) << C.lastError();
+
+  EXPECT_FALSE(C.plan(vmSpec("fft", 128)));
+  EXPECT_EQ(C.lastStatus(), Status::TooLarge) << C.lastError();
+
+  // 1024 doubles > the 4 KiB frame cap; the server must reject AND keep
+  // the connection usable.
+  auto Spec = vmSpec("wht", 64);
+  std::vector<double> X(1024), Y(1024);
+  EXPECT_FALSE(C.execute(Spec, Y.data(), X.data(), 16, 64));
+  EXPECT_EQ(C.lastStatus(), Status::TooLarge) << C.lastError();
+  EXPECT_TRUE(C.ping()) << C.lastError();
+
+  auto St = Srv->stats();
+  EXPECT_EQ(St.RejectedTooLarge, 2u);
+}
+
+TEST_F(ServiceTest, PerClientQuotaAnswersBusy) {
+  // One worker and a quota of one: a second request pipelined behind a
+  // slow plan must bounce with BUSY instead of queueing.
+  startServer([](ServerOptions &O) {
+    O.Workers = 1;
+    O.PerClientInflight = 1;
+    O.Planner.Evaluator = "vmtime"; // Timed search: reliably non-instant.
+  });
+  std::string Err;
+  int Fd = connectUnix(Path, Err);
+  ASSERT_GE(Fd, 0) << Err;
+
+  PlanRequest Slow;
+  Slow.Spec = WireSpec::fromSpec(vmSpec("fft", 64));
+  PlanRequest Quick;
+  Quick.Spec = WireSpec::fromSpec(vmSpec("wht", 8));
+  ASSERT_TRUE(writeFrame(Fd, MsgType::PlanReq, 1, Slow.encode()));
+  ASSERT_TRUE(writeFrame(Fd, MsgType::PlanReq, 2, Quick.encode()));
+
+  // First frame back: the immediate BUSY for request 2 (the reader thread
+  // rejects before the pool ever sees it).
+  Frame F;
+  ASSERT_EQ(readFrame(Fd, kDefaultMaxFrameBytes, F), IoStatus::Ok);
+  ASSERT_EQ(F.Type, MsgType::ErrorResp);
+  EXPECT_EQ(F.RequestId, 2u);
+  ErrorBody E;
+  ASSERT_TRUE(ErrorBody::decode(F.Body.data(), F.Body.size(), E));
+  EXPECT_EQ(E.Code, Status::Busy);
+
+  // Second frame: the slow plan completes normally.
+  ASSERT_EQ(readFrame(Fd, kDefaultMaxFrameBytes, F), IoStatus::Ok);
+  EXPECT_EQ(F.Type, MsgType::PlanResp);
+  EXPECT_EQ(F.RequestId, 1u);
+  ::close(Fd);
+
+  EXPECT_GE(Srv->stats().RejectedBusy, 1u);
+}
+
+TEST_F(ServiceTest, MalformedFrameDropsConnection) {
+  startServer();
+  std::string Err;
+  int Fd = connectUnix(Path, Err);
+  ASSERT_GE(Fd, 0) << Err;
+  const char Garbage[] = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_TRUE(sendAll(Fd, Garbage, sizeof(Garbage) - 1));
+
+  // The server answers with a protocol error, then hangs up.
+  Frame F;
+  IoStatus St = readFrame(Fd, kDefaultMaxFrameBytes, F);
+  if (St == IoStatus::Ok) {
+    EXPECT_EQ(F.Type, MsgType::ErrorResp);
+    ErrorBody E;
+    ASSERT_TRUE(ErrorBody::decode(F.Body.data(), F.Body.size(), E));
+    EXPECT_EQ(E.Code, Status::Protocol);
+    St = readFrame(Fd, kDefaultMaxFrameBytes, F);
+  }
+  EXPECT_EQ(St, IoStatus::Closed);
+  ::close(Fd);
+}
+
+TEST_F(ServiceTest, ShutdownRequestDrainsAndStops) {
+  startServer();
+  Client C;
+  ASSERT_TRUE(C.connect(Path)) << C.lastError();
+  ASSERT_TRUE(C.planRetryBusy(vmSpec("wht", 8))) << C.lastError();
+  ASSERT_TRUE(C.shutdownServer()) << C.lastError();
+  EXPECT_TRUE(Srv->shutdownRequested());
+  Srv->stop();
+  // The socket file is gone; new connections fail cleanly.
+  Client C2;
+  EXPECT_FALSE(C2.connect(Path));
+  // Admissions after drain answer SHUTTING_DOWN (exercised via the typed
+  // path in admit(); the daemon-side flag is already set pre-stop).
+}
+
+TEST_F(ServiceTest, WisdomSurvivesShutdown) {
+  std::string Wisdom = Path + ".wisdom";
+  startServer([&](ServerOptions &O) {
+    O.Planner.UseWisdom = true;
+    O.Planner.WisdomPath = Wisdom;
+  });
+  Client C;
+  ASSERT_TRUE(C.connect(Path)) << C.lastError();
+  ASSERT_TRUE(C.planRetryBusy(vmSpec("fft", 16))) << C.lastError();
+  ASSERT_TRUE(C.planRetryBusy(vmSpec("wht", 16))) << C.lastError();
+  size_t Held = Srv->planner().wisdom().size();
+  EXPECT_GT(Held, 0u);
+  Srv->stop();
+
+  Diagnostics Diags;
+  search::PlanCache Reloaded(Diags);
+  ASSERT_TRUE(Reloaded.load(Wisdom));
+  EXPECT_GE(Reloaded.size(), Held) << "wisdom entries lost across shutdown";
+  EXPECT_EQ(Reloaded.stats().Skipped, 0u);
+  ::unlink(Wisdom.c_str());
+}
+
+TEST_F(ServiceTest, DegradesUnderInjectedFaultInsteadOfFailing) {
+  if (fault::armed())
+    GTEST_SKIP() << "external fault matrix armed";
+  setenv("SPL_FAULT", "native-compile,vm-exec", 1);
+  fault::reset();
+  startServer();
+  Client C;
+  bool Connected = C.connect(Path);
+  std::optional<PlanResponse> PR;
+  if (Connected) {
+    runtime::PlanSpec Spec = vmSpec("fft", 8);
+    Spec.Want = runtime::Backend::Auto;
+    PR = C.planRetryBusy(Spec);
+  }
+  unsetenv("SPL_FAULT");
+  fault::reset();
+  ASSERT_TRUE(Connected);
+  ASSERT_TRUE(PR) << C.lastError();
+  // Both upper tiers were injected away; the daemon still served a plan.
+  EXPECT_EQ(PR->Backend, std::string("oracle"));
+  EXPECT_TRUE(PR->Fallback);
+}
+
+} // namespace

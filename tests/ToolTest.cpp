@@ -132,8 +132,43 @@ TEST(Splc, SemanticErrorsAreLocated) {
 
 TEST(Splc, UnknownOptionFails) {
   auto R = runSplc("--frobnicate", "(F 2)");
-  EXPECT_NE(R.ExitCode, 0);
-  EXPECT_NE(R.Output.find("unknown option"), std::string::npos);
+  EXPECT_EQ(exitStatus(R), 2) << R.Output; // Documented usage exit code.
+  // Exactly one diagnostic line names the flag.
+  EXPECT_NE(R.Output.find("splc: error: unknown option '--frobnicate'\n"),
+            std::string::npos)
+      << R.Output;
+}
+
+TEST(Splc, ValueFlagWithoutValueSaysSo) {
+  // The input file must NOT follow the flag (it would be eaten as the
+  // value), so drive splc directly instead of via runSplc.
+  for (const char *Flag : {"-o", "--wisdom", "--search-eval"}) {
+    auto R = runCommand(splcPath() + " " + Flag);
+    EXPECT_EQ(exitStatus(R), 2) << Flag << ": " << R.Output;
+    EXPECT_NE(R.Output.find(std::string("splc: error: option '") + Flag +
+                            "' needs a value"),
+              std::string::npos)
+        << Flag << " fell through to: " << R.Output;
+  }
+}
+
+TEST(Splrun, UnknownOptionFails) {
+  auto R = runCommand(splrunPath() + " --frobnicate");
+  EXPECT_EQ(exitStatus(R), 2) << R.Output;
+  EXPECT_NE(R.Output.find("splrun: error: unknown option '--frobnicate'\n"),
+            std::string::npos)
+      << R.Output;
+}
+
+TEST(Splrun, ValueFlagWithoutValueSaysSo) {
+  for (const char *Flag : {"--size", "--connect", "--wisdom"}) {
+    auto R = runCommand(splrunPath() + " " + Flag);
+    EXPECT_EQ(exitStatus(R), 2) << Flag << ": " << R.Output;
+    EXPECT_NE(R.Output.find(std::string("splrun: error: ") + Flag +
+                            " needs a value"),
+              std::string::npos)
+        << Flag << " fell through to: " << R.Output;
+  }
 }
 
 TEST(Splc, PartialUnrollFactorAccepted) {

@@ -157,6 +157,14 @@ int main(int Argc, char **Argv) {
         return tools::ExitUsage;
       }
       InputPath = Arg;
+    } else if (Arg == "-o" || Arg == "-B" || Arg == "-u" || Arg == "-l" ||
+               Arg == "--best-fft" || Arg == "--search-eval" ||
+               Arg == "--search-threads" || Arg == "--search-leaf" ||
+               Arg == "--wisdom") {
+      // A value-taking flag in last position: every I+1 check above failed.
+      std::fprintf(stderr, "splc: error: option '%s' needs a value\n",
+                   Arg.c_str());
+      return tools::ExitUsage;
     } else {
       std::fprintf(stderr, "splc: error: unknown option '%s'\n", Arg.c_str());
       printUsage();

@@ -1,0 +1,179 @@
+//===- tools/spld.cpp - The SPL plan-serving daemon ----------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// spld: a long-running daemon serving plan/execute traffic over a
+/// Unix-domain socket (see docs/SERVICE.md). One process owns the plan
+/// registry, compiled kernels, and wisdom store for every connected client;
+/// requests run on a worker pool behind admission control, and the
+/// telemetry registry is scrapeable through the protocol's stats request.
+///
+///   spld --socket /tmp/spld.sock [--workers 8] [--max-inflight 64]
+///     --socket <path>        Unix socket to listen on (required)
+///     --workers <n>          plan/execute worker threads (default: cores)
+///     --max-inflight <n>     server-wide admitted-request cap (default 64)
+///     --per-client <n>       per-connection in-flight quota (default 4)
+///     --max-frame-mb <n>     largest request/response frame (default 64)
+///     --max-size <n>         largest accepted transform size (default 65536)
+///     --exec-threads <n>     cap on per-request batch workers (default 4)
+///     --eval opcount|vmtime|native   search cost model (default opcount)
+///     --search-threads <t>   candidate-evaluation worker threads
+///     --wisdom <file>        plan cache location ($SPL_WISDOM/~/.spl_wisdom)
+///     --no-wisdom            neither read nor write the plan cache
+///     --version              print version, build date and compiler
+///
+/// The daemon prints "spld: listening on <path>" once ready (scripts wait
+/// for that line), then serves until SIGINT/SIGTERM or a client SHUTDOWN
+/// request; either way it drains in-flight work and saves wisdom before
+/// exiting. Exit codes follow tools/ExitCodes.h.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ExitCodes.h"
+#include "Version.h"
+
+#include "service/Server.h"
+#include "telemetry/Metrics.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+using namespace spl;
+
+// The wire protocol's shared failure stages must stay aligned with the CLI
+// exit codes they are documented to mirror.
+static_assert(static_cast<int>(service::Status::BadRequest) ==
+              tools::ExitUsage);
+static_assert(static_cast<int>(service::Status::BadSpec) == tools::ExitParse);
+static_assert(static_cast<int>(service::Status::PlanFailed) ==
+              tools::ExitCompile);
+static_assert(static_cast<int>(service::Status::ExecFailed) ==
+              tools::ExitExec);
+
+namespace {
+
+volatile std::sig_atomic_t GotSignal = 0;
+
+void onSignal(int) { GotSignal = 1; }
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: spld --socket path [--workers n] [--max-inflight n]\n"
+      "            [--per-client n] [--max-frame-mb n] [--max-size n]\n"
+      "            [--exec-threads n] [--eval opcount|vmtime|native]\n"
+      "            [--search-threads t] [--wisdom file] [--no-wisdom]\n"
+      "            [--version]\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  service::ServerOptions Opts;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "spld: error: %s needs a value\n", Flag);
+        std::exit(tools::ExitUsage);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--socket") {
+      Opts.SocketPath = Next("--socket");
+    } else if (Arg == "--workers") {
+      Opts.Workers = std::atoi(Next("--workers"));
+    } else if (Arg == "--max-inflight") {
+      Opts.MaxInflight = std::atoi(Next("--max-inflight"));
+    } else if (Arg == "--per-client") {
+      Opts.PerClientInflight = std::atoi(Next("--per-client"));
+    } else if (Arg == "--max-frame-mb") {
+      long MB = std::atol(Next("--max-frame-mb"));
+      if (MB < 1 || MB > 1024) {
+        std::fprintf(stderr,
+                     "spld: error: --max-frame-mb must be in [1,1024]\n");
+        return tools::ExitUsage;
+      }
+      Opts.MaxFrameBytes = static_cast<std::uint32_t>(MB) << 20;
+    } else if (Arg == "--max-size") {
+      Opts.MaxTransformSize = std::atoll(Next("--max-size"));
+    } else if (Arg == "--exec-threads") {
+      Opts.MaxExecThreads = std::atoi(Next("--exec-threads"));
+    } else if (Arg == "--eval") {
+      Opts.Planner.Evaluator = Next("--eval");
+      if (Opts.Planner.Evaluator != "opcount" &&
+          Opts.Planner.Evaluator != "vmtime" &&
+          Opts.Planner.Evaluator != "native") {
+        std::fprintf(stderr, "spld: error: unknown cost model '%s'\n",
+                     Opts.Planner.Evaluator.c_str());
+        return tools::ExitUsage;
+      }
+    } else if (Arg == "--search-threads") {
+      Opts.Planner.SearchThreads = std::atoi(Next("--search-threads"));
+    } else if (Arg == "--wisdom") {
+      Opts.Planner.WisdomPath = Next("--wisdom");
+    } else if (Arg == "--no-wisdom") {
+      Opts.Planner.UseWisdom = false;
+    } else if (Arg == "--version") {
+      std::printf("%s\n", tools::versionString("spld").c_str());
+      return tools::ExitOK;
+    } else if (Arg == "-h" || Arg == "--help") {
+      printUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "spld: error: unknown option '%s'\n", Arg.c_str());
+      printUsage();
+      return tools::ExitUsage;
+    }
+  }
+
+  if (Opts.SocketPath.empty()) {
+    std::fprintf(stderr, "spld: error: --socket is required\n");
+    printUsage();
+    return tools::ExitUsage;
+  }
+  if (Opts.MaxInflight < 1 || Opts.PerClientInflight < 1 ||
+      Opts.MaxExecThreads < 1 || Opts.MaxTransformSize < 2 ||
+      Opts.Planner.SearchThreads < 1) {
+    std::fprintf(stderr, "spld: error: limits must be >= 1 (--max-size >= "
+                         "2)\n");
+    return tools::ExitUsage;
+  }
+
+  // A serving daemon is always observable: the stats request scrapes the
+  // registry, so counters must actually count.
+  telemetry::setMetricsEnabled(true);
+
+  service::Server Server(Opts);
+  if (!Server.start()) {
+    std::fputs(Server.diagnostics().dump().c_str(), stderr);
+    return tools::ExitExec;
+  }
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::printf("spld: listening on %s\n", Opts.SocketPath.c_str());
+  std::fflush(stdout);
+
+  // Serve until a signal or a client shutdown request. Polling (rather
+  // than sigwait) keeps both wake-up sources on one simple loop.
+  while (!GotSignal && !Server.shutdownRequested())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::printf("spld: draining and saving wisdom\n");
+  std::fflush(stdout);
+  Server.stop();
+  std::fputs(Server.diagnostics().dump().c_str(), stderr);
+  return tools::ExitOK;
+}

@@ -15,6 +15,10 @@
 ///     --size <n>            transform size (required)
 ///     --batch <b>           vectors per batch (default 1)
 ///     --threads <t>         batch worker threads (default 1)
+///     --connect <socket>    serve the request through a running spld
+///                           daemon instead of planning in-process
+///     --shutdown            (with --connect) ask the daemon to drain and
+///                           exit after the other requests
 ///     --backend auto|native|vm|oracle   execution substrate (default auto)
 ///     --unroll <n>          -B unroll threshold (default 16)
 ///     --leaf <n>            largest straight-line sub-transform (default 16)
@@ -41,6 +45,7 @@
 #include "runtime/AlignedBuffer.h"
 #include "runtime/PlanRegistry.h"
 #include "runtime/Planner.h"
+#include "service/Client.h"
 #include "support/Timer.h"
 #include "telemetry/Trace.h"
 
@@ -63,7 +68,8 @@ void printUsage() {
       "              [--backend auto|native|vm|oracle] [--unroll n] [--leaf n]\n"
       "              [--eval opcount|vmtime|native] [--search-threads t]\n"
       "              [--wisdom file] [--no-wisdom] [--verify] [--stats]\n"
-      "              [--stats-json file] [--trace-json file] [--version]\n");
+      "              [--stats-json file] [--trace-json file] [--version]\n"
+      "              [--connect socket [--shutdown]]\n");
 }
 
 /// Writes \p Content to \p Path; a one-line error on failure.
@@ -95,6 +101,114 @@ double maxAbsDiff(const double *A, const double *B, std::int64_t Len) {
   return M;
 }
 
+/// Reports a daemon-side failure and maps its typed status onto the
+/// documented CLI exit stage.
+int clientFail(const service::Client &C, const char *What) {
+  std::fprintf(stderr, "splrun: error: %s: %s (%s)\n", What,
+               C.lastError().c_str(), service::statusName(C.lastStatus()));
+  return service::statusToExitCode(C.lastStatus());
+}
+
+/// --connect mode: the same plan/execute/verify flow, but served by a
+/// running spld daemon. Verification cross-checks the daemon's numbers
+/// against a locally planned VM-backend plan (deterministic, no compiler
+/// needed) and asserts resend determinism.
+int runConnected(const std::string &Socket, const runtime::PlanSpec &Spec,
+                 runtime::PlannerOptions POpts, std::int64_t Batch,
+                 int Threads, bool Verify, bool Stats,
+                 const std::string &StatsJsonPath, bool Shutdown) {
+  service::Client Client;
+  if (!Client.connect(Socket))
+    return clientFail(Client, "cannot connect");
+
+  if (Spec.Size != 0) {
+    Timer PlanWall;
+    auto PR = Client.planRetryBusy(Spec);
+    if (!PR)
+      return clientFail(Client, "plan request failed");
+    std::printf("plan: %s: %s via spld%s%s\n", PR->Key.c_str(),
+                PR->Backend.c_str(), PR->Fallback ? ", fallback: " : "",
+                PR->Fallback ? PR->FallbackReason.c_str() : "");
+    std::printf("planning took %.3f s (daemon round trip)\n",
+                PlanWall.seconds());
+
+    const std::int64_t Len = PR->VectorLen;
+    runtime::AlignedBuffer X(static_cast<size_t>(Batch * Len));
+    runtime::AlignedBuffer Y(static_cast<size_t>(Batch * Len));
+    fillRandom(X.data(), Batch * Len, 7);
+
+    Timer BatchWall;
+    if (!Client.executeRetryBusy(Spec, Y.data(), X.data(), Batch, Len,
+                                 Threads))
+      return clientFail(Client, "execute request failed");
+    double BatchSeconds = BatchWall.seconds();
+    std::printf("batch %lld via spld: %.3f s (%.1f kvec/s)\n",
+                static_cast<long long>(Batch), BatchSeconds,
+                1e-3 * static_cast<double>(Batch) / BatchSeconds);
+
+    int Failures = 0;
+    if (Verify) {
+      // Local reference: a VM-backend plan of the same spec. Deterministic
+      // search (opcount) plus the interpreted substrate means the daemon's
+      // answers must agree to rounding regardless of its resident tier.
+      Diagnostics Diags;
+      runtime::PlannerOptions LocalOpts = POpts;
+      LocalOpts.UseWisdom = false; // Never race the daemon's wisdom file.
+      runtime::Planner Local(Diags, LocalOpts);
+      runtime::PlanSpec VMSpec = Spec;
+      VMSpec.Want = runtime::Backend::VM;
+      auto Ref = Local.plan(VMSpec);
+      if (!Ref) {
+        std::fputs(Diags.dump().c_str(), stderr);
+        return tools::ExitCompile;
+      }
+      std::int64_t NCheck = std::min<std::int64_t>(Batch, 64);
+      runtime::AlignedBuffer YRef(static_cast<size_t>(NCheck * Len));
+      Ref->executeBatch(YRef.data(), X.data(), NCheck, 1);
+      double Delta = maxAbsDiff(Y.data(), YRef.data(), NCheck * Len);
+      bool OK = Delta <= 1e-10;
+      std::printf("verify: spld vs local vm on %lld vectors: max |delta| = "
+                  "%.3g (tol 1e-10): %s\n",
+                  static_cast<long long>(NCheck), Delta, OK ? "OK" : "FAIL");
+      Failures += !OK;
+
+      // Determinism: the daemon must answer an identical request with
+      // bit-identical output.
+      runtime::AlignedBuffer Y2(static_cast<size_t>(Batch * Len));
+      if (!Client.executeRetryBusy(Spec, Y2.data(), X.data(), Batch, Len,
+                                   Threads))
+        return clientFail(Client, "execute request failed");
+      bool Identical =
+          std::memcmp(Y.data(), Y2.data(),
+                      static_cast<size_t>(Batch * Len) * sizeof(double)) == 0;
+      std::printf("verify: repeated spld batch of %lld: %s\n",
+                  static_cast<long long>(Batch),
+                  Identical ? "bit-identical OK" : "MISMATCH");
+      Failures += !Identical;
+    }
+    if (Failures) {
+      std::fprintf(stderr, "splrun: %d verification failure%s\n", Failures,
+                   Failures == 1 ? "" : "s");
+      return tools::ExitExec;
+    }
+  }
+
+  if (Stats || !StatsJsonPath.empty()) {
+    auto Json = Client.stats();
+    if (!Json)
+      return clientFail(Client, "stats request failed");
+    if (Stats)
+      std::fprintf(stderr, "spld stats: %s\n", Json->c_str());
+    if (!StatsJsonPath.empty() &&
+        !writeFileOrComplain(StatsJsonPath, *Json + "\n", "daemon stats JSON"))
+      return tools::ExitExec;
+  }
+
+  if (Shutdown && !Client.shutdownServer())
+    return clientFail(Client, "shutdown request failed");
+  return tools::ExitOK;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -106,6 +220,8 @@ int main(int Argc, char **Argv) {
   bool Stats = false;
   std::string StatsJsonPath;
   std::string TraceJsonPath;
+  std::string ConnectPath;
+  bool Shutdown = false;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -149,6 +265,10 @@ int main(int Argc, char **Argv) {
       POpts.WisdomPath = Next("--wisdom");
     } else if (Arg == "--no-wisdom") {
       POpts.UseWisdom = false;
+    } else if (Arg == "--connect") {
+      ConnectPath = Next("--connect");
+    } else if (Arg == "--shutdown") {
+      Shutdown = true;
     } else if (Arg == "--verify") {
       Verify = true;
     } else if (Arg == "--stats") {
@@ -173,7 +293,16 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  if (Spec.Size < 2) {
+  if (Shutdown && ConnectPath.empty()) {
+    std::fprintf(stderr, "splrun: error: --shutdown requires --connect\n");
+    return tools::ExitUsage;
+  }
+  // In connect mode a size-less invocation is still useful (stats scrape,
+  // shutdown); otherwise a size is mandatory.
+  bool SizelessConnect =
+      !ConnectPath.empty() && Spec.Size == 0 &&
+      (Shutdown || Stats || !StatsJsonPath.empty());
+  if (Spec.Size < 2 && !SizelessConnect) {
     std::fprintf(stderr, "splrun: error: --size must be >= 2\n");
     return tools::ExitUsage;
   }
@@ -187,10 +316,15 @@ int main(int Argc, char **Argv) {
   Diagnostics Diags;
   // Spec rejection exits with the parse code; later planning trouble (a
   // search or compilation failure) is a distinct stage.
-  if (!runtime::Planner::validateSpec(Spec, Diags)) {
+  if (!SizelessConnect && !runtime::Planner::validateSpec(Spec, Diags)) {
     std::fputs(Diags.dump().c_str(), stderr);
     return tools::ExitParse;
   }
+
+  if (!ConnectPath.empty())
+    return runConnected(ConnectPath, Spec, POpts, Batch, Threads, Verify,
+                        Stats, StatsJsonPath, Shutdown);
+
   runtime::Planner Planner(Diags, POpts);
   runtime::PlanRegistry Registry(Planner);
 
