@@ -10,8 +10,10 @@
 #include "telemetry/Metrics.h"
 #include "telemetry/Trace.h"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 
 #include <sys/socket.h>
@@ -108,6 +110,15 @@ void Server::waitForShutdownRequest() {
   ShutdownCv.wait(Lock, [this] { return ShutdownFlag.load(); });
 }
 
+void Server::requestShutdown() {
+  // Store and notify under ShutdownM so waitForShutdownRequest() cannot
+  // evaluate its predicate, miss the store, and then sleep through the
+  // notification (lost wakeup).
+  std::lock_guard<std::mutex> Lock(ShutdownM);
+  ShutdownFlag.store(true);
+  ShutdownCv.notify_all();
+}
+
 void Server::stop() {
   if (!Running.exchange(false)) {
     if (ListenFd >= 0) { // start() failed after a partial setup.
@@ -140,7 +151,6 @@ void Server::stop() {
     Pool->wait();
   ThePlanner.saveWisdom();
   ::unlink(Opts.SocketPath.c_str());
-  ShutdownCv.notify_all();
 }
 
 Server::Stats Server::stats() const {
@@ -173,13 +183,27 @@ void Server::acceptLoop() {
       telemetry::counter("spld.connections");
   static telemetry::Gauge &Active =
       telemetry::gauge("spld.active_connections");
+  bool AcceptErrorLogged = false;
   while (Running.load()) {
     int Fd = ::accept(ListenFd, nullptr, nullptr);
     if (Fd < 0) {
       if (!Running.load())
         break;
-      continue; // EINTR / transient accept failure.
+      if (errno == EINTR)
+        continue;
+      // Persistent failures (EMFILE/ENFILE under fd exhaustion) would
+      // otherwise busy-spin this thread at 100% while still unable to
+      // accept: back off briefly and log the first occurrence.
+      if (!AcceptErrorLogged) {
+        AcceptErrorLogged = true;
+        Diags.error(SourceLoc(), std::string("spld: accept: ") +
+                                     std::strerror(errno) +
+                                     " (backing off; will keep retrying)");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
     }
+    AcceptErrorLogged = false;
     reapFinishedConns();
     auto C = std::make_shared<Conn>();
     C->Fd = Fd;
@@ -343,8 +367,14 @@ void Server::handleExecute(std::shared_ptr<Conn> C, Frame F) {
   auto P = acquirePlan(*C, F.RequestId, Req.Spec);
   if (!P)
     return;
+  // Count is untrusted wire input: `Count * Len` can overflow int64 and
+  // wrap to match a short payload, so derive the batch count from the
+  // actual payload size instead and require the client's Count to agree.
   const std::int64_t Len = P->vectorLen();
-  if (static_cast<std::int64_t>(Req.Data.size()) != Req.Count * Len) {
+  if (Len <= 0 || Req.Data.size() % static_cast<std::size_t>(Len) != 0 ||
+      Req.Count !=
+          static_cast<std::int64_t>(Req.Data.size() /
+                                    static_cast<std::size_t>(Len))) {
     sendError(*C, F.RequestId, Status::BadRequest,
               "execute payload holds " + std::to_string(Req.Data.size()) +
                   " doubles; " + std::to_string(Req.Count) + " x " +
@@ -430,7 +460,6 @@ void Server::connLoop(std::shared_ptr<Conn> C) {
     case MsgType::ShutdownReq:
       sendFrame(*C, MsgType::ShutdownResp, F.RequestId, {});
       requestShutdown();
-      ShutdownCv.notify_all();
       break;
     case MsgType::PlanReq:
       if (admit(*C, F.RequestId)) {

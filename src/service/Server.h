@@ -97,8 +97,9 @@ public:
   bool shutdownRequested() const { return ShutdownFlag.load(); }
 
   /// Marks the daemon as draining: new plan/execute admissions answer
-  /// SHUTTING_DOWN and shutdownRequested() flips true.
-  void requestShutdown() { ShutdownFlag.store(true); }
+  /// SHUTTING_DOWN, shutdownRequested() flips true, and any
+  /// waitForShutdownRequest() caller wakes up.
+  void requestShutdown();
 
   /// Blocks until shutdownRequested() (used by tests; spld polls so it can
   /// also react to signals).

@@ -45,9 +45,27 @@ int spl::service::listenUnix(const std::string &Path, int Backlog,
     Err = std::string("socket: ") + std::strerror(errno);
     return -1;
   }
-  // A previous daemon's socket file would make bind fail with EADDRINUSE;
-  // the daemon owns its path, so replace it unconditionally.
-  ::unlink(Path.c_str());
+  // A dead daemon's leftover socket file would make bind fail with
+  // EADDRINUSE, but unlinking unconditionally would silently hijack the
+  // path from a *live* daemon. Probe first: a successful connect() means
+  // somebody is serving this path, so refuse; only a stale socket
+  // (ECONNREFUSED: file exists, nobody listening) is removed. On any other
+  // probe outcome leave the path alone and let bind() report the conflict.
+  int Probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Probe >= 0) {
+    if (::connect(Probe, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) ==
+        0) {
+      ::close(Probe);
+      ::close(Fd);
+      Err = "'" + Path +
+            "' already has a live daemon listening; refusing to replace it";
+      return -1;
+    }
+    int ProbeErrno = errno;
+    ::close(Probe);
+    if (ProbeErrno == ECONNREFUSED)
+      ::unlink(Path.c_str());
+  }
   if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
     Err = "bind '" + Path + "': " + std::strerror(errno);
     ::close(Fd);

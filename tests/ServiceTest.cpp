@@ -24,10 +24,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <set>
 #include <thread>
 
 #include <unistd.h>
@@ -326,6 +328,70 @@ TEST_F(ServiceTest, TypedErrorsForBadRequests) {
   EXPECT_TRUE(C.ping()) << C.lastError();
 }
 
+TEST_F(ServiceTest, ExecuteCountOverflowIsRejected) {
+  startServer();
+  std::string Err;
+  int Fd = connectUnix(Path, Err);
+  ASSERT_GE(Fd, 0) << Err;
+
+  // Counts chosen so a naive `Count * vectorLen` size check wraps int64
+  // to match the payload: 2^61 * 8 == 0 (empty payload) and
+  // (2^61 + 1) * 8 == 8 (one vector). Either would have sent executeBatch
+  // off the end of the buffers; both must come back BAD_REQUEST.
+  ExecuteRequest Wrap;
+  Wrap.Spec = WireSpec::fromSpec(vmSpec("wht", 8));
+  Wrap.Count = std::int64_t(1) << 61;
+  ASSERT_TRUE(writeFrame(Fd, MsgType::ExecuteReq, 7, Wrap.encode()));
+
+  ExecuteRequest Wrap2;
+  Wrap2.Spec = WireSpec::fromSpec(vmSpec("wht", 8));
+  Wrap2.Count = (std::int64_t(1) << 61) + 1;
+  Wrap2.Data.assign(8, 1.0);
+  ASSERT_TRUE(writeFrame(Fd, MsgType::ExecuteReq, 8, Wrap2.encode()));
+
+  // Both requests run concurrently on the pool, so the two rejections can
+  // come back in either order.
+  std::set<std::uint32_t> Answered;
+  for (int I = 0; I != 2; ++I) {
+    Frame F;
+    ASSERT_EQ(readFrame(Fd, kDefaultMaxFrameBytes, F), IoStatus::Ok);
+    ASSERT_EQ(F.Type, MsgType::ErrorResp);
+    Answered.insert(F.RequestId);
+    ErrorBody E;
+    ASSERT_TRUE(ErrorBody::decode(F.Body.data(), F.Body.size(), E));
+    EXPECT_EQ(E.Code, Status::BadRequest);
+  }
+  EXPECT_EQ(Answered, (std::set<std::uint32_t>{7u, 8u}));
+  ::close(Fd);
+}
+
+TEST_F(ServiceTest, ListenRefusesLiveDaemonSocket) {
+  startServer();
+  // A second daemon pointed at the same --socket must fail loudly instead
+  // of silently unlinking the live daemon's socket and hijacking it.
+  std::string Err;
+  int Fd = listenUnix(Path, 4, Err);
+  EXPECT_LT(Fd, 0);
+  EXPECT_NE(Err.find("live daemon"), std::string::npos) << Err;
+  // The original daemon is untouched.
+  Client C;
+  ASSERT_TRUE(C.connect(Path)) << C.lastError();
+  EXPECT_TRUE(C.ping()) << C.lastError();
+}
+
+TEST_F(ServiceTest, ListenReclaimsStaleSocketFile) {
+  // A crashed daemon leaves the socket file behind with nobody listening;
+  // a fresh listen must detect the stale file and reclaim the path.
+  std::string Err;
+  int Fd = listenUnix(Path, 4, Err);
+  ASSERT_GE(Fd, 0) << Err;
+  ::close(Fd); // Crash-like exit: file still on disk, no listener.
+  int Fd2 = listenUnix(Path, 4, Err);
+  EXPECT_GE(Fd2, 0) << Err;
+  if (Fd2 >= 0)
+    ::close(Fd2);
+}
+
 TEST_F(ServiceTest, OversizedTransformAndFrameAreRejected) {
   startServer([](ServerOptions &O) {
     O.MaxTransformSize = 64;
@@ -407,6 +473,17 @@ TEST_F(ServiceTest, MalformedFrameDropsConnection) {
   }
   EXPECT_EQ(St, IoStatus::Closed);
   ::close(Fd);
+}
+
+TEST_F(ServiceTest, RequestShutdownWakesBlockedWaiter) {
+  startServer();
+  std::thread Waiter([&] { Srv->waitForShutdownRequest(); });
+  // Give the waiter time to actually block so a store without a held-lock
+  // notify (the lost-wakeup bug) would hang this join forever.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Srv->requestShutdown();
+  Waiter.join();
+  EXPECT_TRUE(Srv->shutdownRequested());
 }
 
 TEST_F(ServiceTest, ShutdownRequestDrainsAndStops) {
