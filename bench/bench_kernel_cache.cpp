@@ -1,0 +1,135 @@
+//===- bench/bench_kernel_cache.cpp - Warm-start planning latency -------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what the persistent kernel cache (docs/KERNEL_CACHE.md) buys: a
+/// cold plan pays a compiler fork/exec per native kernel; a warm plan with
+/// the same cache directory maps the previously compiled artifact. For each
+/// size the harness plans cold (fresh cache + wisdom), then warm (fresh
+/// process-internal state, same cache files), and reports both latencies,
+/// the speedup, and the counter proof: a warm plan performs zero compiler
+/// invocations (native.compiles == 0, kernelcache.hits >= 1). Exits
+/// nonzero when the warm path ever reaches the compiler — this is the
+/// executable form of the PR's acceptance gate.
+///
+/// Environment knobs (in addition to BenchUtil's):
+///   SPL_KC_MAXLG=<k>   largest FFT size 2^k to plan (default 10)
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "perf/KernelCache.h"
+#include "runtime/Planner.h"
+#include "telemetry/Metrics.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+
+using namespace spl;
+using namespace spl::bench;
+
+namespace {
+
+std::uint64_t counterValue(const char *Name) {
+  return telemetry::counter(Name).value();
+}
+
+} // namespace
+
+int main() {
+  printPreamble("Kernel cache: cold vs warm planning",
+                "content-addressed .so reuse across processes");
+
+  if (!nativeAllowed()) {
+    std::puts("skip: no C compiler (or SPL_NO_NATIVE) — the kernel cache "
+              "only holds native artifacts");
+    return 0;
+  }
+
+  const std::int64_t MaxLg = envInt("SPL_KC_MAXLG", 10);
+  const std::string Stem =
+      "/tmp/spl-bench-kcache-" + std::to_string(getpid());
+  const std::string CacheDir = Stem + ".cache";
+  const std::string WisdomPath = Stem + ".wisdom";
+  std::filesystem::remove_all(CacheDir);
+  std::remove(WisdomPath.c_str());
+
+  telemetry::setMetricsEnabled(true);
+
+  std::printf("%8s  %12s  %12s  %8s  %10s  %8s\n", "N", "cold ms", "warm ms",
+              "speedup", "compiles", "hits");
+
+  bool GateFailed = false;
+  for (std::int64_t Lg = 4; Lg <= MaxLg; Lg += 2) {
+    runtime::PlanSpec Spec;
+    Spec.Size = std::int64_t(1) << Lg;
+
+    // Each pass uses a fresh Planner (fresh wisdom object, fresh plan
+    // registry) so only the on-disk caches carry state across them —
+    // the same isolation a process restart would give.
+    auto planOnce = [&](double &MsOut) -> bool {
+      Diagnostics Diags;
+      runtime::PlannerOptions POpts;
+      POpts.WisdomPath = WisdomPath;
+      POpts.KernelCacheDir = CacheDir;
+      runtime::Planner Planner(Diags, POpts);
+      Timer Wall;
+      auto Plan = Planner.plan(Spec);
+      MsOut = Wall.seconds() * 1e3;
+      if (!Plan || Plan->backend() != runtime::Backend::Native) {
+        std::fputs(Diags.dump().c_str(), stderr);
+        return false;
+      }
+      Planner.saveWisdom();
+      return true;
+    };
+
+    double ColdMs = 0, WarmMs = 0;
+    if (!planOnce(ColdMs)) {
+      std::printf("%8lld  plan did not reach the native tier; skipping\n",
+                  static_cast<long long>(Spec.Size));
+      continue;
+    }
+
+    std::uint64_t Compiles0 = counterValue("native.compiles");
+    std::uint64_t Hits0 = counterValue("kernelcache.hits");
+    if (!planOnce(WarmMs)) {
+      GateFailed = true;
+      continue;
+    }
+    std::uint64_t WarmCompiles = counterValue("native.compiles") - Compiles0;
+    std::uint64_t WarmHits = counterValue("kernelcache.hits") - Hits0;
+
+    std::printf("%8lld  %12.3f  %12.3f  %7.1fx  %10llu  %8llu\n",
+                static_cast<long long>(Spec.Size), ColdMs, WarmMs,
+                WarmMs > 0 ? ColdMs / WarmMs : 0.0,
+                static_cast<unsigned long long>(WarmCompiles),
+                static_cast<unsigned long long>(WarmHits));
+
+    // The acceptance gate: warm planning never forks the compiler.
+    if (WarmCompiles != 0 || WarmHits < 1) {
+      std::printf("GATE FAILED at N=%lld: warm compiles=%llu hits=%llu\n",
+                  static_cast<long long>(Spec.Size),
+                  static_cast<unsigned long long>(WarmCompiles),
+                  static_cast<unsigned long long>(WarmHits));
+      GateFailed = true;
+    }
+  }
+
+  std::filesystem::remove_all(CacheDir);
+  std::remove(WisdomPath.c_str());
+
+  if (GateFailed) {
+    std::puts("\nresult: FAIL — a warm plan reached the compiler");
+    return 1;
+  }
+  std::puts("\nresult: ok — every warm plan mapped its kernel from the "
+            "cache with zero compiler invocations");
+  return 0;
+}

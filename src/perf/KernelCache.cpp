@@ -1,0 +1,426 @@
+//===- perf/KernelCache.cpp - Persistent compiled-kernel cache ----------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "perf/KernelCache.h"
+
+#include "perf/NativeCompile.h"
+#include "support/FileLock.h"
+#include "support/HostInfo.h"
+#include "support/StrUtil.h"
+#include "telemetry/Metrics.h"
+#include "telemetry/Trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define SPL_KC_POSIX 1
+#endif
+
+using namespace spl;
+using namespace spl::perf;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// v1: "kernel <line-checksum> <key> <so-checksum> <so-bytes>" records. An
+// unknown version header invalidates the whole index; the artifacts it
+// described become orphans and are reclaimed by the next insert's sweep.
+// The cache only ever degrades to recompilation, so dropping it is cheap.
+constexpr const char *IndexVersionHeader = "spl-kernelcache v1";
+
+std::mutex ConfigM;
+KernelCache::Config GConfig;
+bool GResolved = false;
+
+/// Parses SPL_KERNEL_CACHE / SPL_KERNEL_CACHE_MB once (call under ConfigM).
+void resolveEnvLocked() {
+  if (GResolved)
+    return;
+  GResolved = true;
+  if (const char *Env = std::getenv("SPL_KERNEL_CACHE")) {
+    std::string V = toLower(Env);
+    if (!V.empty() && V != "0" && V != "off" && V != "none") {
+      GConfig.Enabled = true;
+      GConfig.Dir = Env;
+    }
+  }
+  if (const char *MB = std::getenv("SPL_KERNEL_CACHE_MB")) {
+    long long N = std::atoll(MB);
+    if (N > 0)
+      GConfig.MaxBytes = static_cast<std::uint64_t>(N) << 20;
+  }
+}
+
+/// One index record: what the artifact must hash to, and its size.
+struct IndexEntry {
+  std::string SoCksum;
+  std::uint64_t SoBytes = 0;
+};
+
+std::string indexPath(const std::string &Dir) { return Dir + "/index"; }
+std::string lockPath(const std::string &Dir) { return Dir + "/index.lock"; }
+std::string soPath(const std::string &Dir, const std::string &Key) {
+  return Dir + "/" + Key + ".so";
+}
+
+/// Reads \p Path fully into \p Out (binary). False when unreadable.
+bool readFileBytes(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  if (In.bad())
+    return false;
+  Out = SS.str();
+  return true;
+}
+
+/// Parses the index into \p Into. Corrupt or checksum-failing lines are
+/// skipped and counted into \p CorruptLines (when non-null); a missing
+/// index is an empty cache; a wrong version header invalidates everything.
+void loadIndex(const std::string &Dir,
+               std::map<std::string, IndexEntry> &Into,
+               std::size_t *CorruptLines) {
+  std::ifstream In(indexPath(Dir));
+  if (!In)
+    return;
+  std::string Line;
+  if (!std::getline(In, Line) || Line != IndexVersionHeader)
+    return;
+  while (std::getline(In, Line)) {
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    auto Reject = [&] {
+      if (CorruptLines)
+        ++*CorruptLines;
+    };
+    std::istringstream SS(Line);
+    std::string Tag, Checksum;
+    if (!(SS >> Tag >> Checksum) || Tag != "kernel") {
+      Reject();
+      continue;
+    }
+    std::string Payload;
+    std::getline(SS, Payload);
+    if (!Payload.empty() && Payload.front() == ' ')
+      Payload.erase(0, 1);
+    if (fnv1aHex(Payload) != Checksum) {
+      Reject();
+      continue;
+    }
+    std::istringstream PS(Payload);
+    std::string Key, SoCksum;
+    long long Bytes = 0;
+    if (!(PS >> Key >> SoCksum >> Bytes) || Key.empty() ||
+        SoCksum.size() != 16 || Bytes <= 0) {
+      Reject();
+      continue;
+    }
+    Into[Key] = IndexEntry{SoCksum, static_cast<std::uint64_t>(Bytes)};
+  }
+}
+
+/// Rewrites the index (temp file + rename). False on write failure.
+bool writeIndex(const std::string &Dir,
+                const std::map<std::string, IndexEntry> &Index) {
+  std::string Tmp = indexPath(Dir) + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::trunc);
+    if (!Out)
+      return false;
+    Out << IndexVersionHeader << '\n';
+    for (const auto &[Key, E] : Index) {
+      std::string Payload =
+          Key + ' ' + E.SoCksum + ' ' + std::to_string(E.SoBytes);
+      Out << "kernel " << fnv1aHex(Payload) << ' ' << Payload << '\n';
+    }
+    if (!Out.good())
+      return false;
+  }
+  if (std::rename(Tmp.c_str(), indexPath(Dir).c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Refreshes the artifact's mtime so LRU eviction sees the hit (best
+/// effort; a failed touch only ages the entry).
+void touchArtifact(const std::string &Path) {
+#if defined(SPL_KC_POSIX)
+  ::utimensat(AT_FDCWD, Path.c_str(), nullptr, 0);
+#else
+  (void)Path;
+#endif
+}
+
+} // namespace
+
+KernelCache::Config KernelCache::config() {
+  std::lock_guard<std::mutex> Lock(ConfigM);
+  resolveEnvLocked();
+  Config C = GConfig;
+  if (C.Enabled && C.Dir.empty())
+    C.Dir = defaultDir();
+  return C;
+}
+
+void KernelCache::configure(const Config &C) {
+  std::lock_guard<std::mutex> Lock(ConfigM);
+  GResolved = true;
+  GConfig = C;
+}
+
+void KernelCache::setDirectory(const std::string &Dir) {
+  std::lock_guard<std::mutex> Lock(ConfigM);
+  resolveEnvLocked();
+  GConfig.Enabled = true;
+  GConfig.Dir = Dir;
+}
+
+void KernelCache::setEnabled(bool On) {
+  std::lock_guard<std::mutex> Lock(ConfigM);
+  resolveEnvLocked();
+  GConfig.Enabled = On;
+}
+
+std::string KernelCache::defaultDir() {
+  if (const char *Home = std::getenv("HOME"))
+    if (*Home)
+      return std::string(Home) + "/.spl_kernel_cache";
+  return ".spl_kernel_cache";
+}
+
+std::string KernelCache::directory() {
+  Config C = config();
+  return C.Enabled ? C.Dir : std::string();
+}
+
+std::string KernelCache::key(const std::string &CSource,
+                             const std::string &FnName,
+                             const std::string &ExtraFlags) {
+  // Everything that can change the produced machine code, one line each.
+  // The source text is folded to its own hash first so the payload stays
+  // small; the outer hash is the cache key (docs/KERNEL_CACHE.md).
+  std::string Payload;
+  Payload += "spl-kernelcache-key v1\n";
+  Payload += "host " + HostInfo::fingerprint() + "\n";
+  Payload += "cc " + NativeModule::compilerIdentity() + "\n";
+  Payload += "flags " + ExtraFlags + "\n";
+  Payload += "fn " + FnName + "\n";
+  Payload += "src " + fnv1aHex(CSource) + "\n";
+  return fnv1aHex(Payload);
+}
+
+std::optional<std::string> KernelCache::probe(const std::string &Key) {
+  Config C = config();
+  if (!C.Enabled)
+    return std::nullopt;
+  static telemetry::Counter &Hits = telemetry::counter("kernelcache.hits");
+  static telemetry::Counter &Misses =
+      telemetry::counter("kernelcache.misses");
+  static telemetry::Counter &Corrupt =
+      telemetry::counter("kernelcache.corrupt_entries");
+  static telemetry::Histogram &ProbeNs =
+      telemetry::histogram("kernelcache.probe_ns");
+  telemetry::StageTimer T("kernelcache-probe", &ProbeNs);
+
+  std::string Artifact = soPath(C.Dir, Key);
+  bool CorruptArtifact = false;
+  {
+    // Shared lock: never read the index or an artifact mid-replacement.
+    FileLock FL(lockPath(C.Dir), LOCK_SH);
+    std::map<std::string, IndexEntry> Index;
+    loadIndex(C.Dir, Index, nullptr);
+    auto It = Index.find(Key);
+    if (It == Index.end()) {
+      Misses.add();
+      return std::nullopt;
+    }
+    std::string Bytes;
+    if (!readFileBytes(Artifact, Bytes) ||
+        Bytes.size() != It->second.SoBytes ||
+        fnv1aHex(Bytes) != It->second.SoCksum)
+      CorruptArtifact = true;
+  }
+  if (CorruptArtifact) {
+    // A flipped or truncated artifact degrades to a recompile: drop the
+    // entry so the caller's (lock-serialized) rebuild repopulates it.
+    Corrupt.add();
+    Misses.add();
+    remove(Key);
+    return std::nullopt;
+  }
+  Hits.add();
+  touchArtifact(Artifact);
+  return Artifact;
+}
+
+std::optional<std::string> KernelCache::insert(const std::string &Key,
+                                               const std::string &SoPath) {
+  Config C = config();
+  if (!C.Enabled)
+    return std::nullopt;
+  static telemetry::Counter &Inserts =
+      telemetry::counter("kernelcache.inserts");
+  static telemetry::Counter &Evictions =
+      telemetry::counter("kernelcache.evictions");
+  static telemetry::Counter &Corrupt =
+      telemetry::counter("kernelcache.corrupt_entries");
+
+  std::error_code EC;
+  fs::create_directories(C.Dir, EC);
+  std::string Bytes;
+  if (!readFileBytes(SoPath, Bytes) || Bytes.empty())
+    return std::nullopt;
+
+  // Exclusive lock across read-rewrite-rename: inserts, evictions, and the
+  // orphan sweep all serialize here.
+  FileLock FL(lockPath(C.Dir), LOCK_EX);
+
+  std::map<std::string, IndexEntry> Index;
+  std::size_t CorruptLines = 0;
+  loadIndex(C.Dir, Index, &CorruptLines);
+  if (CorruptLines)
+    Corrupt.add(CorruptLines);
+
+  // Artifact first (temp + rename, same filesystem), then the index that
+  // vouches for it: a crash between the two leaves an orphan, never an
+  // index entry pointing at garbage.
+  std::string Dest = soPath(C.Dir, Key);
+  std::string Tmp = Dest + ".tmp" + std::to_string(::getpid());
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (Out)
+      Out << Bytes;
+    if (!Out) {
+      std::remove(Tmp.c_str());
+      return std::nullopt;
+    }
+  }
+  if (std::rename(Tmp.c_str(), Dest.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return std::nullopt;
+  }
+  Index[Key] = IndexEntry{fnv1aHex(Bytes), Bytes.size()};
+
+  // Drop entries whose artifact has vanished underneath the index.
+  for (auto It = Index.begin(); It != Index.end();) {
+    if (It->first != Key && !fs::exists(soPath(C.Dir, It->first), EC))
+      It = Index.erase(It);
+    else
+      ++It;
+  }
+
+  // LRU eviction past the byte budget: oldest artifact mtime goes first
+  // (probes refresh mtime on every hit). The just-inserted key always
+  // survives, so one oversized kernel degrades the bound rather than
+  // thrashing forever.
+  std::uint64_t Total = 0;
+  for (const auto &[K, E] : Index)
+    Total += E.SoBytes;
+  if (Total > C.MaxBytes) {
+    struct Victim {
+      fs::file_time_type MTime;
+      std::string Key;
+      std::uint64_t Bytes;
+    };
+    std::vector<Victim> Victims;
+    for (const auto &[K, E] : Index) {
+      if (K == Key)
+        continue;
+      fs::file_time_type M = fs::last_write_time(soPath(C.Dir, K), EC);
+      Victims.push_back({EC ? fs::file_time_type::min() : M, K, E.SoBytes});
+    }
+    std::sort(Victims.begin(), Victims.end(),
+              [](const Victim &A, const Victim &B) {
+                return A.MTime != B.MTime ? A.MTime < B.MTime
+                                          : A.Key < B.Key;
+              });
+    for (const Victim &V : Victims) {
+      if (Total <= C.MaxBytes)
+        break;
+      std::remove(soPath(C.Dir, V.Key).c_str());
+      std::remove((C.Dir + "/" + V.Key + ".lock").c_str());
+      Index.erase(V.Key);
+      Total -= V.Bytes;
+      Evictions.add();
+    }
+  }
+
+  // Orphan sweep: artifacts the index no longer vouches for (crash
+  // leftovers, alien files, artifacts described by a discarded corrupt
+  // index) and stale temp files are reclaimed. All writers hold the
+  // exclusive lock, so anything unreferenced here is garbage.
+  for (const auto &Entry : fs::directory_iterator(C.Dir, EC)) {
+    std::string Name = Entry.path().filename().string();
+    if (Name.size() > 3 && Name.compare(Name.size() - 3, 3, ".so") == 0) {
+      std::string K = Name.substr(0, Name.size() - 3);
+      if (!Index.count(K))
+        std::remove(Entry.path().c_str());
+    } else if (Name.find(".so.tmp") != std::string::npos) {
+      std::remove(Entry.path().c_str());
+    }
+  }
+
+  if (!writeIndex(C.Dir, Index))
+    return std::nullopt;
+  Inserts.add();
+  return Dest;
+}
+
+void KernelCache::remove(const std::string &Key) {
+  Config C = config();
+  if (!C.Enabled)
+    return;
+  FileLock FL(lockPath(C.Dir), LOCK_EX);
+  std::map<std::string, IndexEntry> Index;
+  loadIndex(C.Dir, Index, nullptr);
+  if (Index.erase(Key))
+    writeIndex(C.Dir, Index);
+  std::remove(soPath(C.Dir, Key).c_str());
+}
+
+KernelCache::PopulationLock::PopulationLock(const std::string &Key) {
+#if defined(SPL_KC_POSIX)
+  Config C = config();
+  if (!C.Enabled)
+    return;
+  std::error_code EC;
+  fs::create_directories(C.Dir, EC);
+  Fd = ::open((C.Dir + "/" + Key + ".lock").c_str(),
+              O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (Fd >= 0 && ::flock(Fd, LOCK_EX) != 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+#else
+  (void)Key;
+#endif
+}
+
+KernelCache::PopulationLock::~PopulationLock() {
+#if defined(SPL_KC_POSIX)
+  if (Fd >= 0) {
+    ::flock(Fd, LOCK_UN);
+    ::close(Fd);
+  }
+#endif
+}

@@ -1,0 +1,132 @@
+//===- perf/KernelCache.h - Persistent compiled-kernel cache ----*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A persistent, content-addressed on-disk cache of compiled kernel shared
+/// objects. Every native plan otherwise pays a fork/exec of the system C
+/// compiler plus dlopen; FFTW-style systems amortize exactly that cost by
+/// keeping compiled artifacts around. A warm process (or a restarted spld
+/// daemon) maps a previously compiled kernel in microseconds with zero
+/// compiler invocations.
+///
+/// The cache key is an FNV-1a hash over everything that can change the
+/// produced machine code: a host fingerprint, the compiler identity
+/// (SPL_CC command plus its --version line), the extra compiler flags, the
+/// kernel entry-point name, and the hash of the emitted C source. The
+/// on-disk layout is one directory holding `<key>.so` artifacts plus a
+/// versioned, per-line-checksummed `index` (wisdom-v2 style: corrupt lines
+/// are skipped, counted, and rewritten clean; artifacts that fail their
+/// recorded checksum are dropped and recompiled — corruption degrades to a
+/// recompile, never to a wrong kernel). Population is serialized per key
+/// through a `<key>.lock` flock (mirroring the `<wisdom>.lock` protocol),
+/// so concurrent planners — or a busy spld — never double-compile the same
+/// kernel. Eviction is LRU by artifact mtime (refreshed on every hit),
+/// bounded by a configurable byte budget.
+///
+/// The full contract — key derivation, layout, invalidation, locking, the
+/// flag/env reference, and a worked cold-vs-warm example — is documented in
+/// docs/KERNEL_CACHE.md. Telemetry: kernelcache.hits / misses / inserts /
+/// evictions / corrupt_entries counters and a kernelcache.probe_ns
+/// histogram (docs/OBSERVABILITY.md).
+///
+/// The cache is disabled unless configured: set SPL_KERNEL_CACHE=<dir> in
+/// the environment, pass --kernel-cache <dir> to splc/splrun/spld, or call
+/// configure(). Configuration is process-wide (one compiler, one cache).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_PERF_KERNELCACHE_H
+#define SPL_PERF_KERNELCACHE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace spl {
+namespace perf {
+
+/// Process-wide access to the persistent kernel cache. All methods are
+/// thread-safe; cross-process coordination is flock-based.
+class KernelCache {
+public:
+  struct Config {
+    bool Enabled = false;    ///< Off unless configured (env or flags).
+    std::string Dir;         ///< Cache directory; empty -> defaultDir().
+    std::uint64_t MaxBytes = 256ull << 20; ///< LRU eviction bound.
+  };
+
+  /// The current configuration. First call resolves the environment:
+  /// SPL_KERNEL_CACHE=<dir> enables the cache there ("", "0", "off",
+  /// "none" keep it disabled); SPL_KERNEL_CACHE_MB overrides the byte
+  /// budget.
+  static Config config();
+
+  /// Replaces the process-wide configuration (tools and tests).
+  static void configure(const Config &C);
+
+  /// Enables the cache at \p Dir (empty: defaultDir()).
+  static void setDirectory(const std::string &Dir);
+
+  /// Force-disables (or re-enables at the configured directory).
+  static void setEnabled(bool On);
+
+  static bool enabled() { return config().Enabled; }
+
+  /// $HOME/.spl_kernel_cache, else ".spl_kernel_cache" (mirrors the wisdom
+  /// default-path rule).
+  static std::string defaultDir();
+
+  /// The resolved cache directory ("" when disabled).
+  static std::string directory();
+
+  /// Derives the content-addressed key (16 hex digits) for one compile
+  /// request. Deterministic across processes on the same host+compiler.
+  static std::string key(const std::string &CSource,
+                         const std::string &FnName,
+                         const std::string &ExtraFlags);
+
+  /// Looks up \p Key. On a hit the artifact's checksum has been verified
+  /// against the index and its recency refreshed; the returned path is
+  /// ready to dlopen. Misses, hits, and corrupt artifacts are counted.
+  /// Returns nullopt when disabled, missing, or corrupt (corrupt entries
+  /// are dropped so the caller's recompile can repopulate them).
+  static std::optional<std::string> probe(const std::string &Key);
+
+  /// Copies the compiled object at \p SoPath into the cache under \p Key,
+  /// rewrites the index (dropping corrupt lines and orphaned artifacts),
+  /// and evicts least-recently-used entries past the byte budget. Returns
+  /// the cached artifact path, or nullopt when disabled or the cache
+  /// directory is unusable (the caller keeps using its own copy — an
+  /// unusable cache degrades to cold compiles, never to failure).
+  static std::optional<std::string> insert(const std::string &Key,
+                                           const std::string &SoPath);
+
+  /// Drops \p Key's index entry and artifact (used when a checksum-valid
+  /// artifact still fails to dlopen — e.g. an alien or truncated file).
+  static void remove(const std::string &Key);
+
+  /// Blocking inter-process (and inter-thread) population lock for one
+  /// key: `<dir>/<key>.lock`, exclusive flock. Holding it across the
+  /// re-probe + compile + insert window guarantees concurrent planners
+  /// compile each kernel at most once. Best-effort: if the lock file
+  /// cannot be created the caller proceeds unlocked (worst case a
+  /// duplicate compile, exactly the uncached behavior).
+  class PopulationLock {
+  public:
+    explicit PopulationLock(const std::string &Key);
+    ~PopulationLock();
+    PopulationLock(const PopulationLock &) = delete;
+    PopulationLock &operator=(const PopulationLock &) = delete;
+
+  private:
+    int Fd = -1;
+  };
+};
+
+} // namespace perf
+} // namespace spl
+
+#endif // SPL_PERF_KERNELCACHE_H

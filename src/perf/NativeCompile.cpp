@@ -6,6 +6,7 @@
 
 #include "perf/NativeCompile.h"
 
+#include "perf/KernelCache.h"
 #include "support/FaultInjection.h"
 #include "support/Subprocess.h"
 #include "telemetry/Trace.h"
@@ -36,11 +37,47 @@ std::vector<std::string> ccArgv() {
   return {"cc"};
 }
 
+/// Temp artifacts go under TMPDIR when set (tests point it at a private
+/// directory to assert nothing leaks), else /tmp.
 std::string uniqueStem() {
   static std::atomic<unsigned> Counter{0};
+  std::string Dir = "/tmp";
+  if (const char *Env = std::getenv("TMPDIR"))
+    if (*Env) {
+      Dir = Env;
+      while (Dir.size() > 1 && Dir.back() == '/')
+        Dir.pop_back();
+    }
   std::ostringstream SS;
-  SS << "/tmp/spl-native-" << getpid() << "-" << Counter++;
+  SS << Dir << "/spl-native-" << getpid() << "-" << Counter++;
   return SS.str();
+}
+
+/// One probe answers both "is there a compiler?" and "which one, exactly?"
+/// so the warm (cache-hit) path never pays an extra fork for identity.
+struct CcProbe {
+  bool Available = false;
+  std::string Identity;
+};
+
+const CcProbe &ccProbe() {
+  // Initialized exactly once even when parallel search workers race here.
+  static const CcProbe Cached = [] {
+    CcProbe P;
+    std::vector<std::string> Argv = ccArgv();
+    std::ostringstream Cmd;
+    for (size_t I = 0; I != Argv.size(); ++I)
+      Cmd << (I ? " " : "") << Argv[I];
+    Argv.push_back("--version");
+    SubprocessOptions Opts;
+    Opts.TimeoutSeconds = 10.0;
+    SubprocessResult R = runSubprocess(Argv, Opts);
+    P.Available = R.ok();
+    std::string FirstLine = R.Output.substr(0, R.Output.find('\n'));
+    P.Identity = Cmd.str() + (FirstLine.empty() ? "" : " | " + FirstLine);
+    return P;
+  }();
+  return Cached;
 }
 
 /// One compiler invocation, with every fault-injection site that can afflict
@@ -77,28 +114,66 @@ bool NativeModule::available() {
 #if !defined(SPL_HAVE_DLOPEN)
   return false;
 #else
-  // Initialized exactly once even when parallel search workers race here.
-  static const bool Cached = [] {
-    std::vector<std::string> Argv = ccArgv();
-    Argv.push_back("--version");
-    SubprocessOptions Opts;
-    Opts.TimeoutSeconds = 10.0;
-    return runSubprocess(Argv, Opts).ok();
-  }();
-  return Cached;
+  return ccProbe().Available;
+#endif
+}
+
+const std::string &NativeModule::compilerIdentity() {
+  return ccProbe().Identity;
+}
+
+std::unique_ptr<NativeModule>
+NativeModule::loadModule(const std::string &SoPath, const std::string &FnName,
+                         bool OwnsSo, std::string *Error) {
+#if !defined(SPL_HAVE_DLOPEN)
+  (void)SoPath;
+  (void)FnName;
+  (void)OwnsSo;
+  if (Error)
+    *Error = "dlopen is not available on this platform";
+  return nullptr;
+#else
+  void *Handle = nullptr;
+  if (!fault::at("dlopen"))
+    Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle) {
+    if (Error) {
+      const char *DLErr = dlerror();
+      *Error = std::string("dlopen failed: ") +
+               (DLErr ? DLErr : fault::describe("dlopen").c_str());
+    }
+    if (OwnsSo)
+      std::remove(SoPath.c_str());
+    return nullptr;
+  }
+  void *Sym = fault::at("dlsym") ? nullptr : dlsym(Handle, FnName.c_str());
+  if (!Sym) {
+    if (Error)
+      *Error = "symbol '" + FnName + "' not found in generated module";
+    dlclose(Handle);
+    if (OwnsSo)
+      std::remove(SoPath.c_str());
+    return nullptr;
+  }
+
+  auto M = std::unique_ptr<NativeModule>(new NativeModule());
+  M->Handle = Handle;
+  M->Fn = reinterpret_cast<KernelFn>(Sym);
+  M->SoPath = SoPath;
+  M->OwnsSo = OwnsSo;
+  return M;
 #endif
 }
 
 std::unique_ptr<NativeModule>
-NativeModule::compile(const std::string &CSource, const std::string &FnName,
-                      std::string *Error, const std::string &ExtraFlags,
-                      bool *TimedOut) {
-  if (TimedOut)
-    *TimedOut = false;
+NativeModule::compileFresh(const std::string &CSource,
+                           const std::string &FnName, std::string *Error,
+                           const std::string &ExtraFlags, bool *TimedOut) {
 #if !defined(SPL_HAVE_DLOPEN)
   (void)CSource;
   (void)FnName;
   (void)ExtraFlags;
+  (void)TimedOut;
   if (Error)
     *Error = "dlopen is not available on this platform";
   return nullptr;
@@ -182,31 +257,49 @@ NativeModule::compile(const std::string &CSource, const std::string &FnName,
     return nullptr;
   }
 
-  void *Handle = nullptr;
-  if (!fault::at("dlopen"))
-    Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
-  if (!Handle) {
-    if (Error) {
-      const char *DLErr = dlerror();
-      *Error = std::string("dlopen failed: ") +
-               (DLErr ? DLErr : fault::describe("dlopen").c_str());
-    }
-    std::remove(SoPath.c_str());
-    return nullptr;
-  }
-  void *Sym = fault::at("dlsym") ? nullptr : dlsym(Handle, FnName.c_str());
-  if (!Sym) {
-    if (Error)
-      *Error = "symbol '" + FnName + "' not found in generated module";
-    dlclose(Handle);
-    std::remove(SoPath.c_str());
-    return nullptr;
+  return loadModule(SoPath, FnName, /*OwnsSo=*/true, Error);
+#endif
+}
+
+std::unique_ptr<NativeModule>
+NativeModule::compile(const std::string &CSource, const std::string &FnName,
+                      std::string *Error, const std::string &ExtraFlags,
+                      bool *TimedOut) {
+  if (TimedOut)
+    *TimedOut = false;
+#if !defined(SPL_HAVE_DLOPEN)
+  (void)CSource;
+  (void)FnName;
+  (void)ExtraFlags;
+  if (Error)
+    *Error = "dlopen is not available on this platform";
+  return nullptr;
+#else
+  if (!KernelCache::enabled())
+    return compileFresh(CSource, FnName, Error, ExtraFlags, TimedOut);
+
+  std::string Key = KernelCache::key(CSource, FnName, ExtraFlags);
+  if (auto Hit = KernelCache::probe(Key)) {
+    if (auto M = loadModule(*Hit, FnName, /*OwnsSo=*/false, Error))
+      return M;
+    // Checksum-valid but unloadable (e.g. an alien file of the right
+    // bytes): drop the entry and recompile below.
+    KernelCache::remove(Key);
   }
 
-  auto M = std::unique_ptr<NativeModule>(new NativeModule());
-  M->Handle = Handle;
-  M->Fn = reinterpret_cast<KernelFn>(Sym);
-  M->SoPath = SoPath;
+  // Per-key population lock across re-probe + compile + insert: concurrent
+  // planners (threads or processes) racing on a cold key block here and
+  // all but one load the winner's artifact instead of recompiling.
+  KernelCache::PopulationLock PL(Key);
+  if (auto Hit = KernelCache::probe(Key))
+    if (auto M = loadModule(*Hit, FnName, /*OwnsSo=*/false, Error))
+      return M;
+
+  auto M = compileFresh(CSource, FnName, Error, ExtraFlags, TimedOut);
+  // The module keeps (and owns) its temp copy; the cache gets its own.
+  // A failed insert just means the next process compiles cold again.
+  if (M)
+    KernelCache::insert(Key, M->SoPath);
   return M;
 #endif
 }
@@ -224,7 +317,7 @@ NativeModule::~NativeModule() {
 #if defined(SPL_HAVE_DLOPEN)
   if (Handle)
     dlclose(Handle);
-  if (!SoPath.empty())
+  if (OwnsSo && !SoPath.empty())
     std::remove(SoPath.c_str());
 #endif
 }

@@ -17,6 +17,13 @@
 /// timeout), and SPL_FAULT sites on every failure path — see
 /// docs/RELIABILITY.md.
 ///
+/// When the persistent kernel cache is enabled (perf/KernelCache.h,
+/// docs/KERNEL_CACHE.md) compile() probes it before forking the compiler
+/// and maps a verified cached artifact directly; fresh compiles populate
+/// the cache under a per-key flock so concurrent processes build each
+/// kernel at most once. native.compiles counts only real compiler
+/// invocations, so a fully warm run shows native.compiles == 0.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPL_PERF_NATIVECOMPILE_H
@@ -47,6 +54,12 @@ public:
   /// True when a working C compiler was found on this machine (cached).
   static bool available();
 
+  /// The compiler's identity string: the SPL_CC command plus the first
+  /// line of its --version output (captured by the same probe as
+  /// available(), so the warm path never forks). Part of the kernel-cache
+  /// key — a compiler upgrade invalidates every cached artifact.
+  static const std::string &compilerIdentity();
+
   /// The per-invocation compile deadline (SPL_CC_TIMEOUT_MS, default 60 s).
   static double compileTimeoutSeconds();
 
@@ -63,9 +76,24 @@ public:
 private:
   NativeModule() = default;
 
+  /// dlopens \p SoPath and resolves \p FnName. \p OwnsSo decides whether
+  /// the module deletes the .so in its destructor: true for freshly
+  /// compiled temp artifacts, false for files owned by the kernel cache.
+  static std::unique_ptr<NativeModule> loadModule(const std::string &SoPath,
+                                                  const std::string &FnName,
+                                                  bool OwnsSo,
+                                                  std::string *Error);
+
+  /// The uncached compile path: write source, fork the compiler, load.
+  static std::unique_ptr<NativeModule>
+  compileFresh(const std::string &CSource, const std::string &FnName,
+               std::string *Error, const std::string &ExtraFlags,
+               bool *TimedOut);
+
   void *Handle = nullptr;
   KernelFn Fn = nullptr;
   std::string SoPath;
+  bool OwnsSo = true;
 };
 
 } // namespace perf

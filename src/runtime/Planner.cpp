@@ -9,6 +9,7 @@
 #include "driver/Compiler.h"
 #include "frontend/Parser.h"
 #include "gen/Enumerate.h"
+#include "perf/KernelCache.h"
 #include "search/DPSearch.h"
 #include "search/Evaluator.h"
 #include "support/FaultInjection.h"
@@ -38,10 +39,24 @@ PlanSpec normalize(const PlanSpec &Spec) {
 
 Planner::Planner(Diagnostics &Diags, PlannerOptions Opts)
     : Diags(Diags), Opts(std::move(Opts)), Wisdom(Diags) {
-  // Pre-register the degradation-chain counters so a healthy run's metrics
-  // dump still shows them (as zeros) — absence would be ambiguous.
+  // Pre-register the degradation-chain and kernel-cache counters so a
+  // healthy run's metrics dump still shows them (as zeros) — absence would
+  // be ambiguous. A warm run's whole point is native.compiles == 0, so
+  // that zero in particular must be explicit.
   telemetry::counter("runtime.demote.native");
   telemetry::counter("runtime.demote.vm");
+  telemetry::counter("native.compiles");
+  telemetry::counter("kernelcache.hits");
+  telemetry::counter("kernelcache.misses");
+  telemetry::counter("kernelcache.inserts");
+  telemetry::counter("kernelcache.evictions");
+  telemetry::counter("kernelcache.corrupt_entries");
+  // Kernel-cache overrides are applied here (process-wide: one compiler,
+  // one cache) so spld's ServerOptions.Planner reaches it too.
+  if (this->Opts.DisableKernelCache)
+    perf::KernelCache::setEnabled(false);
+  else if (!this->Opts.KernelCacheDir.empty())
+    perf::KernelCache::setDirectory(this->Opts.KernelCacheDir);
 }
 
 std::string Planner::wisdomPath() const {

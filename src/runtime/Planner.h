@@ -57,6 +57,15 @@ struct PlannerOptions {
   /// Candidate cap for the flat WHT search.
   int WhtCandidateCap = 24;
 
+  /// Enables the persistent compiled-kernel cache (perf::KernelCache,
+  /// docs/KERNEL_CACHE.md) at this directory; empty inherits the
+  /// process-wide configuration (SPL_KERNEL_CACHE or tool flags).
+  std::string KernelCacheDir;
+
+  /// Force-disables the kernel cache regardless of environment or
+  /// KernelCacheDir (the --no-kernel-cache flag).
+  bool DisableKernelCache = false;
+
   /// Prove every newly compiled native kernel with a guarded trial
   /// execution (forked subprocess, wall-clock bounded by
   /// SPL_TRIAL_TIMEOUT_MS, default 5 s) before it joins the plan. A kernel

@@ -7,7 +7,9 @@
 #include "search/PlanCache.h"
 
 #include "support/FaultInjection.h"
+#include "support/FileLock.h"
 #include "support/HostInfo.h"
+#include "support/StrUtil.h"
 #include "telemetry/Metrics.h"
 
 #include <cstdio>
@@ -15,63 +17,15 @@
 #include <fstream>
 #include <sstream>
 
-#include <fcntl.h>
-#include <sys/file.h>
-#include <unistd.h>
-
 using namespace spl;
 using namespace spl::search;
 
 namespace {
 
-/// Advisory inter-process lock on <wisdom>.lock. Wisdom writes are
-/// merge-then-rename; without this, two processes saving concurrently can
-/// both merge against the same on-disk state and the second rename silently
-/// drops the first writer's new entries. flock() serializes the
-/// read-merge-write window (spld, splrun, and tests all cooperate through
-/// the same lock file). Best-effort: if the lock file cannot be created the
-/// caller proceeds unlocked, which is exactly the pre-lock behavior.
-class FileLock {
-public:
-  FileLock(const std::string &Path, int Operation)
-      : Fd(::open((Path + ".lock").c_str(), O_CREAT | O_RDWR | O_CLOEXEC,
-                  0644)) {
-    if (Fd >= 0 && ::flock(Fd, Operation) != 0) {
-      ::close(Fd);
-      Fd = -1;
-    }
-  }
-  ~FileLock() {
-    if (Fd >= 0) {
-      ::flock(Fd, LOCK_UN);
-      ::close(Fd);
-    }
-  }
-  FileLock(const FileLock &) = delete;
-  FileLock &operator=(const FileLock &) = delete;
-
-private:
-  int Fd;
-};
-
 // v2 added a per-line FNV-1a checksum between the "plan" tag and the
 // payload; v1 files (no checksums) are ignored with a warning — wisdom is
 // a cache, so dropping an old file only costs a re-search.
 constexpr const char *VersionHeader = "spl-wisdom v2";
-
-/// FNV-1a 64-bit, rendered as 16 hex digits (a stable, compiler-independent
-/// hash — std::hash would tie the fingerprint to the standard library).
-std::string fnv1aHex(const std::string &S) {
-  std::uint64_t H = 1469598103934665603ull;
-  for (unsigned char C : S) {
-    H ^= C;
-    H *= 1099511628211ull;
-  }
-  char Buf[17];
-  std::snprintf(Buf, sizeof(Buf), "%016llx",
-                static_cast<unsigned long long>(H));
-  return Buf;
-}
 
 std::string formatCost(double Cost) {
   char Buf[64];
@@ -89,11 +43,9 @@ std::string PlanKey::str() const {
 }
 
 const std::string &PlanCache::hostFingerprint() {
-  static const std::string FP = [] {
-    HostInfo Info = HostInfo::detect();
-    return fnv1aHex(Info.CpuModel + "|" + Info.OSName + "|" + Info.Compiler);
-  }();
-  return FP;
+  // Shared recipe (support::HostInfo::fingerprint), so wisdom and the
+  // kernel cache invalidate together when the host changes.
+  return HostInfo::fingerprint();
 }
 
 std::string PlanCache::defaultPath() {
@@ -209,7 +161,7 @@ bool PlanCache::load(const std::string &Path) {
   }
   std::map<std::string, std::vector<PlanEntry>> Incoming;
   // Shared lock: don't read a file mid-merge-rename from another process.
-  FileLock FL(Path, LOCK_SH);
+  FileLock FL(Path + ".lock", LOCK_SH);
   if (!loadLocked(Path, Incoming, /*CountStats=*/true))
     return false;
   // Incoming entries fill gaps; entries already in memory win.
@@ -226,9 +178,12 @@ bool PlanCache::save(const std::string &Path) const {
     return false;
   }
 
-  // Exclusive lock across the whole read-merge-write-rename window, so two
-  // savers serialize and neither's entries are lost.
-  FileLock FL(Path, LOCK_EX);
+  // Exclusive lock on <wisdom>.lock across the whole read-merge-write-rename
+  // window: without it two processes saving concurrently can both merge
+  // against the same on-disk state and the second rename silently drops the
+  // first writer's new entries (spld, splrun, and tests all cooperate
+  // through the same lock file).
+  FileLock FL(Path + ".lock", LOCK_EX);
 
   // Merge-on-save: what is on disk survives unless we hold the same key.
   std::map<std::string, std::vector<PlanEntry>> Merged;

@@ -1,0 +1,72 @@
+//===- support/FileLock.h - Advisory inter-process file lock ----*- C++ -*-==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RAII advisory flock() on a dedicated lock file. The persistent caches
+/// (wisdom and the kernel cache) coordinate concurrent processes through
+/// this: writers take LOCK_EX across their read-merge-write-rename window,
+/// readers take LOCK_SH so they never observe a file mid-replacement.
+/// Best-effort by design: when the lock file cannot be created the caller
+/// proceeds unlocked, which is exactly the pre-lock behavior. flock locks
+/// attach to the open file description, so two threads of one process
+/// contending on the same path serialize just like two processes, and a
+/// dying process releases its locks automatically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPL_SUPPORT_FILELOCK_H
+#define SPL_SUPPORT_FILELOCK_H
+
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#define SPL_HAVE_FLOCK 1
+#endif
+
+namespace spl {
+
+/// Holds an advisory flock on \p LockPath for the object's lifetime.
+/// \p Operation is LOCK_SH or LOCK_EX (blocking). held() reports whether
+/// the lock was actually acquired.
+class FileLock {
+public:
+  FileLock(const std::string &LockPath, int Operation) {
+#if defined(SPL_HAVE_FLOCK)
+    Fd = ::open(LockPath.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (Fd >= 0 && ::flock(Fd, Operation) != 0) {
+      ::close(Fd);
+      Fd = -1;
+    }
+#else
+    (void)LockPath;
+    (void)Operation;
+#endif
+  }
+
+  ~FileLock() {
+#if defined(SPL_HAVE_FLOCK)
+    if (Fd >= 0) {
+      ::flock(Fd, LOCK_UN);
+      ::close(Fd);
+    }
+#endif
+  }
+
+  FileLock(const FileLock &) = delete;
+  FileLock &operator=(const FileLock &) = delete;
+
+  bool held() const { return Fd >= 0; }
+
+private:
+  int Fd = -1;
+};
+
+} // namespace spl
+
+#endif // SPL_SUPPORT_FILELOCK_H

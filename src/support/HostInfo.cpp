@@ -80,6 +80,14 @@ void probeCacheIndex(HostInfo &Info, int Index) {
 
 } // namespace
 
+const std::string &HostInfo::fingerprint() {
+  static const std::string FP = [] {
+    HostInfo Info = detect();
+    return fnv1aHex(Info.CpuModel + "|" + Info.OSName + "|" + Info.Compiler);
+  }();
+  return FP;
+}
+
 HostInfo HostInfo::detect() {
   HostInfo Info;
 

@@ -35,6 +35,12 @@ struct HostInfo {
   /// Probes /proc and /sys (Linux); missing information is left defaulted.
   static HostInfo detect();
 
+  /// FNV-1a hex fingerprint of the running machine (CPU model, OS, and the
+  /// compiler this binary was built with). Computed once and cached; the
+  /// recipe is shared by the wisdom plan cache and the kernel cache, so
+  /// both invalidate together when the host changes.
+  static const std::string &fingerprint();
+
   /// Renders a two-column "field: value" table matching Table 1's rows.
   std::string table() const;
 };

@@ -8,6 +8,7 @@
 
 #include <cassert>
 #include <charconv>
+#include <cstdint>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -56,4 +57,16 @@ std::string spl::toLower(std::string S) {
   for (char &C : S)
     C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
   return S;
+}
+
+std::string spl::fnv1aHex(const std::string &S) {
+  std::uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(H));
+  return Buf;
 }

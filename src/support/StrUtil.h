@@ -36,6 +36,12 @@ bool startsWith(const std::string &S, const std::string &Prefix);
 /// Lower-cases ASCII characters in \p S.
 std::string toLower(std::string S);
 
+/// FNV-1a 64-bit hash of \p S, rendered as 16 lowercase hex digits. A
+/// stable, compiler-independent content hash (std::hash would tie persisted
+/// fingerprints to the standard library); used for wisdom line checksums,
+/// host fingerprints, and kernel-cache keys.
+std::string fnv1aHex(const std::string &S);
+
 } // namespace spl
 
 #endif // SPL_SUPPORT_STRUTIL_H

@@ -18,12 +18,20 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <sys/wait.h>
 
 namespace {
+
+/// True when the ambient environment injects faults (the CI fault-matrix
+/// job): healthy-path assertions about native compiles must skip then.
+bool faultsArmed() {
+  const char *Env = std::getenv("SPL_FAULT");
+  return Env && *Env;
+}
 
 std::string splcPath() {
 #ifdef SPLC_PATH
@@ -343,6 +351,70 @@ TEST(Splrun, StatsJsonAndTraceJsonDumps) {
   EXPECT_NE(Trace.find("\"ph\":\"X\""), std::string::npos) << Trace;
   EXPECT_NE(Trace.find("\"name\":\"plan\""), std::string::npos) << Trace;
   EXPECT_NE(Trace.find("\"name\":\"execute\""), std::string::npos) << Trace;
+}
+
+// The docs/KERNEL_CACHE.md worked example, as a test: a cold run compiles
+// and populates, a warm run of the same process-external command maps the
+// cached kernel with zero compiler invocations.
+TEST(Splrun, KernelCacheColdThenWarm) {
+  if (faultsArmed())
+    GTEST_SKIP() << "SPL_FAULT armed: native compiles are expected to fail";
+  std::string Stem = "/tmp/splrun-kcache-" + std::to_string(getpid());
+  std::string CacheDir = Stem + ".cache";
+  std::string Wisdom = Stem + ".wisdom";
+  std::string ColdJson = Stem + ".cold.json";
+  std::string WarmJson = Stem + ".warm.json";
+  std::string Common = splrunPath() + " --transform fft --size 16 --batch 2" +
+                       " --kernel-cache " + CacheDir + " --wisdom " + Wisdom +
+                       " --stats-json ";
+
+  auto numberAfter = [](const std::string &Json,
+                        const std::string &Prefix) -> long long {
+    auto Pos = Json.find(Prefix);
+    if (Pos == std::string::npos)
+      return -1;
+    return std::atoll(Json.c_str() + Pos + Prefix.size());
+  };
+  auto slurpAndRemove = [](const std::string &Path) {
+    std::ifstream In(Path);
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    std::remove(Path.c_str());
+    return SS.str();
+  };
+
+  auto Cold = runCommand(Common + ColdJson);
+  EXPECT_EQ(exitStatus(Cold), 0) << Cold.Output;
+  std::string ColdStats = slurpAndRemove(ColdJson);
+  // A run that demoted to the VM (no compiler) proves nothing; skip then.
+  if (numberAfter(ColdStats, "\"runtime.demote.native\":") > 0) {
+    std::filesystem::remove_all(CacheDir);
+    std::remove(Wisdom.c_str());
+    GTEST_SKIP() << "native backend unavailable; cache has nothing to hold";
+  }
+  EXPECT_GE(numberAfter(ColdStats, "\"native.compiles\":"), 1) << ColdStats;
+  EXPECT_GE(numberAfter(ColdStats, "\"kernelcache.inserts\":"), 1)
+      << ColdStats;
+
+  auto Warm = runCommand(Common + WarmJson);
+  EXPECT_EQ(exitStatus(Warm), 0) << Warm.Output;
+  std::string WarmStats = slurpAndRemove(WarmJson);
+  EXPECT_EQ(numberAfter(WarmStats, "\"native.compiles\":"), 0) << WarmStats;
+  EXPECT_GE(numberAfter(WarmStats, "\"kernelcache.hits\":"), 1) << WarmStats;
+
+  // --no-kernel-cache bypasses cleanly: compiles again, touches nothing.
+  std::string OffJson = Stem + ".off.json";
+  auto Off = runCommand(splrunPath() +
+                        " --transform fft --size 16 --batch 2" +
+                        " --no-kernel-cache --wisdom " + Wisdom +
+                        " --stats-json " + OffJson);
+  EXPECT_EQ(exitStatus(Off), 0) << Off.Output;
+  std::string OffStats = slurpAndRemove(OffJson);
+  EXPECT_GE(numberAfter(OffStats, "\"native.compiles\":"), 1) << OffStats;
+  EXPECT_EQ(numberAfter(OffStats, "\"kernelcache.hits\":"), 0) << OffStats;
+
+  std::filesystem::remove_all(CacheDir);
+  std::remove(Wisdom.c_str());
 }
 
 } // namespace

@@ -1,10 +1,19 @@
 #!/usr/bin/env python3
-"""Sanity-check fenced code blocks in the project's Markdown docs.
+"""Sanity-check the project's Markdown docs.
 
-Every fenced block in README.md and docs/*.md must have balanced
-(), [] and {} after comment text is stripped. This catches the usual
-documentation rot: a snippet edited by hand until its parentheses no
-longer close — fatal in a Cambridge Polish language.
+Two checks over README.md and docs/*.md:
+
+1. Every fenced code block must have balanced (), [] and {} after
+   comment text is stripped. This catches the usual documentation rot:
+   a snippet edited by hand until its parentheses no longer close —
+   fatal in a Cambridge Polish language.
+
+2. Every relative Markdown link must resolve: the target file exists
+   (relative to the containing document), and when the link carries a
+   #fragment the target document has a heading with that anchor. This
+   catches the other kind of rot: a renamed doc or section leaving
+   dangling cross-references. Absolute URLs (http/https/mailto) and
+   links inside fenced blocks are skipped.
 
 Comment syntax is chosen per fence info string:
   lisp/spl   ';' to end of line
@@ -12,11 +21,12 @@ Comment syntax is chosen per fence info string:
   c/cpp      '//' to end of line
   (none)     both ';' and '#' (grammar sketches, wisdom dumps, usage text)
 
-Exit status 0 when all blocks balance, 1 otherwise.
+Exit status 0 when everything checks out, 1 otherwise.
 """
 
 import glob
 import os
+import re
 import sys
 
 BRACKETS = {")": "(", "]": "[", "}": "{"}
@@ -34,6 +44,11 @@ COMMENT_MARKERS = {
     "c++": ["//"],
     "": [";", "#"],
 }
+
+# Inline links: [text](target). Images share the syntax ("![alt](target)");
+# both should resolve. Targets with spaces or nested parens don't occur in
+# these docs, so the simple non-greedy form is enough.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 
 def strip_comments(line, markers):
@@ -70,9 +85,67 @@ def check_block(lang, lines, path, start_line):
     return errors
 
 
+def heading_anchor(heading):
+    """GitHub-style anchor for a heading line (without the leading #s)."""
+    text = heading.strip().lower()
+    # Inline code/emphasis markers vanish; spaces become dashes; anything
+    # not alphanumeric, dash or space is dropped.
+    text = text.replace("`", "").replace("*", "")
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.strip().replace(" ", "-")
+
+
+def doc_anchors(path):
+    """The set of heading anchors a Markdown file defines."""
+    anchors = set()
+    in_block = False
+    try:
+        with open(path, encoding="utf-8") as f:
+            for raw in f:
+                line = raw.rstrip("\n")
+                if line.strip().startswith("```"):
+                    in_block = not in_block
+                    continue
+                if not in_block and line.startswith("#"):
+                    anchors.add(heading_anchor(line.lstrip("#")))
+    except OSError:
+        pass
+    return anchors
+
+
+def check_links(path, link_sites, anchor_cache):
+    """Validate the relative links collected from one document."""
+    errors = []
+    base = os.path.dirname(path)
+    for lineno, target in link_sites:
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:
+            continue
+        ref, _, fragment = target.partition("#")
+        if not ref:  # pure in-document anchor: #section
+            dest = path
+        else:
+            dest = os.path.normpath(os.path.join(base, ref))
+            if not os.path.exists(dest):
+                errors.append(
+                    "%s:%d: broken link '%s' (no such file)"
+                    % (path, lineno, target)
+                )
+                continue
+        if fragment and dest.endswith(".md"):
+            if dest not in anchor_cache:
+                anchor_cache[dest] = doc_anchors(dest)
+            if fragment.lower() not in anchor_cache[dest]:
+                errors.append(
+                    "%s:%d: broken link '%s' (no heading for #%s)"
+                    % (path, lineno, target, fragment)
+                )
+    return errors
+
+
 def check_file(path):
     errors = []
     blocks = 0
+    links = []
     in_block = False
     lang = ""
     block_lines = []
@@ -93,9 +166,12 @@ def check_file(path):
                 continue
             if in_block:
                 block_lines.append(line)
+            else:
+                for m in LINK_RE.finditer(line):
+                    links.append((lineno, m.group(1)))
     if in_block:
         errors.append("%s:%d: unterminated code fence" % (path, block_start))
-    return blocks, errors
+    return blocks, links, errors
 
 
 def main():
@@ -104,18 +180,22 @@ def main():
         glob.glob(os.path.join(root, "docs", "*.md"))
     )
     total_blocks = 0
+    total_links = 0
     all_errors = []
+    anchor_cache = {}
     for path in paths:
         if not os.path.exists(path):
             continue
-        blocks, errors = check_file(path)
+        blocks, links, errors = check_file(path)
         total_blocks += blocks
+        total_links += len(links)
         all_errors += errors
+        all_errors += check_links(path, links, anchor_cache)
     for e in all_errors:
         print(e, file=sys.stderr)
     print(
-        "check_docs: %d fenced blocks in %d files, %d errors"
-        % (total_blocks, len(paths), len(all_errors))
+        "check_docs: %d fenced blocks, %d links in %d files, %d errors"
+        % (total_blocks, total_links, len(paths), len(all_errors))
     )
     return 1 if all_errors else 0
 

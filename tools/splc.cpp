@@ -31,6 +31,10 @@
 ///     --wisdom <file>    persistent plan cache location
 ///                        (default: $SPL_WISDOM or ~/.spl_wisdom)
 ///     --no-wisdom        neither read nor write the plan cache
+///     --kernel-cache <dir>  persistent compiled-kernel cache for the
+///                        nativetime cost model ($SPL_KERNEL_CACHE,
+///                        docs/KERNEL_CACHE.md)
+///     --no-kernel-cache  never read or write the kernel cache
 ///
 /// Exit codes (tools/ExitCodes.h): 0 ok, 2 usage, 3 parse error,
 /// 4 compile/search error, 5 cannot write output.
@@ -42,6 +46,7 @@
 
 #include "driver/Compiler.h"
 #include "frontend/Parser.h"
+#include "perf/KernelCache.h"
 #include "search/DPSearch.h"
 #include "support/Diagnostics.h"
 #include "telemetry/Metrics.h"
@@ -66,7 +71,8 @@ void printUsage() {
                "[--profile] [file.spl]\n"
                "       splc --best-fft n [--search-eval opcount|vmtime|native] "
                "[--search-threads t] [--search-leaf n] "
-               "[--wisdom file] [--no-wisdom] [common options]\n"
+               "[--wisdom file] [--no-wisdom] [--kernel-cache dir] "
+               "[--no-kernel-cache] [common options]\n"
                "       splc --version    print version, build date and "
                "compiler\n");
 }
@@ -148,6 +154,11 @@ int main(int Argc, char **Argv) {
       Opts.WisdomPath = Argv[++I];
     } else if (Arg == "--no-wisdom") {
       Opts.UseWisdom = false;
+    } else if (Arg == "--kernel-cache" && I + 1 < Argc) {
+      // Process-wide: the nativetime evaluator's compiles go through it.
+      perf::KernelCache::setDirectory(Argv[++I]);
+    } else if (Arg == "--no-kernel-cache") {
+      perf::KernelCache::setEnabled(false);
     } else if (Arg == "-h" || Arg == "--help") {
       printUsage();
       return 0;

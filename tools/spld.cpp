@@ -23,6 +23,10 @@
 ///     --search-threads <t>   candidate-evaluation worker threads
 ///     --wisdom <file>        plan cache location ($SPL_WISDOM/~/.spl_wisdom)
 ///     --no-wisdom            neither read nor write the plan cache
+///     --kernel-cache <dir>   persistent compiled-kernel cache: a restarted
+///                            daemon re-maps previously compiled kernels
+///                            with zero compiler forks (docs/KERNEL_CACHE.md)
+///     --no-kernel-cache      never read or write the kernel cache
 ///     --version              print version, build date and compiler
 ///
 /// The daemon prints "spld: listening on <path>" once ready (scripts wait
@@ -71,7 +75,7 @@ void printUsage() {
       "            [--per-client n] [--max-frame-mb n] [--max-size n]\n"
       "            [--exec-threads n] [--eval opcount|vmtime|native]\n"
       "            [--search-threads t] [--wisdom file] [--no-wisdom]\n"
-      "            [--version]\n");
+      "            [--kernel-cache dir] [--no-kernel-cache] [--version]\n");
 }
 
 } // namespace
@@ -123,6 +127,10 @@ int main(int Argc, char **Argv) {
       Opts.Planner.WisdomPath = Next("--wisdom");
     } else if (Arg == "--no-wisdom") {
       Opts.Planner.UseWisdom = false;
+    } else if (Arg == "--kernel-cache") {
+      Opts.Planner.KernelCacheDir = Next("--kernel-cache");
+    } else if (Arg == "--no-kernel-cache") {
+      Opts.Planner.DisableKernelCache = true;
     } else if (Arg == "--version") {
       std::printf("%s\n", tools::versionString("spld").c_str());
       return tools::ExitOK;

@@ -26,6 +26,9 @@
 ///     --search-threads <t>  candidate-evaluation worker threads
 ///     --wisdom <file>       plan cache location ($SPL_WISDOM/~/.spl_wisdom)
 ///     --no-wisdom           neither read nor write the plan cache
+///     --kernel-cache <dir>  persistent compiled-kernel cache
+///                           ($SPL_KERNEL_CACHE, docs/KERNEL_CACHE.md)
+///     --no-kernel-cache     never read or write the kernel cache
 ///     --verify              cross-check backends, a dense oracle, and
 ///                           thread counts
 ///     --stats               plan, wisdom and registry details on stderr
@@ -67,7 +70,8 @@ void printUsage() {
       "[--threads t]\n"
       "              [--backend auto|native|vm|oracle] [--unroll n] [--leaf n]\n"
       "              [--eval opcount|vmtime|native] [--search-threads t]\n"
-      "              [--wisdom file] [--no-wisdom] [--verify] [--stats]\n"
+      "              [--wisdom file] [--no-wisdom] [--kernel-cache dir]\n"
+      "              [--no-kernel-cache] [--verify] [--stats]\n"
       "              [--stats-json file] [--trace-json file] [--version]\n"
       "              [--connect socket [--shutdown]]\n");
 }
@@ -265,6 +269,10 @@ int main(int Argc, char **Argv) {
       POpts.WisdomPath = Next("--wisdom");
     } else if (Arg == "--no-wisdom") {
       POpts.UseWisdom = false;
+    } else if (Arg == "--kernel-cache") {
+      POpts.KernelCacheDir = Next("--kernel-cache");
+    } else if (Arg == "--no-kernel-cache") {
+      POpts.DisableKernelCache = true;
     } else if (Arg == "--connect") {
       ConnectPath = Next("--connect");
     } else if (Arg == "--shutdown") {
