@@ -77,6 +77,13 @@ FormulaRef gen::ruleCooleyTukeyVector(std::int64_t R, std::int64_t S,
                       makeTensor(std::move(FS), makeIdentity(R))});
 }
 
+FormulaRef gen::ruleVectorize(FormulaRef F, std::int64_t M) {
+  assert(M >= 1 && "lane count must be positive");
+  if (M == 1)
+    return F;
+  return makeTensor(std::move(F), makeIdentity(M));
+}
+
 FormulaRef
 gen::ruleEq10(const std::vector<std::pair<std::int64_t, FormulaRef>>
                   &Factors) {

@@ -48,6 +48,12 @@ FormulaRef ruleCooleyTukeyParallel(std::int64_t R, std::int64_t S,
 FormulaRef ruleCooleyTukeyVector(std::int64_t R, std::int64_t S,
                                  FormulaRef FR, FormulaRef FS);
 
+/// Section 5's vectorization wrapper: A -> A (x) I_m, applying \p F to
+/// \p M interleaved vectors at once so the m columns ride one SIMD lane
+/// group (the rewrite the vector codegen backend realizes at the
+/// instruction level). M = 1 returns \p F unchanged.
+FormulaRef ruleVectorize(FormulaRef F, std::int64_t M);
+
 /// Equation 10, the general multi-factor factorization for
 /// n = n_1 * ... * n_t (t >= 2). \p Factors supplies each n_i together with
 /// a formula computing F_{n_i}:

@@ -215,15 +215,18 @@ std::string KernelCache::directory() {
 
 std::string KernelCache::key(const std::string &CSource,
                              const std::string &FnName,
-                             const std::string &ExtraFlags) {
+                             const std::string &ExtraFlags,
+                             const std::string &VariantTag) {
   // Everything that can change the produced machine code, one line each.
   // The source text is folded to its own hash first so the payload stays
-  // small; the outer hash is the cache key (docs/KERNEL_CACHE.md).
+  // small; the outer hash is the cache key (docs/KERNEL_CACHE.md). v2
+  // added the codegen-variant line (scalar vs vector:<isa>).
   std::string Payload;
-  Payload += "spl-kernelcache-key v1\n";
+  Payload += "spl-kernelcache-key v2\n";
   Payload += "host " + HostInfo::fingerprint() + "\n";
   Payload += "cc " + NativeModule::compilerIdentity() + "\n";
   Payload += "flags " + ExtraFlags + "\n";
+  Payload += "variant " + (VariantTag.empty() ? "scalar" : VariantTag) + "\n";
   Payload += "fn " + FnName + "\n";
   Payload += "src " + fnv1aHex(CSource) + "\n";
   return fnv1aHex(Payload);

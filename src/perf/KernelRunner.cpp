@@ -7,9 +7,11 @@
 #include "perf/KernelRunner.h"
 
 #include "codegen/CEmitter.h"
+#include "codegen/VectorEmitter.h"
 #include "support/FaultInjection.h"
 #include "support/Subprocess.h"
 #include "support/Timer.h"
+#include "telemetry/Metrics.h"
 
 #include <chrono>
 #include <cmath>
@@ -64,15 +66,46 @@ CompiledKernel::create(const icode::Program &Final, KernelError *Err,
     return Fail(KernelErrorKind::NoCompiler,
                 "no system C compiler available (set SPL_CC to override)");
 
-  codegen::CEmitOptions CO;
-  CO.ExternalTables = true;
-  CO.ThreadSafe = BuildOpts.ThreadSafe;
-  std::string Code = codegen::emitC(Final, CO);
+  const bool Vector = BuildOpts.Variant == codegen::CodegenVariant::Vector;
+  std::string Code;
+  std::string Flags = BuildOpts.ExtraFlags;
+  std::string KeyTag;
+  int Lanes = 1;
+  if (Vector) {
+    if (fault::at("vector-compile"))
+      return Fail(KernelErrorKind::CompileFailed,
+                  fault::describe("vector-compile"));
+    Lanes = codegen::laneCount(BuildOpts.ISA);
+    static telemetry::Counter &VectorKernels =
+        telemetry::counter("codegen.vector_kernels");
+    static telemetry::Histogram &VectorNs =
+        telemetry::histogram("codegen.vector_ns");
+    codegen::VectorEmitOptions VO;
+    VO.ISA = BuildOpts.ISA;
+    VO.ExternalTables = true;
+    VO.ThreadSafe = BuildOpts.ThreadSafe;
+    auto Start = std::chrono::steady_clock::now();
+    Code = codegen::emitVectorC(Final, VO);
+    VectorNs.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count()));
+    VectorKernels.add();
+    std::string ISAFlags = codegen::isaCompilerFlags(BuildOpts.ISA);
+    if (!ISAFlags.empty())
+      Flags += " " + ISAFlags;
+    KeyTag = std::string("vector:") + codegen::isaName(BuildOpts.ISA);
+  } else {
+    codegen::CEmitOptions CO;
+    CO.ExternalTables = true;
+    CO.ThreadSafe = BuildOpts.ThreadSafe;
+    Code = codegen::emitC(Final, CO);
+  }
 
   std::string CompileError;
   bool TimedOut = false;
-  auto Mod = NativeModule::compile(Code, Final.SubName, &CompileError,
-                                   BuildOpts.ExtraFlags, &TimedOut);
+  auto Mod = NativeModule::compile(Code, Final.SubName, &CompileError, Flags,
+                                   &TimedOut, KeyTag);
   if (!Mod)
     return Fail(TimedOut ? KernelErrorKind::CompileTimeout
                          : KernelErrorKind::CompileFailed,
@@ -80,8 +113,11 @@ CompiledKernel::create(const icode::Program &Final, KernelError *Err,
 
   auto K = std::unique_ptr<CompiledKernel>(new CompiledKernel());
   K->Fn = Mod->fn();
-  K->InLen = Final.LoweredToReal ? Final.InSize * 2 : Final.InSize;
-  K->OutLen = Final.LoweredToReal ? Final.OutSize * 2 : Final.OutSize;
+  K->Lanes = Lanes;
+  K->Variant = BuildOpts.Variant;
+  K->InLen = (Final.LoweredToReal ? Final.InSize * 2 : Final.InSize) * Lanes;
+  K->OutLen =
+      (Final.LoweredToReal ? Final.OutSize * 2 : Final.OutSize) * Lanes;
 
   if (!Final.Tables.empty()) {
     for (const auto &T : Final.Tables) {

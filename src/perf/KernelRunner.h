@@ -16,6 +16,7 @@
 #ifndef SPL_PERF_KERNELRUNNER_H
 #define SPL_PERF_KERNELRUNNER_H
 
+#include "codegen/VectorISA.h"
 #include "icode/ICode.h"
 #include "perf/NativeCompile.h"
 
@@ -60,8 +61,20 @@ struct KernelBuildOptions {
   /// on many threads at once. Used by the runtime layer's batch dispatch.
   bool ThreadSafe = false;
 
-  /// Flags handed to the system C compiler.
+  /// Flags handed to the system C compiler. The vector variant appends the
+  /// ISA's own flags (codegen::isaCompilerFlags) on top.
   std::string ExtraFlags = "-O2";
+
+  /// Which emitter to use: Scalar renders plain C (codegen::emitC, one
+  /// transform per call); Vector renders SIMD intrinsics
+  /// (codegen::emitVectorC, lanes() transform columns per call in the
+  /// slot-major layout). The two variants get distinct kernel-cache keys.
+  codegen::CodegenVariant Variant = codegen::CodegenVariant::Scalar;
+
+  /// Instruction set for the Vector variant (ignored for Scalar).
+  /// Defaults to the host probe; forcing an ISA the hardware lacks is the
+  /// trial execution's problem (SIGILL in the forked guard).
+  codegen::VectorISA ISA = codegen::detectISA();
 };
 
 /// A natively compiled, loaded and table-bound generated kernel.
@@ -79,14 +92,23 @@ public:
                                                 std::string *Error = nullptr);
 
   /// Buffer lengths in doubles (2x the logical size for lowered-complex
-  /// programs).
+  /// programs, additionally scaled by lanes() for vector kernels).
   std::int64_t inLen() const { return InLen; }
   std::int64_t outLen() const { return OutLen; }
 
-  /// Runs the kernel once.
+  /// Transform columns computed per call: 1 for scalar kernels,
+  /// laneCount(ISA) for vector kernels (slot-major layout, see
+  /// codegen/VectorEmitter.h).
+  int lanes() const { return Lanes; }
+
+  /// The variant this kernel was built with.
+  codegen::CodegenVariant variant() const { return Variant; }
+
+  /// Runs the kernel once (one call computes lanes() transforms).
   void run(double *Y, const double *X) const { Fn(Y, X); }
 
-  /// Best-of-\p Repeats seconds per transform on random data.
+  /// Best-of-\p Repeats seconds per kernel call on random data (divide by
+  /// lanes() for seconds per transform).
   double time(int Repeats = 3) const;
 
   /// Outcome of a guarded trial execution.
@@ -109,6 +131,8 @@ private:
   NativeModule::KernelFn Fn = nullptr;
   std::vector<std::vector<double>> Tables; ///< Must outlive the module use.
   std::int64_t InLen = 0, OutLen = 0;
+  int Lanes = 1;
+  codegen::CodegenVariant Variant = codegen::CodegenVariant::Scalar;
 };
 
 } // namespace perf

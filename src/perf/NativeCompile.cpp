@@ -264,13 +264,14 @@ NativeModule::compileFresh(const std::string &CSource,
 std::unique_ptr<NativeModule>
 NativeModule::compile(const std::string &CSource, const std::string &FnName,
                       std::string *Error, const std::string &ExtraFlags,
-                      bool *TimedOut) {
+                      bool *TimedOut, const std::string &KeyTag) {
   if (TimedOut)
     *TimedOut = false;
 #if !defined(SPL_HAVE_DLOPEN)
   (void)CSource;
   (void)FnName;
   (void)ExtraFlags;
+  (void)KeyTag;
   if (Error)
     *Error = "dlopen is not available on this platform";
   return nullptr;
@@ -278,7 +279,7 @@ NativeModule::compile(const std::string &CSource, const std::string &FnName,
   if (!KernelCache::enabled())
     return compileFresh(CSource, FnName, Error, ExtraFlags, TimedOut);
 
-  std::string Key = KernelCache::key(CSource, FnName, ExtraFlags);
+  std::string Key = KernelCache::key(CSource, FnName, ExtraFlags, KeyTag);
   if (auto Hit = KernelCache::probe(Key)) {
     if (auto M = loadModule(*Hit, FnName, /*OwnsSo=*/false, Error))
       return M;

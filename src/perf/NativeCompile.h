@@ -46,10 +46,14 @@ public:
   /// nullptr and, when \p Error is non-null, stores the compiler output.
   /// \p TimedOut (when non-null) reports whether the failure was the
   /// compile deadline expiring rather than a compiler diagnostic.
+  /// \p KeyTag extends the kernel-cache key with the codegen variant that
+  /// produced the source ("" scalar, "vector:<isa>" for the vector
+  /// backend) — see KernelCache::key.
   static std::unique_ptr<NativeModule>
   compile(const std::string &CSource, const std::string &FnName,
           std::string *Error = nullptr,
-          const std::string &ExtraFlags = "-O2", bool *TimedOut = nullptr);
+          const std::string &ExtraFlags = "-O2", bool *TimedOut = nullptr,
+          const std::string &KeyTag = "");
 
   /// True when a working C compiler was found on this machine (cached).
   static bool available();

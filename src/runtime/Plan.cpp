@@ -44,13 +44,37 @@ bool spl::runtime::parseBackend(const std::string &Name, Backend &Out) {
   return true;
 }
 
+const char *spl::runtime::codegenModeName(CodegenMode M) {
+  switch (M) {
+  case CodegenMode::Auto:
+    return "auto";
+  case CodegenMode::Scalar:
+    return "scalar";
+  case CodegenMode::Vector:
+    return "vector";
+  }
+  return "unknown";
+}
+
+bool spl::runtime::parseCodegenMode(const std::string &Name, CodegenMode &Out) {
+  if (Name == "auto")
+    Out = CodegenMode::Auto;
+  else if (Name == "scalar")
+    Out = CodegenMode::Scalar;
+  else if (Name == "vector")
+    Out = CodegenMode::Vector;
+  else
+    return false;
+  return true;
+}
+
 std::string PlanSpec::key() const {
   std::ostringstream SS;
   SS << Transform << " " << Size << " "
      << (Datatype.empty() ? (Transform == "wht" ? "real" : "complex")
                           : Datatype)
      << " B" << UnrollThreshold << " L" << MaxLeaf << " "
-     << backendName(Want);
+     << backendName(Want) << " " << codegenModeName(Codegen);
   return SS.str();
 }
 
@@ -67,6 +91,10 @@ std::unique_ptr<Plan::ExecCtx> Plan::acquireCtx() {
   if (Resolved == Backend::VM)
     Ctx->VM = std::make_unique<vm::Executor>(Final);
   Ctx->Scratch.resize(static_cast<std::size_t>(IOLen));
+  if (Lanes > 1) {
+    Ctx->PackX.resize(static_cast<std::size_t>(IOLen) * Lanes);
+    Ctx->PackY.resize(static_cast<std::size_t>(IOLen) * Lanes);
+  }
   return Ctx;
 }
 
@@ -97,9 +125,38 @@ void Plan::applyOracle(double *Y, const double *X) const {
     Y[I] = Out[I].real();
 }
 
+void Plan::runGroup(ExecCtx &Ctx, double *Y, const double *X, std::int64_t K,
+                    std::int64_t StrideY, std::int64_t StrideX) {
+  assert(K >= 1 && K <= Lanes && "group holds 1..Lanes vectors");
+  const std::int64_t M = Lanes;
+  double *PX = Ctx.PackX.data();
+  double *PY = Ctx.PackY.data();
+  // Slot-major staging: physical double s of column j lives at s*M + j, so
+  // the M columns of one slot are the contiguous lane group the kernel's
+  // SIMD loads expect. The input is fully read before the kernel writes
+  // PY, which makes Y == X (in place) safe without extra scratch.
+  for (std::int64_t S = 0; S != IOLen; ++S) {
+    std::int64_t J = 0;
+    for (; J != K; ++J)
+      PX[S * M + J] = X[J * StrideX + S];
+    for (; J != M; ++J)
+      PX[S * M + J] = 0.0; // Inert: lanes never mix.
+  }
+  Native->run(PY, PX);
+  for (std::int64_t J = 0; J != K; ++J)
+    for (std::int64_t S = 0; S != IOLen; ++S)
+      Y[J * StrideY + S] = PY[S * M + J];
+}
+
 void Plan::runOne(ExecCtx &Ctx, double *Y, const double *X) {
   if (Resolved == Backend::Oracle) {
     applyOracle(Y, X);
+    return;
+  }
+  if (Resolved == Backend::Native && Lanes > 1) {
+    // A single vector rides lane 0; the staging copy doubles as the
+    // in-place scratch.
+    runGroup(Ctx, Y, X, 1, IOLen, IOLen);
     return;
   }
   if (Y == X) {
@@ -191,11 +248,22 @@ void Plan::runBatch(double *Y, const double *X, std::int64_t Count,
   assert(StrideX >= IOLen && StrideY >= IOLen &&
          "batch strides must not make vectors overlap");
 
+  // Vector kernels take whole lane groups; chunk boundaries only change
+  // which vectors share a group, and lane independence keeps every vector's
+  // result bit-identical whatever its group-mates (or zero padding) are.
+  const bool Grouped = Resolved == Backend::Native && Lanes > 1;
+
   std::int64_t T = std::clamp<std::int64_t>(Threads, 1, Count);
   if (T == 1) {
     auto Ctx = acquireCtx();
-    for (std::int64_t I = 0; I != Count; ++I)
-      runOne(*Ctx, Y + I * StrideY, X + I * StrideX);
+    if (Grouped) {
+      for (std::int64_t I = 0; I < Count; I += Lanes)
+        runGroup(*Ctx, Y + I * StrideY, X + I * StrideX,
+                 std::min<std::int64_t>(Lanes, Count - I), StrideY, StrideX);
+    } else {
+      for (std::int64_t I = 0; I != Count; ++I)
+        runOne(*Ctx, Y + I * StrideY, X + I * StrideX);
+    }
     releaseCtx(std::move(Ctx));
     return;
   }
@@ -216,8 +284,14 @@ void Plan::runBatch(double *Y, const double *X, std::int64_t Count,
     if (Lo >= Hi)
       return;
     auto Ctx = acquireCtx();
-    for (std::int64_t I = Lo; I != Hi; ++I)
-      runOne(*Ctx, Y + I * StrideY, X + I * StrideX);
+    if (Grouped) {
+      for (std::int64_t I = Lo; I < Hi; I += Lanes)
+        runGroup(*Ctx, Y + I * StrideY, X + I * StrideX,
+                 std::min<std::int64_t>(Lanes, Hi - I), StrideY, StrideX);
+    } else {
+      for (std::int64_t I = Lo; I != Hi; ++I)
+        runOne(*Ctx, Y + I * StrideY, X + I * StrideX);
+    }
     releaseCtx(std::move(Ctx));
   });
 }
@@ -236,6 +310,8 @@ std::string Plan::describe() const {
   std::ostringstream SS;
   SS << Spec.Transform << " " << Spec.Size << ": backend "
      << backendName(Resolved);
+  if (Lanes > 1)
+    SS << " (vector, " << Lanes << " lanes)";
   if (Fallback)
     SS << " (fell back: " << FallbackReason << ")";
   SS << ", " << IOLen << " doubles/vector, search cost " << Cost

@@ -57,6 +57,22 @@ const char *backendName(Backend B);
 /// Parses a backend token; returns false on an unknown name.
 bool parseBackend(const std::string &Name, Backend &Out);
 
+/// Which codegen variant a plan should use for its native kernel (the
+/// --codegen flag). Orthogonal to Backend: Backend picks the execution
+/// substrate, CodegenMode picks what the native substrate's kernel looks
+/// like.
+enum class CodegenMode {
+  Auto,   ///< Follow the searched winner (wisdom v3 records the variant).
+  Scalar, ///< Force plain C (one transform per kernel call).
+  Vector, ///< Force the SIMD backend; demotes to scalar if it cannot run.
+};
+
+/// Stable lowercase token ("auto" | "scalar" | "vector").
+const char *codegenModeName(CodegenMode M);
+
+/// Parses a codegen-mode token; returns false on an unknown name.
+bool parseCodegenMode(const std::string &Name, CodegenMode &Out);
+
 /// Everything that identifies a plan. Two specs with equal key() are
 /// interchangeable and PlanRegistry will hand out one shared Plan for them.
 struct PlanSpec {
@@ -76,7 +92,10 @@ struct PlanSpec {
   /// Requested substrate.
   Backend Want = Backend::Auto;
 
-  /// Canonical registry key, e.g. "fft 1024 complex B16 L16 auto".
+  /// Requested codegen variant for the native kernel (--codegen).
+  CodegenMode Codegen = CodegenMode::Auto;
+
+  /// Canonical registry key, e.g. "fft 1024 complex B16 L16 auto auto".
   std::string key() const;
 };
 
@@ -102,8 +121,18 @@ public:
   const PlanSpec &spec() const { return Spec; }
 
   /// The substrate this plan actually runs on — the tier the degradation
-  /// chain native -> vm -> oracle landed on (never Auto).
+  /// chain vector -> native -> vm -> oracle landed on (never Auto).
   Backend backend() const { return Resolved; }
+
+  /// The codegen variant of the native kernel (Scalar off the native tier).
+  codegen::CodegenVariant codegenVariant() const {
+    return Native ? Native->variant() : codegen::CodegenVariant::Scalar;
+  }
+
+  /// Transform columns per native kernel call: 1 for scalar kernels,
+  /// the SIMD lane count for vector kernels. Batches are cut into lane
+  /// groups internally; callers never see the staging layout.
+  int lanes() const { return Lanes; }
 
   /// Logical transform size N.
   std::int64_t size() const { return Spec.Size; }
@@ -159,15 +188,22 @@ private:
   Plan() = default;
 
   /// Per-worker execution state: a VM instance (VM backend only; the native
-  /// kernel is reentrant and shared) plus aligned scratch for in-place runs.
+  /// kernel is reentrant and shared) plus aligned scratch for in-place runs
+  /// and, for vector kernels, the slot-major lane-staging buffers.
   struct ExecCtx {
     std::unique_ptr<vm::Executor> VM;
     AlignedBuffer Scratch;
+    AlignedBuffer PackX, PackY; ///< Lanes * vectorLen() doubles each.
   };
 
   std::unique_ptr<ExecCtx> acquireCtx();
   void releaseCtx(std::unique_ptr<ExecCtx> Ctx);
   void runOne(ExecCtx &Ctx, double *Y, const double *X);
+  /// Runs one lane group of a vector kernel: packs \p K vectors (tail
+  /// lanes zero-filled — lane independence makes the padding inert) into
+  /// slot-major staging, runs the kernel once, unpacks K results.
+  void runGroup(ExecCtx &Ctx, double *Y, const double *X, std::int64_t K,
+                std::int64_t StrideY, std::int64_t StrideX);
   void runBatch(double *Y, const double *X, std::int64_t Count, int Threads,
                 std::int64_t StrideY, std::int64_t StrideX);
   void applyOracle(double *Y, const double *X) const;
@@ -183,6 +219,7 @@ private:
   bool Fallback = false;
   std::string FallbackReason;
   std::int64_t IOLen = 0;
+  int Lanes = 1; ///< Native->lanes() for vector kernels, else 1.
 
   std::mutex CtxM;
   std::vector<std::unique_ptr<ExecCtx>> FreeCtxs;

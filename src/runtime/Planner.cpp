@@ -42,10 +42,17 @@ Planner::Planner(Diagnostics &Diags, PlannerOptions Opts)
   // Pre-register the degradation-chain and kernel-cache counters so a
   // healthy run's metrics dump still shows them (as zeros) — absence would
   // be ambiguous. A warm run's whole point is native.compiles == 0, so
-  // that zero in particular must be explicit.
+  // that zero in particular must be explicit. The vector-codegen metrics
+  // are listed for the same reason: a scalar-only host must report them as
+  // explicit zeros, not omit them.
+  telemetry::counter("runtime.demote.vector");
   telemetry::counter("runtime.demote.native");
   telemetry::counter("runtime.demote.vm");
   telemetry::counter("native.compiles");
+  telemetry::counter("codegen.vector_kernels");
+  telemetry::counter("search.vector_wins");
+  telemetry::counter("search.scalar_wins");
+  telemetry::histogram("codegen.vector_ns");
   telemetry::counter("kernelcache.hits");
   telemetry::counter("kernelcache.misses");
   telemetry::counter("kernelcache.inserts");
@@ -203,8 +210,12 @@ std::shared_ptr<Plan> Planner::plan(const PlanSpec &Spec) {
   });
 
   auto Eval = makeEvaluator(S.Datatype, S.UnrollThreshold);
+  // In auto mode a timed evaluator races both codegen variants per
+  // candidate and the DP records the winner; forced modes skip the race.
+  Eval->setVariantSearch(S.Codegen == CodegenMode::Auto);
   FormulaRef Winner;
   double Cost = 0;
+  codegen::CodegenVariant WonVariant = codegen::CodegenVariant::Scalar;
   {
     static telemetry::Histogram &SearchNs =
         telemetry::histogram("plan.search_ns");
@@ -220,6 +231,7 @@ std::shared_ptr<Plan> Planner::plan(const PlanSpec &Spec) {
         return nullptr;
       Winner = Best->Formula;
       Cost = Best->Cost;
+      WonVariant = Best->Variant;
     } else {
       if (!chooseWHT(S, *Eval, Winner, Cost))
         return nullptr;
@@ -246,8 +258,9 @@ std::shared_ptr<Plan> Planner::plan(const PlanSpec &Spec) {
   P->Cost = Cost;
   P->IOLen = P->Final.LoweredToReal ? P->Final.InSize * 2 : P->Final.InSize;
 
-  // Walk the degradation chain native -> vm -> oracle, recording why each
-  // tier was skipped. A tier only joins the plan after proving itself.
+  // Walk the degradation chain vector -> native -> vm -> oracle, recording
+  // why each tier was skipped. A tier only joins the plan after proving
+  // itself.
   std::string Demotions;
   auto Demote = [&](const std::string &Tier, const std::string &Why) {
     if (!Demotions.empty())
@@ -260,28 +273,56 @@ std::shared_ptr<Plan> Planner::plan(const PlanSpec &Spec) {
   bool Placed = false;
 
   if (S.Want == Backend::Auto || S.Want == Backend::Native) {
-    perf::KernelError KErr;
-    std::unique_ptr<perf::CompiledKernel> Kernel;
-    if (Opts.ForceNativeFail) {
-      KErr = perf::KernelError{perf::KernelErrorKind::CompileFailed,
-                               "forced failure "
-                               "(PlannerOptions::ForceNativeFail)"};
-    } else {
+    // Which kernel shape the native tier should try first: forced by the
+    // spec, or (auto) whatever variant won the search.
+    codegen::CodegenVariant Desired = codegen::CodegenVariant::Scalar;
+    if (S.Codegen == CodegenMode::Vector)
+      Desired = codegen::CodegenVariant::Vector;
+    else if (S.Codegen == CodegenMode::Auto)
+      Desired = WonVariant;
+
+    // Builds (and, when configured, trial-proves) one kernel variant.
+    auto Build = [&](codegen::CodegenVariant V, perf::KernelError &Err)
+        -> std::unique_ptr<perf::CompiledKernel> {
+      if (Opts.ForceNativeFail) {
+        Err = perf::KernelError{perf::KernelErrorKind::CompileFailed,
+                                "forced failure "
+                                "(PlannerOptions::ForceNativeFail)"};
+        return nullptr;
+      }
       perf::KernelBuildOptions BO;
       BO.ThreadSafe = true; // Batch dispatch runs one kernel on many threads.
-      Kernel = perf::CompiledKernel::create(P->Final, &KErr, BO);
-    }
-    if (Kernel && Opts.TrialExecution) {
-      auto Trial = Kernel->trial(trialTimeoutSeconds());
-      if (!Trial.Ok) {
-        KErr = perf::KernelError{perf::KernelErrorKind::TrialFailed,
-                                 Trial.Reason};
-        Kernel.reset();
+      BO.Variant = V;
+      auto K = perf::CompiledKernel::create(P->Final, &Err, BO);
+      if (K && Opts.TrialExecution) {
+        auto Trial = K->trial(trialTimeoutSeconds());
+        if (!Trial.Ok) {
+          Err = perf::KernelError{perf::KernelErrorKind::TrialFailed,
+                                  Trial.Reason};
+          K.reset();
+        }
+      }
+      return K;
+    };
+
+    perf::KernelError KErr;
+    std::unique_ptr<perf::CompiledKernel> Kernel;
+    if (Desired == codegen::CodegenVariant::Vector) {
+      if (!codegen::vectorBackendAvailable()) {
+        Demote("vector", "no SIMD ISA on this host (probe reports scalar)");
+      } else {
+        perf::KernelError VErr;
+        Kernel = Build(codegen::CodegenVariant::Vector, VErr);
+        if (!Kernel)
+          Demote("vector", VErr.str());
       }
     }
+    if (!Kernel)
+      Kernel = Build(codegen::CodegenVariant::Scalar, KErr);
     if (Kernel) {
       P->Native = std::move(Kernel);
       P->Resolved = Backend::Native;
+      P->Lanes = P->Native->lanes();
       Placed = true;
     } else {
       Demote("native", KErr.str());

@@ -31,17 +31,17 @@ PlanKey DPSearch::wisdomKey(std::int64_t N) const {
   return K;
 }
 
-std::vector<std::optional<double>>
+std::vector<std::optional<VariantCost>>
 DPSearch::costAll(const std::vector<FormulaRef> &Cands) {
-  std::vector<std::optional<double>> Costs(Cands.size());
+  std::vector<std::optional<VariantCost>> Costs(Cands.size());
   if (Opts.Threads > 1 && Cands.size() > 1) {
     if (!Pool)
       Pool = std::make_unique<ThreadPool>(static_cast<unsigned>(Opts.Threads));
     parallelFor(*Pool, Cands.size(),
-                [&](size_t I) { Costs[I] = Eval.cost(Cands[I]); });
+                [&](size_t I) { Costs[I] = Eval.costWithVariant(Cands[I]); });
   } else {
     for (size_t I = 0; I != Cands.size(); ++I)
-      Costs[I] = Eval.cost(Cands[I]);
+      Costs[I] = Eval.costWithVariant(Cands[I]);
   }
   return Costs;
 }
@@ -60,7 +60,14 @@ std::optional<Candidate> DPSearch::parseWisdomEntry(const PlanEntry &E,
                       " formula; ignoring it");
     return std::nullopt;
   }
-  return Candidate{F, E.Cost};
+  // A vector-winner entry on a host whose ISA probe reports scalar-only
+  // (or a wisdom file that roamed from a SIMD machine) degrades to the
+  // scalar variant of the same formula instead of invalidating the entry.
+  codegen::CodegenVariant V = E.Variant;
+  if (V == codegen::CodegenVariant::Vector &&
+      !codegen::vectorBackendAvailable())
+    V = codegen::CodegenVariant::Scalar;
+  return Candidate{F, E.Cost, V};
 }
 
 std::optional<std::vector<Candidate>>
@@ -89,7 +96,7 @@ void DPSearch::recordWisdom(std::int64_t N,
   std::vector<PlanEntry> Out;
   Out.reserve(Entries.size());
   for (const Candidate &C : Entries)
-    Out.push_back({C.Formula->print(), C.Cost});
+    Out.push_back({C.Formula->print(), C.Cost, C.Variant});
   Wisdom->insert(wisdomKey(N), std::move(Out));
 }
 
@@ -156,8 +163,8 @@ std::optional<Candidate> DPSearch::searchSmallOne(std::int64_t N) {
   for (size_t I = 0; I != Cands.size(); ++I) {
     if (!Costs[I])
       continue;
-    if (!Best || *Costs[I] < Best->Cost)
-      Best = Candidate{Cands[I], *Costs[I]};
+    if (!Best || Costs[I]->Cost < Best->Cost)
+      Best = Candidate{Cands[I], Costs[I]->Cost, Costs[I]->Variant};
   }
   if (!Best) {
     Diags.error(SourceLoc(), "search found no viable formula for size " +
@@ -214,7 +221,7 @@ const std::vector<Candidate> &DPSearch::largeEntries(std::int64_t N) {
     std::vector<Candidate> Costed;
     for (size_t I = 0; I != Cands.size(); ++I)
       if (Costs[I])
-        Costed.push_back({Cands[I], *Costs[I]});
+        Costed.push_back({Cands[I], Costs[I]->Cost, Costs[I]->Variant});
     // stable_sort: candidates with equal costs keep construction order, so
     // the kept set is identical for every thread count.
     std::stable_sort(Costed.begin(), Costed.end(),

@@ -62,6 +62,11 @@ struct SearchOptions {
 struct Candidate {
   FormulaRef Formula;
   double Cost = 0;
+
+  /// The codegen variant the cost was measured with (Scalar unless the
+  /// evaluator ran a variant search and the vector kernel won). Recorded
+  /// in wisdom (v3) and honored by the runtime planner's backend choice.
+  codegen::CodegenVariant Variant = codegen::CodegenVariant::Scalar;
 };
 
 /// The dynamic-programming search engine.
@@ -110,7 +115,8 @@ private:
 
   /// Costs every candidate, fanning out over the pool when configured.
   /// Result i corresponds to Cands[i]; nullopt where evaluation failed.
-  std::vector<std::optional<double>> costAll(const std::vector<FormulaRef> &Cands);
+  std::vector<std::optional<VariantCost>>
+  costAll(const std::vector<FormulaRef> &Cands);
 
   /// Parses a wisdom entry back into a candidate; warns and returns nullopt
   /// when the recorded text does not round-trip to a size-N formula.

@@ -24,8 +24,11 @@ namespace {
 
 // v2 added a per-line FNV-1a checksum between the "plan" tag and the
 // payload; v1 files (no checksums) are ignored with a warning — wisdom is
-// a cache, so dropping an old file only costs a re-search.
-constexpr const char *VersionHeader = "spl-wisdom v2";
+// a cache, so dropping an old file only costs a re-search. v3 added the
+// codegen-variant token between the cost and the '|' separator; v2 files
+// (no variant token) still load, reading back as scalar.
+constexpr const char *VersionHeader = "spl-wisdom v3";
+constexpr const char *V2VersionHeader = "spl-wisdom v2";
 
 std::string formatCost(double Cost) {
   char Buf[64];
@@ -67,7 +70,8 @@ bool PlanCache::loadLocked(
     return true; // Missing wisdom is a cold start, not an error.
 
   std::string Line;
-  if (!std::getline(In, Line) || Line != VersionHeader) {
+  if (!std::getline(In, Line) ||
+      (Line != VersionHeader && Line != V2VersionHeader)) {
     Diags.warning(SourceLoc(), "wisdom file '" + Path +
                                    "' has an unrecognized version header; "
                                    "ignoring it");
@@ -118,10 +122,17 @@ bool PlanCache::loadLocked(
     SS.clear();
     SS.str(Payload);
     if (!(SS >> Transform >> Size >> Datatype >> Unroll >> Evaluator >> Host >>
-          Index >> Cost >> Sep) ||
-        Sep != "|") {
+          Index >> Cost >> Sep)) {
       Reject("malformed plan fields");
       continue;
+    }
+    // v3 carries a variant token before the '|'; v2 goes straight to it.
+    codegen::CodegenVariant Variant = codegen::CodegenVariant::Scalar;
+    if (Sep != "|") {
+      if (!codegen::parseVariant(Sep, Variant) || !(SS >> Sep) || Sep != "|") {
+        Reject("malformed plan fields");
+        continue;
+      }
     }
     if (Size < 2 || Unroll.size() < 2 || Unroll[0] != 'B' || Index < 0 ||
         Index >= 64 || !(Cost >= 0)) {
@@ -142,7 +153,7 @@ bool PlanCache::loadLocked(
     auto &Entries = Into[Key];
     if (Entries.size() <= static_cast<size_t>(Index))
       Entries.resize(Index + 1);
-    Entries[static_cast<size_t>(Index)] = {Formula, Cost};
+    Entries[static_cast<size_t>(Index)] = {Formula, Cost, Variant};
     if (CountStats) {
       ++S.Loaded;
       static telemetry::Counter &Loaded = telemetry::counter("wisdom.loaded");
@@ -206,8 +217,9 @@ bool PlanCache::save(const std::string &Path) const {
         if (Entries[I].FormulaText.empty())
           continue; // A gap left by a sparse/duplicated index on load.
         std::string Payload = Key + ' ' + std::to_string(I) + ' ' +
-                              formatCost(Entries[I].Cost) + " | " +
-                              Entries[I].FormulaText;
+                              formatCost(Entries[I].Cost) + ' ' +
+                              codegen::variantName(Entries[I].Variant) +
+                              " | " + Entries[I].FormulaText;
         Out << "plan " << fnv1aHex(Payload) << ' ' << Payload << '\n';
       }
     if (!Out.good()) {

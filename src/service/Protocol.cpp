@@ -79,7 +79,8 @@ runtime::PlanSpec WireSpec::toSpec(bool &OK) const {
   S.Datatype = Datatype;
   S.UnrollThreshold = UnrollThreshold;
   S.MaxLeaf = MaxLeaf;
-  OK = runtime::parseBackend(Backend, S.Want);
+  OK = runtime::parseBackend(Backend, S.Want) &&
+       runtime::parseCodegenMode(Codegen, S.Codegen);
   return S;
 }
 
@@ -91,6 +92,7 @@ WireSpec WireSpec::fromSpec(const runtime::PlanSpec &Spec) {
   W.UnrollThreshold = Spec.UnrollThreshold;
   W.MaxLeaf = Spec.MaxLeaf;
   W.Backend = runtime::backendName(Spec.Want);
+  W.Codegen = runtime::codegenModeName(Spec.Codegen);
   return W;
 }
 
@@ -101,6 +103,7 @@ void WireSpec::encode(WireWriter &W) const {
   W.i64(UnrollThreshold);
   W.i64(MaxLeaf);
   W.str(Backend);
+  W.str(Codegen);
 }
 
 bool WireSpec::decode(WireReader &R, WireSpec &Out) {
@@ -110,6 +113,7 @@ bool WireSpec::decode(WireReader &R, WireSpec &Out) {
   Out.UnrollThreshold = R.i64();
   Out.MaxLeaf = R.i64();
   Out.Backend = R.str();
+  Out.Codegen = R.str();
   return R.ok();
 }
 

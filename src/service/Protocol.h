@@ -47,8 +47,8 @@ constexpr std::uint32_t kMagic = 0x444C5053u;
 
 /// Protocol revision. Bump on any incompatible frame or body change; the
 /// server refuses other versions with a PROTOCOL error before dropping the
-/// connection.
-constexpr std::uint16_t kProtocolVersion = 1;
+/// connection. v2 added WireSpec::Codegen (the --codegen variant token).
+constexpr std::uint16_t kProtocolVersion = 2;
 
 /// Fixed serialized header size in bytes.
 constexpr std::size_t kHeaderBytes = 16;
@@ -250,6 +250,7 @@ struct WireSpec {
   std::int64_t UnrollThreshold = 16;
   std::int64_t MaxLeaf = 16;
   std::string Backend = "auto"; ///< backendName() token.
+  std::string Codegen = "auto"; ///< codegenModeName() token.
 
   runtime::PlanSpec toSpec(bool &OK) const;
   static WireSpec fromSpec(const runtime::PlanSpec &Spec);

@@ -292,13 +292,18 @@ Server::acquirePlan(Conn &C, std::uint32_t RequestId, const WireSpec &WS) {
                   std::to_string(Opts.MaxTransformSize));
     return nullptr;
   }
-  bool BackendOK = false;
-  runtime::PlanSpec Spec = WS.toSpec(BackendOK);
-  if (!BackendOK) {
+  bool SpecOK = false;
+  runtime::PlanSpec Spec = WS.toSpec(SpecOK);
+  if (!SpecOK) {
+    runtime::Backend B;
     sendError(C, RequestId, Status::BadRequest,
-              "unknown backend '" + WS.Backend + "'");
+              !runtime::parseBackend(WS.Backend, B)
+                  ? "unknown backend '" + WS.Backend + "'"
+                  : "unknown codegen mode '" + WS.Codegen + "'");
     return nullptr;
   }
+  if (Opts.Codegen != runtime::CodegenMode::Auto)
+    Spec.Codegen = Opts.Codegen; // Server policy overrides the request.
   // Validate with a request-local engine so the reason travels back to the
   // requesting client instead of piling up in the daemon-wide log.
   Diagnostics Local;

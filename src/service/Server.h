@@ -70,6 +70,10 @@ struct ServerOptions {
   /// Cap on the per-request batch worker count a client may ask for.
   int MaxExecThreads = 4;
 
+  /// Server-wide codegen policy (--codegen): Auto honors each request's
+  /// own mode; Scalar/Vector override every incoming spec.
+  runtime::CodegenMode Codegen = runtime::CodegenMode::Auto;
+
   /// Planner configuration (evaluator, wisdom path, search threads...).
   runtime::PlannerOptions Planner;
 };

@@ -16,6 +16,8 @@
 
 #include "codegen/CEmitter.h"
 #include "codegen/FortranEmitter.h"
+#include "codegen/VectorEmitter.h"
+#include "codegen/VectorISA.h"
 #include "driver/Compiler.h"
 #include "ir/Builder.h"
 #include "perf/NativeCompile.h"
@@ -239,6 +241,112 @@ TEST(FortranEmitter, LinesFitFixedForm) {
   std::string Line;
   while (std::getline(SS, Line))
     EXPECT_LE(Line.size(), 72u) << Line;
+}
+
+/// Compiles a complex-datatype formula, renders it through the vector
+/// emitter for \p ISA, builds it natively, packs laneCount(ISA) distinct
+/// random columns slot-major, runs once, and checks every column against
+/// the dense oracle.
+void checkVectorC(const std::string &Source, std::int64_t Threshold,
+                  codegen::VectorISA ISA) {
+  if (!perf::NativeModule::available())
+    GTEST_SKIP() << "no system C compiler";
+  SPL_SKIP_IF_FAULTS_ARMED();
+  driver::CompilerOptions Opts;
+  Opts.UnrollThreshold = Threshold;
+  auto Unit = compileOne(Source, Opts);
+
+  codegen::VectorEmitOptions VO;
+  VO.ISA = ISA;
+  std::string Code = codegen::emitVectorC(Unit.Final, VO);
+
+  std::string Err;
+  auto Mod =
+      perf::NativeModule::compile(Code, Unit.SubName, &Err,
+                                  "-O2 " + codegen::isaCompilerFlags(ISA));
+  ASSERT_TRUE(Mod) << Err << "\n" << Code;
+
+  const int M = codegen::laneCount(ISA);
+  std::int64_t N = Unit.Final.InSize;
+  std::int64_t NOut = Unit.Final.OutSize;
+  std::vector<std::vector<Cplx>> Cols;
+  std::vector<double> PX(2 * N * M, 0.0), PY(2 * NOut * M, 0.0);
+  for (int J = 0; J < M; ++J) {
+    Cols.push_back(randomVector(N, /*Seed=*/1000 + J));
+    for (std::int64_t I = 0; I != N; ++I) {
+      PX[(2 * I) * M + J] = Cols[J][I].real();
+      PX[(2 * I + 1) * M + J] = Cols[J][I].imag();
+    }
+  }
+  Mod->fn()(PY.data(), PX.data());
+
+  Matrix Dense = Unit.Formula->toMatrix();
+  for (int J = 0; J < M; ++J) {
+    std::vector<Cplx> Want = Dense.apply(Cols[J]);
+    double Max = 0;
+    for (std::int64_t I = 0; I != NOut; ++I)
+      Max = std::max(Max,
+                     std::abs(Cplx(PY[(2 * I) * M + J],
+                                   PY[(2 * I + 1) * M + J]) -
+                              Want[I]));
+    EXPECT_LT(Max, 1e-10) << "column " << J << "\n" << Code;
+  }
+}
+
+const char *kVecFFT8 =
+    "#subname vfft8\n"
+    "(compose (tensor (F 2) (I 4)) (T 8 4) (tensor (I 2) "
+    "(compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) "
+    "(L 4 2))) (L 8 2))";
+
+const char *kVecFFT16Loop =
+    "#subname vfft16\n"
+    "(compose (tensor (F 4) (I 4)) (T 16 4) (tensor (I 4) (F 4)) "
+    "(L 16 4))";
+
+TEST(VectorEmitter, HostISAUnrolledKernelMatchesOracle) {
+  checkVectorC(kVecFFT8, /*Threshold=*/64, codegen::detectISA());
+}
+
+TEST(VectorEmitter, HostISALoopKernelMatchesOracle) {
+  checkVectorC(kVecFFT16Loop, /*Threshold=*/4, codegen::detectISA());
+}
+
+TEST(VectorEmitter, ForcedScalarISADegeneratesToOneLane) {
+  ASSERT_EQ(codegen::laneCount(codegen::VectorISA::Scalar), 1);
+  checkVectorC(kVecFFT8, /*Threshold=*/64, codegen::VectorISA::Scalar);
+}
+
+TEST(VectorEmitter, AVX2EmissionIsLaneWiseOnly) {
+  driver::CompilerOptions Opts;
+  Opts.UnrollThreshold = 64;
+  auto Unit = compileOne(kVecFFT8, Opts);
+  codegen::VectorEmitOptions VO;
+  VO.ISA = codegen::VectorISA::AVX2;
+  std::string Code = codegen::emitVectorC(Unit.Final, VO);
+  EXPECT_NE(Code.find("#include <immintrin.h>"), std::string::npos);
+  EXPECT_NE(Code.find("__m256d"), std::string::npos);
+  EXPECT_NE(Code.find("_mm256_loadu_pd"), std::string::npos);
+  EXPECT_NE(Code.find("_mm256_storeu_pd"), std::string::npos);
+  // Lane independence is the whole correctness argument (zero-padded tail
+  // groups, thread-count bit-identity): no cross-lane or contracted ops.
+  for (const char *Banned :
+       {"_mm256_shuffle", "_mm256_permute", "_mm256_hadd", "_mm256_fmadd",
+        "_mm256_fmsub"})
+    EXPECT_EQ(Code.find(Banned), std::string::npos) << Banned;
+}
+
+TEST(VectorEmitter, NEONEmissionRendersFloat64x2) {
+  driver::CompilerOptions Opts;
+  Opts.UnrollThreshold = 64;
+  auto Unit = compileOne(kVecFFT8, Opts);
+  codegen::VectorEmitOptions VO;
+  VO.ISA = codegen::VectorISA::NEON;
+  std::string Code = codegen::emitVectorC(Unit.Final, VO);
+  EXPECT_NE(Code.find("#include <arm_neon.h>"), std::string::npos);
+  EXPECT_NE(Code.find("float64x2_t"), std::string::npos);
+  EXPECT_NE(Code.find("vld1q_f64"), std::string::npos);
+  EXPECT_NE(Code.find("vst1q_f64"), std::string::npos);
 }
 
 TEST(Driver, OptLevelsProduceDifferentCodeSizes) {

@@ -186,4 +186,39 @@ TEST(Enumerate, SmallSizesHaveFormulas) {
   }
 }
 
+TEST(Rules, VectorizeWrapperDenotesKroneckerWithIdentity) {
+  // The Section-5 vectorization wrapper: A -> A (x) I_m applies A to m
+  // interleaved columns. Its dense matrix must be exactly kron(A, I_m).
+  for (std::int64_t N : {2, 4, 8}) {
+    Matrix A = dftMatrix(N);
+    for (std::int64_t M : {1, 2, 4, 8}) {
+      FormulaRef V = gen::ruleVectorize(makeDFT(N), M);
+      ASSERT_TRUE(V);
+      EXPECT_LT(V->toMatrix().maxAbsDiff(A.kron(Matrix::identity(M))),
+                1e-10)
+          << "N=" << N << " M=" << M << ": " << V->print();
+    }
+  }
+}
+
+TEST(Rules, VectorizeWrapperNonPowerOfTwoSizes) {
+  for (auto [N, M] : {std::pair<std::int64_t, std::int64_t>{3, 2},
+                      {6, 4},
+                      {12, 2},
+                      {5, 8}}) {
+    FormulaRef V = gen::ruleVectorize(makeDFT(N), M);
+    ASSERT_TRUE(V);
+    EXPECT_LT(V->toMatrix().maxAbsDiff(
+                  dftMatrix(N).kron(Matrix::identity(M))),
+              1e-10)
+        << "N=" << N << " M=" << M;
+  }
+}
+
+TEST(Rules, VectorizeWithOneLaneReturnsFormulaUnchanged) {
+  FormulaRef F = makeDFT(8);
+  FormulaRef V = gen::ruleVectorize(F, 1);
+  EXPECT_EQ(V.get(), F.get());
+}
+
 } // namespace

@@ -335,6 +335,45 @@ TEST_F(KernelCacheTest, EvictionRespectsByteBudget) {
   EXPECT_EQ(D2.hits(), 1u);
 }
 
+TEST_F(KernelCacheTest, VariantTagsSeparateScalarAndVectorKernels) {
+  SPL_SKIP_IF_FAULTS_ARMED();
+  if (!NativeModule::available())
+    GTEST_SKIP() << "no C compiler";
+
+  // Identical source, name and flags under different variant tags must
+  // derive different content-addressed keys — a scalar kernel must never
+  // shadow a vector one (or vice versa) in a shared cache directory.
+  const std::string Src = kernelSource("variant");
+  const std::string Fn = kernelName("variant");
+  std::string KScalar = KernelCache::key(Src, Fn, "-O2", "");
+  std::string KVector = KernelCache::key(Src, Fn, "-O2", "vector:avx2");
+  EXPECT_NE(KScalar, KVector);
+  EXPECT_NE(KVector, KernelCache::key(Src, Fn, "-O2", "vector:neon"));
+
+  // Both variants populate and warm-map independently end to end.
+  Deltas D;
+  auto S1 = NativeModule::compile(Src, Fn, nullptr, "-O2", nullptr, "");
+  auto V1 = NativeModule::compile(Src, Fn, nullptr, "-O2", nullptr,
+                                  "vector:avx2");
+  ASSERT_TRUE(S1);
+  ASSERT_TRUE(V1);
+  expectWorks(*S1);
+  expectWorks(*V1);
+  EXPECT_EQ(D.compiles(), 2u) << "distinct tags must not share an artifact";
+  EXPECT_EQ(D.inserts(), 2u);
+
+  Deltas D2;
+  auto S2 = NativeModule::compile(Src, Fn, nullptr, "-O2", nullptr, "");
+  auto V2 = NativeModule::compile(Src, Fn, nullptr, "-O2", nullptr,
+                                  "vector:avx2");
+  ASSERT_TRUE(S2);
+  ASSERT_TRUE(V2);
+  expectWorks(*S2);
+  expectWorks(*V2);
+  EXPECT_EQ(D2.compiles(), 0u);
+  EXPECT_EQ(D2.hits(), 2u);
+}
+
 /// Failed compiles must leave the temp directory spotless — both an honest
 /// compiler diagnostic and an injected compiler fault (the cache adds new
 /// paths around the compile, so this is the regression net for both).

@@ -19,6 +19,7 @@
 #include "ir/Builder.h"
 #include "search/DPSearch.h"
 #include "search/PlanCache.h"
+#include "support/StrUtil.h"
 #include "telemetry/Metrics.h"
 
 #include <gtest/gtest.h>
@@ -265,10 +266,12 @@ TEST(PlanCache, WisdomFileIsVersionedText) {
   C.insert(testKey(8), {{makeDFT(8)->print(), 1.0}});
   ASSERT_TRUE(C.save(Path));
   std::string Text = slurp(Path);
-  EXPECT_EQ(Text.rfind("spl-wisdom v2\n", 0), 0u) << Text;
-  // Each plan line is "plan <16-hex-checksum> <payload>".
+  EXPECT_EQ(Text.rfind("spl-wisdom v3\n", 0), 0u) << Text;
+  // Each plan line is "plan <16-hex-checksum> <payload>"; v3 payloads carry
+  // the codegen variant token between the cost and the "|".
   EXPECT_NE(Text.find(" fft 8 complex B16 opcount "), std::string::npos)
       << Text;
+  EXPECT_NE(Text.find(" scalar | "), std::string::npos) << Text;
   size_t PlanAt = Text.find("plan ");
   ASSERT_NE(PlanAt, std::string::npos);
   std::string Checksum = Text.substr(PlanAt + 5, 16);
@@ -276,6 +279,53 @@ TEST(PlanCache, WisdomFileIsVersionedText) {
             std::string::npos)
       << Checksum;
   std::remove(Path.c_str());
+}
+
+TEST(PlanCache, VariantTokenRoundTripsAndV2FilesStillLoad) {
+  // v3 round-trip: a vector-winner entry keeps its variant across
+  // save/load; entries without an explicit variant default to scalar.
+  std::string Path = tempPath("spl_wisdom_variant");
+  Diagnostics D1;
+  search::PlanCache C1(D1);
+  C1.insert(testKey(8), {{makeDFT(8)->print(), 1.5,
+                          codegen::CodegenVariant::Vector},
+                         {makeDFT(8)->print(), 2.5}});
+  ASSERT_TRUE(C1.save(Path));
+  std::string Text = slurp(Path);
+  EXPECT_NE(Text.find(" vector | "), std::string::npos) << Text;
+
+  Diagnostics D2;
+  search::PlanCache C2(D2);
+  ASSERT_TRUE(C2.load(Path));
+  auto E8 = C2.lookup(testKey(8));
+  ASSERT_TRUE(E8);
+  ASSERT_EQ(E8->size(), 2u);
+  EXPECT_EQ((*E8)[0].Variant, codegen::CodegenVariant::Vector);
+  EXPECT_EQ((*E8)[1].Variant, codegen::CodegenVariant::Scalar);
+  std::remove(Path.c_str());
+
+  // Backward compatibility: a v2 file (no variant token in the payload)
+  // still loads, with every entry read as scalar.
+  std::string V2Path = tempPath("spl_wisdom_v2compat");
+  {
+    std::string Payload = "fft 8 complex B16 opcount " +
+                          search::PlanCache::hostFingerprint() + " 0 1.5 | " +
+                          makeDFT(8)->print();
+    std::ofstream Out(V2Path);
+    Out << "spl-wisdom v2\n";
+    Out << "plan " << fnv1aHex(Payload) << ' ' << Payload << '\n';
+  }
+  Diagnostics DV;
+  search::PlanCache CV(DV);
+  ASSERT_TRUE(CV.load(V2Path));
+  EXPECT_EQ(CV.stats().Skipped, 0u);
+  EXPECT_EQ(CV.stats().Loaded, 1u);
+  auto V2E = CV.lookup(testKey(8));
+  ASSERT_TRUE(V2E);
+  EXPECT_DOUBLE_EQ((*V2E)[0].Cost, 1.5);
+  EXPECT_EQ((*V2E)[0].Variant, codegen::CodegenVariant::Scalar);
+  EXPECT_FALSE(DV.hasErrors());
+  std::remove(V2Path.c_str());
 }
 
 TEST(PlanCache, BitFlippedLinesFailChecksumAndAreRewritten) {

@@ -14,10 +14,12 @@
 
 #include "TestUtil.h"
 
+#include "codegen/VectorISA.h"
 #include "ir/Transforms.h"
 #include "perf/NativeCompile.h"
 #include "runtime/PlanRegistry.h"
 #include "support/Diagnostics.h"
+#include "support/StrUtil.h"
 #include "telemetry/Metrics.h"
 
 #include <gtest/gtest.h>
@@ -25,6 +27,8 @@
 #include <array>
 #include <atomic>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <thread>
 
 using namespace spl;
@@ -447,6 +451,201 @@ TEST(Planner, WisdomRoundTripSkipsResearch) {
     std::vector<double> XR = interleave(X), YR(64);
     P->execute(YR.data(), XR.data());
     EXPECT_LT(maxAbsDiff(deinterleave(YR), dftMatrix(32).apply(X)), 1e-10);
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(Plan, VectorPlanMatchesDenseOracle) {
+  if (!perf::NativeModule::available())
+    GTEST_SKIP() << "no working C compiler on this host";
+  if (!codegen::vectorBackendAvailable())
+    GTEST_SKIP() << "no SIMD ISA on this host";
+  SPL_SKIP_IF_FAULTS_ARMED();
+
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, testOptions());
+  runtime::PlanSpec Spec;
+  Spec.Size = 32;
+  Spec.Want = runtime::Backend::Native;
+  Spec.Codegen = runtime::CodegenMode::Vector;
+  auto P = Planner.plan(Spec);
+  ASSERT_TRUE(P) << Diags.dump();
+  ASSERT_EQ(P->backend(), runtime::Backend::Native) << P->fallbackReason();
+  ASSERT_EQ(P->codegenVariant(), codegen::CodegenVariant::Vector)
+      << P->fallbackReason();
+  EXPECT_GT(P->lanes(), 1);
+
+  Matrix Dense = dftMatrix(32);
+
+  // Single execute goes through the one-column lane group (padded lanes).
+  auto X0 = randomVector(32);
+  std::vector<double> XR = interleave(X0), YR(64);
+  P->execute(YR.data(), XR.data());
+  EXPECT_LT(maxAbsDiff(deinterleave(YR), Dense.apply(X0)), 1e-10);
+
+  // Batched execute with a count that is neither a lane-group nor a
+  // thread-chunk multiple: tail groups are zero-padded, never garbage.
+  constexpr std::int64_t Batch = 11;
+  const std::int64_t Len = P->vectorLen();
+  std::vector<std::vector<Cplx>> Cols;
+  std::vector<double> BX, BY(Batch * Len);
+  for (std::int64_t I = 0; I != Batch; ++I) {
+    Cols.push_back(randomVector(32, 500 + static_cast<unsigned>(I)));
+    auto V = interleave(Cols.back());
+    BX.insert(BX.end(), V.begin(), V.end());
+  }
+  P->executeBatch(BY.data(), BX.data(), Batch, 3);
+  for (std::int64_t I = 0; I != Batch; ++I) {
+    std::vector<double> One(BY.begin() + I * Len,
+                            BY.begin() + (I + 1) * Len);
+    EXPECT_LT(maxAbsDiff(deinterleave(One), Dense.apply(Cols[I])), 1e-10)
+        << "batch column " << I;
+  }
+}
+
+TEST(Plan, VectorBatchBitIdenticalAcrossThreadCounts) {
+  if (!perf::NativeModule::available())
+    GTEST_SKIP() << "no working C compiler on this host";
+  if (!codegen::vectorBackendAvailable())
+    GTEST_SKIP() << "no SIMD ISA on this host";
+  SPL_SKIP_IF_FAULTS_ARMED();
+
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, testOptions());
+  runtime::PlanSpec Spec;
+  Spec.Size = 16;
+  Spec.Want = runtime::Backend::Native;
+  Spec.Codegen = runtime::CodegenMode::Vector;
+  auto P = Planner.plan(Spec);
+  ASSERT_TRUE(P) << Diags.dump();
+  ASSERT_EQ(P->codegenVariant(), codegen::CodegenVariant::Vector)
+      << P->fallbackReason();
+
+  // Lane-wise kernels make the group cut invisible: however the batch is
+  // chunked across threads, every column's bits are identical.
+  constexpr std::int64_t Batch = 37;
+  const std::int64_t Len = P->vectorLen();
+  std::vector<double> X;
+  for (std::int64_t I = 0; I != Batch; ++I) {
+    auto V = interleave(randomVector(16, 7 + static_cast<unsigned>(I)));
+    X.insert(X.end(), V.begin(), V.end());
+  }
+  std::vector<double> Y1(Batch * Len);
+  P->executeBatch(Y1.data(), X.data(), Batch, 1);
+  for (int T : {2, 3, 4, 8}) {
+    std::vector<double> YT(Batch * Len, -1.0);
+    P->executeBatch(YT.data(), X.data(), Batch, T);
+    EXPECT_EQ(std::memcmp(Y1.data(), YT.data(),
+                          static_cast<size_t>(Batch * Len) * sizeof(double)),
+              0)
+        << "threads=" << T;
+  }
+}
+
+TEST(Plan, VectorCompileFaultDemotesToScalarNative) {
+  if (!perf::NativeModule::available())
+    GTEST_SKIP() << "no working C compiler on this host";
+  if (!codegen::vectorBackendAvailable())
+    GTEST_SKIP() << "no SIMD ISA on this host";
+  SPL_SKIP_IF_FAULTS_ARMED();
+
+  telemetry::setMetricsEnabled(true);
+  std::uint64_t Before = telemetry::counter("runtime.demote.vector").value();
+
+  ::setenv("SPL_FAULT", "vector-compile", 1);
+  fault::reset();
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, testOptions());
+  runtime::PlanSpec Spec;
+  Spec.Size = 16;
+  Spec.Want = runtime::Backend::Native;
+  Spec.Codegen = runtime::CodegenMode::Vector;
+  auto P = Planner.plan(Spec);
+  ::unsetenv("SPL_FAULT");
+  fault::reset();
+
+  // The vector tier dies, the plan does not: scalar native takes over.
+  ASSERT_TRUE(P) << Diags.dump();
+  EXPECT_EQ(P->backend(), runtime::Backend::Native) << P->fallbackReason();
+  EXPECT_EQ(P->codegenVariant(), codegen::CodegenVariant::Scalar);
+  EXPECT_TRUE(P->usedFallback());
+  EXPECT_NE(P->fallbackReason().find("vector"), std::string::npos)
+      << P->fallbackReason();
+  EXPECT_EQ(Diags.errorCount(), 0u);
+  EXPECT_GT(telemetry::counter("runtime.demote.vector").value(), Before);
+
+  auto X = randomVector(16);
+  std::vector<double> XR = interleave(X), YR(32);
+  P->execute(YR.data(), XR.data());
+  EXPECT_LT(maxAbsDiff(deinterleave(YR), dftMatrix(16).apply(X)), 1e-10);
+}
+
+TEST(Planner, VectorWinnerWisdomDegradesWithHostISA) {
+  SPL_SKIP_IF_FAULTS_ARMED();
+  std::string Path = "/tmp/spl-runtime-vwisdom-" + std::to_string(getpid());
+  std::remove(Path.c_str());
+
+  // Seed a wisdom file, then rewrite its entries as vector winners (with
+  // recomputed checksums) — simulating a file that roamed from a SIMD host.
+  {
+    Diagnostics Diags;
+    auto Opts = testOptions();
+    Opts.UseWisdom = true;
+    Opts.WisdomPath = Path;
+    runtime::Planner Planner(Diags, Opts);
+    runtime::PlanSpec Spec;
+    Spec.Size = 8;
+    Spec.Want = runtime::Backend::VM;
+    ASSERT_TRUE(Planner.plan(Spec)) << Diags.dump();
+    ASSERT_TRUE(Planner.saveWisdom());
+  }
+  {
+    std::ifstream In(Path);
+    ASSERT_TRUE(In.good());
+    std::ostringstream Rewritten;
+    std::string Line;
+    bool SawVector = false;
+    while (std::getline(In, Line)) {
+      auto Pos = Line.find(" scalar | ");
+      if (Line.rfind("plan ", 0) == 0 && Pos != std::string::npos) {
+        // Line = "plan <sum> <payload>"; swap the variant token in the
+        // payload and restamp the checksum so the loader accepts it.
+        std::string Payload = Line.substr(Line.find(' ', 5) + 1);
+        auto P2 = Payload.find(" scalar | ");
+        ASSERT_NE(P2, std::string::npos);
+        Payload.replace(P2, 10, " vector | ");
+        Rewritten << "plan " << fnv1aHex(Payload) << ' ' << Payload << '\n';
+        SawVector = true;
+      } else {
+        Rewritten << Line << '\n';
+      }
+    }
+    In.close();
+    ASSERT_TRUE(SawVector) << "no wisdom entry to rewrite";
+    std::ofstream Out(Path, std::ios::trunc);
+    Out << Rewritten.str();
+  }
+  {
+    Diagnostics Diags;
+    auto Opts = testOptions();
+    Opts.UseWisdom = true;
+    Opts.WisdomPath = Path;
+    runtime::Planner Planner(Diags, Opts);
+    runtime::PlanSpec Spec;
+    Spec.Size = 8;
+    Spec.Want = runtime::Backend::VM; // Backend tier is irrelevant here.
+    auto P = Planner.plan(Spec);
+    ASSERT_TRUE(P) << Diags.dump();
+    EXPECT_GT(Planner.wisdom().stats().Hits, 0u)
+        << "vector-winner wisdom must load, not invalidate";
+
+    // Whatever the host's ISA probe says, the remembered formula still
+    // computes the transform (on scalar-only hosts the entry silently
+    // degrades to the scalar variant instead of being rejected).
+    auto X = randomVector(8);
+    std::vector<double> XR = interleave(X), YR(16);
+    P->execute(YR.data(), XR.data());
+    EXPECT_LT(maxAbsDiff(deinterleave(YR), dftMatrix(8).apply(X)), 1e-10);
   }
   std::remove(Path.c_str());
 }

@@ -93,7 +93,7 @@ TEST(Protocol, PlanMessagesRoundTrip) {
   runtime::PlanSpec Spec = Back.Spec.toSpec(OK);
   ASSERT_TRUE(OK);
   EXPECT_EQ(Spec.Want, runtime::Backend::VM);
-  EXPECT_EQ(Spec.key(), "wht 64 real B8 L32 vm");
+  EXPECT_EQ(Spec.key(), "wht 64 real B8 L32 vm auto");
 
   PlanResponse Resp;
   Resp.Key = Spec.key();

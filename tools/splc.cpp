@@ -25,6 +25,11 @@
 ///   Search mode (instead of an input file):
 ///     --best-fft <n>     DP-search the FFT space for size n and emit the
 ///                        winning subroutine
+///     --codegen <m>      auto (default) | scalar | vector: which codegen
+///                        variant to emit for the winner. auto follows the
+///                        searched winner (timed evaluators race both);
+///                        vector renders the SIMD backend's C
+///                        (docs/VECTORIZATION.md)
 ///     --search-eval <e>  cost model: opcount (default) | vmtime | native
 ///     --search-threads <t>  candidate-evaluation worker threads
 ///     --search-leaf <n>  largest straight-line sub-transform (default 16)
@@ -44,6 +49,8 @@
 #include "ExitCodes.h"
 #include "Version.h"
 
+#include "codegen/VectorEmitter.h"
+#include "codegen/VectorISA.h"
 #include "driver/Compiler.h"
 #include "frontend/Parser.h"
 #include "perf/KernelCache.h"
@@ -69,7 +76,8 @@ void printUsage() {
                "usage: splc [-o out] [-B n] [-u k] [-O0|-O1|-O2] "
                "[-l c|fortran] [--sparc] [--print-icode] [--stats] "
                "[--profile] [file.spl]\n"
-               "       splc --best-fft n [--search-eval opcount|vmtime|native] "
+               "       splc --best-fft n [--codegen auto|scalar|vector] "
+               "[--search-eval opcount|vmtime|native] "
                "[--search-threads t] [--search-leaf n] "
                "[--wisdom file] [--no-wisdom] [--kernel-cache dir] "
                "[--no-kernel-cache] [common options]\n"
@@ -89,6 +97,7 @@ int main(int Argc, char **Argv) {
   std::int64_t BestFFT = 0;
   std::int64_t SearchLeaf = 16;
   std::string SearchEval = "opcount";
+  std::string CodegenArg = "auto";
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -130,6 +139,14 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "splc: error: --best-fft size must be >= 2\n");
         return tools::ExitUsage;
       }
+    } else if (Arg == "--codegen" && I + 1 < Argc) {
+      CodegenArg = Argv[++I];
+      if (CodegenArg != "auto" && CodegenArg != "scalar" &&
+          CodegenArg != "vector") {
+        std::fprintf(stderr, "splc: error: unknown codegen mode '%s'\n",
+                     CodegenArg.c_str());
+        return tools::ExitUsage;
+      }
     } else if (Arg == "--search-eval" && I + 1 < Argc) {
       SearchEval = Argv[++I];
       if (SearchEval != "opcount" && SearchEval != "vmtime" &&
@@ -169,9 +186,9 @@ int main(int Argc, char **Argv) {
       }
       InputPath = Arg;
     } else if (Arg == "-o" || Arg == "-B" || Arg == "-u" || Arg == "-l" ||
-               Arg == "--best-fft" || Arg == "--search-eval" ||
-               Arg == "--search-threads" || Arg == "--search-leaf" ||
-               Arg == "--wisdom") {
+               Arg == "--best-fft" || Arg == "--codegen" ||
+               Arg == "--search-eval" || Arg == "--search-threads" ||
+               Arg == "--search-leaf" || Arg == "--wisdom") {
       // A value-taking flag in last position: every I+1 check above failed.
       std::fprintf(stderr, "splc: error: option '%s' needs a value\n",
                    Arg.c_str());
@@ -214,6 +231,9 @@ int main(int Argc, char **Argv) {
     } else {
       Eval = std::make_unique<search::OpCountEvaluator>(Diags, Opts);
     }
+    // In auto mode, timed evaluators race scalar vs vector per candidate
+    // and the winner's variant decides what we render below.
+    Eval->setVariantSearch(CodegenArg == "auto");
 
     search::PlanCache Wisdom(Diags);
     std::string WisdomPath =
@@ -235,20 +255,44 @@ int main(int Argc, char **Argv) {
     if (Opts.UseWisdom)
       Wisdom.save(WisdomPath);
 
+    codegen::CodegenVariant Variant = codegen::CodegenVariant::Scalar;
+    if (CodegenArg == "vector")
+      Variant = codegen::CodegenVariant::Vector;
+    else if (CodegenArg == "auto")
+      Variant = Best->Variant;
+
     DirectiveState Dirs;
     Dirs.SubName = "fft" + std::to_string(BestFFT);
     Dirs.Language =
         Opts.LanguageOverride.empty() ? "c" : Opts.LanguageOverride;
+    if (Variant == codegen::CodegenVariant::Vector &&
+        Dirs.Language != "c") {
+      std::fprintf(stderr,
+                   "splc: error: --codegen vector emits C only (got -l %s)\n",
+                   Dirs.Language.c_str());
+      return tools::ExitUsage;
+    }
     auto Unit = Compiler.compileFormula(Best->Formula, Dirs, Opts);
     if (!Unit) {
       std::fputs(Diags.dump().c_str(), stderr);
       return tools::ExitCompile;
     }
+    if (Variant == codegen::CodegenVariant::Vector) {
+      // Re-render the winner's i-code through the SIMD backend (inline
+      // tables: this is display/output code, not a runtime kernel).
+      codegen::VectorEmitOptions VO;
+      VO.ISA = codegen::detectISA();
+      VO.HeaderComment = "winner " + Best->Formula->print();
+      Unit->Code = codegen::emitVectorC(Unit->Final, VO);
+    }
     if (Stats) {
-      std::fprintf(stderr, "%s: winner %s (cost %.6g, %llu evaluations)\n",
+      std::fprintf(stderr,
+                   "%s: winner %s (cost %.6g, %llu evaluations, "
+                   "codegen %s)\n",
                    Dirs.SubName.c_str(), Best->Formula->print().c_str(),
                    Best->Cost,
-                   static_cast<unsigned long long>(Eval->evaluations()));
+                   static_cast<unsigned long long>(Eval->evaluations()),
+                   codegen::variantName(Variant));
       if (Opts.UseWisdom)
         std::fprintf(stderr, "%s (%s)\n", Wisdom.summary().c_str(),
                      WisdomPath.c_str());

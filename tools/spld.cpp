@@ -19,6 +19,9 @@
 ///     --max-frame-mb <n>     largest request/response frame (default 64)
 ///     --max-size <n>         largest accepted transform size (default 65536)
 ///     --exec-threads <n>     cap on per-request batch workers (default 4)
+///     --codegen auto|scalar|vector   server-wide codegen policy: auto
+///                            honors each request's mode, scalar/vector
+///                            override every spec (docs/VECTORIZATION.md)
 ///     --eval opcount|vmtime|native   search cost model (default opcount)
 ///     --search-threads <t>   candidate-evaluation worker threads
 ///     --wisdom <file>        plan cache location ($SPL_WISDOM/~/.spl_wisdom)
@@ -73,7 +76,8 @@ void printUsage() {
       stderr,
       "usage: spld --socket path [--workers n] [--max-inflight n]\n"
       "            [--per-client n] [--max-frame-mb n] [--max-size n]\n"
-      "            [--exec-threads n] [--eval opcount|vmtime|native]\n"
+      "            [--exec-threads n] [--codegen auto|scalar|vector]\n"
+      "            [--eval opcount|vmtime|native]\n"
       "            [--search-threads t] [--wisdom file] [--no-wisdom]\n"
       "            [--kernel-cache dir] [--no-kernel-cache] [--version]\n");
 }
@@ -112,6 +116,13 @@ int main(int Argc, char **Argv) {
       Opts.MaxTransformSize = std::atoll(Next("--max-size"));
     } else if (Arg == "--exec-threads") {
       Opts.MaxExecThreads = std::atoi(Next("--exec-threads"));
+    } else if (Arg == "--codegen") {
+      std::string Name = Next("--codegen");
+      if (!runtime::parseCodegenMode(Name, Opts.Codegen)) {
+        std::fprintf(stderr, "spld: error: unknown codegen mode '%s'\n",
+                     Name.c_str());
+        return tools::ExitUsage;
+      }
     } else if (Arg == "--eval") {
       Opts.Planner.Evaluator = Next("--eval");
       if (Opts.Planner.Evaluator != "opcount" &&

@@ -20,6 +20,8 @@
 ///     --shutdown            (with --connect) ask the daemon to drain and
 ///                           exit after the other requests
 ///     --backend auto|native|vm|oracle   execution substrate (default auto)
+///     --codegen auto|scalar|vector      native kernel variant (default auto:
+///                           the search decides; docs/VECTORIZATION.md)
 ///     --unroll <n>          -B unroll threshold (default 16)
 ///     --leaf <n>            largest straight-line sub-transform (default 16)
 ///     --eval opcount|vmtime|native   search cost model (default opcount)
@@ -68,7 +70,8 @@ void printUsage() {
       stderr,
       "usage: splrun --size n [--transform fft|wht] [--batch b] "
       "[--threads t]\n"
-      "              [--backend auto|native|vm|oracle] [--unroll n] [--leaf n]\n"
+      "              [--backend auto|native|vm|oracle]\n"
+      "              [--codegen auto|scalar|vector] [--unroll n] [--leaf n]\n"
       "              [--eval opcount|vmtime|native] [--search-threads t]\n"
       "              [--wisdom file] [--no-wisdom] [--kernel-cache dir]\n"
       "              [--no-kernel-cache] [--verify] [--stats]\n"
@@ -251,6 +254,13 @@ int main(int Argc, char **Argv) {
                      Name.c_str());
         return tools::ExitUsage;
       }
+    } else if (Arg == "--codegen") {
+      std::string Name = Next("--codegen");
+      if (!runtime::parseCodegenMode(Name, Spec.Codegen)) {
+        std::fprintf(stderr, "splrun: error: unknown codegen mode '%s'\n",
+                     Name.c_str());
+        return tools::ExitUsage;
+      }
     } else if (Arg == "--unroll") {
       Spec.UnrollThreshold = std::atoll(Next("--unroll"));
     } else if (Arg == "--leaf") {
@@ -419,6 +429,30 @@ int main(int Argc, char **Argv) {
                   "native-vs-vm check\n",
                   Plan->usedFallback() ? Plan->fallbackReason().c_str()
                                        : "vm requested");
+    }
+
+    // Vector kernels get a second native-vs-native check: the same spec
+    // forced to scalar codegen must agree to tolerance (the two kernels
+    // share i-code but nothing downstream of the emitters).
+    if (Plan->backend() == runtime::Backend::Native &&
+        Plan->codegenVariant() == codegen::CodegenVariant::Vector) {
+      runtime::PlanSpec ScalarSpec = Spec;
+      ScalarSpec.Codegen = runtime::CodegenMode::Scalar;
+      auto SPlan = Registry.acquire(ScalarSpec);
+      if (!SPlan) {
+        std::fputs(Diags.dump().c_str(), stderr);
+        return tools::ExitCompile;
+      }
+      runtime::AlignedBuffer YS(static_cast<size_t>(NCheck * Len));
+      SPlan->executeBatch(YS.data(), X.data(), NCheck, Threads);
+      Plan->executeBatch(Y.data(), X.data(), NCheck, Threads);
+      double Delta = maxAbsDiff(Y.data(), YS.data(), NCheck * Len);
+      bool OK = Delta <= Tol;
+      std::printf("verify: vector vs scalar native on %lld vectors: max "
+                  "|delta| = %.3g (tol %g): %s\n",
+                  static_cast<long long>(NCheck), Delta, Tol,
+                  OK ? "OK" : "FAIL");
+      Failures += !OK;
     }
 
     // Independent dense-oracle check: the winning formula's matrix is
