@@ -28,11 +28,14 @@
 #include "support/Timer.h"
 #include "vm/Executor.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <random>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace spl {
 namespace bench {
@@ -89,6 +92,77 @@ makeEvaluator(Diagnostics &Diags, std::int64_t UnrollThreshold = 64) {
     return std::make_unique<search::VMTimeEvaluator>(Diags, Opts, 2);
   return std::make_unique<search::OpCountEvaluator>(Diags, Opts);
 }
+
+/// Machine-readable bench report: one flat JSON object per harness. Fill
+/// key/value metrics as the run goes, then write() lands them in
+/// BENCH_<name>.json — under $SPL_BENCH_JSON_DIR when set, else the working
+/// directory — so CI archives the perf trajectory across commits instead of
+/// only asserting gates in-process. Keys are insertion-ordered; setting a
+/// key again overwrites it.
+class JsonReport {
+public:
+  explicit JsonReport(std::string BenchName) : Name(std::move(BenchName)) {}
+
+  void num(const std::string &Key, double Value) {
+    char Buf[64];
+    if (std::isfinite(Value))
+      std::snprintf(Buf, sizeof(Buf), "%.9g", Value);
+    else
+      std::snprintf(Buf, sizeof(Buf), "null"); // JSON has no inf/nan.
+    add(Key, Buf);
+  }
+
+  void boolean(const std::string &Key, bool Value) {
+    add(Key, Value ? "true" : "false");
+  }
+
+  void text(const std::string &Key, const std::string &Value) {
+    std::string Quoted = "\"";
+    for (char C : Value) {
+      if (C == '"' || C == '\\')
+        Quoted += '\\';
+      Quoted += C == '\n' ? ' ' : C;
+    }
+    Quoted += '"';
+    add(Key, Quoted);
+  }
+
+  /// Writes BENCH_<name>.json. False (with a stderr note) when the file
+  /// cannot be created; harnesses treat that as a warning, not a gate.
+  bool write() const {
+    const char *Dir = std::getenv("SPL_BENCH_JSON_DIR");
+    std::string Path =
+        (Dir && Dir[0]) ? std::string(Dir) + "/" : std::string();
+    Path += "BENCH_" + Name + ".json";
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "note: cannot write bench report '%s'\n",
+                   Path.c_str());
+      return false;
+    }
+    std::fprintf(F, "{\n  \"bench\": \"%s\"", Name.c_str());
+    for (const auto &KV : Fields)
+      std::fprintf(F, ",\n  \"%s\": %s", KV.first.c_str(),
+                   KV.second.c_str());
+    std::fprintf(F, "\n}\n");
+    std::fclose(F);
+    std::printf("report: %s\n", Path.c_str());
+    return true;
+  }
+
+private:
+  void add(const std::string &Key, std::string Rendered) {
+    for (auto &KV : Fields)
+      if (KV.first == Key) {
+        KV.second = std::move(Rendered);
+        return;
+      }
+    Fields.emplace_back(Key, std::move(Rendered));
+  }
+
+  std::string Name;
+  std::vector<std::pair<std::string, std::string>> Fields;
+};
 
 /// Header lines every harness prints, so tables are self-describing.
 inline void printPreamble(const char *Experiment, const char *PaperRef) {

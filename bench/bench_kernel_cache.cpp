@@ -46,9 +46,12 @@ int main() {
   printPreamble("Kernel cache: cold vs warm planning",
                 "content-addressed .so reuse across processes");
 
+  JsonReport Report("kernel_cache");
   if (!nativeAllowed()) {
     std::puts("skip: no C compiler (or SPL_NO_NATIVE) — the kernel cache "
               "only holds native artifacts");
+    Report.boolean("skipped", true);
+    Report.write();
     return 0;
   }
 
@@ -111,6 +114,10 @@ int main() {
                 WarmMs > 0 ? ColdMs / WarmMs : 0.0,
                 static_cast<unsigned long long>(WarmCompiles),
                 static_cast<unsigned long long>(WarmHits));
+    const std::string Suffix = "_n" + std::to_string(Spec.Size);
+    Report.num("cold_ms" + Suffix, ColdMs);
+    Report.num("warm_ms" + Suffix, WarmMs);
+    Report.num("warm_compiles" + Suffix, static_cast<double>(WarmCompiles));
 
     // The acceptance gate: warm planning never forks the compiler.
     if (WarmCompiles != 0 || WarmHits < 1) {
@@ -124,6 +131,10 @@ int main() {
 
   std::filesystem::remove_all(CacheDir);
   std::remove(WisdomPath.c_str());
+
+  Report.boolean("skipped", false);
+  Report.boolean("gate_warm_zero_compiles", !GateFailed);
+  Report.write();
 
   if (GateFailed) {
     std::puts("\nresult: FAIL — a warm plan reached the compiler");

@@ -30,14 +30,19 @@ using namespace spl::bench;
 int main() {
   printPreamble("SIMD codegen: scalar vs vector emitter, per transform",
                 "Section 5 vectorization (A (x) I_m as one lane group)");
+  JsonReport Report("simd_codegen");
   if (!nativeAllowed()) {
     std::puts("no C compiler available; skipping (gate trivially green)");
+    Report.boolean("skipped", true);
+    Report.write();
     return 0;
   }
   if (!codegen::vectorBackendAvailable()) {
     std::printf("hardware ISA probe: %s; no SIMD on this host, skipping "
                 "(gate trivially green)\n",
                 codegen::isaName(codegen::hardwareISA()));
+    Report.boolean("skipped", true);
+    Report.write();
     return 0;
   }
 
@@ -90,10 +95,18 @@ int main() {
                 perf::pseudoMFlops(N, ScalarSec),
                 perf::pseudoMFlops(N, VectorSec), Speedup);
     std::fflush(stdout);
+    const std::string Suffix = "_n" + std::to_string(N);
+    Report.num("scalar_mflops" + Suffix, perf::pseudoMFlops(N, ScalarSec));
+    Report.num("vector_mflops" + Suffix, perf::pseudoMFlops(N, VectorSec));
+    Report.num("speedup" + Suffix, Speedup);
   }
 
   std::printf("\nbest vector-over-scalar speedup: %.2fx (gate: >= 1.50x)\n",
               BestSpeedup);
+  Report.boolean("skipped", false);
+  Report.num("best_speedup", BestSpeedup);
+  Report.boolean("gate_speedup_1p5x", BestSpeedup >= 1.5);
+  Report.write();
   if (BestSpeedup < 1.5) {
     std::puts("GATE FAILED: the vector backend must beat scalar codegen by "
               ">= 1.5x at some size on a SIMD host");

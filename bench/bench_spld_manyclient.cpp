@@ -262,6 +262,20 @@ int main() {
   }
   ::unlink(Wisdom.c_str());
 
+  JsonReport Report("spld_manyclient");
+  Report.num("clients", Clients);
+  Report.num("reqs_per_client", Reqs);
+  Report.num("wall_s", WallS);
+  Report.num("plans_served", static_cast<double>(Plans.load()));
+  Report.num("executes_served", static_cast<double>(Executes.load()));
+  Report.num("requests_per_second",
+             WallS > 0 ? (Plans.load() + Executes.load()) / WallS : 0.0);
+  Report.num("busy_rejections", static_cast<double>(SS.RejectedBusy));
+  Report.num("plan_p99_ms", static_cast<double>(Plan.p99()) / 1e6);
+  Report.num("execute_p99_ms", static_cast<double>(Exec.p99()) / 1e6);
+  Report.boolean("gates_passed", Rc == 0);
+  Report.write();
+
   std::printf("\n%s\n", Rc == 0 ? "ALL GATES PASSED" : "GATES FAILED");
   return Rc;
 }

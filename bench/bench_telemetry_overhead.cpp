@@ -109,5 +109,14 @@ int main() {
   std::printf("\ndisarmed delta vs no-telemetry baseline: %+.2f%% "
               "(budget < 2%%): %s\n",
               DisarmedDelta, DisarmedDelta < 2.0 ? "OK" : "OVER BUDGET");
+
+  JsonReport Report("telemetry_overhead");
+  Report.num("raw_us", Raw * 1e6);
+  Report.num("disarmed_us", Disarmed * 1e6);
+  Report.num("armed_us", Armed * 1e6);
+  Report.num("disarmed_delta_pct", DisarmedDelta);
+  Report.num("armed_delta_pct", DeltaPct(Armed));
+  Report.boolean("gate_disarmed_under_2pct", DisarmedDelta < 2.0);
+  Report.write();
   return DisarmedDelta < 2.0 ? 0 : 1;
 }

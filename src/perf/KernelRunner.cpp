@@ -105,7 +105,7 @@ CompiledKernel::create(const icode::Program &Final, KernelError *Err,
   std::string CompileError;
   bool TimedOut = false;
   auto Mod = NativeModule::compile(Code, Final.SubName, &CompileError, Flags,
-                                   &TimedOut, KeyTag);
+                                   &TimedOut, KeyTag, BuildOpts.Deadline);
   if (!Mod)
     return Fail(TimedOut ? KernelErrorKind::CompileTimeout
                          : KernelErrorKind::CompileFailed,

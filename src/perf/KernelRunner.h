@@ -75,6 +75,12 @@ struct KernelBuildOptions {
   /// Defaults to the host probe; forcing an ISA the hardware lacks is the
   /// trial execution's problem (SIGILL in the forked guard).
   codegen::VectorISA ISA = codegen::detectISA();
+
+  /// Remaining caller budget for the build: the compiler subprocess runs
+  /// under min(SPL_CC_TIMEOUT_MS, remaining), and an expired deadline
+  /// fails fast with KernelErrorKind::CompileTimeout before forking.
+  /// Default: unbounded.
+  support::Deadline Deadline;
 };
 
 /// A natively compiled, loaded and table-bound generated kernel.

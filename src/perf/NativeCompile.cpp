@@ -7,11 +7,14 @@
 #include "perf/NativeCompile.h"
 
 #include "perf/KernelCache.h"
+#include "support/CircuitBreaker.h"
 #include "support/FaultInjection.h"
 #include "support/Subprocess.h"
 #include "telemetry/Trace.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -168,16 +171,48 @@ NativeModule::loadModule(const std::string &SoPath, const std::string &FnName,
 std::unique_ptr<NativeModule>
 NativeModule::compileFresh(const std::string &CSource,
                            const std::string &FnName, std::string *Error,
-                           const std::string &ExtraFlags, bool *TimedOut) {
+                           const std::string &ExtraFlags, bool *TimedOut,
+                           const support::Deadline &Deadline) {
 #if !defined(SPL_HAVE_DLOPEN)
   (void)CSource;
   (void)FnName;
   (void)ExtraFlags;
   (void)TimedOut;
+  (void)Deadline;
   if (Error)
     *Error = "dlopen is not available on this platform";
   return nullptr;
 #else
+  // An exhausted caller budget fails fast before the source is even
+  // written; this is the caller's deadline, not compiler sickness, so the
+  // breaker does not hear about it.
+  if (Deadline.expired()) {
+    if (TimedOut)
+      *TimedOut = true;
+    if (Error)
+      *Error = "compilation skipped: the caller's deadline is already "
+               "spent (see --deadline-ms)";
+    return nullptr;
+  }
+  // While the breaker is open the compiler is presumed sick: fail fast and
+  // let the planner degrade to the VM tier instead of forking.
+  support::CircuitBreaker &Breaker = support::compileBreaker();
+  if (!Breaker.allow()) {
+    if (TimedOut)
+      *TimedOut = false;
+    if (Error)
+      *Error = Breaker.describe();
+    return nullptr;
+  }
+  // Every admitted attempt MUST report back, or a half-open probe would
+  // stay in flight forever and wedge the breaker open. Success is flipped
+  // once the compiler invocation itself succeeds; failures on the way
+  // (unwritable temp dir included) count against the dependency.
+  struct BreakerOutcome {
+    support::CircuitBreaker &B;
+    bool Success = false;
+    ~BreakerOutcome() { Success ? B.recordSuccess() : B.recordFailure(); }
+  } Outcome{Breaker};
   std::string Stem = uniqueStem();
   std::string CPath = Stem + ".c";
   std::string SoPath = Stem + ".so";
@@ -212,7 +247,13 @@ NativeModule::compileFresh(const std::string &CSource,
   Argv.push_back(SoPath);
   Argv.push_back(CPath);
 
-  const double Timeout = compileTimeoutSeconds();
+  // The compiler's leash is the smaller of the fixed env knob and the
+  // caller's remaining budget — a request with 2 s left never waits 60 s
+  // for a wedged cc.
+  double Timeout = compileTimeoutSeconds();
+  const double Remaining = Deadline.remainingSeconds();
+  if (std::isfinite(Remaining))
+    Timeout = Timeout > 0 ? std::min(Timeout, Remaining) : Remaining;
   static telemetry::Counter &Compiles = telemetry::counter("native.compiles");
   static telemetry::Counter &Retries =
       telemetry::counter("native.compile_retries");
@@ -233,9 +274,13 @@ NativeModule::compileFresh(const std::string &CSource,
       R = invokeCompiler(Argv, Timeout);
       if (R.ok() || !R.transient() || Attempt >= 1)
         break;
+      // The retry must fit the remaining budget too.
+      if (Deadline.expired())
+        break;
       Retries.add();
     }
   }
+  Outcome.Success = R.ok();
   if (!R.ok()) {
     Failures.add();
     if (R.TimedOut)
@@ -264,7 +309,8 @@ NativeModule::compileFresh(const std::string &CSource,
 std::unique_ptr<NativeModule>
 NativeModule::compile(const std::string &CSource, const std::string &FnName,
                       std::string *Error, const std::string &ExtraFlags,
-                      bool *TimedOut, const std::string &KeyTag) {
+                      bool *TimedOut, const std::string &KeyTag,
+                      const support::Deadline &Deadline) {
   if (TimedOut)
     *TimedOut = false;
 #if !defined(SPL_HAVE_DLOPEN)
@@ -272,12 +318,14 @@ NativeModule::compile(const std::string &CSource, const std::string &FnName,
   (void)FnName;
   (void)ExtraFlags;
   (void)KeyTag;
+  (void)Deadline;
   if (Error)
     *Error = "dlopen is not available on this platform";
   return nullptr;
 #else
   if (!KernelCache::enabled())
-    return compileFresh(CSource, FnName, Error, ExtraFlags, TimedOut);
+    return compileFresh(CSource, FnName, Error, ExtraFlags, TimedOut,
+                        Deadline);
 
   std::string Key = KernelCache::key(CSource, FnName, ExtraFlags, KeyTag);
   if (auto Hit = KernelCache::probe(Key)) {
@@ -296,7 +344,8 @@ NativeModule::compile(const std::string &CSource, const std::string &FnName,
     if (auto M = loadModule(*Hit, FnName, /*OwnsSo=*/false, Error))
       return M;
 
-  auto M = compileFresh(CSource, FnName, Error, ExtraFlags, TimedOut);
+  auto M = compileFresh(CSource, FnName, Error, ExtraFlags, TimedOut,
+                        Deadline);
   // The module keeps (and owns) its temp copy; the cache gets its own.
   // A failed insert just means the next process compiles cold again.
   if (M)

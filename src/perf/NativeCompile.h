@@ -29,6 +29,8 @@
 #ifndef SPL_PERF_NATIVECOMPILE_H
 #define SPL_PERF_NATIVECOMPILE_H
 
+#include "support/Deadline.h"
+
 #include <memory>
 #include <optional>
 #include <string>
@@ -49,11 +51,20 @@ public:
   /// \p KeyTag extends the kernel-cache key with the codegen variant that
   /// produced the source ("" scalar, "vector:<isa>" for the vector
   /// backend) — see KernelCache::key.
+  /// \p Deadline caps the invocation by the caller's remaining budget: the
+  /// effective subprocess timeout is min(SPL_CC_TIMEOUT_MS, remaining), and
+  /// an already-expired deadline fails fast (reported through \p TimedOut)
+  /// without forking at all. Kernel-cache hits ignore the deadline — a map
+  /// is effectively free. Fresh compiles are additionally gated by the
+  /// process-wide support::compileBreaker(): while it is open they fail
+  /// fast with the breaker's describe() message, and every real compiler
+  /// outcome (success / failure / timeout) feeds the breaker's state.
   static std::unique_ptr<NativeModule>
   compile(const std::string &CSource, const std::string &FnName,
           std::string *Error = nullptr,
           const std::string &ExtraFlags = "-O2", bool *TimedOut = nullptr,
-          const std::string &KeyTag = "");
+          const std::string &KeyTag = "",
+          const support::Deadline &Deadline = support::Deadline());
 
   /// True when a working C compiler was found on this machine (cached).
   static bool available();
@@ -92,7 +103,7 @@ private:
   static std::unique_ptr<NativeModule>
   compileFresh(const std::string &CSource, const std::string &FnName,
                std::string *Error, const std::string &ExtraFlags,
-               bool *TimedOut);
+               bool *TimedOut, const support::Deadline &Deadline);
 
   void *Handle = nullptr;
   KernelFn Fn = nullptr;

@@ -176,6 +176,57 @@ void Plan::runOne(ExecCtx &Ctx, double *Y, const double *X) {
     Ctx.VM->runReal(X, Y);
 }
 
+namespace {
+telemetry::Counter &deadlineExceededCounter() {
+  static telemetry::Counter &C = telemetry::counter("runtime.deadline_exceeded");
+  return C;
+}
+} // namespace
+
+ExecStatus Plan::execute(double *Y, const double *X,
+                         const support::Deadline &DL) {
+  // A single vector is all-or-nothing: either we start in budget and finish
+  // it, or we refuse up front and leave Y untouched.
+  if (DL.expired()) {
+    deadlineExceededCounter().add();
+    return ExecStatus::DeadlineExceeded;
+  }
+  execute(Y, X);
+  return ExecStatus::Ok;
+}
+
+ExecStatus Plan::executeBatch(double *Y, const double *X, std::int64_t Count,
+                              const support::Deadline &DL, int Threads,
+                              std::int64_t StrideY, std::int64_t StrideX) {
+  if (Count <= 0)
+    return ExecStatus::Ok;
+  if (DL.expired()) {
+    deadlineExceededCounter().add();
+    return ExecStatus::DeadlineExceeded;
+  }
+  unsigned Mask = telemetry::armedMask();
+  bool Completed;
+  if (Mask != 0) {
+    std::uint64_t Start = telemetry::traceNowNs();
+    Completed = runBatch(Y, X, Count, Threads, StrideY, StrideX, DL);
+    std::uint64_t Dur = telemetry::traceNowNs() - Start;
+    if (Mask & telemetry::kMetrics) {
+      NumBatches.fetch_add(1, std::memory_order_relaxed);
+      NumVectors.fetch_add(static_cast<std::uint64_t>(Count),
+                           std::memory_order_relaxed);
+      BatchNs.recordAlways(Dur);
+    }
+    if (Mask & telemetry::kTrace)
+      telemetry::Tracer::instance().record("executeBatch", Start, Dur);
+  } else {
+    Completed = runBatch(Y, X, Count, Threads, StrideY, StrideX, DL);
+  }
+  if (Completed)
+    return ExecStatus::Ok; // Expiry after the last vector still counts as Ok.
+  deadlineExceededCounter().add();
+  return ExecStatus::DeadlineExceeded;
+}
+
 void Plan::execute(double *Y, const double *X) {
   // Disarmed hot path: one relaxed load of the telemetry mask, then work.
   unsigned Mask = telemetry::armedMask();
@@ -215,7 +266,7 @@ void Plan::executeBatch(double *Y, const double *X, std::int64_t Count,
   unsigned Mask = telemetry::armedMask();
   if (Mask != 0) {
     std::uint64_t Start = telemetry::traceNowNs();
-    runBatch(Y, X, Count, Threads, StrideY, StrideX);
+    runBatch(Y, X, Count, Threads, StrideY, StrideX, support::Deadline());
     std::uint64_t Dur = telemetry::traceNowNs() - Start;
     if (Mask & telemetry::kMetrics) {
       NumBatches.fetch_add(1, std::memory_order_relaxed);
@@ -236,11 +287,12 @@ void Plan::executeBatch(double *Y, const double *X, std::int64_t Count,
       telemetry::Tracer::instance().record("executeBatch", Start, Dur);
     return;
   }
-  runBatch(Y, X, Count, Threads, StrideY, StrideX);
+  runBatch(Y, X, Count, Threads, StrideY, StrideX, support::Deadline());
 }
 
-void Plan::runBatch(double *Y, const double *X, std::int64_t Count,
-                    int Threads, std::int64_t StrideY, std::int64_t StrideX) {
+bool Plan::runBatch(double *Y, const double *X, std::int64_t Count,
+                    int Threads, std::int64_t StrideY, std::int64_t StrideX,
+                    const support::Deadline &DL) {
   if (StrideX == 0)
     StrideX = IOLen;
   if (StrideY == 0)
@@ -253,19 +305,35 @@ void Plan::runBatch(double *Y, const double *X, std::int64_t Count,
   // result bit-identical whatever its group-mates (or zero padding) are.
   const bool Grouped = Resolved == Backend::Native && Lanes > 1;
 
+  // Cooperative cancellation: the deadline is checked before each vector
+  // (lane group for vector kernels), never inside one, so every vector that
+  // runs at all produces exactly the bits an unpressured run would. An
+  // unbounded deadline's expired() is one relaxed atomic load.
+  bool Completed = true;
+
   std::int64_t T = std::clamp<std::int64_t>(Threads, 1, Count);
   if (T == 1) {
     auto Ctx = acquireCtx();
     if (Grouped) {
-      for (std::int64_t I = 0; I < Count; I += Lanes)
+      for (std::int64_t I = 0; I < Count; I += Lanes) {
+        if (DL.expired()) {
+          Completed = false;
+          break;
+        }
         runGroup(*Ctx, Y + I * StrideY, X + I * StrideX,
                  std::min<std::int64_t>(Lanes, Count - I), StrideY, StrideX);
+      }
     } else {
-      for (std::int64_t I = 0; I != Count; ++I)
+      for (std::int64_t I = 0; I != Count; ++I) {
+        if (DL.expired()) {
+          Completed = false;
+          break;
+        }
         runOne(*Ctx, Y + I * StrideY, X + I * StrideX);
+      }
     }
     releaseCtx(std::move(Ctx));
-    return;
+    return Completed;
   }
 
   // One contiguous chunk per worker: coarse-grained enough that the pool's
@@ -278,6 +346,10 @@ void Plan::runBatch(double *Y, const double *X, std::int64_t Count,
     PoolThreads = static_cast<int>(T);
   }
   std::int64_t Chunk = (Count + T - 1) / T;
+  // One worker noticing expiry stops the whole batch: everyone else sees
+  // the shared flag at their next vector boundary, so no worker keeps
+  // burning pool time on a request whose caller has already given up.
+  std::atomic<bool> Stop{false};
   parallelFor(*Pool, static_cast<size_t>(T), [&](size_t J) {
     std::int64_t Lo = static_cast<std::int64_t>(J) * Chunk;
     std::int64_t Hi = std::min(Count, Lo + Chunk);
@@ -285,15 +357,26 @@ void Plan::runBatch(double *Y, const double *X, std::int64_t Count,
       return;
     auto Ctx = acquireCtx();
     if (Grouped) {
-      for (std::int64_t I = Lo; I < Hi; I += Lanes)
+      for (std::int64_t I = Lo; I < Hi; I += Lanes) {
+        if (Stop.load(std::memory_order_relaxed) || DL.expired()) {
+          Stop.store(true, std::memory_order_relaxed);
+          break;
+        }
         runGroup(*Ctx, Y + I * StrideY, X + I * StrideX,
                  std::min<std::int64_t>(Lanes, Hi - I), StrideY, StrideX);
+      }
     } else {
-      for (std::int64_t I = Lo; I != Hi; ++I)
+      for (std::int64_t I = Lo; I != Hi; ++I) {
+        if (Stop.load(std::memory_order_relaxed) || DL.expired()) {
+          Stop.store(true, std::memory_order_relaxed);
+          break;
+        }
         runOne(*Ctx, Y + I * StrideY, X + I * StrideX);
+      }
     }
     releaseCtx(std::move(Ctx));
   });
+  return Completed && !Stop.load(std::memory_order_relaxed);
 }
 
 ExecStats Plan::stats() const {

@@ -29,6 +29,7 @@
 #include "ir/Matrix.h"
 #include "perf/KernelRunner.h"
 #include "runtime/AlignedBuffer.h"
+#include "support/Deadline.h"
 #include "support/ThreadPool.h"
 #include "telemetry/Metrics.h"
 #include "vm/Executor.h"
@@ -111,6 +112,14 @@ struct ExecStats {
   telemetry::HistogramSnapshot BatchNs;   ///< Whole-batch latency.
 };
 
+/// Outcome of a deadline-bearing execute call. Execution is all-or-nothing
+/// per vector (a vector is never half-written), but a batch cancelled
+/// mid-flight leaves untouched output slots for the vectors it skipped.
+enum class ExecStatus {
+  Ok,               ///< Every requested vector was computed.
+  DeadlineExceeded, ///< The deadline expired; remaining vectors were skipped.
+};
+
 /// An executable transform plan: y = Mx for the searched winner M.
 ///
 /// Buffers are raw double arrays. For complex transforms (LoweredToReal),
@@ -155,6 +164,12 @@ public:
   bool usedFallback() const { return Fallback; }
   const std::string &fallbackReason() const { return FallbackReason; }
 
+  /// True when the plan was built after its planning deadline had already
+  /// expired — it works, but search and/or the native tier were truncated.
+  /// PlanRegistry refuses to memoize pressured plans so an unpressured
+  /// caller can rebuild the full-quality plan later.
+  bool deadlinePressured() const { return Pressured; }
+
   /// The compiled i-code (shared with every VM worker context).
   const icode::Program &program() const { return Final; }
 
@@ -174,6 +189,23 @@ public:
   void executeBatch(double *Y, const double *X, std::int64_t Count,
                     int Threads = 1, std::int64_t StrideY = 0,
                     std::int64_t StrideX = 0);
+
+  /// Deadline-bearing execute: refuses to start when \p DL is already
+  /// expired and returns ExecStatus::DeadlineExceeded (Y untouched).
+  /// An unbounded deadline costs one relaxed atomic load over the plain
+  /// overload. Bumps runtime.deadline_exceeded on expiry.
+  ExecStatus execute(double *Y, const double *X, const support::Deadline &DL);
+
+  /// Deadline-bearing batch execute: checks the deadline cooperatively
+  /// between vectors (every vector serially; each worker checks its own
+  /// chunk and a shared stop flag when Threads > 1) and stops dispatching
+  /// new vectors once it expires. Vectors already computed keep their
+  /// results — identical bit-for-bit to an unpressured run — and skipped
+  /// output slots are left untouched. Returns DeadlineExceeded when any
+  /// vector was skipped.
+  ExecStatus executeBatch(double *Y, const double *X, std::int64_t Count,
+                          const support::Deadline &DL, int Threads = 1,
+                          std::int64_t StrideY = 0, std::int64_t StrideX = 0);
 
   /// One-line human description ("fft 1024: native, 2048 doubles/vector,
   /// ...").
@@ -204,8 +236,11 @@ private:
   /// slot-major staging, runs the kernel once, unpacks K results.
   void runGroup(ExecCtx &Ctx, double *Y, const double *X, std::int64_t K,
                 std::int64_t StrideY, std::int64_t StrideX);
-  void runBatch(double *Y, const double *X, std::int64_t Count, int Threads,
-                std::int64_t StrideY, std::int64_t StrideX);
+  /// Shared batch core. \p DL / \p Stopped are the cooperative-cancel
+  /// hooks: null Stopped (the legacy path) skips every check.
+  bool runBatch(double *Y, const double *X, std::int64_t Count, int Threads,
+                std::int64_t StrideY, std::int64_t StrideX,
+                const support::Deadline &DL);
   void applyOracle(double *Y, const double *X) const;
 
   PlanSpec Spec;
@@ -217,6 +252,7 @@ private:
   std::string FormulaText;
   double Cost = 0;
   bool Fallback = false;
+  bool Pressured = false; ///< Built after its planning deadline expired.
   std::string FallbackReason;
   std::int64_t IOLen = 0;
   int Lanes = 1; ///< Native->lanes() for vector kernels, else 1.

@@ -8,14 +8,29 @@
 
 #include "telemetry/Metrics.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
 using namespace spl;
 using namespace spl::runtime;
 
 std::shared_ptr<Plan> PlanRegistry::acquire(const PlanSpec &Spec) {
+  return acquire(Spec, support::Deadline(), nullptr);
+}
+
+std::shared_ptr<Plan> PlanRegistry::acquire(const PlanSpec &Spec,
+                                            const support::Deadline &Deadline,
+                                            PlanError *Err) {
   static telemetry::Counter &Hits = telemetry::counter("registry.hits");
   static telemetry::Counter &Misses = telemetry::counter("registry.misses");
   static telemetry::Counter &Waits = telemetry::counter("registry.waits");
   static telemetry::Gauge &Plans = telemetry::gauge("registry.plans");
+  auto Report = [&](PlanError E) {
+    if (Err)
+      *Err = E;
+  };
+  Report(PlanError::None);
   const std::string Key = Spec.key();
   std::shared_ptr<Slot> Mine;
   {
@@ -26,12 +41,31 @@ std::shared_ptr<Plan> PlanRegistry::acquire(const PlanSpec &Spec) {
       if (Theirs->Ready) {
         ++S.Hits;
         Hits.add();
+        if (!Theirs->P)
+          Report(PlanError::Failed);
         return Theirs->P;
       }
-      // Another thread is planning this spec right now; share its result.
+      // Another thread is planning this spec right now; share its result —
+      // but wait at most this caller's remaining budget. Timing out
+      // abandons only the wait: the planning thread keeps going and its
+      // result still lands in the memo for future callers.
       ++S.Waits;
       Waits.add();
-      Ready.wait(Lock, [&] { return Theirs->Ready; });
+      const double Remaining = Deadline.remainingSeconds();
+      if (std::isfinite(Remaining)) {
+        if (!Ready.wait_for(Lock,
+                            std::chrono::duration<double>(
+                                std::max(0.0, Remaining)),
+                            [&] { return Theirs->Ready; })) {
+          Report(PlanError::DeadlineExceeded);
+          return nullptr;
+        }
+      } else {
+        Ready.wait(Lock, [&] { return Theirs->Ready; });
+      }
+      if (!Theirs->P)
+        Report(Deadline.expired() ? PlanError::DeadlineExceeded
+                                  : PlanError::Failed);
       return Theirs->P;
     }
     Mine = std::make_shared<Slot>();
@@ -43,15 +77,17 @@ std::shared_ptr<Plan> PlanRegistry::acquire(const PlanSpec &Spec) {
 
   // Plan outside the lock: planning can take seconds (search + compile) and
   // other specs must not queue behind it.
-  std::shared_ptr<Plan> P = ThePlanner.plan(Spec);
+  std::shared_ptr<Plan> P = ThePlanner.plan(Spec, Deadline, Err);
 
   {
     std::lock_guard<std::mutex> Lock(M);
     Mine->Ready = true;
     Mine->P = P;
-    if (!P) {
-      // Failures are retryable, not memoized. Guard against clear() having
-      // raced in: only drop the entry if it is still ours.
+    if (!P || P->deadlinePressured()) {
+      // Failures are retryable, not memoized — and a deadline-pressured
+      // plan is a degraded artifact this caller may use but an unpressured
+      // caller should not inherit. Guard against clear() having raced in:
+      // only drop the entry if it is still ours.
       auto It = Slots.find(Key);
       if (It != Slots.end() && It->second == Mine)
         Slots.erase(It);

@@ -38,6 +38,18 @@ public:
   /// fails; failures are NOT cached (a later acquire retries).
   std::shared_ptr<Plan> acquire(const PlanSpec &Spec);
 
+  /// Deadline-bearing acquire. Memo hits ignore the deadline (they are
+  /// free). A caller that would block on another thread's in-flight pass
+  /// waits at most the remaining budget, then gives up with
+  /// PlanError::DeadlineExceeded — the planning thread keeps going and
+  /// future callers still benefit. When this caller plans itself, the
+  /// deadline is threaded into Planner::plan, and a deadline-pressured
+  /// result (Plan::deadlinePressured) is handed back but NOT memoized, so
+  /// an unpressured caller can rebuild the full-quality plan later.
+  std::shared_ptr<Plan> acquire(const PlanSpec &Spec,
+                                const support::Deadline &Deadline,
+                                PlanError *Err = nullptr);
+
   /// Lookup counters.
   struct Stats {
     size_t Hits = 0;   ///< Served an already-built plan.

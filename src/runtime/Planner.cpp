@@ -16,6 +16,7 @@
 #include "support/Subprocess.h"
 #include "telemetry/Trace.h"
 
+#include <algorithm>
 #include <cmath>
 
 using namespace spl;
@@ -48,6 +49,11 @@ Planner::Planner(Diagnostics &Diags, PlannerOptions Opts)
   telemetry::counter("runtime.demote.vector");
   telemetry::counter("runtime.demote.native");
   telemetry::counter("runtime.demote.vm");
+  telemetry::counter("runtime.deadline_exceeded");
+  telemetry::counter("search.deadline_exceeded");
+  telemetry::counter("runtime.breaker.trips");
+  telemetry::counter("runtime.breaker.open");
+  telemetry::counter("runtime.breaker.half_open");
   telemetry::counter("native.compiles");
   telemetry::counter("codegen.vector_kernels");
   telemetry::counter("search.vector_wins");
@@ -149,7 +155,9 @@ bool Planner::chooseWHT(const PlanSpec &Spec, search::Evaluator &Eval,
                                  " survived evaluation");
     return false;
   }
-  if (Opts.UseWisdom)
+  // Never record a deadline-truncated enumeration: the "winner" may just be
+  // the first candidate scored before the budget ran out.
+  if (Opts.UseWisdom && !Eval.deadline().expired())
     Wisdom.insert(Key, {search::PlanEntry{Best->print(), BestCost}});
   FOut = Best;
   CostOut = BestCost;
@@ -196,13 +204,26 @@ bool Planner::validateSpec(const PlanSpec &Spec, Diagnostics &Diags) {
 }
 
 std::shared_ptr<Plan> Planner::plan(const PlanSpec &Spec) {
+  return plan(Spec, support::Deadline::afterMs(Opts.DeadlineMs));
+}
+
+std::shared_ptr<Plan> Planner::plan(const PlanSpec &Spec,
+                                    const support::Deadline &Deadline,
+                                    PlanError *Err) {
   static telemetry::Histogram &PlanNs = telemetry::histogram("plan.total_ns");
   telemetry::StageTimer PlanTimer("plan", &PlanNs);
+  auto Report = [&](PlanError E) {
+    if (Err)
+      *Err = E;
+  };
+  Report(PlanError::None);
 
   PlanSpec S = normalize(Spec);
 
-  if (!validateSpec(S, Diags))
+  if (!validateSpec(S, Diags)) {
+    Report(PlanError::InvalidSpec);
     return nullptr;
+  }
 
   std::call_once(WisdomOnce, [&] {
     if (Opts.UseWisdom)
@@ -213,6 +234,12 @@ std::shared_ptr<Plan> Planner::plan(const PlanSpec &Spec) {
   // In auto mode a timed evaluator races both codegen variants per
   // candidate and the DP records the winner; forced modes skip the race.
   Eval->setVariantSearch(S.Codegen == CodegenMode::Auto);
+  // Budget split: the search gets ~70% of whatever remains, the rest stays
+  // for compile + trial. The slice shares the cancel token, so cancelling
+  // the parent deadline stops the search too. An unbounded deadline slices
+  // to unbounded — zero cost on the common path.
+  const support::Deadline SearchSlice = Deadline.slice(0.7);
+  Eval->setDeadline(SearchSlice);
   FormulaRef Winner;
   double Cost = 0;
   codegen::CodegenVariant WonVariant = codegen::CodegenVariant::Scalar;
@@ -224,17 +251,24 @@ std::shared_ptr<Plan> Planner::plan(const PlanSpec &Spec) {
       search::SearchOptions SO;
       SO.MaxLeaf = S.MaxLeaf;
       SO.Threads = Opts.SearchThreads;
+      SO.Deadline = SearchSlice;
       search::DPSearch Search(*Eval, Diags, SO,
                               Opts.UseWisdom ? &Wisdom : nullptr);
       auto Best = Search.best(S.Size);
-      if (!Best)
+      if (!Best) {
+        Report(Deadline.expired() ? PlanError::DeadlineExceeded
+                                  : PlanError::Failed);
         return nullptr;
+      }
       Winner = Best->Formula;
       Cost = Best->Cost;
       WonVariant = Best->Variant;
     } else {
-      if (!chooseWHT(S, *Eval, Winner, Cost))
+      if (!chooseWHT(S, *Eval, Winner, Cost)) {
+        Report(Deadline.expired() ? PlanError::DeadlineExceeded
+                                  : PlanError::Failed);
         return nullptr;
+      }
     }
   }
 
@@ -247,8 +281,10 @@ std::shared_ptr<Plan> Planner::plan(const PlanSpec &Spec) {
   Dirs.Datatype = S.Datatype;
   Dirs.Language = "c";
   auto Unit = Compiler.compileFormula(Winner, Dirs, CO);
-  if (!Unit)
+  if (!Unit) {
+    Report(PlanError::Failed);
     return nullptr;
+  }
 
   auto P = std::shared_ptr<Plan>(new Plan());
   P->Spec = S;
@@ -293,9 +329,24 @@ std::shared_ptr<Plan> Planner::plan(const PlanSpec &Spec) {
       perf::KernelBuildOptions BO;
       BO.ThreadSafe = true; // Batch dispatch runs one kernel on many threads.
       BO.Variant = V;
+      BO.Deadline = Deadline; // Compile runs under the remaining budget.
       auto K = perf::CompiledKernel::create(P->Final, &Err, BO);
       if (K && Opts.TrialExecution) {
-        auto Trial = K->trial(trialTimeoutSeconds());
+        // The trial guard gets min(SPL_TRIAL_TIMEOUT_MS, remaining). An
+        // unproven kernel never joins the plan, so a spent budget demotes
+        // to the VM tier rather than skipping the proof.
+        double TrialBudget = trialTimeoutSeconds();
+        const double Remaining = Deadline.remainingSeconds();
+        if (Remaining <= 0) {
+          Err = perf::KernelError{
+              perf::KernelErrorKind::TrialFailed,
+              "trial execution skipped: the planning deadline is spent"};
+          K.reset();
+          return K;
+        }
+        if (std::isfinite(Remaining))
+          TrialBudget = std::min(TrialBudget, Remaining);
+        auto Trial = K->trial(TrialBudget);
         if (!Trial.Ok) {
           Err = perf::KernelError{perf::KernelErrorKind::TrialFailed,
                                   Trial.Reason};
@@ -370,6 +421,7 @@ std::shared_ptr<Plan> Planner::plan(const PlanSpec &Spec) {
                                  std::to_string(OracleSizeCap)
                            : std::string(
                                  "needs a formula with dense semantics")));
+      Report(PlanError::Failed);
       return nullptr;
     }
     P->OracleMat = Winner->toMatrix();
@@ -383,6 +435,11 @@ std::shared_ptr<Plan> Planner::plan(const PlanSpec &Spec) {
                                 std::string(backendName(P->Resolved)) +
                                 " backend");
   }
+
+  // A plan finished after its deadline expired is a degraded artifact:
+  // search was truncated and/or the native tier was skipped. Mark it so
+  // PlanRegistry declines to memoize it for unpressured callers.
+  P->Pressured = Deadline.expired();
 
   // Pre-warm one execution context: validates the program in the VM case
   // and sizes the aligned scratch, so the first execute() is allocation-free.

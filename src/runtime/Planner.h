@@ -23,6 +23,7 @@
 #include "ir/Formula.h"
 #include "runtime/Plan.h"
 #include "search/PlanCache.h"
+#include "support/Deadline.h"
 #include "support/Diagnostics.h"
 
 #include <memory>
@@ -76,6 +77,23 @@ struct PlannerOptions {
   /// Test hook: pretend every native kernel build fails, exercising the
   /// VM fallback path deterministically.
   bool ForceNativeFail = false;
+
+  /// Default wall-clock budget per plan() call in milliseconds (0:
+  /// unbounded). ~70% of the remaining budget goes to the search slice
+  /// (which returns best-so-far on expiry), the rest bounds the compile +
+  /// trial slice — so a budgeted plan degrades in tier under pressure
+  /// instead of blocking. The deadline-bearing plan() overload takes
+  /// precedence over this default.
+  std::int64_t DeadlineMs = 0;
+};
+
+/// Why plan() returned null — lets the service layer answer a typed
+/// DEADLINE_EXCEEDED instead of a generic planning failure.
+enum class PlanError {
+  None,             ///< plan() succeeded.
+  InvalidSpec,      ///< validateSpec rejected the request.
+  DeadlineExceeded, ///< The budget expired before any plan could be built.
+  Failed,           ///< Search/compilation failed for a non-deadline reason.
 };
 
 /// Builds executable plans. Thread-safe: concurrent plan() calls share the
@@ -85,8 +103,18 @@ public:
   explicit Planner(Diagnostics &Diags, PlannerOptions Opts = PlannerOptions());
 
   /// Materializes a plan for \p Spec. Returns null after reporting
-  /// diagnostics when the spec is invalid or compilation fails.
+  /// diagnostics when the spec is invalid or compilation fails. Budgeted by
+  /// PlannerOptions::DeadlineMs.
   std::shared_ptr<Plan> plan(const PlanSpec &Spec);
+
+  /// Deadline-bearing variant: plans under \p Deadline (unbounded deadlines
+  /// behave exactly like plan(Spec)) and reports the typed reason for a
+  /// null result through \p Err when non-null. A plan built under an
+  /// expired deadline is marked Plan::deadlinePressured() so callers can
+  /// choose not to memoize the degraded result.
+  std::shared_ptr<Plan> plan(const PlanSpec &Spec,
+                             const support::Deadline &Deadline,
+                             PlanError *Err = nullptr);
 
   /// Checks \p Spec without planning: reports Diagnostics errors and
   /// returns false on an invalid transform/size/datatype combination.

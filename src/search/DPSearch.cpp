@@ -13,6 +13,7 @@
 #include "telemetry/Metrics.h"
 
 #include <algorithm>
+#include <limits>
 
 using namespace spl;
 using namespace spl::search;
@@ -31,17 +32,42 @@ PlanKey DPSearch::wisdomKey(std::int64_t N) const {
   return K;
 }
 
+void DPSearch::noteDeadlineOnce() {
+  if (DeadlineNoted)
+    return;
+  DeadlineNoted = true;
+  static telemetry::Counter &Exceeded =
+      telemetry::counter("search.deadline_exceeded");
+  Exceeded.add();
+  Diags.warning(SourceLoc(), "search deadline exceeded; remaining candidates "
+                             "are scored as infinite cost and the best "
+                             "formula found so far wins");
+}
+
 std::vector<std::optional<VariantCost>>
 DPSearch::costAll(const std::vector<FormulaRef> &Cands) {
   std::vector<std::optional<VariantCost>> Costs(Cands.size());
+  constexpr double Inf = std::numeric_limits<double>::infinity();
   if (Opts.Threads > 1 && Cands.size() > 1) {
     if (!Pool)
       Pool = std::make_unique<ThreadPool>(static_cast<unsigned>(Opts.Threads));
+    // Workers observe the deadline through the evaluator, which scores
+    // expired candidates as infinite cost without compiling them.
     parallelFor(*Pool, Cands.size(),
                 [&](size_t I) { Costs[I] = Eval.costWithVariant(Cands[I]); });
+    if (Opts.Deadline.expired())
+      noteDeadlineOnce();
   } else {
-    for (size_t I = 0; I != Cands.size(); ++I)
+    for (size_t I = 0; I != Cands.size(); ++I) {
+      if (Opts.Deadline.expired()) {
+        // Budget spent: skip even candidate compilation, score the rest as
+        // losers, and let the first-minimum scan return best-so-far.
+        noteDeadlineOnce();
+        Costs[I] = VariantCost{Inf, codegen::CodegenVariant::Scalar};
+        continue;
+      }
       Costs[I] = Eval.costWithVariant(Cands[I]);
+    }
   }
   return Costs;
 }
@@ -92,6 +118,10 @@ DPSearch::entriesFromWisdom(std::int64_t N) {
 void DPSearch::recordWisdom(std::int64_t N,
                             const std::vector<Candidate> &Entries) {
   if (!Wisdom || Entries.empty())
+    return;
+  // A deadline-truncated result set is best-effort, not the search's real
+  // answer; persisting it would poison warm runs with partial winners.
+  if (DeadlineNoted || Opts.Deadline.expired())
     return;
   std::vector<PlanEntry> Out;
   Out.reserve(Entries.size());
@@ -210,6 +240,13 @@ const std::vector<Candidate> &DPSearch::largeEntries(std::int64_t N) {
     // expensive evaluations fan out over the pool.
     std::vector<FormulaRef> Cands;
     for (std::int64_t R = 2; R <= Opts.MaxLeaf && R * 2 <= N; R *= 2) {
+      // Out of budget: stop widening the candidate set, but only once at
+      // least one factorization exists — the search must still return a
+      // formula, just not the best one.
+      if (!Cands.empty() && Opts.Deadline.expired()) {
+        noteDeadlineOnce();
+        break;
+      }
       std::int64_t S = N / R;
       auto FR = searchSmallOne(R);
       if (!FR)

@@ -56,6 +56,14 @@ struct SearchOptions {
 
   /// Transform family name used in wisdom cache keys.
   std::string Transform = "fft";
+
+  /// Wall-clock budget for the whole search (default: unbounded). When it
+  /// expires mid-search the engine stops evaluating, scores the remaining
+  /// candidates as infinite cost, and returns the best formula found so far
+  /// — it never returns "no formula" merely because time ran out. The first
+  /// expiry observed bumps `search.deadline_exceeded`, and truncated result
+  /// sets are not recorded into wisdom.
+  support::Deadline Deadline;
 };
 
 /// One search result.
@@ -112,6 +120,10 @@ private:
 
   std::optional<Candidate> searchSmallOne(std::int64_t N);
   const std::vector<Candidate> &largeEntries(std::int64_t N);
+
+  /// Records (once per search) that the deadline cut evaluation short.
+  void noteDeadlineOnce();
+  bool DeadlineNoted = false;
 
   /// Costs every candidate, fanning out over the pool when configured.
   /// Result i corresponds to Cands[i]; nullopt where evaluation failed.

@@ -14,7 +14,9 @@
 #include "telemetry/Metrics.h"
 #include "vm/Executor.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <limits>
 #include <random>
@@ -45,6 +47,8 @@ std::optional<Compiled> Evaluator::compile(const FormulaRef &F) {
 }
 
 std::optional<double> Evaluator::cost(const FormulaRef &F) {
+  if (DL.expired())
+    return std::numeric_limits<double>::infinity();
   NumEvals.fetch_add(1, std::memory_order_relaxed);
   static telemetry::Counter &Evals =
       telemetry::counter("search.candidates_evaluated");
@@ -62,6 +66,9 @@ std::optional<double> Evaluator::cost(const FormulaRef &F) {
 }
 
 std::optional<VariantCost> Evaluator::costWithVariant(const FormulaRef &F) {
+  if (DL.expired())
+    return VariantCost{std::numeric_limits<double>::infinity(),
+                       codegen::CodegenVariant::Scalar};
   NumEvals.fetch_add(1, std::memory_order_relaxed);
   static telemetry::Counter &Evals =
       telemetry::counter("search.candidates_evaluated");
@@ -122,8 +129,21 @@ std::optional<double> runWithDeadline(const std::function<double()> &Fn,
 
 std::optional<double> Evaluator::timedCost(std::function<double()> Fn,
                                            const char *What) {
-  const double Budget = TimingTimeoutSeconds;
   for (int Attempt = 0; Attempt <= TimingRetries; ++Attempt) {
+    // Each attempt is capped by the *remaining* caller budget, not just the
+    // fixed SPL_EVAL_TIMEOUT_MS — otherwise a retry could double the
+    // worst-case candidate time for a caller that is already out of time.
+    const double Remaining = DL.remainingSeconds();
+    if (Remaining <= 0) {
+      Diags.warning(SourceLoc(),
+                    std::string(What) + " skipped: the search deadline is "
+                                        "spent; scoring the candidate as "
+                                        "infinite cost");
+      return std::numeric_limits<double>::infinity();
+    }
+    double Budget = TimingTimeoutSeconds;
+    if (std::isfinite(Remaining))
+      Budget = Budget > 0 ? std::min(Budget, Remaining) : Remaining;
     std::function<double()> Run = Fn;
     if (fault::at("eval-hang")) {
       // Sleep past the deadline, then fall through to the real measurement
@@ -193,6 +213,9 @@ NativeTimeEvaluator::timeVariant(const Compiled &C,
   perf::KernelError Err;
   perf::KernelBuildOptions BO;
   BO.Variant = Variant;
+  // The compiler subprocess is bounded by the remaining search budget, not
+  // just the fixed SPL_CC_TIMEOUT_MS.
+  BO.Deadline = DL;
   auto Built = perf::CompiledKernel::create(C.Final, &Err, BO);
   if (!Built) {
     if (Variant == codegen::CodegenVariant::Vector) {

@@ -19,6 +19,7 @@
 
 #include "codegen/VectorISA.h"
 #include "driver/Compiler.h"
+#include "support/Deadline.h"
 
 #include <atomic>
 #include <cstdint>
@@ -109,6 +110,14 @@ public:
   }
   double timingTimeoutSeconds() const { return TimingTimeoutSeconds; }
 
+  /// Caps all remaining evaluation work by \p D. Each watchdog attempt is
+  /// bounded by min(SPL_EVAL_TIMEOUT_MS, remaining budget), retries are
+  /// skipped once the budget is spent, and an expired deadline scores
+  /// candidates as infinite cost without measuring — so a caller that ran
+  /// out of budget never pays the watchdog-retry worst case.
+  void setDeadline(support::Deadline D) { DL = std::move(D); }
+  const support::Deadline &deadline() const { return DL; }
+
 protected:
   /// Costs an already-compiled candidate.
   virtual std::optional<double> costCompiled(const Compiled &C) = 0;
@@ -128,6 +137,7 @@ protected:
   Diagnostics &Diags;
   driver::CompilerOptions CompOpts;
   std::string Datatype = "complex";
+  support::Deadline DL;
 
 private:
   double TimingTimeoutSeconds;

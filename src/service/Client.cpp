@@ -8,8 +8,11 @@
 
 #include "service/Socket.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <limits>
+#include <random>
 #include <thread>
 
 #include <unistd.h>
@@ -40,6 +43,36 @@ void Client::disconnect() {
 void Client::fail(Status S, std::string Message) {
   LastStatus = S;
   LastError = std::move(Message);
+}
+
+std::uint32_t Client::wireDeadlineMs() const {
+  if (DL.unbounded())
+    return 0;
+  // Round up to at least 1 ms while any budget remains: a 0 on the wire
+  // would mean "unbounded", the opposite of a nearly spent deadline.
+  std::int64_t Ms = DL.remainingMs();
+  if (Ms < 1)
+    Ms = 1;
+  constexpr std::int64_t Cap = std::numeric_limits<std::uint32_t>::max();
+  return static_cast<std::uint32_t>(std::min(Ms, Cap));
+}
+
+bool Client::backoff(int Attempt) {
+  // Exponential with full doubling capped at 64 ms, then jittered into
+  // [half, full] so simultaneously rejected clients spread out instead of
+  // re-arriving as the same thundering herd that got them rejected.
+  static thread_local std::minstd_rand Rng(
+      std::random_device{}());
+  const double CapMs = static_cast<double>(1 << std::min(Attempt, 6));
+  std::uniform_real_distribution<double> Dist(CapMs * 0.5, CapMs);
+  double SleepMs = Dist(Rng);
+  const double RemainingMs = DL.remainingSeconds() * 1000.0;
+  if (RemainingMs <= 0)
+    return false; // Budget spent; the caller reports the last failure.
+  SleepMs = std::min(SleepMs, RemainingMs);
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+      SleepMs));
+  return !DL.expired();
 }
 
 std::optional<Frame> Client::roundTrip(MsgType Type,
@@ -91,6 +124,7 @@ std::optional<Frame> Client::roundTrip(MsgType Type,
 
 std::optional<PlanResponse> Client::plan(const runtime::PlanSpec &Spec) {
   PlanRequest Req;
+  Req.DeadlineMs = wireDeadlineMs();
   Req.Spec = WireSpec::fromSpec(Spec);
   auto F = roundTrip(MsgType::PlanReq, Req.encode(), MsgType::PlanResp);
   if (!F)
@@ -106,6 +140,7 @@ std::optional<PlanResponse> Client::plan(const runtime::PlanSpec &Spec) {
 bool Client::execute(const runtime::PlanSpec &Spec, double *Y, const double *X,
                      std::int64_t Count, std::int64_t VectorLen, int Threads) {
   ExecuteRequest Req;
+  Req.DeadlineMs = wireDeadlineMs();
   Req.Spec = WireSpec::fromSpec(Spec);
   Req.Count = Count;
   Req.Threads = Threads;
@@ -134,7 +169,8 @@ Client::planRetryBusy(const runtime::PlanSpec &Spec, int Retries) {
       return R;
     if (LastStatus != Status::Busy || Attempt >= Retries)
       return std::nullopt;
-    std::this_thread::sleep_for(std::chrono::milliseconds(1 + Attempt));
+    if (!backoff(Attempt))
+      return std::nullopt; // Deadline spent; LastStatus still says Busy.
   }
 }
 
@@ -147,7 +183,8 @@ bool Client::executeRetryBusy(const runtime::PlanSpec &Spec, double *Y,
       return true;
     if (LastStatus != Status::Busy || Attempt >= Retries)
       return false;
-    std::this_thread::sleep_for(std::chrono::milliseconds(1 + Attempt));
+    if (!backoff(Attempt))
+      return false;
   }
 }
 

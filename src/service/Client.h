@@ -20,6 +20,7 @@
 
 #include "service/Protocol.h"
 #include "service/Socket.h"
+#include "support/Deadline.h"
 
 #include <optional>
 #include <string>
@@ -45,6 +46,15 @@ public:
 
   bool connected() const { return Fd >= 0; }
 
+  /// Sets the end-to-end deadline subsequent requests run under. Each
+  /// request carries the budget still remaining when it is sent (the v3
+  /// DeadlineMs field), so the server stops working for this client the
+  /// moment the budget is gone — including time the request spent queued.
+  /// The retry helpers also stop retrying once the budget is spent. The
+  /// default (unbounded) sends DeadlineMs = 0.
+  void setDeadline(support::Deadline D) { DL = std::move(D); }
+  const support::Deadline &deadline() const { return DL; }
+
   /// Round-trips a plan request.
   std::optional<PlanResponse> plan(const runtime::PlanSpec &Spec);
 
@@ -55,7 +65,12 @@ public:
                std::int64_t Count, std::int64_t VectorLen, int Threads = 1);
 
   /// Like plan()/execute() but retrying typed BUSY rejections up to
-  /// \p Retries times with linear backoff. Any other failure is final.
+  /// \p Retries times with exponential backoff plus jitter (1 ms doubling
+  /// to a 64 ms cap, each sleep scattered over [half, full] so a rejected
+  /// thundering herd does not re-arrive in lockstep). Retrying stops early
+  /// — with the final failure recorded — when the client deadline is
+  /// spent; sleeps never overshoot the remaining budget. Any non-BUSY
+  /// failure is final.
   std::optional<PlanResponse> planRetryBusy(const runtime::PlanSpec &Spec,
                                             int Retries = 64);
   bool executeRetryBusy(const runtime::PlanSpec &Spec, double *Y,
@@ -88,10 +103,20 @@ private:
 
   void fail(Status S, std::string Message);
 
+  /// Sleeps one backoff step for retry \p Attempt, bounded by the
+  /// remaining deadline budget. False when the budget is already spent.
+  bool backoff(int Attempt);
+
+  /// The v3 deadline field for a request sent right now: the remaining
+  /// budget in whole milliseconds (at least 1 while any budget remains),
+  /// or 0 (unbounded) when no deadline is set.
+  std::uint32_t wireDeadlineMs() const;
+
   int Fd = -1;
   std::uint32_t NextId = 1;
   Status LastStatus = Status::Ok;
   std::string LastError;
+  support::Deadline DL;
 };
 
 } // namespace service

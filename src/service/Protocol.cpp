@@ -29,6 +29,8 @@ const char *spl::service::statusName(Status S) {
     return "shutting-down";
   case Status::Protocol:
     return "protocol-error";
+  case Status::DeadlineExceeded:
+    return "deadline-exceeded";
   }
   return "unknown";
 }
@@ -36,8 +38,11 @@ const char *spl::service::statusName(Status S) {
 // Status values 0..5 are tools/ExitCodes.h by construction (the library
 // cannot include tools/ headers without inverting the layering; spld
 // static_asserts the correspondence). Service-only codes collapse onto the
-// execution-failure stage.
+// execution-failure stage, except DeadlineExceeded, which owns the
+// ExitDeadline stage (6) so scripts can branch on "too slow".
 int spl::service::statusToExitCode(Status S) {
+  if (S == Status::DeadlineExceeded)
+    return 6;
   std::uint32_t V = static_cast<std::uint32_t>(S);
   return V <= 5 ? static_cast<int>(V) : 5;
 }
@@ -65,7 +70,8 @@ bool FrameHeader::decode(const std::uint8_t In[kHeaderBytes], FrameHeader &H) {
   H.Type = static_cast<MsgType>(R.u16());
   H.RequestId = R.u32();
   H.BodyLen = R.u32();
-  return R.ok() && H.Magic == kMagic && H.Version == kProtocolVersion;
+  return R.ok() && H.Magic == kMagic && H.Version >= kMinProtocolVersion &&
+         H.Version <= kProtocolVersion;
 }
 
 //===----------------------------------------------------------------------===//
@@ -121,17 +127,20 @@ bool WireSpec::decode(WireReader &R, WireSpec &Out) {
 // Bodies
 //===----------------------------------------------------------------------===//
 
-std::vector<std::uint8_t> PlanRequest::encode() const {
+std::vector<std::uint8_t> PlanRequest::encode(std::uint16_t Version) const {
   std::vector<std::uint8_t> Buf;
   WireWriter W(Buf);
+  if (Version >= 3)
+    W.u32(DeadlineMs);
   Spec.encode(W);
   return Buf;
 }
 
 bool PlanRequest::decode(const std::uint8_t *Data, std::size_t Len,
-                         PlanRequest &Out) {
+                         PlanRequest &Out, std::uint16_t Version) {
   WireReader R(Data, Len);
-  return WireSpec::decode(R, Out.Spec) && R.remaining() == 0;
+  Out.DeadlineMs = Version >= 3 ? R.u32() : 0;
+  return R.ok() && WireSpec::decode(R, Out.Spec) && R.remaining() == 0;
 }
 
 std::vector<std::uint8_t> PlanResponse::encode() const {
@@ -160,9 +169,11 @@ bool PlanResponse::decode(const std::uint8_t *Data, std::size_t Len,
   return R.ok() && R.remaining() == 0;
 }
 
-std::vector<std::uint8_t> ExecuteRequest::encode() const {
+std::vector<std::uint8_t> ExecuteRequest::encode(std::uint16_t Version) const {
   std::vector<std::uint8_t> Buf;
   WireWriter W(Buf);
+  if (Version >= 3)
+    W.u32(DeadlineMs);
   Spec.encode(W);
   W.i64(Count);
   W.u32(static_cast<std::uint32_t>(Threads));
@@ -172,9 +183,10 @@ std::vector<std::uint8_t> ExecuteRequest::encode() const {
 }
 
 bool ExecuteRequest::decode(const std::uint8_t *Data, std::size_t Len,
-                            ExecuteRequest &Out) {
+                            ExecuteRequest &Out, std::uint16_t Version) {
   WireReader R(Data, Len);
-  if (!WireSpec::decode(R, Out.Spec))
+  Out.DeadlineMs = Version >= 3 ? R.u32() : 0;
+  if (!R.ok() || !WireSpec::decode(R, Out.Spec))
     return false;
   Out.Count = R.i64();
   Out.Threads = static_cast<std::int32_t>(R.u32());

@@ -46,9 +46,19 @@ namespace service {
 constexpr std::uint32_t kMagic = 0x444C5053u;
 
 /// Protocol revision. Bump on any incompatible frame or body change; the
-/// server refuses other versions with a PROTOCOL error before dropping the
-/// connection. v2 added WireSpec::Codegen (the --codegen variant token).
-constexpr std::uint16_t kProtocolVersion = 2;
+/// server refuses versions outside [kMinProtocolVersion, kProtocolVersion]
+/// with a PROTOCOL error before dropping the connection. v2 added
+/// WireSpec::Codegen (the --codegen variant token). v3 prefixes plan and
+/// execute request bodies with a u32 deadline field: the client's remaining
+/// budget in milliseconds (0 = unbounded), measured from the moment the
+/// server decodes the frame. The server answers DEADLINE_EXCEEDED without
+/// touching the worker pool when a request's budget is already spent.
+constexpr std::uint16_t kProtocolVersion = 3;
+
+/// Oldest revision the server still speaks. v2 requests carry no deadline
+/// (treated as unbounded) and get v2-stamped responses back — response
+/// bodies are layout-identical across v2/v3.
+constexpr std::uint16_t kMinProtocolVersion = 2;
 
 /// Fixed serialized header size in bytes.
 constexpr std::size_t kHeaderBytes = 16;
@@ -87,6 +97,7 @@ enum class Status : std::uint32_t {
   TooLarge = 7,     ///< Frame or transform exceeds the server's caps.
   ShuttingDown = 8, ///< Server is draining; no new work accepted.
   Protocol = 9,     ///< Framing violation; the connection is dropped.
+  DeadlineExceeded = 10, ///< The request's deadline expired (v3).
 };
 
 /// Stable lowercase token for a status ("ok", "busy", ...).
@@ -94,7 +105,8 @@ const char *statusName(Status S);
 
 /// Maps a status onto the tools/ExitCodes.h stage a CLI should exit with.
 /// Service-only codes (Busy/TooLarge/ShuttingDown/Protocol) map to the
-/// execution-failure stage.
+/// execution-failure stage; DeadlineExceeded gets its own scriptable stage
+/// (ExitDeadline = 6) so callers can tell "too slow" from "failed".
 int statusToExitCode(Status S);
 
 //===----------------------------------------------------------------------===//
@@ -237,7 +249,8 @@ struct FrameHeader {
   void encode(std::uint8_t Out[kHeaderBytes]) const;
 
   /// Parses; false when the bytes cannot be a header of this protocol
-  /// (wrong magic or version) — the stream is unrecoverable then.
+  /// (wrong magic, or a version outside [kMinProtocolVersion,
+  /// kProtocolVersion]) — the stream is unrecoverable then.
   static bool decode(const std::uint8_t In[kHeaderBytes], FrameHeader &H);
 };
 
@@ -259,13 +272,20 @@ struct WireSpec {
   static bool decode(WireReader &R, WireSpec &Out);
 };
 
-/// PlanReq body.
+/// PlanReq body. v3 prefixes the body with DeadlineMs; v2 bodies carry the
+/// spec alone (DeadlineMs decodes as 0 = unbounded).
 struct PlanRequest {
+  /// Remaining client budget in milliseconds (0 = unbounded). The clock
+  /// starts when the server decodes the frame; queue time counts against
+  /// it, so a request that aged out in the queue is rejected unexecuted.
+  std::uint32_t DeadlineMs = 0;
   WireSpec Spec;
 
-  std::vector<std::uint8_t> encode() const;
+  std::vector<std::uint8_t> encode(std::uint16_t Version =
+                                       kProtocolVersion) const;
   static bool decode(const std::uint8_t *Data, std::size_t Len,
-                     PlanRequest &Out);
+                     PlanRequest &Out,
+                     std::uint16_t Version = kProtocolVersion);
 };
 
 /// PlanResp body: the server-side plan's identity and placement.
@@ -287,14 +307,19 @@ struct PlanResponse {
 /// doubles. The spec rides along (rather than a plan handle) so the request
 /// is stateless: the registry turns repeats into memo hits.
 struct ExecuteRequest {
+  /// Remaining client budget in milliseconds (0 = unbounded); see
+  /// PlanRequest::DeadlineMs. v3-only field, encoded first.
+  std::uint32_t DeadlineMs = 0;
   WireSpec Spec;
   std::int64_t Count = 1;
   std::int32_t Threads = 1; ///< Requested batch workers (server-capped).
   std::vector<double> Data; ///< Count * vectorLen doubles.
 
-  std::vector<std::uint8_t> encode() const;
+  std::vector<std::uint8_t> encode(std::uint16_t Version =
+                                       kProtocolVersion) const;
   static bool decode(const std::uint8_t *Data, std::size_t Len,
-                     ExecuteRequest &Out);
+                     ExecuteRequest &Out,
+                     std::uint16_t Version = kProtocolVersion);
 };
 
 /// ExecuteResp body: the transformed vectors, same layout as the request.

@@ -7,6 +7,7 @@
 #include "service/Server.h"
 
 #include "service/Socket.h"
+#include "support/CircuitBreaker.h"
 #include "telemetry/Metrics.h"
 #include "telemetry/Trace.h"
 
@@ -55,6 +56,20 @@ std::string jsonEscape(const std::string &S) {
   return Out;
 }
 
+/// The deadline field of a v3 plan/execute request without decoding the
+/// whole body: DeadlineMs is by design the first u32, so the reader thread
+/// can start the deadline clock at frame-read time (queue time must count
+/// against the budget). v2 frames and truncated bodies read as 0
+/// (unbounded here; a truncated v3 body still fails full decode later).
+std::uint32_t peekDeadlineMs(const Frame &F) {
+  if (F.Version < 3 || F.Body.size() < 4)
+    return 0;
+  return static_cast<std::uint32_t>(F.Body[0]) |
+         static_cast<std::uint32_t>(F.Body[1]) << 8 |
+         static_cast<std::uint32_t>(F.Body[2]) << 16 |
+         static_cast<std::uint32_t>(F.Body[3]) << 24;
+}
+
 /// Decrements the admission counters however a handler exits.
 struct AdmissionGuard {
   std::atomic<int> &Global;
@@ -81,11 +96,18 @@ Server::Server(ServerOptions OptsIn)
   telemetry::counter("spld.stats_requests");
   telemetry::counter("spld.rejected.busy");
   telemetry::counter("spld.rejected.too_large");
+  telemetry::counter("spld.deadline_exceeded");
   telemetry::counter("spld.errors");
   telemetry::gauge("spld.inflight");
   telemetry::gauge("spld.active_connections");
   telemetry::histogram("spld.plan_ns");
   telemetry::histogram("spld.execute_ns");
+  // The compile breaker is process-wide (one compiler, one breaker); the
+  // daemon is the one deployment where overload protection should be on by
+  // default, so spld's CLI passes a non-zero threshold here.
+  if (Opts.BreakerThreshold > 0)
+    support::compileBreaker().configure(Opts.BreakerThreshold,
+                                        Opts.BreakerCooldownMs);
 }
 
 Server::~Server() { stop(); }
@@ -223,21 +245,26 @@ void Server::acceptLoop() {
 }
 
 bool Server::sendFrame(Conn &C, MsgType Type, std::uint32_t RequestId,
-                       const std::vector<std::uint8_t> &Body) {
+                       const std::vector<std::uint8_t> &Body,
+                       std::uint16_t Version) {
   std::lock_guard<std::mutex> Lock(C.WriteM);
-  return writeFrame(C.Fd, Type, RequestId, Body);
+  return writeFrame(C.Fd, Type, RequestId, Body, Version);
 }
 
 void Server::sendError(Conn &C, std::uint32_t RequestId, Status Code,
-                       const std::string &Message) {
+                       const std::string &Message, std::uint16_t Version) {
   static telemetry::Counter &Errors = telemetry::counter("spld.errors");
   static telemetry::Counter &Busy = telemetry::counter("spld.rejected.busy");
   static telemetry::Counter &TooLarge =
       telemetry::counter("spld.rejected.too_large");
+  static telemetry::Counter &DeadlineHit =
+      telemetry::counter("spld.deadline_exceeded");
   if (Code == Status::Busy)
     Busy.add();
   else if (Code == Status::TooLarge)
     TooLarge.add();
+  else if (Code == Status::DeadlineExceeded)
+    DeadlineHit.add();
   else
     Errors.add();
   {
@@ -246,20 +273,22 @@ void Server::sendError(Conn &C, std::uint32_t RequestId, Status Code,
       ++S.RejectedBusy;
     else if (Code == Status::TooLarge)
       ++S.RejectedTooLarge;
+    else if (Code == Status::DeadlineExceeded)
+      ++S.RejectedDeadline;
     else
       ++S.Errors;
   }
   ErrorBody E;
   E.Code = Code;
   E.Message = Message;
-  sendFrame(C, MsgType::ErrorResp, RequestId, E.encode());
+  sendFrame(C, MsgType::ErrorResp, RequestId, E.encode(), Version);
 }
 
-bool Server::admit(Conn &C, std::uint32_t RequestId) {
+bool Server::admit(Conn &C, std::uint32_t RequestId, std::uint16_t Version) {
   static telemetry::Gauge &Inflight = telemetry::gauge("spld.inflight");
   if (ShutdownFlag.load()) {
     sendError(C, RequestId, Status::ShuttingDown,
-              "daemon is draining; no new work accepted");
+              "daemon is draining; no new work accepted", Version);
     return false;
   }
   if (GlobalInflight.fetch_add(1, std::memory_order_relaxed) >=
@@ -267,7 +296,8 @@ bool Server::admit(Conn &C, std::uint32_t RequestId) {
     GlobalInflight.fetch_sub(1, std::memory_order_relaxed);
     sendError(C, RequestId, Status::Busy,
               "server queue is full (" + std::to_string(Opts.MaxInflight) +
-                  " in flight); retry");
+                  " in flight); retry",
+              Version);
     return false;
   }
   if (C.Inflight.fetch_add(1, std::memory_order_relaxed) >=
@@ -276,7 +306,8 @@ bool Server::admit(Conn &C, std::uint32_t RequestId) {
     GlobalInflight.fetch_sub(1, std::memory_order_relaxed);
     sendError(C, RequestId, Status::Busy,
               "per-client quota exceeded (" +
-                  std::to_string(Opts.PerClientInflight) + " in flight)");
+                  std::to_string(Opts.PerClientInflight) + " in flight)",
+              Version);
     return false;
   }
   Inflight.add(1);
@@ -284,12 +315,14 @@ bool Server::admit(Conn &C, std::uint32_t RequestId) {
 }
 
 std::shared_ptr<runtime::Plan>
-Server::acquirePlan(Conn &C, std::uint32_t RequestId, const WireSpec &WS) {
+Server::acquirePlan(Conn &C, std::uint32_t RequestId, const WireSpec &WS,
+                    const support::Deadline &DL, std::uint16_t Version) {
   if (WS.Size > Opts.MaxTransformSize) {
     sendError(C, RequestId, Status::TooLarge,
               "transform size " + std::to_string(WS.Size) +
                   " exceeds the server cap of " +
-                  std::to_string(Opts.MaxTransformSize));
+                  std::to_string(Opts.MaxTransformSize),
+              Version);
     return nullptr;
   }
   bool SpecOK = false;
@@ -299,7 +332,8 @@ Server::acquirePlan(Conn &C, std::uint32_t RequestId, const WireSpec &WS) {
     sendError(C, RequestId, Status::BadRequest,
               !runtime::parseBackend(WS.Backend, B)
                   ? "unknown backend '" + WS.Backend + "'"
-                  : "unknown codegen mode '" + WS.Codegen + "'");
+                  : "unknown codegen mode '" + WS.Codegen + "'",
+              Version);
     return nullptr;
   }
   if (Opts.Codegen != runtime::CodegenMode::Auto)
@@ -308,32 +342,50 @@ Server::acquirePlan(Conn &C, std::uint32_t RequestId, const WireSpec &WS) {
   // requesting client instead of piling up in the daemon-wide log.
   Diagnostics Local;
   if (!runtime::Planner::validateSpec(Spec, Local)) {
-    sendError(C, RequestId, Status::BadSpec, Local.dump());
+    sendError(C, RequestId, Status::BadSpec, Local.dump(), Version);
     return nullptr;
   }
-  auto P = Registry.acquire(Spec);
+  runtime::PlanError PErr = runtime::PlanError::None;
+  auto P = Registry.acquire(Spec, DL, &PErr);
   if (!P) {
-    sendError(C, RequestId, Status::PlanFailed,
-              "planning failed server-side for '" + Spec.key() +
-                  "' (daemon log has diagnostics)");
+    if (PErr == runtime::PlanError::DeadlineExceeded) {
+      sendError(C, RequestId, Status::DeadlineExceeded,
+                "deadline expired while planning '" + Spec.key() + "'",
+                Version);
+    } else {
+      sendError(C, RequestId, Status::PlanFailed,
+                "planning failed server-side for '" + Spec.key() +
+                    "' (daemon log has diagnostics)",
+                Version);
+    }
     return nullptr;
   }
   return P;
 }
 
-void Server::handlePlan(std::shared_ptr<Conn> C, Frame F) {
+void Server::handlePlan(std::shared_ptr<Conn> C, Frame F,
+                        support::Deadline DL) {
   static telemetry::Gauge &Inflight = telemetry::gauge("spld.inflight");
   static telemetry::Histogram &PlanNs = telemetry::histogram("spld.plan_ns");
   AdmissionGuard Guard{GlobalInflight, C->Inflight, Inflight};
+
+  // Aged out in the pool queue: answer typed without starting the stage
+  // timer — an expired request must not consume (or be counted as) plan
+  // time.
+  if (DL.expired()) {
+    sendError(*C, F.RequestId, Status::DeadlineExceeded,
+              "deadline expired while queued for a worker", F.Version);
+    return;
+  }
   telemetry::StageTimer T("spld.plan", &PlanNs);
 
   PlanRequest Req;
-  if (!PlanRequest::decode(F.Body.data(), F.Body.size(), Req)) {
+  if (!PlanRequest::decode(F.Body.data(), F.Body.size(), Req, F.Version)) {
     sendError(*C, F.RequestId, Status::BadRequest,
-              "malformed plan request body");
+              "malformed plan request body", F.Version);
     return;
   }
-  auto P = acquirePlan(*C, F.RequestId, Req.Spec);
+  auto P = acquirePlan(*C, F.RequestId, Req.Spec, DL, F.Version);
   if (!P)
     return;
   {
@@ -348,28 +400,38 @@ void Server::handlePlan(std::shared_ptr<Conn> C, Frame F) {
   Resp.Fallback = P->usedFallback();
   Resp.FallbackReason = P->fallbackReason();
   Resp.FormulaText = P->formulaText();
-  sendFrame(*C, MsgType::PlanResp, F.RequestId, Resp.encode());
+  sendFrame(*C, MsgType::PlanResp, F.RequestId, Resp.encode(), F.Version);
 }
 
-void Server::handleExecute(std::shared_ptr<Conn> C, Frame F) {
+void Server::handleExecute(std::shared_ptr<Conn> C, Frame F,
+                           support::Deadline DL) {
   static telemetry::Gauge &Inflight = telemetry::gauge("spld.inflight");
   static telemetry::Histogram &ExecNs =
       telemetry::histogram("spld.execute_ns");
   AdmissionGuard Guard{GlobalInflight, C->Inflight, Inflight};
+
+  // Aged out in the pool queue: reject before the stage timer so expired
+  // requests never show up as execute time (the overload bench asserts
+  // the spld.execute_ns sample count stays flat during a deadline storm).
+  if (DL.expired()) {
+    sendError(*C, F.RequestId, Status::DeadlineExceeded,
+              "deadline expired while queued for a worker", F.Version);
+    return;
+  }
   telemetry::StageTimer T("spld.execute", &ExecNs);
 
   ExecuteRequest Req;
-  if (!ExecuteRequest::decode(F.Body.data(), F.Body.size(), Req)) {
+  if (!ExecuteRequest::decode(F.Body.data(), F.Body.size(), Req, F.Version)) {
     sendError(*C, F.RequestId, Status::BadRequest,
-              "malformed execute request body");
+              "malformed execute request body", F.Version);
     return;
   }
   if (Req.Count < 1) {
     sendError(*C, F.RequestId, Status::BadRequest,
-              "execute count must be >= 1");
+              "execute count must be >= 1", F.Version);
     return;
   }
-  auto P = acquirePlan(*C, F.RequestId, Req.Spec);
+  auto P = acquirePlan(*C, F.RequestId, Req.Spec, DL, F.Version);
   if (!P)
     return;
   // Count is untrusted wire input: `Count * Len` can overflow int64 and
@@ -383,7 +445,8 @@ void Server::handleExecute(std::shared_ptr<Conn> C, Frame F) {
     sendError(*C, F.RequestId, Status::BadRequest,
               "execute payload holds " + std::to_string(Req.Data.size()) +
                   " doubles; " + std::to_string(Req.Count) + " x " +
-                  std::to_string(Len) + " expected");
+                  std::to_string(Len) + " expected",
+              F.Version);
     return;
   }
   int Threads = Req.Threads < 1 ? 1
@@ -393,15 +456,25 @@ void Server::handleExecute(std::shared_ptr<Conn> C, Frame F) {
   Resp.Count = Req.Count;
   Resp.VectorLen = Len;
   Resp.Data.resize(Req.Data.size());
-  P->executeBatch(Resp.Data.data(), Req.Data.data(), Req.Count, Threads);
+  if (P->executeBatch(Resp.Data.data(), Req.Data.data(), Req.Count, DL,
+                      Threads) == runtime::ExecStatus::DeadlineExceeded) {
+    // Partial batches are never shipped: the client asked for Count
+    // results and gets a typed error instead of silently truncated data.
+    sendError(*C, F.RequestId, Status::DeadlineExceeded,
+              "deadline expired mid-batch after planning '" +
+                  P->spec().key() + "'",
+              F.Version);
+    return;
+  }
   {
     std::lock_guard<std::mutex> Lock(StatsM);
     ++S.Executes;
   }
-  sendFrame(*C, MsgType::ExecuteResp, F.RequestId, Resp.encode());
+  sendFrame(*C, MsgType::ExecuteResp, F.RequestId, Resp.encode(), F.Version);
 }
 
-void Server::handleStats(Conn &C, std::uint32_t RequestId) {
+void Server::handleStats(Conn &C, std::uint32_t RequestId,
+                         std::uint16_t Version) {
   static telemetry::Counter &StatsReqs =
       telemetry::counter("spld.stats_requests");
   StatsReqs.add();
@@ -416,7 +489,9 @@ void Server::handleStats(Conn &C, std::uint32_t RequestId) {
      << "\"executes\":" << Snap.Executes << ","
      << "\"rejected_busy\":" << Snap.RejectedBusy << ","
      << "\"rejected_too_large\":" << Snap.RejectedTooLarge << ","
+     << "\"rejected_deadline\":" << Snap.RejectedDeadline << ","
      << "\"errors\":" << Snap.Errors << ","
+     << "\"breaker\":\"" << support::compileBreaker().stateName() << "\","
      << "\"registry\":{\"plans\":" << Registry.size()
      << ",\"hits\":" << RS.Hits << ",\"misses\":" << RS.Misses
      << ",\"waits\":" << RS.Waits << "},"
@@ -424,7 +499,7 @@ void Server::handleStats(Conn &C, std::uint32_t RequestId) {
      << "},\"metrics\":" << telemetry::metricsJson() << "}";
   StatsResponse Resp;
   Resp.Json = SS.str();
-  sendFrame(C, MsgType::StatsResp, RequestId, Resp.encode());
+  sendFrame(C, MsgType::StatsResp, RequestId, Resp.encode(), Version);
 }
 
 void Server::connLoop(std::shared_ptr<Conn> C) {
@@ -455,41 +530,48 @@ void Server::connLoop(std::shared_ptr<Conn> C) {
     }
     switch (F.Type) {
     case MsgType::PingReq:
-      sendFrame(*C, MsgType::PingResp, F.RequestId, {});
+      sendFrame(*C, MsgType::PingResp, F.RequestId, {}, F.Version);
       break;
     case MsgType::StatsReq:
       // Answered inline on the reader thread: a scrape must succeed even
       // when every pool worker is busy planning.
-      handleStats(*C, F.RequestId);
+      handleStats(*C, F.RequestId, F.Version);
       break;
     case MsgType::ShutdownReq:
-      sendFrame(*C, MsgType::ShutdownResp, F.RequestId, {});
+      sendFrame(*C, MsgType::ShutdownResp, F.RequestId, {}, F.Version);
       requestShutdown();
       break;
     case MsgType::PlanReq:
-      if (admit(*C, F.RequestId)) {
+      if (admit(*C, F.RequestId, F.Version)) {
         static telemetry::Counter &PlanReqs =
             telemetry::counter("spld.plan_requests");
         PlanReqs.add();
-        Pool->run([this, C, F = std::move(F)]() mutable {
-          handlePlan(C, std::move(F));
+        // The deadline clock starts here, on the reader thread, so time
+        // spent queued for a pool worker counts against the budget.
+        support::Deadline DL = support::Deadline::afterMs(
+            peekDeadlineMs(F) ? peekDeadlineMs(F) : Opts.DefaultDeadlineMs);
+        Pool->run([this, C, F = std::move(F), DL]() mutable {
+          handlePlan(C, std::move(F), DL);
         });
       }
       break;
     case MsgType::ExecuteReq:
-      if (admit(*C, F.RequestId)) {
+      if (admit(*C, F.RequestId, F.Version)) {
         static telemetry::Counter &ExecReqs =
             telemetry::counter("spld.execute_requests");
         ExecReqs.add();
-        Pool->run([this, C, F = std::move(F)]() mutable {
-          handleExecute(C, std::move(F));
+        support::Deadline DL = support::Deadline::afterMs(
+            peekDeadlineMs(F) ? peekDeadlineMs(F) : Opts.DefaultDeadlineMs);
+        Pool->run([this, C, F = std::move(F), DL]() mutable {
+          handleExecute(C, std::move(F), DL);
         });
       }
       break;
     default:
       sendError(*C, F.RequestId, Status::BadRequest,
                 "unexpected frame type " +
-                    std::to_string(static_cast<unsigned>(F.Type)));
+                    std::to_string(static_cast<unsigned>(F.Type)),
+                F.Version);
       break;
     }
   }

@@ -74,6 +74,21 @@ struct ServerOptions {
   /// own mode; Scalar/Vector override every incoming spec.
   runtime::CodegenMode Codegen = runtime::CodegenMode::Auto;
 
+  /// Deadline applied to requests that carry none of their own (v2 clients
+  /// and v3 requests with DeadlineMs = 0). 0 keeps them unbounded. The
+  /// clock starts when the request frame is read, so queue time counts:
+  /// a request that ages out waiting for a worker is answered
+  /// DEADLINE_EXCEEDED without consuming pool time.
+  std::int64_t DefaultDeadlineMs = 0;
+
+  /// Consecutive native-compile failures before the process-wide compile
+  /// circuit breaker opens (plans degrade straight to the VM tier for the
+  /// cooldown). 0 leaves the breaker disabled; spld's CLI defaults to 5.
+  int BreakerThreshold = 0;
+
+  /// How long an open breaker stays open before admitting a probe compile.
+  std::int64_t BreakerCooldownMs = 5000;
+
   /// Planner configuration (evaluator, wisdom path, search threads...).
   runtime::PlannerOptions Planner;
 };
@@ -122,6 +137,7 @@ public:
     std::uint64_t Executes = 0;
     std::uint64_t RejectedBusy = 0;
     std::uint64_t RejectedTooLarge = 0;
+    std::uint64_t RejectedDeadline = 0; ///< Deadline spent (often in queue).
     std::uint64_t Errors = 0;
   };
   Stats stats() const;
@@ -141,22 +157,31 @@ private:
   void reapFinishedConns();
 
   /// True when the request was admitted (quota + global bounds); on false
-  /// the typed rejection was already sent.
-  bool admit(Conn &C, std::uint32_t RequestId);
+  /// the typed rejection was already sent (stamped with \p Version).
+  bool admit(Conn &C, std::uint32_t RequestId, std::uint16_t Version);
 
-  void handlePlan(std::shared_ptr<Conn> C, Frame F);
-  void handleExecute(std::shared_ptr<Conn> C, Frame F);
-  void handleStats(Conn &C, std::uint32_t RequestId);
+  /// \p DL is the request's end-to-end deadline, started when the frame
+  /// was read off the socket (so pool queue time counts against it).
+  void handlePlan(std::shared_ptr<Conn> C, Frame F, support::Deadline DL);
+  void handleExecute(std::shared_ptr<Conn> C, Frame F, support::Deadline DL);
+  void handleStats(Conn &C, std::uint32_t RequestId, std::uint16_t Version);
 
+  /// \p Version stamps the response header — always the request frame's
+  /// version, so a v2 client can validate what comes back.
   bool sendFrame(Conn &C, MsgType Type, std::uint32_t RequestId,
-                 const std::vector<std::uint8_t> &Body);
+                 const std::vector<std::uint8_t> &Body,
+                 std::uint16_t Version = kProtocolVersion);
   void sendError(Conn &C, std::uint32_t RequestId, Status Code,
-                 const std::string &Message);
+                 const std::string &Message,
+                 std::uint16_t Version = kProtocolVersion);
 
   /// Validates and acquires the plan for a wire spec; on failure sends the
-  /// typed error itself and returns null.
+  /// typed error itself and returns null. \p DL bounds both the wait on
+  /// another thread's in-flight pass and this caller's own planning.
   std::shared_ptr<runtime::Plan> acquirePlan(Conn &C, std::uint32_t RequestId,
-                                             const WireSpec &WS);
+                                             const WireSpec &WS,
+                                             const support::Deadline &DL,
+                                             std::uint16_t Version);
 
   ServerOptions Opts;
   Diagnostics Diags;

@@ -130,8 +130,10 @@ IoStatus spl::service::recvAll(int Fd, void *Data, std::size_t Len) {
 }
 
 bool spl::service::writeFrame(int Fd, MsgType Type, std::uint32_t RequestId,
-                              const std::vector<std::uint8_t> &Body) {
+                              const std::vector<std::uint8_t> &Body,
+                              std::uint16_t Version) {
   FrameHeader H;
+  H.Version = Version;
   H.Type = Type;
   H.RequestId = RequestId;
   H.BodyLen = static_cast<std::uint32_t>(Body.size());
@@ -155,6 +157,7 @@ IoStatus spl::service::readFrame(int Fd, std::uint32_t MaxBodyBytes,
     return IoStatus::BadFrame;
   Out.Type = H.Type;
   Out.RequestId = H.RequestId;
+  Out.Version = H.Version;
   if (H.BodyLen > MaxBodyBytes) {
     // Drain and discard so the connection stays usable for the TOO_LARGE
     // reply and whatever the client sends next.

@@ -39,6 +39,10 @@ enum class IoStatus {
 struct Frame {
   MsgType Type = MsgType::PingReq;
   std::uint32_t RequestId = 0;
+  /// The protocol revision the peer stamped on the header. The server
+  /// decodes the body per this version and echoes it on the response so a
+  /// v2 client never sees a version it cannot validate.
+  std::uint16_t Version = kProtocolVersion;
   std::vector<std::uint8_t> Body;
 };
 
@@ -58,9 +62,11 @@ bool sendAll(int Fd, const void *Data, std::size_t Len);
 /// or Error (mid-buffer EOF or syscall failure).
 IoStatus recvAll(int Fd, void *Data, std::size_t Len);
 
-/// Sends one frame: header + body.
+/// Sends one frame: header + body. \p Version stamps the header — servers
+/// pass the request frame's version so old clients can decode the reply.
 bool writeFrame(int Fd, MsgType Type, std::uint32_t RequestId,
-                const std::vector<std::uint8_t> &Body);
+                const std::vector<std::uint8_t> &Body,
+                std::uint16_t Version = kProtocolVersion);
 
 /// Reads one frame, validating the header and capping the body at
 /// \p MaxBodyBytes. On TooBig the offending body is consumed (so the

@@ -27,6 +27,8 @@
 ///   trial-crash           trial execution of a fresh kernel segfaults
 ///   trial-hang            trial execution hangs until its timeout
 ///   vm-exec               the VM tier fails at plan time (forces oracle)
+///   breaker-trip          forces the compile circuit breaker open (plans
+///                         degrade straight to VM for the cooldown window)
 ///
 //===----------------------------------------------------------------------===//
 

@@ -26,6 +26,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -648,6 +649,102 @@ TEST(Planner, VectorWinnerWisdomDegradesWithHostISA) {
     EXPECT_LT(maxAbsDiff(deinterleave(YR), dftMatrix(8).apply(X)), 1e-10);
   }
   std::remove(Path.c_str());
+}
+
+TEST(Plan, ExecuteBatchHonorsDeadlineWithoutTouchingOutput) {
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, testOptions());
+  runtime::PlanSpec Spec;
+  Spec.Size = 16;
+  Spec.Want = runtime::Backend::VM;
+  auto P = Planner.plan(Spec);
+  ASSERT_TRUE(P) << Diags.dump();
+
+  const std::int64_t Len = P->vectorLen();
+  std::vector<double> X(static_cast<size_t>(8 * Len), 0.25);
+  std::vector<double> Y(X.size(), -7.0);
+
+  telemetry::setMetricsEnabled(true);
+  const std::uint64_t Rejected0 =
+      telemetry::counter("runtime.deadline_exceeded").value();
+
+  support::Deadline Dead = support::Deadline::afterMs(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(P->executeBatch(Y.data(), X.data(), 8, Dead, 1),
+            runtime::ExecStatus::DeadlineExceeded);
+  for (double V : Y)
+    EXPECT_EQ(V, -7.0) << "a rejected batch must not touch the output";
+
+  // Cancellation rides the same token as clock expiry.
+  support::Deadline Cancelled = support::Deadline::afterMs(60000);
+  Cancelled.cancel();
+  EXPECT_EQ(P->execute(Y.data(), X.data(), Cancelled),
+            runtime::ExecStatus::DeadlineExceeded);
+  EXPECT_GT(telemetry::counter("runtime.deadline_exceeded").value(),
+            Rejected0);
+  telemetry::setMetricsEnabled(false);
+  telemetry::resetAllMetrics();
+
+  // An unbounded deadline behaves exactly like the legacy entry points.
+  EXPECT_EQ(P->executeBatch(Y.data(), X.data(), 8, support::Deadline(), 1),
+            runtime::ExecStatus::Ok);
+  EXPECT_NE(Y[0], -7.0);
+}
+
+TEST(Planner, ExpiredDeadlineStillYieldsAWorkingPressuredPlan) {
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, testOptions());
+  runtime::PlanSpec Spec;
+  Spec.Size = 32;
+
+  support::Deadline Dead = support::Deadline::afterMs(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  runtime::PlanError Err = runtime::PlanError::None;
+  auto P = Planner.plan(Spec, Dead, &Err);
+  ASSERT_TRUE(P) << Diags.dump();
+  EXPECT_TRUE(P->deadlinePressured());
+  // The compile slice was spent, so the plan degraded below the native
+  // tier rather than forking a compiler it had no budget for.
+  EXPECT_NE(P->backend(), runtime::Backend::Native);
+
+  // Pressured does not mean wrong: the answer still matches an unpressured
+  // plan of the same spec.
+  auto Ref = Planner.plan(Spec);
+  ASSERT_TRUE(Ref) << Diags.dump();
+  EXPECT_FALSE(Ref->deadlinePressured());
+  const std::int64_t Len = P->vectorLen();
+  std::vector<double> X(static_cast<size_t>(Len));
+  for (std::int64_t I = 0; I != Len; ++I)
+    X[static_cast<size_t>(I)] = 0.1 * static_cast<double>(I % 13) - 0.5;
+  std::vector<double> Y1(X.size()), Y2(X.size());
+  P->execute(Y1.data(), X.data());
+  Ref->execute(Y2.data(), X.data());
+  for (size_t I = 0; I != X.size(); ++I)
+    EXPECT_NEAR(Y1[I], Y2[I], 1e-10);
+}
+
+TEST(PlanRegistry, PressuredPlansAreNotMemoized) {
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, testOptions());
+  runtime::PlanRegistry Registry(Planner);
+  runtime::PlanSpec Spec;
+  Spec.Size = 16;
+  Spec.Want = runtime::Backend::VM;
+
+  support::Deadline Dead = support::Deadline::afterMs(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  runtime::PlanError Err = runtime::PlanError::None;
+  auto P1 = Registry.acquire(Spec, Dead, &Err);
+  ASSERT_TRUE(P1) << Diags.dump();
+  EXPECT_TRUE(P1->deadlinePressured());
+
+  // The next unpressured caller must get a fresh full-quality plan, not
+  // the degraded one — and THAT plan is the one the registry keeps.
+  auto P2 = Registry.acquire(Spec);
+  ASSERT_TRUE(P2) << Diags.dump();
+  EXPECT_FALSE(P2->deadlinePressured());
+  EXPECT_NE(P1.get(), P2.get());
+  EXPECT_EQ(P2.get(), Registry.acquire(Spec).get());
 }
 
 } // namespace

@@ -16,9 +16,15 @@
 #include "ir/Builder.h"
 #include "ir/Transforms.h"
 #include "search/DPSearch.h"
+#include "search/PlanCache.h"
+#include "support/Deadline.h"
+#include "telemetry/Metrics.h"
 #include "vm/Executor.h"
 
 #include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
 
 using namespace spl;
 using namespace spl::test;
@@ -149,6 +155,61 @@ TEST(Search, KeepOneIsNeverBetterThanKeepThree) {
   ASSERT_FALSE(E1.empty());
   ASSERT_FALSE(E3.empty());
   EXPECT_LE(E3.front().Cost, E1.front().Cost * 1.0001);
+}
+
+TEST(Search, ExpiredDeadlineReturnsBestEffortAndCounts) {
+  telemetry::setMetricsEnabled(true);
+  const std::uint64_t Exceeded0 =
+      telemetry::counter("search.deadline_exceeded").value();
+
+  Diagnostics Diags;
+  search::OpCountEvaluator Eval(Diags, searchOptions());
+  support::Deadline Dead = support::Deadline::afterMs(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  Eval.setDeadline(Dead);
+  search::SearchOptions SOpts;
+  SOpts.MaxLeaf = 16;
+  SOpts.Deadline = Dead;
+  search::DPSearch Search(Eval, Diags, SOpts);
+
+  // Out of budget before the first candidate: the search must still hand
+  // back a correct (if unoptimized) formula rather than nothing.
+  auto Best = Search.best(64);
+  ASSERT_TRUE(Best) << Diags.dump();
+  EXPECT_LT(Best->Formula->toMatrix().maxAbsDiff(dftMatrix(64)), 1e-9)
+      << Best->Formula->print();
+  EXPECT_GT(telemetry::counter("search.deadline_exceeded").value(),
+            Exceeded0);
+  telemetry::setMetricsEnabled(false);
+  telemetry::resetAllMetrics();
+}
+
+TEST(Search, TruncatedSearchNeverRecordsWisdom) {
+  Diagnostics Diags;
+  search::OpCountEvaluator Eval(Diags, searchOptions());
+  search::PlanCache Wisdom(Diags);
+
+  {
+    support::Deadline Dead = support::Deadline::afterMs(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    Eval.setDeadline(Dead);
+    search::SearchOptions SOpts;
+    SOpts.MaxLeaf = 16;
+    SOpts.Deadline = Dead;
+    search::DPSearch Search(Eval, Diags, SOpts, &Wisdom);
+    ASSERT_TRUE(Search.best(64));
+    // A best-effort winner must never be persisted: a warm run would
+    // inherit the truncated table as if it were the search's real answer.
+    EXPECT_EQ(Wisdom.size(), 0u);
+  }
+
+  // The same search with budget records its wisdom as usual.
+  Eval.setDeadline(support::Deadline());
+  search::SearchOptions SOpts;
+  SOpts.MaxLeaf = 16;
+  search::DPSearch Search(Eval, Diags, SOpts, &Wisdom);
+  ASSERT_TRUE(Search.best(64));
+  EXPECT_GT(Wisdom.size(), 0u);
 }
 
 } // namespace

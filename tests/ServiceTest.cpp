@@ -18,6 +18,7 @@
 #include "service/Client.h"
 #include "service/Server.h"
 #include "service/Socket.h"
+#include "support/Deadline.h"
 #include "support/FaultInjection.h"
 #include "telemetry/Metrics.h"
 
@@ -71,6 +72,15 @@ TEST(Protocol, HeaderRejectsBadMagicAndVersion) {
 
   std::memcpy(Bad, Buf, kHeaderBytes);
   Bad[4] += 1; // Unsupported version.
+  EXPECT_FALSE(FrameHeader::decode(Bad, Out));
+
+  // The floor of the compatibility window still decodes: a v2 client's
+  // frames are valid, and the decoded header remembers their revision.
+  std::memcpy(Bad, Buf, kHeaderBytes);
+  Bad[4] = 2;
+  ASSERT_TRUE(FrameHeader::decode(Bad, Out));
+  EXPECT_EQ(Out.Version, 2u);
+  Bad[4] = 1; // Below the floor.
   EXPECT_FALSE(FrameHeader::decode(Bad, Out));
 }
 
@@ -168,12 +178,60 @@ TEST(Protocol, TruncatedBodiesAreRejected) {
       ExecuteRequest::decode(EBytes.data(), EBytes.size(), EOut));
 }
 
+TEST(Protocol, DeadlineFieldIsVersionGated) {
+  // v3 request bodies lead with DeadlineMs; v2 bodies never carried it and
+  // must keep decoding as "unbounded". This is the compatibility contract
+  // that lets old clients talk to a new daemon unchanged.
+  PlanRequest Req;
+  Req.Spec.Transform = "fft";
+  Req.Spec.Size = 32;
+  Req.DeadlineMs = 1500;
+
+  auto V3 = Req.encode();
+  PlanRequest Out;
+  ASSERT_TRUE(PlanRequest::decode(V3.data(), V3.size(), Out));
+  EXPECT_EQ(Out.DeadlineMs, 1500u);
+
+  auto V2 = Req.encode(2);
+  ASSERT_EQ(V2.size(), V3.size() - 4); // Exactly the DeadlineMs prefix.
+  PlanRequest Out2;
+  ASSERT_TRUE(PlanRequest::decode(V2.data(), V2.size(), Out2, 2));
+  EXPECT_EQ(Out2.DeadlineMs, 0u);
+  EXPECT_EQ(Out2.Spec.Size, 32);
+
+  // Truncation inside the deadline prefix fails cleanly, never reads past
+  // the buffer, and never half-populates the spec.
+  for (std::size_t Cut = 0; Cut < 4; ++Cut)
+    EXPECT_FALSE(PlanRequest::decode(V3.data(), Cut, Out))
+        << "accepted a v3 body truncated to " << Cut << " bytes";
+
+  ExecuteRequest EReq;
+  EReq.Spec.Transform = "wht";
+  EReq.Spec.Size = 8;
+  EReq.DeadlineMs = 250;
+  EReq.Count = 1;
+  EReq.Data.assign(8, 1.0);
+  auto E3 = EReq.encode();
+  ExecuteRequest EOut;
+  ASSERT_TRUE(ExecuteRequest::decode(E3.data(), E3.size(), EOut));
+  EXPECT_EQ(EOut.DeadlineMs, 250u);
+  auto E2 = EReq.encode(2);
+  ASSERT_EQ(E2.size(), E3.size() - 4);
+  ASSERT_TRUE(ExecuteRequest::decode(E2.data(), E2.size(), EOut, 2));
+  EXPECT_EQ(EOut.DeadlineMs, 0u);
+  ASSERT_EQ(EOut.Data.size(), 8u);
+}
+
 TEST(Protocol, StatusMapsOntoCliExitCodes) {
   EXPECT_EQ(statusToExitCode(Status::Ok), 0);
   EXPECT_EQ(statusToExitCode(Status::BadRequest), 2);
   EXPECT_EQ(statusToExitCode(Status::BadSpec), 3);
   EXPECT_EQ(statusToExitCode(Status::PlanFailed), 4);
   EXPECT_EQ(statusToExitCode(Status::ExecFailed), 5);
+  // A spent budget has its own exit code so scripts can tell "slow" from
+  // "wrong" without parsing stderr.
+  EXPECT_EQ(statusToExitCode(Status::DeadlineExceeded), 6);
+  EXPECT_STREQ(statusName(Status::DeadlineExceeded), "deadline-exceeded");
   // Service-only statuses collapse onto the execution stage.
   EXPECT_EQ(statusToExitCode(Status::Busy), 5);
   EXPECT_EQ(statusToExitCode(Status::TooLarge), 5);
@@ -521,6 +579,111 @@ TEST_F(ServiceTest, WisdomSurvivesShutdown) {
   EXPECT_GE(Reloaded.size(), Held) << "wisdom entries lost across shutdown";
   EXPECT_EQ(Reloaded.stats().Skipped, 0u);
   ::unlink(Wisdom.c_str());
+}
+
+TEST_F(ServiceTest, V2FramesAreServedAndVersionEchoed) {
+  // A v2 client (no DeadlineMs field, version 2 stamped on every header)
+  // must get full service, and every response must echo version 2 so the
+  // old client's own header validation accepts it.
+  startServer();
+  std::string Err;
+  int Fd = connectUnix(Path, Err);
+  ASSERT_GE(Fd, 0) << Err;
+
+  PlanRequest Req;
+  Req.Spec = WireSpec::fromSpec(vmSpec("fft", 16));
+  ASSERT_TRUE(writeFrame(Fd, MsgType::PlanReq, 21, Req.encode(2), 2));
+  Frame F;
+  ASSERT_EQ(readFrame(Fd, kDefaultMaxFrameBytes, F), IoStatus::Ok);
+  ASSERT_EQ(F.Type, MsgType::PlanResp) << statusName(Status::Ok);
+  EXPECT_EQ(F.RequestId, 21u);
+  EXPECT_EQ(F.Version, 2u);
+  PlanResponse PR;
+  ASSERT_TRUE(PlanResponse::decode(F.Body.data(), F.Body.size(), PR));
+  EXPECT_EQ(PR.VectorLen, 32); // Complex interleaved fft 16.
+
+  // Execution over the v2 framing matches a v3 client bit for bit.
+  ExecuteRequest EReq;
+  EReq.Spec = WireSpec::fromSpec(vmSpec("fft", 16));
+  EReq.Count = 1;
+  EReq.Data.assign(32, 0.0);
+  EReq.Data[0] = 1.0; // Impulse: the FFT is all-ones.
+  ASSERT_TRUE(writeFrame(Fd, MsgType::ExecuteReq, 22, EReq.encode(2), 2));
+  ASSERT_EQ(readFrame(Fd, kDefaultMaxFrameBytes, F), IoStatus::Ok);
+  ASSERT_EQ(F.Type, MsgType::ExecuteResp);
+  EXPECT_EQ(F.Version, 2u);
+  ExecuteResponse ER;
+  ASSERT_TRUE(ExecuteResponse::decode(F.Body.data(), F.Body.size(), ER));
+  ASSERT_EQ(ER.Data.size(), 32u);
+  for (std::size_t I = 0; I < ER.Data.size(); ++I)
+    EXPECT_EQ(ER.Data[I], (I % 2) == 0 ? 1.0 : 0.0) << "element " << I;
+  ::close(Fd);
+}
+
+TEST_F(ServiceTest, TruncatedDeadlineFieldGetsTypedError) {
+  // A v3 frame whose body ends inside the DeadlineMs prefix is malformed,
+  // not fatal: the daemon answers a typed BAD_REQUEST and keeps serving
+  // the connection.
+  startServer();
+  std::string Err;
+  int Fd = connectUnix(Path, Err);
+  ASSERT_GE(Fd, 0) << Err;
+
+  PlanRequest Req;
+  Req.Spec = WireSpec::fromSpec(vmSpec("wht", 8));
+  auto Full = Req.encode();
+  for (std::size_t Cut : {std::size_t(0), std::size_t(2), std::size_t(3)}) {
+    std::vector<std::uint8_t> Short(Full.begin(), Full.begin() + Cut);
+    ASSERT_TRUE(writeFrame(Fd, MsgType::PlanReq, 30 + Cut, Short));
+    Frame F;
+    ASSERT_EQ(readFrame(Fd, kDefaultMaxFrameBytes, F), IoStatus::Ok);
+    ASSERT_EQ(F.Type, MsgType::ErrorResp) << "cut at " << Cut;
+    ErrorBody E;
+    ASSERT_TRUE(ErrorBody::decode(F.Body.data(), F.Body.size(), E));
+    EXPECT_EQ(E.Code, Status::BadRequest) << "cut at " << Cut;
+  }
+
+  // The connection survived all three malformed bodies.
+  ASSERT_TRUE(writeFrame(Fd, MsgType::PlanReq, 40, Full));
+  Frame F;
+  ASSERT_EQ(readFrame(Fd, kDefaultMaxFrameBytes, F), IoStatus::Ok);
+  EXPECT_EQ(F.Type, MsgType::PlanResp);
+  ::close(Fd);
+}
+
+TEST_F(ServiceTest, ExpiredInQueueIsRejectedWithTypedStatus) {
+  // One worker, occupied by a timed search: a request whose entire budget
+  // is 1 ms expires while queued and must come back DEADLINE_EXCEEDED
+  // without the pool ever running it.
+  startServer([](ServerOptions &O) {
+    O.Workers = 1;
+    O.Planner.Evaluator = "vmtime"; // Timed search: reliably non-instant.
+  });
+  std::string Err;
+  int Fd = connectUnix(Path, Err);
+  ASSERT_GE(Fd, 0) << Err;
+  PlanRequest Slow;
+  Slow.Spec = WireSpec::fromSpec(vmSpec("fft", 128));
+  ASSERT_TRUE(writeFrame(Fd, MsgType::PlanReq, 1, Slow.encode()));
+  // Give the worker time to pick the slow search up so the next request
+  // is guaranteed to queue behind it rather than race it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  Client C;
+  C.setDeadline(support::Deadline::afterMs(1));
+  ASSERT_TRUE(C.connect(Path)) << C.lastError();
+  EXPECT_FALSE(C.plan(vmSpec("wht", 8)));
+  EXPECT_EQ(C.lastStatus(), Status::DeadlineExceeded) << C.lastError();
+  EXPECT_NE(C.lastError().find("deadline"), std::string::npos)
+      << C.lastError();
+
+  // The slow plan behind it is unharmed, and the rejection is visible in
+  // the daemon's own accounting.
+  Frame F;
+  ASSERT_EQ(readFrame(Fd, kDefaultMaxFrameBytes, F), IoStatus::Ok);
+  EXPECT_EQ(F.Type, MsgType::PlanResp);
+  ::close(Fd);
+  EXPECT_GE(Srv->stats().RejectedDeadline, 1u);
 }
 
 TEST_F(ServiceTest, DegradesUnderInjectedFaultInsteadOfFailing) {

@@ -5,14 +5,19 @@
 //===----------------------------------------------------------------------===//
 
 #include "ir/Matrix.h"
+#include "support/CircuitBreaker.h"
+#include "support/Deadline.h"
 #include "support/Diagnostics.h"
+#include "support/FaultInjection.h"
 #include "support/StrUtil.h"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <random>
+#include <thread>
 
 using namespace spl;
 
@@ -81,6 +86,102 @@ TEST(SourceLoc, Validity) {
   EXPECT_TRUE(SourceLoc(1, 1).isValid());
   EXPECT_EQ(SourceLoc().str(), "<unknown>");
   EXPECT_EQ(SourceLoc(12, 5).str(), "12:5");
+}
+
+TEST(Deadline, UnboundedNeverExpires) {
+  support::Deadline D;
+  EXPECT_TRUE(D.unbounded());
+  EXPECT_FALSE(D.expired());
+  EXPECT_TRUE(std::isinf(D.remainingSeconds()));
+  // afterMs(0) and negative budgets mean "no deadline", matching the wire
+  // protocol's 0 = unbounded.
+  EXPECT_TRUE(support::Deadline::afterMs(0).unbounded());
+  EXPECT_TRUE(support::Deadline::afterMs(-5).unbounded());
+  // Slicing an unbounded deadline stays unbounded.
+  EXPECT_TRUE(D.slice(0.5).unbounded());
+}
+
+TEST(Deadline, BudgetExpires) {
+  support::Deadline D = support::Deadline::afterMs(1);
+  EXPECT_FALSE(D.unbounded());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(D.expired());
+  EXPECT_LE(D.remainingSeconds(), 0.0); // Goes negative past the deadline.
+  EXPECT_EQ(D.remainingMs(), 0);        // But the ms view clamps at zero.
+}
+
+TEST(Deadline, CancelPropagatesThroughSlices) {
+  support::Deadline D = support::Deadline::afterMs(60000);
+  support::Deadline Slice = D.slice(0.5);
+  EXPECT_FALSE(Slice.expired());
+  EXPECT_LE(Slice.remainingSeconds(), D.remainingSeconds());
+  // The slice shares the parent's cancel token: cancelling either side
+  // expires both immediately.
+  D.cancel();
+  EXPECT_TRUE(D.cancelled());
+  EXPECT_TRUE(Slice.expired());
+  EXPECT_EQ(Slice.remainingSeconds(), 0.0);
+}
+
+TEST(CircuitBreaker, TripsAfterConsecutiveFailuresAndProbes) {
+  if (fault::armed())
+    GTEST_SKIP() << "external fault matrix armed (breaker-trip would fire)";
+  support::CircuitBreaker B;
+  // Disabled (the default): always allow, outcomes are ignored.
+  EXPECT_FALSE(B.enabled());
+  EXPECT_TRUE(B.allow());
+  B.recordFailure();
+  B.recordFailure();
+  EXPECT_TRUE(B.allow());
+
+  B.configure(2, 50);
+  EXPECT_TRUE(B.enabled());
+  EXPECT_EQ(B.state(), support::CircuitBreaker::State::Closed);
+  // A success between failures resets the consecutive count.
+  EXPECT_TRUE(B.allow());
+  B.recordFailure();
+  EXPECT_TRUE(B.allow());
+  B.recordSuccess();
+  EXPECT_TRUE(B.allow());
+  B.recordFailure();
+  EXPECT_EQ(B.state(), support::CircuitBreaker::State::Closed);
+  EXPECT_TRUE(B.allow());
+  B.recordFailure();
+  // Two consecutive failures: open, and every attempt fails fast.
+  EXPECT_EQ(B.state(), support::CircuitBreaker::State::Open);
+  EXPECT_FALSE(B.allow());
+  EXPECT_NE(B.describe().find("circuit breaker open"), std::string::npos);
+
+  // After the cooldown exactly one half-open probe is admitted; its
+  // failure reopens the breaker with a fresh cooldown.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_TRUE(B.allow());
+  EXPECT_FALSE(B.allow()); // The probe is in flight; nobody else enters.
+  B.recordFailure();
+  EXPECT_EQ(B.state(), support::CircuitBreaker::State::Open);
+  EXPECT_FALSE(B.allow());
+
+  // A successful probe closes it again.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_TRUE(B.allow());
+  B.recordSuccess();
+  EXPECT_EQ(B.state(), support::CircuitBreaker::State::Closed);
+  EXPECT_TRUE(B.allow());
+  B.recordSuccess();
+}
+
+TEST(CircuitBreaker, TripAndResetAreImmediate) {
+  if (fault::armed())
+    GTEST_SKIP() << "external fault matrix armed (breaker-trip would fire)";
+  support::CircuitBreaker B;
+  B.configure(5, 50000);
+  B.trip(); // The breaker-trip fault site calls exactly this.
+  EXPECT_EQ(B.state(), support::CircuitBreaker::State::Open);
+  EXPECT_FALSE(B.allow());
+  B.reset();
+  EXPECT_EQ(B.state(), support::CircuitBreaker::State::Closed);
+  EXPECT_TRUE(B.allow());
+  B.recordSuccess();
 }
 
 } // namespace

@@ -14,6 +14,9 @@
 ///   3  parse error: the SPL source or transform spec was rejected
 ///   4  compile/search error: planning, search, or code generation failed
 ///   5  execution error: running or verifying the transform failed
+///   6  deadline exceeded: the --deadline-ms budget (or the server-side
+///      deadline) expired before the work finished; retrying with a larger
+///      budget may succeed, which is why it is distinct from 4/5
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +32,7 @@ enum ExitCode {
   ExitParse = 3,
   ExitCompile = 4,
   ExitExec = 5,
+  ExitDeadline = 6,
 };
 
 } // namespace tools

@@ -33,6 +33,10 @@
 ///     --search-eval <e>  cost model: opcount (default) | vmtime | native
 ///     --search-threads <t>  candidate-evaluation worker threads
 ///     --search-leaf <n>  largest straight-line sub-transform (default 16)
+///     --deadline-ms <n>  budget for the DP search (0 = unbounded); an
+///                        expired budget yields the best formula found so
+///                        far, or exit code 6 if none was completed. A
+///                        truncated search is never recorded as wisdom
 ///     --wisdom <file>    persistent plan cache location
 ///                        (default: $SPL_WISDOM or ~/.spl_wisdom)
 ///     --no-wisdom        neither read nor write the plan cache
@@ -42,7 +46,7 @@
 ///     --no-kernel-cache  never read or write the kernel cache
 ///
 /// Exit codes (tools/ExitCodes.h): 0 ok, 2 usage, 3 parse error,
-/// 4 compile/search error, 5 cannot write output.
+/// 4 compile/search error, 5 cannot write output, 6 deadline exceeded.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -55,6 +59,7 @@
 #include "frontend/Parser.h"
 #include "perf/KernelCache.h"
 #include "search/DPSearch.h"
+#include "support/Deadline.h"
 #include "support/Diagnostics.h"
 #include "telemetry/Metrics.h"
 
@@ -78,7 +83,7 @@ void printUsage() {
                "[--profile] [file.spl]\n"
                "       splc --best-fft n [--codegen auto|scalar|vector] "
                "[--search-eval opcount|vmtime|native] "
-               "[--search-threads t] [--search-leaf n] "
+               "[--search-threads t] [--search-leaf n] [--deadline-ms n] "
                "[--wisdom file] [--no-wisdom] [--kernel-cache dir] "
                "[--no-kernel-cache] [common options]\n"
                "       splc --version    print version, build date and "
@@ -96,6 +101,7 @@ int main(int Argc, char **Argv) {
   bool Profile = false;
   std::int64_t BestFFT = 0;
   std::int64_t SearchLeaf = 16;
+  std::int64_t DeadlineMs = 0;
   std::string SearchEval = "opcount";
   std::string CodegenArg = "auto";
 
@@ -167,6 +173,12 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "splc: error: --search-leaf must be >= 2\n");
         return tools::ExitUsage;
       }
+    } else if (Arg == "--deadline-ms" && I + 1 < Argc) {
+      DeadlineMs = std::atoll(Argv[++I]);
+      if (DeadlineMs < 0) {
+        std::fprintf(stderr, "splc: error: --deadline-ms must be >= 0\n");
+        return tools::ExitUsage;
+      }
     } else if (Arg == "--wisdom" && I + 1 < Argc) {
       Opts.WisdomPath = Argv[++I];
     } else if (Arg == "--no-wisdom") {
@@ -188,7 +200,8 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "-o" || Arg == "-B" || Arg == "-u" || Arg == "-l" ||
                Arg == "--best-fft" || Arg == "--codegen" ||
                Arg == "--search-eval" || Arg == "--search-threads" ||
-               Arg == "--search-leaf" || Arg == "--wisdom") {
+               Arg == "--search-leaf" || Arg == "--deadline-ms" ||
+               Arg == "--wisdom") {
       // A value-taking flag in last position: every I+1 check above failed.
       std::fprintf(stderr, "splc: error: option '%s' needs a value\n",
                    Arg.c_str());
@@ -242,14 +255,27 @@ int main(int Argc, char **Argv) {
     if (Opts.UseWisdom)
       Wisdom.load(WisdomPath);
 
+    // The whole --deadline-ms budget goes to the search; the search layer
+    // hands back its best-so-far formula when the budget expires and never
+    // records a truncated table as wisdom.
+    const support::Deadline DL = support::Deadline::afterMs(DeadlineMs);
+    Eval->setDeadline(DL);
+
     search::SearchOptions SOpts;
     SOpts.MaxLeaf = SearchLeaf;
     SOpts.Threads = Opts.SearchThreads;
+    SOpts.Deadline = DL;
     search::DPSearch Search(*Eval, Diags, SOpts,
                             Opts.UseWisdom ? &Wisdom : nullptr);
     auto Best = Search.best(BestFFT);
     if (!Best) {
       std::fputs(Diags.dump().c_str(), stderr);
+      if (DL.expired()) {
+        std::fprintf(stderr,
+                     "splc: error: the --deadline-ms budget expired before "
+                     "any formula was evaluated\n");
+        return tools::ExitDeadline;
+      }
       return tools::ExitCompile;
     }
     if (Opts.UseWisdom)

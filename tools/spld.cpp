@@ -19,6 +19,17 @@
 ///     --max-frame-mb <n>     largest request/response frame (default 64)
 ///     --max-size <n>         largest accepted transform size (default 65536)
 ///     --exec-threads <n>     cap on per-request batch workers (default 4)
+///     --default-deadline-ms <n>  deadline applied to requests that carry
+///                            none of their own (0 = unbounded, default);
+///                            queue time counts, so aged-out requests are
+///                            answered DEADLINE_EXCEEDED unexecuted
+///     --breaker-threshold <k>  consecutive native-compile failures before
+///                            the compile circuit breaker opens and plans
+///                            degrade straight to the VM tier (default 5;
+///                            0 disables the breaker)
+///     --breaker-cooldown-ms <n>  how long an open breaker stays open
+///                            before admitting a probe compile (default
+///                            5000)
 ///     --codegen auto|scalar|vector   server-wide codegen policy: auto
 ///                            honors each request's mode, scalar/vector
 ///                            override every spec (docs/VECTORIZATION.md)
@@ -64,6 +75,9 @@ static_assert(static_cast<int>(service::Status::PlanFailed) ==
               tools::ExitCompile);
 static_assert(static_cast<int>(service::Status::ExecFailed) ==
               tools::ExitExec);
+// DeadlineExceeded is service-only (wire value 10) but owns a CLI stage of
+// its own; statusToExitCode is the one place that mapping lives.
+static_assert(static_cast<int>(service::Status::DeadlineExceeded) == 10);
 
 namespace {
 
@@ -77,6 +91,8 @@ void printUsage() {
       "usage: spld --socket path [--workers n] [--max-inflight n]\n"
       "            [--per-client n] [--max-frame-mb n] [--max-size n]\n"
       "            [--exec-threads n] [--codegen auto|scalar|vector]\n"
+      "            [--default-deadline-ms n] [--breaker-threshold k]\n"
+      "            [--breaker-cooldown-ms n]\n"
       "            [--eval opcount|vmtime|native]\n"
       "            [--search-threads t] [--wisdom file] [--no-wisdom]\n"
       "            [--kernel-cache dir] [--no-kernel-cache] [--version]\n");
@@ -86,6 +102,11 @@ void printUsage() {
 
 int main(int Argc, char **Argv) {
   service::ServerOptions Opts;
+  // The daemon is the deployment that needs overload protection on by
+  // default: one wedged compiler must not serially time out for every
+  // tenant. Library users (and the CLI tools) keep the breaker off unless
+  // asked.
+  Opts.BreakerThreshold = 5;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -116,6 +137,27 @@ int main(int Argc, char **Argv) {
       Opts.MaxTransformSize = std::atoll(Next("--max-size"));
     } else if (Arg == "--exec-threads") {
       Opts.MaxExecThreads = std::atoi(Next("--exec-threads"));
+    } else if (Arg == "--default-deadline-ms") {
+      Opts.DefaultDeadlineMs = std::atoll(Next("--default-deadline-ms"));
+      if (Opts.DefaultDeadlineMs < 0) {
+        std::fprintf(stderr,
+                     "spld: error: --default-deadline-ms must be >= 0\n");
+        return tools::ExitUsage;
+      }
+    } else if (Arg == "--breaker-threshold") {
+      Opts.BreakerThreshold = std::atoi(Next("--breaker-threshold"));
+      if (Opts.BreakerThreshold < 0) {
+        std::fprintf(stderr,
+                     "spld: error: --breaker-threshold must be >= 0\n");
+        return tools::ExitUsage;
+      }
+    } else if (Arg == "--breaker-cooldown-ms") {
+      Opts.BreakerCooldownMs = std::atoll(Next("--breaker-cooldown-ms"));
+      if (Opts.BreakerCooldownMs < 1) {
+        std::fprintf(stderr,
+                     "spld: error: --breaker-cooldown-ms must be >= 1\n");
+        return tools::ExitUsage;
+      }
     } else if (Arg == "--codegen") {
       std::string Name = Next("--codegen");
       if (!runtime::parseCodegenMode(Name, Opts.Codegen)) {

@@ -15,6 +15,11 @@
 ///     --size <n>            transform size (required)
 ///     --batch <b>           vectors per batch (default 1)
 ///     --threads <t>         batch worker threads (default 1)
+///     --deadline-ms <n>     end-to-end budget covering planning plus the
+///                           timed batch (0 = unbounded, the default);
+///                           exit code 6 when it expires first. With
+///                           --connect the remaining budget rides each
+///                           request as the protocol v3 deadline field
 ///     --connect <socket>    serve the request through a running spld
 ///                           daemon instead of planning in-process
 ///     --shutdown            (with --connect) ask the daemon to drain and
@@ -39,7 +44,7 @@
 ///     --version             print version, build date and compiler
 ///
 /// Exit codes (tools/ExitCodes.h): 0 ok, 2 usage, 3 spec rejected,
-/// 4 planning/search failed, 5 verification failed.
+/// 4 planning/search failed, 5 verification failed, 6 deadline exceeded.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -51,6 +56,7 @@
 #include "runtime/PlanRegistry.h"
 #include "runtime/Planner.h"
 #include "service/Client.h"
+#include "support/Deadline.h"
 #include "support/Timer.h"
 #include "telemetry/Trace.h"
 
@@ -70,7 +76,7 @@ void printUsage() {
       stderr,
       "usage: splrun --size n [--transform fft|wht] [--batch b] "
       "[--threads t]\n"
-      "              [--backend auto|native|vm|oracle]\n"
+      "              [--deadline-ms n] [--backend auto|native|vm|oracle]\n"
       "              [--codegen auto|scalar|vector] [--unroll n] [--leaf n]\n"
       "              [--eval opcount|vmtime|native] [--search-threads t]\n"
       "              [--wisdom file] [--no-wisdom] [--kernel-cache dir]\n"
@@ -122,9 +128,12 @@ int clientFail(const service::Client &C, const char *What) {
 /// needed) and asserts resend determinism.
 int runConnected(const std::string &Socket, const runtime::PlanSpec &Spec,
                  runtime::PlannerOptions POpts, std::int64_t Batch,
-                 int Threads, bool Verify, bool Stats,
+                 int Threads, std::int64_t DeadlineMs, bool Verify, bool Stats,
                  const std::string &StatsJsonPath, bool Shutdown) {
   service::Client Client;
+  // The deadline clock starts before connect(): a daemon slow to accept is
+  // spending the caller's budget too.
+  Client.setDeadline(support::Deadline::afterMs(DeadlineMs));
   if (!Client.connect(Socket))
     return clientFail(Client, "cannot connect");
 
@@ -223,6 +232,7 @@ int main(int Argc, char **Argv) {
   runtime::PlannerOptions POpts;
   std::int64_t Batch = 1;
   int Threads = 1;
+  std::int64_t DeadlineMs = 0;
   bool Verify = false;
   bool Stats = false;
   std::string StatsJsonPath;
@@ -247,6 +257,12 @@ int main(int Argc, char **Argv) {
       Batch = std::atoll(Next("--batch"));
     } else if (Arg == "--threads") {
       Threads = std::atoi(Next("--threads"));
+    } else if (Arg == "--deadline-ms") {
+      DeadlineMs = std::atoll(Next("--deadline-ms"));
+      if (DeadlineMs < 0) {
+        std::fprintf(stderr, "splrun: error: --deadline-ms must be >= 0\n");
+        return tools::ExitUsage;
+      }
     } else if (Arg == "--backend") {
       std::string Name = Next("--backend");
       if (!runtime::parseBackend(Name, Spec.Want)) {
@@ -340,17 +356,28 @@ int main(int Argc, char **Argv) {
   }
 
   if (!ConnectPath.empty())
-    return runConnected(ConnectPath, Spec, POpts, Batch, Threads, Verify,
-                        Stats, StatsJsonPath, Shutdown);
+    return runConnected(ConnectPath, Spec, POpts, Batch, Threads, DeadlineMs,
+                        Verify, Stats, StatsJsonPath, Shutdown);
 
   runtime::Planner Planner(Diags, POpts);
   runtime::PlanRegistry Registry(Planner);
 
+  // One budget covers planning and the timed batch: whatever planning
+  // leaves over bounds execution.
+  const support::Deadline DL = support::Deadline::afterMs(DeadlineMs);
+
   Timer PlanWall;
-  auto Plan = Registry.acquire(Spec);
+  runtime::PlanError PErr = runtime::PlanError::None;
+  auto Plan = Registry.acquire(Spec, DL, &PErr);
   double PlanSeconds = PlanWall.seconds();
   if (!Plan) {
     std::fputs(Diags.dump().c_str(), stderr);
+    if (PErr == runtime::PlanError::DeadlineExceeded) {
+      std::fprintf(stderr,
+                   "splrun: error: the --deadline-ms budget expired while "
+                   "planning\n");
+      return tools::ExitDeadline;
+    }
     return tools::ExitCompile;
   }
   if (POpts.UseWisdom)
@@ -370,9 +397,15 @@ int main(int Argc, char **Argv) {
   std::printf("single-vector latency: %.3f us (%.1f kvec/s)\n", Single * 1e6,
               1e-3 / Single);
 
-  // Batched throughput at the requested thread count.
+  // Batched throughput at the requested thread count, bounded by whatever
+  // the planning pass left of the deadline budget.
   Timer BatchWall;
-  Plan->executeBatch(Y.data(), X.data(), Batch, Threads);
+  if (Plan->executeBatch(Y.data(), X.data(), Batch, DL, Threads) ==
+      runtime::ExecStatus::DeadlineExceeded) {
+    std::fprintf(stderr, "splrun: error: the --deadline-ms budget expired "
+                         "before the batch finished\n");
+    return tools::ExitDeadline;
+  }
   double BatchSeconds = BatchWall.seconds();
   std::printf("batch %lld @ %d thread%s: %.3f s (%.1f kvec/s)\n",
               static_cast<long long>(Batch), Threads,
