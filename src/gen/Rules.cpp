@@ -185,6 +185,49 @@ FormulaRef gen::ruleDCT4ViaDCT2(std::int64_t N, FormulaRef Dct2N) {
       {makeGenMatrix(std::move(S)), std::move(Dct2N), makeDiagonal(std::move(D))});
 }
 
+FormulaRef gen::ruleDCT3Base2() {
+  return makeCompose(makeDFT(2),
+                     makeDiagonal({Cplx(1, 0), Cplx(1 / std::sqrt(2.0), 0)}));
+}
+
+FormulaRef gen::ruleDCT3EvenOdd(std::int64_t N, FormulaRef Dct3Half,
+                                FormulaRef Dct4Half) {
+  assert(N >= 4 && N % 2 == 0 && "even-odd rule needs even n >= 4");
+  std::int64_t H = N / 2;
+  // Q_n^T: the inverse of the DCT-II mirror pairing. Row j reads z_{2j}
+  // and row n-1-j reads z_{2j+1} (1-based targets).
+  std::vector<std::int64_t> Qt(N);
+  for (std::int64_t J = 0; J != H; ++J) {
+    Qt[J] = 2 * J + 1;
+    Qt[N - 1 - J] = 2 * J + 2;
+  }
+  return makeCompose({makePermutation(std::move(Qt)),
+                      makeTensor(makeIdentity(H), makeDFT(2)),
+                      makeStride(N, H),
+                      makeDirectSum(std::move(Dct3Half), std::move(Dct4Half)),
+                      makeStride(N, 2)});
+}
+
+FormulaRef gen::ruleRDFTViaComplexFFT(std::int64_t N, FormulaRef FftN) {
+  assert(N >= 2 && N % 2 == 0 && "halfcomplex extraction needs even n");
+  // X_n: row k <= n/2 takes (Y_k + Y_{n-k}) / 2 = Re Y_k (rows 0 and n/2
+  // collapse to a single 1), row n-k takes (Y_k - Y_{n-k}) / (2i) = Im Y_k
+  // (Y_{n-k} = conj Y_k on real input; as a matrix identity the pairing
+  // cancels the imaginary parts without that assumption). Every row
+  // combines a conjugate pair, so X_n F_n is entrywise real and equals
+  // rdftMatrix(n).
+  std::vector<std::vector<Cplx>> X(N, std::vector<Cplx>(N, Cplx(0, 0)));
+  X[0][0] = Cplx(1, 0);
+  X[N / 2][N / 2] = Cplx(1, 0);
+  for (std::int64_t K = 1; K != N / 2; ++K) {
+    X[K][K] = Cplx(0.5, 0);
+    X[K][N - K] = Cplx(0.5, 0);
+    X[N - K][K] = Cplx(0, -0.5);
+    X[N - K][N - K] = Cplx(0, 0.5);
+  }
+  return makeCompose(makeGenMatrix(std::move(X)), std::move(FftN));
+}
+
 FormulaRef gen::recursiveFFT(std::int64_t N, int Variant) {
   assert(N >= 2 && (N & (N - 1)) == 0 && "size must be a power of two");
   if (N == 2)
@@ -210,6 +253,13 @@ FormulaRef gen::recursiveDCT2(std::int64_t N) {
   return ruleDCT2EvenOdd(N, recursiveDCT2(N / 2), recursiveDCT4(N / 2));
 }
 
+FormulaRef gen::recursiveDCT3(std::int64_t N) {
+  assert(N >= 2 && (N & (N - 1)) == 0 && "size must be a power of two");
+  if (N == 2)
+    return ruleDCT3Base2();
+  return ruleDCT3EvenOdd(N, recursiveDCT3(N / 2), recursiveDCT4(N / 2));
+}
+
 FormulaRef gen::recursiveDCT4(std::int64_t N) {
   assert(N >= 1 && (N & (N - 1)) == 0 && "size must be a power of two");
   if (N == 1) {
@@ -217,4 +267,9 @@ FormulaRef gen::recursiveDCT4(std::int64_t N) {
     return makeDiagonal({Cplx(std::cos(Pi / 4), 0)});
   }
   return ruleDCT4ViaDCT2(N, recursiveDCT2(N));
+}
+
+FormulaRef gen::recursiveRDFT(std::int64_t N) {
+  assert(N >= 2 && (N & (N - 1)) == 0 && "size must be a power of two");
+  return ruleRDFTViaComplexFFT(N, recursiveFFT(N));
 }

@@ -86,6 +86,27 @@ FormulaRef ruleDCT2EvenOdd(std::int64_t N, FormulaRef Dct2Half,
 /// all-ones band matrix (the paper's "DCTIV_n = S . DCTII_n . D").
 FormulaRef ruleDCT4ViaDCT2(std::int64_t N, FormulaRef Dct2N);
 
+/// DCT-III base case: DCTIII_2 = F_2 diag(1, 1/sqrt(2)) (the transpose of
+/// the DCT-II base case; DCT-III is the transpose of DCT-II throughout).
+FormulaRef ruleDCT3Base2();
+
+/// Recursive DCT-III rule for even n — the transpose of ruleDCT2EvenOdd
+/// (F_2, DCT-IV and the direct sum are symmetric; L^n_2 and L^n_{n/2}
+/// transpose into each other):
+/// DCTIII_n = Q_n^T (I_{n/2} (x) F_2) L^n_{n/2}
+///            (DCTIII_{n/2} (+) DCTIV_{n/2}) L^n_2.
+FormulaRef ruleDCT3EvenOdd(std::int64_t N, FormulaRef Dct3Half,
+                           FormulaRef Dct4Half);
+
+/// The real-input DFT in halfcomplex layout, via the complex FFT:
+/// RDFT_n = X_n F_n, where X_n extracts (Re Y_0, Re Y_1, ..., Re Y_{n/2},
+/// Im Y_{n/2-1}, ..., Im Y_1) from the complex spectrum using conjugate
+/// pairs: row k <= n/2 is (Y_k + Y_{n-k}) / 2 and row n-k is
+/// (Y_{n-k} - Y_k) / (2i). The product is an entrywise-real matrix equal to
+/// rdftMatrix(n) — no "input must be real" side condition is needed.
+/// \p FftN computes F_n (pass makeDFT or a searched factorization).
+FormulaRef ruleRDFTViaComplexFFT(std::int64_t N, FormulaRef FftN);
+
 /// Fully recursive FFT formula of size n = 2^k built with rule \p Variant
 /// at every level, splitting as r=2 ("right-most"), down to (F 2) leaves.
 /// Variant: 0 DIT, 1 DIF, 2 parallel, 3 vector.
@@ -94,8 +115,14 @@ FormulaRef recursiveFFT(std::int64_t N, int Variant = 0);
 /// Fully recursive DCT-II of size n = 2^k via the even-odd rule.
 FormulaRef recursiveDCT2(std::int64_t N);
 
+/// Fully recursive DCT-III of size n = 2^k via the transposed even-odd rule.
+FormulaRef recursiveDCT3(std::int64_t N);
+
 /// Fully recursive DCT-IV of size n = 2^k (via DCT-II).
 FormulaRef recursiveDCT4(std::int64_t N);
+
+/// RDFT of size n = 2^k: ruleRDFTViaComplexFFT over a recursive FFT.
+FormulaRef recursiveRDFT(std::int64_t N);
 
 } // namespace gen
 } // namespace spl

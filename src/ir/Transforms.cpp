@@ -85,10 +85,24 @@ double spl::dct2Entry(std::int64_t N, std::int64_t K, std::int64_t J) {
                   Pi / (2.0 * static_cast<double>(N)));
 }
 
+double spl::dct3Entry(std::int64_t N, std::int64_t K, std::int64_t J) {
+  return dct2Entry(N, J, K);
+}
+
 double spl::dct4Entry(std::int64_t N, std::int64_t K, std::int64_t J) {
   return std::cos((2.0 * static_cast<double>(K) + 1) *
                   (2.0 * static_cast<double>(J) + 1) * Pi /
                   (4.0 * static_cast<double>(N)));
+}
+
+double spl::rdftEntry(std::int64_t N, std::int64_t K, std::int64_t J) {
+  assert(N > 0 && K >= 0 && K < N && J >= 0 && J < N && "bad rdft index");
+  if (K <= N / 2) {
+    Cplx W = wRoot(N, (K % N) * (J % N) % N);
+    return W.real();
+  }
+  Cplx W = wRoot(N, ((N - K) % N) * (J % N) % N);
+  return W.imag();
 }
 
 Matrix spl::dftMatrix(std::int64_t N) {
@@ -129,10 +143,26 @@ Matrix spl::dct2Matrix(std::int64_t N) {
   return M;
 }
 
+Matrix spl::dct3Matrix(std::int64_t N) {
+  Matrix M(N, N);
+  for (std::int64_t K = 0; K != N; ++K)
+    for (std::int64_t J = 0; J != N; ++J)
+      M.at(K, J) = Cplx(dct3Entry(N, K, J), 0);
+  return M;
+}
+
 Matrix spl::dct4Matrix(std::int64_t N) {
   Matrix M(N, N);
   for (std::int64_t K = 0; K != N; ++K)
     for (std::int64_t J = 0; J != N; ++J)
       M.at(K, J) = Cplx(dct4Entry(N, K, J), 0);
+  return M;
+}
+
+Matrix spl::rdftMatrix(std::int64_t N) {
+  Matrix M(N, N);
+  for (std::int64_t K = 0; K != N; ++K)
+    for (std::int64_t J = 0; J != N; ++J)
+      M.at(K, J) = Cplx(rdftEntry(N, K, J), 0);
   return M;
 }

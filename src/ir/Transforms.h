@@ -44,9 +44,19 @@ double whtEntry(std::int64_t N, std::int64_t K, std::int64_t J);
 /// Element (k,j) of the unnormalized DCT type II: cos(k*(2j+1)*pi / (2n)).
 double dct2Entry(std::int64_t N, std::int64_t K, std::int64_t J);
 
+/// Element (k,j) of the unnormalized DCT type III (the transpose of the
+/// DCT-II definition above): cos(j*(2k+1)*pi / (2n)).
+double dct3Entry(std::int64_t N, std::int64_t K, std::int64_t J);
+
 /// Element (k,j) of the unnormalized DCT type IV:
 /// cos((2k+1)*(2j+1)*pi / (4n)).
 double dct4Entry(std::int64_t N, std::int64_t K, std::int64_t J);
+
+/// Element (k,j) of the real-input DFT in FFTW's "r2hc" halfcomplex
+/// layout: row k <= n/2 produces Re Y_k = sum_j x_j cos(2 pi k j / n),
+/// and row k > n/2 produces Im Y_{n-k} = -sum_j x_j sin(2 pi (n-k) j / n),
+/// so the output vector is (r_0, r_1, ..., r_{n/2}, i_{n/2-1}, ..., i_1).
+double rdftEntry(std::int64_t N, std::int64_t K, std::int64_t J);
 
 /// Dense n-point DFT matrix.
 Matrix dftMatrix(std::int64_t N);
@@ -63,8 +73,14 @@ Matrix whtMatrix(std::int64_t N);
 /// Dense unnormalized DCT-II matrix.
 Matrix dct2Matrix(std::int64_t N);
 
+/// Dense unnormalized DCT-III matrix (DCT-II transposed).
+Matrix dct3Matrix(std::int64_t N);
+
 /// Dense unnormalized DCT-IV matrix.
 Matrix dct4Matrix(std::int64_t N);
+
+/// Dense real n x n matrix of the halfcomplex real-input DFT (rdftEntry).
+Matrix rdftMatrix(std::int64_t N);
 
 } // namespace spl
 

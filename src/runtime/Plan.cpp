@@ -7,6 +7,7 @@
 #include "runtime/Plan.h"
 
 #include "telemetry/Trace.h"
+#include "transforms/Registry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -69,12 +70,23 @@ bool spl::runtime::parseCodegenMode(const std::string &Name, CodegenMode &Out) {
 }
 
 std::string PlanSpec::key() const {
+  std::string Type = Datatype;
+  if (Type.empty()) {
+    const transforms::TransformInfo *TI = transforms::lookup(Transform);
+    Type = TI ? TI->NaturalDatatype : "complex";
+  }
   std::ostringstream SS;
-  SS << Transform << " " << Size << " "
-     << (Datatype.empty() ? (Transform == "wht" ? "real" : "complex")
-                          : Datatype)
-     << " B" << UnrollThreshold << " L" << MaxLeaf << " "
-     << backendName(Want) << " " << codegenModeName(Codegen);
+  SS << Transform << " " << Size << " " << Type << " B" << UnrollThreshold
+     << " L" << MaxLeaf << " " << backendName(Want) << " "
+     << codegenModeName(Codegen);
+  // Multi-dimensional shapes get a suffix so "fft 1024" (1-D) and
+  // "fft 32x32" (row-column) never share a registry slot; 1-D keys are
+  // byte-identical to what they were before shapes existed.
+  if (Shape.size() >= 2) {
+    SS << " S";
+    for (size_t I = 0; I != Shape.size(); ++I)
+      SS << (I ? "x" : "") << Shape[I];
+  }
   return SS.str();
 }
 
@@ -92,8 +104,12 @@ std::unique_ptr<Plan::ExecCtx> Plan::acquireCtx() {
     Ctx->VM = std::make_unique<vm::Executor>(Final);
   Ctx->Scratch.resize(static_cast<std::size_t>(IOLen));
   if (Lanes > 1) {
-    Ctx->PackX.resize(static_cast<std::size_t>(IOLen) * Lanes);
-    Ctx->PackY.resize(static_cast<std::size_t>(IOLen) * Lanes);
+    Ctx->PackX.resize(static_cast<std::size_t>(KernelLen) * Lanes);
+    Ctx->PackY.resize(static_cast<std::size_t>(KernelLen) * Lanes);
+  }
+  if (IOLayout == Layout::HalfComplex && Resolved != Backend::Oracle) {
+    Ctx->KernIn.resize(static_cast<std::size_t>(KernelLen));
+    Ctx->KernOut.resize(static_cast<std::size_t>(KernelLen));
   }
   return Ctx;
 }
@@ -105,10 +121,14 @@ void Plan::releaseCtx(std::unique_ptr<ExecCtx> Ctx) {
 
 void Plan::applyOracle(double *Y, const double *X) const {
   // The input is fully read into a complex vector before Y is written, so
-  // in-place calls (Y == X) need no scratch on this tier.
+  // in-place calls (Y == X) need no scratch on this tier. The oracle
+  // matrix always has user-facing semantics: interleaved complex pairs for
+  // Interleaved plans, real-in/real-out otherwise (a halfcomplex plan's
+  // oracle is the entrywise-real rdft matrix, so its output is already in
+  // halfcomplex order).
   const size_t N = OracleMat.cols();
   std::vector<Cplx> In(N);
-  if (Final.LoweredToReal) {
+  if (IOLayout == Layout::Interleaved) {
     for (size_t I = 0; I != N; ++I)
       In[I] = Cplx(X[2 * I], X[2 * I + 1]);
     std::vector<Cplx> Out = OracleMat.apply(In);
@@ -131,10 +151,41 @@ void Plan::runGroup(ExecCtx &Ctx, double *Y, const double *X, std::int64_t K,
   const std::int64_t M = Lanes;
   double *PX = Ctx.PackX.data();
   double *PY = Ctx.PackY.data();
+  // The staging buffers feed the kernel's aligned SIMD loads directly, so
+  // their alignment is a correctness contract, not a fast-path hint.
+  assert(reinterpret_cast<std::uintptr_t>(PX) % AlignedBuffer::Alignment ==
+             0 &&
+         reinterpret_cast<std::uintptr_t>(PY) % AlignedBuffer::Alignment ==
+             0 &&
+         "lane staging buffers must be AlignedBuffer-aligned");
   // Slot-major staging: physical double s of column j lives at s*M + j, so
   // the M columns of one slot are the contiguous lane group the kernel's
   // SIMD loads expect. The input is fully read before the kernel writes
   // PY, which makes Y == X (in place) safe without extra scratch.
+  if (IOLayout == Layout::HalfComplex) {
+    // Kernel-facing slots are interleaved complex: even slot 2j is the
+    // real input x_j, odd slots are the zero imaginary parts.
+    for (std::int64_t S = 0; S != KernelLen; ++S) {
+      const bool Re = (S & 1) == 0;
+      const std::int64_t Src = S / 2;
+      std::int64_t J = 0;
+      for (; J != K; ++J)
+        PX[S * M + J] = Re ? X[J * StrideX + Src] : 0.0;
+      for (; J != M; ++J)
+        PX[S * M + J] = 0.0; // Inert: lanes never mix.
+    }
+    Native->run(PY, PX);
+    const std::int64_t N = IOLen; // Halfcomplex vectors hold N doubles.
+    for (std::int64_t J = 0; J != K; ++J) {
+      double *YJ = Y + J * StrideY;
+      YJ[0] = PY[0 * M + J];
+      for (std::int64_t F = 1; F <= N / 2; ++F)
+        YJ[F] = PY[(2 * F) * M + J];
+      for (std::int64_t F = 1; F < N / 2; ++F)
+        YJ[N - F] = PY[(2 * F + 1) * M + J];
+    }
+    return;
+  }
   for (std::int64_t S = 0; S != IOLen; ++S) {
     std::int64_t J = 0;
     for (; J != K; ++J)
@@ -148,6 +199,13 @@ void Plan::runGroup(ExecCtx &Ctx, double *Y, const double *X, std::int64_t K,
       Y[J * StrideY + S] = PY[S * M + J];
 }
 
+void Plan::runKernel(ExecCtx &Ctx, double *KY, const double *KX) {
+  if (Resolved == Backend::Native)
+    Native->run(KY, KX);
+  else
+    Ctx.VM->runReal(KX, KY);
+}
+
 void Plan::runOne(ExecCtx &Ctx, double *Y, const double *X) {
   if (Resolved == Backend::Oracle) {
     applyOracle(Y, X);
@@ -159,21 +217,35 @@ void Plan::runOne(ExecCtx &Ctx, double *Y, const double *X) {
     runGroup(Ctx, Y, X, 1, IOLen, IOLen);
     return;
   }
+  if (IOLayout == Layout::HalfComplex) {
+    // The rdft layout adapter: embed N reals as N interleaved complex
+    // points, run the complex kernel, then fold the conjugate-symmetric
+    // spectrum into FFTW's r2hc order. The input is fully read into KernIn
+    // before Y is written, so Y == X is safe.
+    const std::int64_t N = IOLen;
+    double *KI = Ctx.KernIn.data();
+    double *KO = Ctx.KernOut.data();
+    for (std::int64_t J = 0; J != N; ++J) {
+      KI[2 * J] = X[J];
+      KI[2 * J + 1] = 0.0;
+    }
+    runKernel(Ctx, KO, KI);
+    Y[0] = KO[0];
+    for (std::int64_t F = 1; F <= N / 2; ++F)
+      Y[F] = KO[2 * F];
+    for (std::int64_t F = 1; F < N / 2; ++F)
+      Y[N - F] = KO[2 * F + 1];
+    return;
+  }
   if (Y == X) {
     // In-place request: compute into aligned scratch, then copy back. The
     // generated kernels are out-of-place (y and x are restrict-qualified).
     double *S = Ctx.Scratch.data();
-    if (Resolved == Backend::Native)
-      Native->run(S, X);
-    else
-      Ctx.VM->runReal(X, S);
+    runKernel(Ctx, S, X);
     std::memcpy(Y, S, static_cast<std::size_t>(IOLen) * sizeof(double));
     return;
   }
-  if (Resolved == Backend::Native)
-    Native->run(Y, X);
-  else
-    Ctx.VM->runReal(X, Y);
+  runKernel(Ctx, Y, X);
 }
 
 namespace {
@@ -225,6 +297,47 @@ ExecStatus Plan::executeBatch(double *Y, const double *X, std::int64_t Count,
     return ExecStatus::Ok; // Expiry after the last vector still counts as Ok.
   deadlineExceededCounter().add();
   return ExecStatus::DeadlineExceeded;
+}
+
+ExecStatus Plan::executeBatch(double *Y, const double *X, const BatchLayout &L,
+                              const support::Deadline &DL, int Threads) {
+  assert(L.StrideX >= 1 && L.StrideY >= 1 && "element strides must be >= 1");
+  if (L.HowMany <= 0)
+    return ExecStatus::Ok;
+  const std::int64_t SpanX = (IOLen - 1) * L.StrideX + 1;
+  const std::int64_t SpanY = (IOLen - 1) * L.StrideY + 1;
+  const std::int64_t DistX = L.DistX ? L.DistX : SpanX;
+  const std::int64_t DistY = L.DistY ? L.DistY : SpanY;
+  if (L.StrideX == 1 && L.StrideY == 1)
+    return executeBatch(Y, X, L.HowMany, DL, Threads, DistY, DistX);
+
+  // Non-unit element strides: gather every vector into dense aligned
+  // staging, run the dense batch core (which keeps thread-count
+  // bit-identity and lane grouping), then scatter results back. The output
+  // staging is pre-seeded from Y so vectors a deadline skipped scatter
+  // back their original bytes — untouched, matching the dense contract.
+  const std::size_t Total =
+      static_cast<std::size_t>(L.HowMany) * static_cast<std::size_t>(IOLen);
+  AlignedBuffer In(Total), Out(Total);
+  for (std::int64_t V = 0; V != L.HowMany; ++V) {
+    const double *XV = X + V * DistX;
+    const double *YV = Y + V * DistY;
+    double *IV = In.data() + V * IOLen;
+    double *OV = Out.data() + V * IOLen;
+    for (std::int64_t S = 0; S != IOLen; ++S) {
+      IV[S] = XV[S * L.StrideX];
+      OV[S] = YV[S * L.StrideY];
+    }
+  }
+  ExecStatus St =
+      executeBatch(Out.data(), In.data(), L.HowMany, DL, Threads, 0, 0);
+  for (std::int64_t V = 0; V != L.HowMany; ++V) {
+    double *YV = Y + V * DistY;
+    const double *OV = Out.data() + V * IOLen;
+    for (std::int64_t S = 0; S != IOLen; ++S)
+      YV[S * L.StrideY] = OV[S];
+  }
+  return St;
 }
 
 void Plan::execute(double *Y, const double *X) {
@@ -391,8 +504,15 @@ ExecStats Plan::stats() const {
 
 std::string Plan::describe() const {
   std::ostringstream SS;
-  SS << Spec.Transform << " " << Spec.Size << ": backend "
-     << backendName(Resolved);
+  SS << Spec.Transform << " ";
+  if (Spec.Shape.size() >= 2)
+    for (size_t I = 0; I != Spec.Shape.size(); ++I)
+      SS << (I ? "x" : "") << Spec.Shape[I];
+  else
+    SS << Spec.Size;
+  SS << ": backend " << backendName(Resolved);
+  if (IOLayout == Layout::HalfComplex)
+    SS << " (halfcomplex)";
   if (Lanes > 1)
     SS << " (vector, " << Lanes << " lanes)";
   if (Fallback)

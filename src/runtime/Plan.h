@@ -77,11 +77,17 @@ bool parseCodegenMode(const std::string &Name, CodegenMode &Out);
 /// Everything that identifies a plan. Two specs with equal key() are
 /// interchangeable and PlanRegistry will hand out one shared Plan for them.
 struct PlanSpec {
-  std::string Transform = "fft"; ///< "fft" | "wht".
-  std::int64_t Size = 0;         ///< Transform size N.
+  std::string Transform = "fft"; ///< A transforms::Registry name.
+  std::int64_t Size = 0;         ///< Total transform size N (product of
+                                 ///< Shape when multi-dimensional).
 
-  /// "complex" | "real"; empty picks the transform's natural type
-  /// (fft: complex, wht: real).
+  /// Row-major N-D shape for row-column plans. Empty (or one entry equal
+  /// to Size) means 1-D; {N1, N2} plans the separable transform
+  /// M_{N1} (x) M_{N2} over row-major data.
+  std::vector<std::int64_t> Shape;
+
+  /// "complex" | "real"; empty picks the transform's natural type from the
+  /// registry (fft: complex; wht, rdft, dct2/3/4: real).
   std::string Datatype;
 
   /// The -B threshold candidates compile under.
@@ -96,8 +102,25 @@ struct PlanSpec {
   /// Requested codegen variant for the native kernel (--codegen).
   CodegenMode Codegen = CodegenMode::Auto;
 
-  /// Canonical registry key, e.g. "fft 1024 complex B16 L16 auto auto".
+  /// Canonical registry key, e.g. "fft 1024 complex B16 L16 auto auto"
+  /// (multi-dimensional specs append " S<N1>x<N2>...").
   std::string key() const;
+};
+
+/// FFTW-"advanced"-interface data layout for strided/batched execution.
+/// Strides and dists are in doubles over the plan's vectorLen() doubles:
+/// double s of vector v reads from X[v * DistX + s * StrideX] (for complex
+/// plans the k-th point's re/im therefore sit at 2k*Stride and
+/// (2k+1)*Stride). A Dist of 0 means densely packed back-to-back given the
+/// stride, i.e. (vectorLen()-1)*Stride + 1. The addressed elements of
+/// distinct vectors must not overlap (interleaved layouts such as
+/// Stride = HowMany, Dist = 1 are fine).
+struct BatchLayout {
+  std::int64_t HowMany = 1;  ///< Number of vectors.
+  std::int64_t StrideX = 1;  ///< Input element stride, >= 1.
+  std::int64_t DistX = 0;    ///< Input vector-to-vector distance.
+  std::int64_t StrideY = 1;  ///< Output element stride, >= 1.
+  std::int64_t DistY = 0;    ///< Output vector-to-vector distance.
 };
 
 /// Point-in-time execution statistics for one Plan (see Plan::stats()).
@@ -127,7 +150,14 @@ enum class ExecStatus {
 /// as interleaved (re,im) pairs; real transforms use N doubles.
 class Plan {
 public:
+  /// User-facing I/O layout (mirrors transforms::Layout): Interleaved
+  /// complex pairs, plain real, or real-in/halfcomplex-out (rdft).
+  enum class Layout { Interleaved, Real, HalfComplex };
+
   const PlanSpec &spec() const { return Spec; }
+
+  /// The layout of one user-facing vector of vectorLen() doubles.
+  Layout layout() const { return IOLayout; }
 
   /// The substrate this plan actually runs on — the tier the degradation
   /// chain vector -> native -> vm -> oracle landed on (never Auto).
@@ -207,6 +237,15 @@ public:
                           const support::Deadline &DL, int Threads = 1,
                           std::int64_t StrideY = 0, std::int64_t StrideX = 0);
 
+  /// FFTW-advanced-style strided/batched execute (see BatchLayout). Unit
+  /// element strides delegate to the dense batch path; otherwise vectors
+  /// are gathered through aligned staging, executed densely, and scattered
+  /// back. Deadline semantics match executeBatch: vectors skipped on expiry
+  /// leave their output elements untouched. Thread-safe.
+  ExecStatus executeBatch(double *Y, const double *X, const BatchLayout &L,
+                          const support::Deadline &DL = support::Deadline(),
+                          int Threads = 1);
+
   /// One-line human description ("fft 1024: native, 2048 doubles/vector,
   /// ...").
   std::string describe() const;
@@ -225,7 +264,10 @@ private:
   struct ExecCtx {
     std::unique_ptr<vm::Executor> VM;
     AlignedBuffer Scratch;
-    AlignedBuffer PackX, PackY; ///< Lanes * vectorLen() doubles each.
+    AlignedBuffer PackX, PackY; ///< Lanes * KernelLen doubles each.
+    /// Kernel-facing interleaved staging for halfcomplex plans (the rdft
+    /// layout adapter): KernelLen doubles each.
+    AlignedBuffer KernIn, KernOut;
   };
 
   std::unique_ptr<ExecCtx> acquireCtx();
@@ -242,6 +284,9 @@ private:
                 std::int64_t StrideY, std::int64_t StrideX,
                 const support::Deadline &DL);
   void applyOracle(double *Y, const double *X) const;
+  /// Runs the kernel-facing substrate on interleaved buffers (the inner
+  /// step of the halfcomplex adapter).
+  void runKernel(ExecCtx &Ctx, double *KY, const double *KX);
 
   PlanSpec Spec;
   Backend Resolved = Backend::VM;
@@ -254,7 +299,10 @@ private:
   bool Fallback = false;
   bool Pressured = false; ///< Built after its planning deadline expired.
   std::string FallbackReason;
-  std::int64_t IOLen = 0;
+  std::int64_t IOLen = 0;     ///< Doubles per user-facing vector.
+  std::int64_t KernelLen = 0; ///< Doubles per kernel-facing vector (2N for
+                              ///< halfcomplex plans, else == IOLen).
+  Layout IOLayout = Layout::Interleaved;
   int Lanes = 1; ///< Native->lanes() for vector kernels, else 1.
 
   std::mutex CtxM;

@@ -9,12 +9,14 @@
 #include "driver/Compiler.h"
 #include "frontend/Parser.h"
 #include "gen/Enumerate.h"
+#include "ir/Builder.h"
 #include "perf/KernelCache.h"
 #include "search/DPSearch.h"
 #include "search/Evaluator.h"
 #include "support/FaultInjection.h"
 #include "support/Subprocess.h"
 #include "telemetry/Trace.h"
+#include "transforms/Registry.h"
 
 #include <algorithm>
 #include <cmath>
@@ -24,16 +26,60 @@ using namespace spl::runtime;
 
 namespace {
 
-bool isPow2(std::int64_t N) { return N >= 2 && (N & (N - 1)) == 0; }
-
-/// Normalized copy of \p Spec: transform/datatype defaults filled in.
+/// Normalized copy of \p Spec: transform/datatype defaults filled in from
+/// the registry, total Size derived from a multi-dimensional Shape, and a
+/// one-element Shape collapsed to the equivalent 1-D spec (so its key and
+/// wisdom/kernel-cache identities match the plain 1-D form).
 PlanSpec normalize(const PlanSpec &Spec) {
   PlanSpec S = Spec;
   if (S.Transform.empty())
     S.Transform = "fft";
-  if (S.Datatype.empty())
-    S.Datatype = S.Transform == "wht" ? "real" : "complex";
+  if (!S.Shape.empty()) {
+    std::int64_t Prod = 1;
+    for (std::int64_t D : S.Shape) {
+      if (D < 1 || Prod > (std::int64_t(1) << 40) / std::max<std::int64_t>(D, 1)) {
+        Prod = -1; // Poisoned: validateSpec rejects it as a bad size.
+        break;
+      }
+      Prod *= D;
+    }
+    S.Size = Prod;
+    if (S.Shape.size() == 1)
+      S.Shape.clear();
+  }
+  if (S.Datatype.empty()) {
+    const transforms::TransformInfo *TI = transforms::lookup(S.Transform);
+    S.Datatype = TI ? TI->NaturalDatatype : "complex";
+  }
   return S;
+}
+
+/// The dimensions a spec plans over: its Shape, or {Size} for 1-D.
+std::vector<std::int64_t> planDims(const PlanSpec &S) {
+  if (S.Shape.size() >= 2)
+    return S.Shape;
+  return {S.Size};
+}
+
+/// Row-major row-column formula: the Kronecker product of the per-dimension
+/// formulas (Equation 2; FFTc builds N-D FFTs the same way).
+FormulaRef tensorOfDims(std::vector<FormulaRef> Parts) {
+  FormulaRef Out = std::move(Parts.front());
+  for (size_t I = 1; I != Parts.size(); ++I)
+    Out = makeTensor(std::move(Out), std::move(Parts[I]));
+  return Out;
+}
+
+/// SubName / kernel-cache tag: "fft1024", "rdft64", "fft32x32".
+std::string subNameFor(const PlanSpec &S) {
+  std::string Name = S.Transform;
+  if (S.Shape.size() >= 2) {
+    for (size_t I = 0; I != S.Shape.size(); ++I)
+      Name += (I ? "x" : "") + std::to_string(S.Shape[I]);
+  } else {
+    Name += std::to_string(S.Size);
+  }
+  return Name;
 }
 
 } // namespace
@@ -171,34 +217,55 @@ double Planner::trialTimeoutSeconds() {
 bool Planner::validateSpec(const PlanSpec &Spec, Diagnostics &Diags) {
   PlanSpec S = normalize(Spec);
 
+  // Rejection diagnostics enumerate what the registry actually supports,
+  // so the hint stays correct as transforms are added.
+  const transforms::TransformInfo *TI = transforms::lookup(S.Transform);
+  if (!TI) {
+    Diags.error(SourceLoc(), "unknown transform '" + S.Transform +
+                                 "' (supported: " +
+                                 transforms::supportedNames() + ")");
+    return false;
+  }
   if (S.Size < 2) {
     Diags.error(SourceLoc(), "plan size must be >= 2 (got " +
                                  std::to_string(S.Size) + ")");
     return false;
   }
   if (S.Datatype != "complex" && S.Datatype != "real") {
-    Diags.error(SourceLoc(), "unknown datatype '" + S.Datatype + "'");
+    Diags.error(SourceLoc(), "unknown datatype '" + S.Datatype +
+                                 "' (supported: " +
+                                 transforms::supportedDatatypes() + ")");
     return false;
   }
-  if (S.Transform == "fft") {
-    if (S.Datatype != "complex") {
-      Diags.error(SourceLoc(), "the fft transform requires complex data");
-      return false;
-    }
-    if (S.Size > S.MaxLeaf && !isPow2(S.Size)) {
-      Diags.error(SourceLoc(),
-                  "fft sizes above the search leaf must be powers of two");
-      return false;
-    }
-  } else if (S.Transform == "wht") {
-    if (!isPow2(S.Size)) {
-      Diags.error(SourceLoc(), "wht sizes must be powers of two");
-      return false;
-    }
-  } else {
-    Diags.error(SourceLoc(), "unknown transform '" + S.Transform +
-                                 "' (expected fft or wht)");
+  if (!transforms::allowsDatatype(*TI, S.Datatype)) {
+    Diags.error(SourceLoc(), "the " + S.Transform + " transform requires " +
+                                 std::string(TI->AllowedDatatypes) +
+                                 " data (got " + S.Datatype + ")");
     return false;
+  }
+  if (S.Shape.size() >= 2) {
+    if (!TI->SupportsND) {
+      Diags.error(SourceLoc(),
+                  "the " + S.Transform +
+                      " transform does not support multi-dimensional "
+                      "shapes (its halfcomplex packing is 1-D)");
+      return false;
+    }
+    if (S.Shape.size() > 8) {
+      Diags.error(SourceLoc(), "shapes are limited to 8 dimensions (got " +
+                                   std::to_string(S.Shape.size()) + ")");
+      return false;
+    }
+  }
+  for (std::int64_t Dim : planDims(S)) {
+    if (!TI->ValidSize(Dim, S.MaxLeaf)) {
+      std::string Where =
+          S.Shape.size() >= 2 ? " (each shape dimension)" : "";
+      Diags.error(SourceLoc(), S.Transform + " sizes must be " +
+                                   TI->SizeRule + Where + "; got " +
+                                   std::to_string(Dim));
+      return false;
+    }
   }
   return true;
 }
@@ -230,7 +297,15 @@ std::shared_ptr<Plan> Planner::plan(const PlanSpec &Spec,
       Wisdom.load(wisdomPath());
   });
 
-  auto Eval = makeEvaluator(S.Datatype, S.UnrollThreshold);
+  const transforms::TransformInfo &TI = *transforms::lookup(S.Transform);
+  // Halfcomplex transforms ride a complex kernel behind a layout adapter;
+  // everything else compiles in the spec's own datatype.
+  const std::string KernelType =
+      TI.IOLayout == transforms::Layout::HalfComplex ? TI.KernelDatatype
+                                                     : S.Datatype;
+  const std::vector<std::int64_t> Dims = planDims(S);
+
+  auto Eval = makeEvaluator(KernelType, S.UnrollThreshold);
   // In auto mode a timed evaluator races both codegen variants per
   // candidate and the DP records the winner; forced modes skip the race.
   Eval->setVariantSearch(S.Codegen == CodegenMode::Auto);
@@ -247,28 +322,68 @@ std::shared_ptr<Plan> Planner::plan(const PlanSpec &Spec,
     static telemetry::Histogram &SearchNs =
         telemetry::histogram("plan.search_ns");
     telemetry::StageTimer SearchTimer("search", &SearchNs);
-    if (S.Transform == "fft") {
+    // Multi-dimensional specs plan the row-column algorithm: each
+    // dimension is planned independently (reusing per-dimension wisdom)
+    // and the winners join as a Kronecker product.
+    std::vector<FormulaRef> Parts;
+    switch (TI.PlanFamily) {
+    case transforms::Family::SearchedFFT: {
       search::SearchOptions SO;
       SO.MaxLeaf = S.MaxLeaf;
       SO.Threads = Opts.SearchThreads;
       SO.Deadline = SearchSlice;
+      // Wisdom for rdft is keyed under "rdft" even though the inner search
+      // is over complex F_n factorizations — keys must distinguish the
+      // transforms they were recorded for.
+      SO.Transform = S.Transform;
       search::DPSearch Search(*Eval, Diags, SO,
                               Opts.UseWisdom ? &Wisdom : nullptr);
-      auto Best = Search.best(S.Size);
-      if (!Best) {
-        Report(Deadline.expired() ? PlanError::DeadlineExceeded
-                                  : PlanError::Failed);
-        return nullptr;
+      std::int64_t BigDim = 0;
+      for (std::int64_t Ni : Dims) {
+        auto Best = Search.best(Ni);
+        if (!Best) {
+          Report(Deadline.expired() ? PlanError::DeadlineExceeded
+                                    : PlanError::Failed);
+          return nullptr;
+        }
+        Parts.push_back(Best->Formula);
+        Cost += Best->Cost;
+        if (Ni > BigDim) { // The dominant dimension picks the variant.
+          BigDim = Ni;
+          WonVariant = Best->Variant;
+        }
       }
-      Winner = Best->Formula;
-      Cost = Best->Cost;
-      WonVariant = Best->Variant;
-    } else {
-      if (!chooseWHT(S, *Eval, Winner, Cost)) {
-        Report(Deadline.expired() ? PlanError::DeadlineExceeded
-                                  : PlanError::Failed);
-        return nullptr;
+      break;
+    }
+    case transforms::Family::EnumeratedWHT: {
+      for (std::int64_t Ni : Dims) {
+        PlanSpec DimSpec = S;
+        DimSpec.Size = Ni;
+        DimSpec.Shape.clear();
+        FormulaRef F;
+        double C = 0;
+        if (!chooseWHT(DimSpec, *Eval, F, C)) {
+          Report(Deadline.expired() ? PlanError::DeadlineExceeded
+                                    : PlanError::Failed);
+          return nullptr;
+        }
+        Parts.push_back(F);
+        Cost += C;
       }
+      break;
+    }
+    case transforms::Family::Recursive: {
+      for (std::int64_t Ni : Dims)
+        Parts.push_back(TI.Rule(Ni));
+      break;
+    }
+    }
+    Winner = tensorOfDims(std::move(Parts));
+    if (TI.PlanFamily == transforms::Family::Recursive) {
+      // A deterministic rule has no search, but its evaluator cost is
+      // still the comparable figure callers see in searchCost().
+      if (auto C = Eval->cost(Winner))
+        Cost = *C;
     }
   }
 
@@ -277,8 +392,8 @@ std::shared_ptr<Plan> Planner::plan(const PlanSpec &Spec,
   CO.UnrollThreshold = S.UnrollThreshold;
   CO.EmitCode = false; // Plans hold i-code; the backends render on demand.
   DirectiveState Dirs;
-  Dirs.SubName = S.Transform + std::to_string(S.Size);
-  Dirs.Datatype = S.Datatype;
+  Dirs.SubName = subNameFor(S);
+  Dirs.Datatype = KernelType;
   Dirs.Language = "c";
   auto Unit = Compiler.compileFormula(Winner, Dirs, CO);
   if (!Unit) {
@@ -292,7 +407,14 @@ std::shared_ptr<Plan> Planner::plan(const PlanSpec &Spec,
   P->Winner = Winner;
   P->FormulaText = Winner->print();
   P->Cost = Cost;
-  P->IOLen = P->Final.LoweredToReal ? P->Final.InSize * 2 : P->Final.InSize;
+  P->KernelLen =
+      P->Final.LoweredToReal ? P->Final.InSize * 2 : P->Final.InSize;
+  P->IOLayout = TI.IOLayout == transforms::Layout::HalfComplex
+                    ? Plan::Layout::HalfComplex
+                    : (P->Final.LoweredToReal ? Plan::Layout::Interleaved
+                                              : Plan::Layout::Real);
+  P->IOLen =
+      P->IOLayout == Plan::Layout::HalfComplex ? S.Size : P->KernelLen;
 
   // Walk the degradation chain vector -> native -> vm -> oracle, recording
   // why each tier was skipped. A tier only joins the plan after proving
@@ -407,10 +529,15 @@ std::shared_ptr<Plan> Planner::plan(const PlanSpec &Spec,
   }
 
   if (!Placed) {
-    // Last tier: the dense matrix the formula denotes, applied directly.
+    // Last tier: the registered dense oracle of the transform (for
+    // halfcomplex plans, whose winner formula denotes the complex FFT, not
+    // the user-facing matrix) or the dense matrix the formula denotes.
     // O(N^2) per transform and O(N^2) doubles of storage, so capped.
     constexpr std::int64_t OracleSizeCap = 4096;
-    if (S.Size > OracleSizeCap || !Winner->hasDenseSemantics()) {
+    const bool UseRegistryOracle =
+        P->IOLayout == Plan::Layout::HalfComplex;
+    if (S.Size > OracleSizeCap ||
+        (!UseRegistryOracle && !Winner->hasDenseSemantics())) {
       Diags.error(SourceLoc(),
                   "no usable backend for " + Dirs.SubName +
                       (Demotions.empty() ? std::string()
@@ -424,7 +551,8 @@ std::shared_ptr<Plan> Planner::plan(const PlanSpec &Spec,
       Report(PlanError::Failed);
       return nullptr;
     }
-    P->OracleMat = Winner->toMatrix();
+    P->OracleMat = UseRegistryOracle ? transforms::oracleMatrix(TI, Dims)
+                                     : Winner->toMatrix();
     P->Resolved = Backend::Oracle;
   }
 

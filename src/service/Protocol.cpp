@@ -85,6 +85,7 @@ runtime::PlanSpec WireSpec::toSpec(bool &OK) const {
   S.Datatype = Datatype;
   S.UnrollThreshold = UnrollThreshold;
   S.MaxLeaf = MaxLeaf;
+  S.Shape = Shape;
   OK = runtime::parseBackend(Backend, S.Want) &&
        runtime::parseCodegenMode(Codegen, S.Codegen);
   return S;
@@ -99,10 +100,11 @@ WireSpec WireSpec::fromSpec(const runtime::PlanSpec &Spec) {
   W.MaxLeaf = Spec.MaxLeaf;
   W.Backend = runtime::backendName(Spec.Want);
   W.Codegen = runtime::codegenModeName(Spec.Codegen);
+  W.Shape = Spec.Shape;
   return W;
 }
 
-void WireSpec::encode(WireWriter &W) const {
+void WireSpec::encode(WireWriter &W, std::uint16_t Version) const {
   W.str(Transform);
   W.i64(Size);
   W.str(Datatype);
@@ -110,9 +112,14 @@ void WireSpec::encode(WireWriter &W) const {
   W.i64(MaxLeaf);
   W.str(Backend);
   W.str(Codegen);
+  if (Version >= 4) {
+    W.u32(static_cast<std::uint32_t>(Shape.size()));
+    for (std::int64_t D : Shape)
+      W.i64(D);
+  }
 }
 
-bool WireSpec::decode(WireReader &R, WireSpec &Out) {
+bool WireSpec::decode(WireReader &R, WireSpec &Out, std::uint16_t Version) {
   Out.Transform = R.str();
   Out.Size = R.i64();
   Out.Datatype = R.str();
@@ -120,6 +127,15 @@ bool WireSpec::decode(WireReader &R, WireSpec &Out) {
   Out.MaxLeaf = R.i64();
   Out.Backend = R.str();
   Out.Codegen = R.str();
+  Out.Shape.clear();
+  if (Version >= 4) {
+    std::uint32_t Rank = R.u32();
+    if (!R.ok() || Rank > kMaxShapeRank)
+      return false;
+    Out.Shape.reserve(Rank);
+    for (std::uint32_t I = 0; I != Rank; ++I)
+      Out.Shape.push_back(R.i64());
+  }
   return R.ok();
 }
 
@@ -132,7 +148,7 @@ std::vector<std::uint8_t> PlanRequest::encode(std::uint16_t Version) const {
   WireWriter W(Buf);
   if (Version >= 3)
     W.u32(DeadlineMs);
-  Spec.encode(W);
+  Spec.encode(W, Version);
   return Buf;
 }
 
@@ -140,7 +156,8 @@ bool PlanRequest::decode(const std::uint8_t *Data, std::size_t Len,
                          PlanRequest &Out, std::uint16_t Version) {
   WireReader R(Data, Len);
   Out.DeadlineMs = Version >= 3 ? R.u32() : 0;
-  return R.ok() && WireSpec::decode(R, Out.Spec) && R.remaining() == 0;
+  return R.ok() && WireSpec::decode(R, Out.Spec, Version) &&
+         R.remaining() == 0;
 }
 
 std::vector<std::uint8_t> PlanResponse::encode() const {
@@ -174,7 +191,7 @@ std::vector<std::uint8_t> ExecuteRequest::encode(std::uint16_t Version) const {
   WireWriter W(Buf);
   if (Version >= 3)
     W.u32(DeadlineMs);
-  Spec.encode(W);
+  Spec.encode(W, Version);
   W.i64(Count);
   W.u32(static_cast<std::uint32_t>(Threads));
   W.u64(Data.size());
@@ -186,7 +203,7 @@ bool ExecuteRequest::decode(const std::uint8_t *Data, std::size_t Len,
                             ExecuteRequest &Out, std::uint16_t Version) {
   WireReader R(Data, Len);
   Out.DeadlineMs = Version >= 3 ? R.u32() : 0;
-  if (!R.ok() || !WireSpec::decode(R, Out.Spec))
+  if (!R.ok() || !WireSpec::decode(R, Out.Spec, Version))
     return false;
   Out.Count = R.i64();
   Out.Threads = static_cast<std::int32_t>(R.u32());

@@ -53,11 +53,16 @@ constexpr std::uint32_t kMagic = 0x444C5053u;
 /// budget in milliseconds (0 = unbounded), measured from the moment the
 /// server decodes the frame. The server answers DEADLINE_EXCEEDED without
 /// touching the worker pool when a request's budget is already spent.
-constexpr std::uint16_t kProtocolVersion = 3;
+/// v4 appends a shape block to WireSpec (u32 rank + rank i64 dims) so
+/// clients can request N-D row-column plans; the deadline stays the FIRST
+/// u32 of v>=3 request bodies (peekDeadlineMs depends on that), which is
+/// why new spec fields append rather than prepend.
+constexpr std::uint16_t kProtocolVersion = 4;
 
 /// Oldest revision the server still speaks. v2 requests carry no deadline
-/// (treated as unbounded) and get v2-stamped responses back — response
-/// bodies are layout-identical across v2/v3.
+/// (treated as unbounded); v2/v3 requests carry no shape (1-D) — both get
+/// responses stamped with the request's version. Response bodies are
+/// layout-identical across v2..v4.
 constexpr std::uint16_t kMinProtocolVersion = 2;
 
 /// Fixed serialized header size in bytes.
@@ -264,13 +269,23 @@ struct WireSpec {
   std::int64_t MaxLeaf = 16;
   std::string Backend = "auto"; ///< backendName() token.
   std::string Codegen = "auto"; ///< codegenModeName() token.
+  /// Row-major N-D shape (v4+; empty = 1-D of Size). When non-empty the
+  /// server plans the row-column transform and Size is ignored in favour of
+  /// the shape product. Rank is capped at kMaxShapeRank on decode.
+  std::vector<std::int64_t> Shape;
 
   runtime::PlanSpec toSpec(bool &OK) const;
   static WireSpec fromSpec(const runtime::PlanSpec &Spec);
 
-  void encode(WireWriter &W) const;
-  static bool decode(WireReader &R, WireSpec &Out);
+  /// v2/v3 omit the shape block; v4 appends it after Codegen.
+  void encode(WireWriter &W, std::uint16_t Version = kProtocolVersion) const;
+  static bool decode(WireReader &R, WireSpec &Out,
+                     std::uint16_t Version = kProtocolVersion);
 };
+
+/// Decode-side cap on WireSpec::Shape rank; the planner's own limit is
+/// lower, so hitting this means a hostile frame, not a real workload.
+constexpr std::uint32_t kMaxShapeRank = 16;
 
 /// PlanReq body. v3 prefixes the body with DeadlineMs; v2 bodies carry the
 /// spec alone (DeadlineMs decodes as 0 = unbounded).

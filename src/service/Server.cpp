@@ -317,9 +317,24 @@ bool Server::admit(Conn &C, std::uint32_t RequestId, std::uint16_t Version) {
 std::shared_ptr<runtime::Plan>
 Server::acquirePlan(Conn &C, std::uint32_t RequestId, const WireSpec &WS,
                     const support::Deadline &DL, std::uint16_t Version) {
-  if (WS.Size > Opts.MaxTransformSize) {
+  // The admission cap applies to the total transform size: the shape
+  // product for N-D requests (v4), WS.Size otherwise. The product is
+  // clamped rather than wrapped so a hostile shape cannot sneak under the
+  // cap via overflow.
+  std::int64_t Total = WS.Size;
+  if (!WS.Shape.empty()) {
+    Total = 1;
+    for (std::int64_t D : WS.Shape) {
+      if (D < 1 || Total > Opts.MaxTransformSize) {
+        Total = Opts.MaxTransformSize + 1;
+        break;
+      }
+      Total *= D;
+    }
+  }
+  if (Total > Opts.MaxTransformSize) {
     sendError(C, RequestId, Status::TooLarge,
-              "transform size " + std::to_string(WS.Size) +
+              "transform size " + std::to_string(Total) +
                   " exceeds the server cap of " +
                   std::to_string(Opts.MaxTransformSize),
               Version);

@@ -1,0 +1,104 @@
+//===- transforms/Registry.cpp - Transform catalog ----------------------------==//
+//
+// Part of the SPL reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Registry.h"
+
+#include "gen/Rules.h"
+#include "ir/Transforms.h"
+
+#include <cassert>
+
+using namespace spl;
+using namespace spl::transforms;
+
+namespace {
+
+bool isPow2(std::int64_t N) { return N >= 2 && (N & (N - 1)) == 0; }
+
+bool fftSize(std::int64_t N, std::int64_t MaxLeaf) {
+  // Non-powers-of-two still plan: they become one dense leaf, so they must
+  // fit under the search-leaf bound.
+  return N >= 2 && (isPow2(N) || N <= MaxLeaf);
+}
+
+bool pow2Size(std::int64_t N, std::int64_t) { return isPow2(N); }
+
+const std::vector<TransformInfo> &table() {
+  static const std::vector<TransformInfo> T = {
+      {"fft", "complex", "complex", "complex", Family::SearchedFFT,
+       Layout::Interleaved, /*SupportsND=*/true,
+       "a power of two (or any size within the search leaf)", fftSize,
+       dftMatrix, nullptr},
+      {"wht", "real", "real", "real, complex", Family::EnumeratedWHT,
+       Layout::Real, /*SupportsND=*/true, "a power of two", pow2Size,
+       whtMatrix, nullptr},
+      {"rdft", "real", "complex", "real", Family::SearchedFFT,
+       Layout::HalfComplex, /*SupportsND=*/false, "a power of two", pow2Size,
+       rdftMatrix, gen::recursiveRDFT},
+      {"dct2", "real", "real", "real", Family::Recursive, Layout::Real,
+       /*SupportsND=*/true, "a power of two", pow2Size, dct2Matrix,
+       gen::recursiveDCT2},
+      {"dct3", "real", "real", "real", Family::Recursive, Layout::Real,
+       /*SupportsND=*/true, "a power of two", pow2Size, dct3Matrix,
+       gen::recursiveDCT3},
+      {"dct4", "real", "real", "real", Family::Recursive, Layout::Real,
+       /*SupportsND=*/true, "a power of two", pow2Size, dct4Matrix,
+       gen::recursiveDCT4},
+  };
+  return T;
+}
+
+} // namespace
+
+const std::vector<TransformInfo> &transforms::all() { return table(); }
+
+const TransformInfo *transforms::lookup(const std::string &Name) {
+  for (const TransformInfo &TI : table())
+    if (Name == TI.Name)
+      return &TI;
+  return nullptr;
+}
+
+std::string transforms::supportedNames() {
+  std::string Out;
+  for (const TransformInfo &TI : table()) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += TI.Name;
+  }
+  return Out;
+}
+
+std::string transforms::supportedDatatypes() { return "complex, real"; }
+
+bool transforms::allowsDatatype(const TransformInfo &TI,
+                                const std::string &Datatype) {
+  std::string List = TI.AllowedDatatypes;
+  size_t Pos = 0;
+  while (Pos < List.size()) {
+    size_t End = List.find(',', Pos);
+    if (End == std::string::npos)
+      End = List.size();
+    size_t Lo = Pos, Hi = End;
+    while (Lo < Hi && List[Lo] == ' ')
+      ++Lo;
+    while (Hi > Lo && List[Hi - 1] == ' ')
+      --Hi;
+    if (List.compare(Lo, Hi - Lo, Datatype) == 0)
+      return true;
+    Pos = End + 1;
+  }
+  return false;
+}
+
+Matrix transforms::oracleMatrix(const TransformInfo &TI,
+                                const std::vector<std::int64_t> &Shape) {
+  assert(!Shape.empty() && "oracle needs at least one dimension");
+  Matrix M = TI.Oracle(Shape.front());
+  for (size_t I = 1; I != Shape.size(); ++I)
+    M = M.kron(TI.Oracle(Shape[I]));
+  return M;
+}

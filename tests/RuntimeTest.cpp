@@ -17,10 +17,12 @@
 #include "codegen/VectorISA.h"
 #include "ir/Transforms.h"
 #include "perf/NativeCompile.h"
+#include "runtime/AlignedBuffer.h"
 #include "runtime/PlanRegistry.h"
 #include "support/Diagnostics.h"
 #include "support/StrUtil.h"
 #include "telemetry/Metrics.h"
+#include "transforms/Registry.h"
 
 #include <gtest/gtest.h>
 
@@ -721,6 +723,298 @@ TEST(Planner, ExpiredDeadlineStillYieldsAWorkingPressuredPlan) {
   Ref->execute(Y2.data(), X.data());
   for (size_t I = 0; I != X.size(); ++I)
     EXPECT_NEAR(Y1[I], Y2[I], 1e-10);
+}
+
+/// Dense-oracle parity for one plan over \p Vectors random vectors.
+void expectOracleParity(runtime::Plan &P, std::int64_t Vectors = 4) {
+  const transforms::TransformInfo *TI =
+      transforms::lookup(P.spec().Transform);
+  ASSERT_NE(TI, nullptr) << P.spec().Transform;
+  std::vector<std::int64_t> Dims = P.spec().Shape;
+  if (Dims.empty())
+    Dims.push_back(P.size());
+  Matrix M = transforms::oracleMatrix(*TI, Dims);
+  const bool Complex = P.layout() == runtime::Plan::Layout::Interleaved;
+  const std::int64_t Len = P.vectorLen();
+  for (std::int64_t V = 0; V != Vectors; ++V) {
+    std::vector<double> X =
+        randomRealVector(static_cast<size_t>(Len),
+                         1000 + static_cast<unsigned>(V));
+    std::vector<double> Y(static_cast<size_t>(Len));
+    P.execute(Y.data(), X.data());
+    std::vector<Cplx> In(M.cols());
+    for (size_t I = 0; I != In.size(); ++I)
+      In[I] = Complex ? Cplx(X[2 * I], X[2 * I + 1]) : Cplx(X[I], 0.0);
+    std::vector<Cplx> Ref = M.apply(In);
+    double Max = 0;
+    for (size_t I = 0; I != Ref.size(); ++I) {
+      if (Complex) {
+        Max = std::max(Max, std::abs(Y[2 * I] - Ref[I].real()));
+        Max = std::max(Max, std::abs(Y[2 * I + 1] - Ref[I].imag()));
+      } else {
+        Max = std::max(Max, std::abs(Y[I] - Ref[I].real()));
+      }
+    }
+    EXPECT_LT(Max, 1e-10) << P.spec().key() << " vector " << V;
+  }
+}
+
+TEST(Plan, RegistryTransformsMatchDenseOracles) {
+  // Every new transform kind, two sizes, VM tier (compiler-less hosts
+  // included): 1e-10 parity against the registry oracle.
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, testOptions());
+  for (const char *Name : {"rdft", "dct2", "dct3", "dct4"}) {
+    for (std::int64_t N : {8, 32}) {
+      runtime::PlanSpec Spec;
+      Spec.Transform = Name;
+      Spec.Size = N;
+      Spec.Want = runtime::Backend::VM;
+      auto P = Planner.plan(Spec);
+      ASSERT_TRUE(P) << Name << " " << N << ": " << Diags.dump();
+      EXPECT_EQ(P->vectorLen(), N) << Name; // Real/halfcomplex: N doubles.
+      EXPECT_EQ(P->layout(), Name == std::string("rdft")
+                                 ? runtime::Plan::Layout::HalfComplex
+                                 : runtime::Plan::Layout::Real);
+      expectOracleParity(*P);
+    }
+  }
+}
+
+TEST(Plan, NDRowColumnMatchesKronOracle) {
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, testOptions());
+
+  runtime::PlanSpec Fft;
+  Fft.Shape = {4, 8};
+  Fft.Want = runtime::Backend::VM;
+  auto PF = Planner.plan(Fft);
+  ASSERT_TRUE(PF) << Diags.dump();
+  EXPECT_EQ(PF->size(), 32);
+  EXPECT_EQ(PF->vectorLen(), 64); // 32 complex points interleaved.
+  expectOracleParity(*PF);
+
+  runtime::PlanSpec Dct;
+  Dct.Transform = "dct2";
+  Dct.Shape = {4, 4};
+  Dct.Want = runtime::Backend::VM;
+  auto PD = Planner.plan(Dct);
+  ASSERT_TRUE(PD) << Diags.dump();
+  EXPECT_EQ(PD->vectorLen(), 16);
+  expectOracleParity(*PD);
+}
+
+TEST(Plan, RegistryTransformBatchesAreBitIdenticalAcrossThreads) {
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, testOptions());
+  for (const char *Name : {"rdft", "dct3"}) {
+    runtime::PlanSpec Spec;
+    Spec.Transform = Name;
+    Spec.Size = 16;
+    Spec.Want = runtime::Backend::VM;
+    auto P = Planner.plan(Spec);
+    ASSERT_TRUE(P) << Name << ": " << Diags.dump();
+
+    constexpr std::int64_t Batch = 37; // Not a multiple of a thread count.
+    const std::int64_t Len = P->vectorLen();
+    std::vector<double> X;
+    for (std::int64_t I = 0; I != Batch; ++I) {
+      auto V = randomRealVector(static_cast<size_t>(Len),
+                                40 + static_cast<unsigned>(I));
+      X.insert(X.end(), V.begin(), V.end());
+    }
+    std::vector<double> Y1(static_cast<size_t>(Batch * Len));
+    P->executeBatch(Y1.data(), X.data(), Batch, 1);
+    for (int T : {2, 3, 8}) {
+      std::vector<double> YT(Y1.size(), -1.0);
+      P->executeBatch(YT.data(), X.data(), Batch, T);
+      EXPECT_EQ(std::memcmp(Y1.data(), YT.data(),
+                            Y1.size() * sizeof(double)),
+                0)
+          << Name << " threads=" << T;
+    }
+  }
+}
+
+TEST(Plan, RegistryTransformsDegradeUnderForcedNativeFailure) {
+  // The degradation chain must carry every new transform kind down to a
+  // working tier — including the halfcomplex layout adapter — and the
+  // demoted plan still matches the oracle.
+  Diagnostics Diags;
+  auto Opts = testOptions();
+  Opts.ForceNativeFail = true;
+  runtime::Planner Planner(Diags, Opts);
+  for (const char *Name : {"rdft", "dct2", "dct3", "dct4"}) {
+    runtime::PlanSpec Spec;
+    Spec.Transform = Name;
+    Spec.Size = 16;
+    Spec.Want = runtime::Backend::Native;
+    auto P = Planner.plan(Spec);
+    ASSERT_TRUE(P) << Name << ": " << Diags.dump();
+    EXPECT_EQ(P->backend(), runtime::Backend::VM) << Name;
+    EXPECT_TRUE(P->usedFallback()) << Name;
+    expectOracleParity(*P, 2);
+  }
+}
+
+TEST(Plan, OracleTierServesEveryLayout) {
+  // The last tier of the degradation chain is the dense oracle itself; it
+  // must speak the halfcomplex and real layouts, not just interleaved.
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, testOptions());
+  for (const char *Name : {"rdft", "dct2"}) {
+    runtime::PlanSpec Spec;
+    Spec.Transform = Name;
+    Spec.Size = 16;
+    Spec.Want = runtime::Backend::Oracle;
+    auto P = Planner.plan(Spec);
+    ASSERT_TRUE(P) << Name << ": " << Diags.dump();
+    EXPECT_EQ(P->backend(), runtime::Backend::Oracle) << Name;
+    expectOracleParity(*P, 2);
+  }
+}
+
+TEST(Plan, StridedBatchLayoutMatchesDenseAndSparesPadding) {
+  // FFTW-advanced layout with an odd batch and a non-unit stride: each
+  // gathered vector matches a dense execute, and doubles the layout never
+  // addresses keep their original bytes.
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, testOptions());
+  for (const char *Name : {"fft", "rdft"}) {
+    runtime::PlanSpec Spec;
+    Spec.Transform = Name;
+    Spec.Size = 8;
+    Spec.Want = runtime::Backend::VM;
+    auto P = Planner.plan(Spec);
+    ASSERT_TRUE(P) << Name << ": " << Diags.dump();
+
+    runtime::BatchLayout BL;
+    BL.HowMany = 7;
+    BL.StrideX = BL.StrideY = 3;
+    const std::int64_t Len = P->vectorLen();
+    const std::int64_t Span = (Len - 1) * 3 + 1;
+    const std::int64_t Total = BL.HowMany * Span; // Dist 0 = span-packed.
+    std::vector<double> X(static_cast<size_t>(Total));
+    for (std::int64_t I = 0; I != Total; ++I)
+      X[static_cast<size_t>(I)] = 0.01 * static_cast<double>(I % 97) - 0.3;
+    std::vector<double> Y(static_cast<size_t>(Total), -9.0);
+    ASSERT_EQ(P->executeBatch(Y.data(), X.data(), BL), runtime::ExecStatus::Ok);
+
+    std::vector<double> DIn(static_cast<size_t>(Len)),
+        DOut(static_cast<size_t>(Len));
+    for (std::int64_t V = 0; V != BL.HowMany; ++V) {
+      for (std::int64_t I = 0; I != Len; ++I)
+        DIn[static_cast<size_t>(I)] = X[static_cast<size_t>(V * Span + I * 3)];
+      P->execute(DOut.data(), DIn.data());
+      for (std::int64_t I = 0; I != Len; ++I)
+        EXPECT_EQ(Y[static_cast<size_t>(V * Span + I * 3)],
+                  DOut[static_cast<size_t>(I)])
+            << Name << " vector " << V << " element " << I;
+      // The two pad doubles between consecutive addressed elements.
+      for (std::int64_t I = 0; I + 1 != Len; ++I)
+        for (std::int64_t Pad = 1; Pad != 3; ++Pad)
+          EXPECT_EQ(Y[static_cast<size_t>(V * Span + I * 3 + Pad)], -9.0)
+              << Name << " pad written at vector " << V;
+    }
+  }
+}
+
+TEST(Plan, StridedBatchDeadlineLeavesSkippedVectorsUntouched) {
+  Diagnostics Diags;
+  runtime::Planner Planner(Diags, testOptions());
+  runtime::PlanSpec Spec;
+  Spec.Size = 8;
+  Spec.Want = runtime::Backend::VM;
+  auto P = Planner.plan(Spec);
+  ASSERT_TRUE(P) << Diags.dump();
+
+  runtime::BatchLayout BL;
+  BL.HowMany = 5;
+  BL.StrideX = BL.StrideY = 2;
+  const std::int64_t Span = (P->vectorLen() - 1) * 2 + 1;
+  std::vector<double> X(static_cast<size_t>(BL.HowMany * Span), 0.5);
+  std::vector<double> Y(X.size(), -3.0);
+  support::Deadline Dead = support::Deadline::afterMs(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(P->executeBatch(Y.data(), X.data(), BL, Dead),
+            runtime::ExecStatus::DeadlineExceeded);
+  for (double V : Y)
+    EXPECT_EQ(V, -3.0) << "a rejected strided batch must not touch Y";
+}
+
+TEST(Runtime, AlignedBufferStagingIsCacheLineAligned) {
+  // Plan::runGroup asserts its staging pointers sit on
+  // AlignedBuffer::Alignment; this pins the allocator contract it leans on.
+  for (size_t N : {size_t(1), size_t(33), size_t(1024)}) {
+    runtime::AlignedBuffer B(N);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(B.data()) %
+                  runtime::AlignedBuffer::Alignment,
+              0u)
+        << "N=" << N;
+    B.resize(N * 3 + 7);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(B.data()) %
+                  runtime::AlignedBuffer::Alignment,
+              0u)
+        << "after resize, N=" << N;
+  }
+}
+
+TEST(Plan, SpecKeysDistinguishTransformsAndShapes) {
+  runtime::PlanSpec Fft;
+  Fft.Size = 64;
+  runtime::PlanSpec Rdft = Fft;
+  Rdft.Transform = "rdft";
+  // Distinct transforms never share a registry/wisdom slot, and the empty
+  // datatype resolves to each transform's natural datatype.
+  EXPECT_NE(Fft.key(), Rdft.key());
+  EXPECT_EQ(Fft.key().rfind("fft 64 complex", 0), 0u) << Fft.key();
+  EXPECT_EQ(Rdft.key().rfind("rdft 64 real", 0), 0u) << Rdft.key();
+
+  runtime::PlanSpec Shaped;
+  Shaped.Shape = {8, 8};
+  Shaped.Size = 64; // The planner would derive this; keys must differ anyway.
+  EXPECT_NE(Shaped.key().find(" S8x8"), std::string::npos) << Shaped.key();
+  EXPECT_NE(Shaped.key(), Fft.key());
+}
+
+TEST(Planner, WisdomKeysDistinguishRdftFromFft) {
+  // rdft searches the same complex-FFT space as fft but records wisdom
+  // under its own transform token — a host whose fft wisdom says
+  // "radix-8 everywhere" must not silently impose it on rdft and vice
+  // versa (regression for the SearchOptions::Transform plumbing).
+  std::string Path =
+      "/tmp/spl-transforms-wisdom-" + std::to_string(getpid()) + ".tmp";
+  ::unlink(Path.c_str());
+  Diagnostics Diags;
+  auto Opts = testOptions();
+  Opts.UseWisdom = true;
+  Opts.WisdomPath = Path;
+  runtime::Planner Planner(Diags, Opts);
+  for (const char *Name : {"fft", "rdft"}) {
+    runtime::PlanSpec Spec;
+    Spec.Transform = Name;
+    Spec.Size = 32;
+    Spec.Want = runtime::Backend::VM;
+    ASSERT_TRUE(Planner.plan(Spec)) << Name << ": " << Diags.dump();
+  }
+  Planner.saveWisdom();
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  const std::string Text = SS.str();
+  // Keys carry the transform token plus search-knob suffix, e.g.
+  // "rdft-L16-k3 32 complex ..." — rdft entries never collide with fft's.
+  EXPECT_NE(Text.find("rdft-"), std::string::npos) << Text;
+  bool SawPlainFft = false;
+  std::istringstream Lines(Text);
+  for (std::string Line; std::getline(Lines, Line);)
+    if (Line.find(" fft-") != std::string::npos &&
+        Line.find("rdft") == std::string::npos)
+      SawPlainFft = true;
+  EXPECT_TRUE(SawPlainFft) << Text;
+  ::unlink(Path.c_str());
 }
 
 TEST(PlanRegistry, PressuredPlansAreNotMemoized) {

@@ -21,6 +21,7 @@
 #include "support/Deadline.h"
 #include "support/FaultInjection.h"
 #include "telemetry/Metrics.h"
+#include "transforms/Registry.h"
 
 #include <gtest/gtest.h>
 
@@ -187,9 +188,9 @@ TEST(Protocol, DeadlineFieldIsVersionGated) {
   Req.Spec.Size = 32;
   Req.DeadlineMs = 1500;
 
-  auto V3 = Req.encode();
+  auto V3 = Req.encode(3);
   PlanRequest Out;
-  ASSERT_TRUE(PlanRequest::decode(V3.data(), V3.size(), Out));
+  ASSERT_TRUE(PlanRequest::decode(V3.data(), V3.size(), Out, 3));
   EXPECT_EQ(Out.DeadlineMs, 1500u);
 
   auto V2 = Req.encode(2);
@@ -211,9 +212,9 @@ TEST(Protocol, DeadlineFieldIsVersionGated) {
   EReq.DeadlineMs = 250;
   EReq.Count = 1;
   EReq.Data.assign(8, 1.0);
-  auto E3 = EReq.encode();
+  auto E3 = EReq.encode(3);
   ExecuteRequest EOut;
-  ASSERT_TRUE(ExecuteRequest::decode(E3.data(), E3.size(), EOut));
+  ASSERT_TRUE(ExecuteRequest::decode(E3.data(), E3.size(), EOut, 3));
   EXPECT_EQ(EOut.DeadlineMs, 250u);
   auto E2 = EReq.encode(2);
   ASSERT_EQ(E2.size(), E3.size() - 4);
@@ -684,6 +685,154 @@ TEST_F(ServiceTest, ExpiredInQueueIsRejectedWithTypedStatus) {
   EXPECT_EQ(F.Type, MsgType::PlanResp);
   ::close(Fd);
   EXPECT_GE(Srv->stats().RejectedDeadline, 1u);
+}
+
+TEST(Protocol, ShapeFieldIsVersionGated) {
+  // v4 appends the shape block after the v2 spec fields; v2/v3 bodies
+  // never carry it and must keep decoding with an empty (1-D) shape. The
+  // deadline stays the first u32 so peekDeadlineMs works on every v>=3
+  // frame regardless of the spec's rank.
+  PlanRequest Req;
+  Req.Spec.Transform = "fft";
+  Req.Spec.Size = 0;
+  Req.Spec.Shape = {8, 4};
+  Req.DeadlineMs = 10;
+
+  auto V4 = Req.encode(); // Default version is 4.
+  PlanRequest Out;
+  ASSERT_TRUE(PlanRequest::decode(V4.data(), V4.size(), Out));
+  ASSERT_EQ(Out.Spec.Shape.size(), 2u);
+  EXPECT_EQ(Out.Spec.Shape[0], 8);
+  EXPECT_EQ(Out.Spec.Shape[1], 4);
+  EXPECT_EQ(Out.DeadlineMs, 10u);
+
+  // Exactly the rank word plus two i64 dims shorter at v3.
+  auto V3 = Req.encode(3);
+  ASSERT_EQ(V3.size(), V4.size() - 4 - 2 * 8);
+  PlanRequest Out3;
+  ASSERT_TRUE(PlanRequest::decode(V3.data(), V3.size(), Out3, 3));
+  EXPECT_TRUE(Out3.Spec.Shape.empty());
+  EXPECT_EQ(Out3.DeadlineMs, 10u);
+
+  // A hostile rank is rejected up front, never trusted as a loop bound.
+  std::vector<std::uint8_t> Evil(V4.begin(), V4.end() - (4 + 2 * 8));
+  WireWriter W(Evil);
+  W.u32(kMaxShapeRank + 1);
+  EXPECT_FALSE(PlanRequest::decode(Evil.data(), Evil.size(), Out));
+
+  // Execute requests carry the same spec encoding.
+  ExecuteRequest EReq;
+  EReq.Spec = Req.Spec;
+  EReq.Count = 1;
+  EReq.Data.assign(64, 0.5);
+  auto E4 = EReq.encode();
+  ExecuteRequest EOut;
+  ASSERT_TRUE(ExecuteRequest::decode(E4.data(), E4.size(), EOut));
+  ASSERT_EQ(EOut.Spec.Shape.size(), 2u);
+  EXPECT_EQ(EOut.Spec.Shape[1], 4);
+  ASSERT_EQ(EOut.Data.size(), 64u);
+}
+
+TEST_F(ServiceTest, V4ShapedPlanExecuteRoundTrip) {
+  // A 2-D row-column spec over the default (v4) client: the daemon plans
+  // the kron formula, keys it distinctly, and transforms an impulse into
+  // the all-ones spectrum.
+  startServer();
+  Client C;
+  ASSERT_TRUE(C.connect(Path)) << C.lastError();
+  runtime::PlanSpec S = vmSpec("fft", 0);
+  S.Shape = {8, 8};
+  auto PR = C.planRetryBusy(S);
+  ASSERT_TRUE(PR) << C.lastError();
+  EXPECT_EQ(PR->VectorLen, 128); // 64 complex points interleaved.
+  EXPECT_NE(PR->Key.find("S8x8"), std::string::npos) << PR->Key;
+
+  std::vector<double> X(128, 0.0), Y(128, 0.0);
+  X[0] = 1.0;
+  ASSERT_TRUE(C.executeRetryBusy(S, Y.data(), X.data(), 1, 128, 1))
+      << C.lastError();
+  for (int I = 0; I != 128; ++I)
+    EXPECT_NEAR(Y[I], (I % 2) == 0 ? 1.0 : 0.0, 1e-10) << "element " << I;
+}
+
+TEST_F(ServiceTest, OversizedShapeProductIsRejected) {
+  // The admission cap applies to the shape product, not the (possibly
+  // zero) Size field a shaped request carries.
+  startServer([](ServerOptions &O) { O.MaxTransformSize = 64; });
+  Client C;
+  ASSERT_TRUE(C.connect(Path)) << C.lastError();
+  runtime::PlanSpec S = vmSpec("fft", 0);
+  S.Shape = {16, 16};
+  EXPECT_FALSE(C.plan(S));
+  EXPECT_EQ(C.lastStatus(), Status::TooLarge) << C.lastError();
+}
+
+TEST_F(ServiceTest, V3FramesAreServedAndVersionEchoed) {
+  // A v3 client (deadline field, no shape block) must get full service
+  // from the v4 daemon, with version 3 echoed on every response.
+  startServer();
+  std::string Err;
+  int Fd = connectUnix(Path, Err);
+  ASSERT_GE(Fd, 0) << Err;
+
+  PlanRequest Req;
+  Req.Spec = WireSpec::fromSpec(vmSpec("fft", 16));
+  Req.DeadlineMs = 0;
+  ASSERT_TRUE(writeFrame(Fd, MsgType::PlanReq, 31, Req.encode(3), 3));
+  Frame F;
+  ASSERT_EQ(readFrame(Fd, kDefaultMaxFrameBytes, F), IoStatus::Ok);
+  ASSERT_EQ(F.Type, MsgType::PlanResp);
+  EXPECT_EQ(F.Version, 3u);
+  PlanResponse PR;
+  ASSERT_TRUE(PlanResponse::decode(F.Body.data(), F.Body.size(), PR));
+  EXPECT_EQ(PR.VectorLen, 32);
+
+  ExecuteRequest EReq;
+  EReq.Spec = WireSpec::fromSpec(vmSpec("fft", 16));
+  EReq.Count = 1;
+  EReq.Data.assign(32, 0.0);
+  EReq.Data[0] = 1.0;
+  ASSERT_TRUE(writeFrame(Fd, MsgType::ExecuteReq, 32, EReq.encode(3), 3));
+  ASSERT_EQ(readFrame(Fd, kDefaultMaxFrameBytes, F), IoStatus::Ok);
+  ASSERT_EQ(F.Type, MsgType::ExecuteResp);
+  EXPECT_EQ(F.Version, 3u);
+  ExecuteResponse ER;
+  ASSERT_TRUE(ExecuteResponse::decode(F.Body.data(), F.Body.size(), ER));
+  ASSERT_EQ(ER.Data.size(), 32u);
+  for (std::size_t I = 0; I < ER.Data.size(); ++I)
+    EXPECT_EQ(ER.Data[I], (I % 2) == 0 ? 1.0 : 0.0) << "element " << I;
+  ::close(Fd);
+}
+
+TEST_F(ServiceTest, RegistryTransformsServedWithOracleParity) {
+  // rdft and dct2 over the daemon: halfcomplex and real layouts ride the
+  // same wire as the complex fft, and the served numbers match the dense
+  // registry oracle.
+  startServer();
+  Client C;
+  ASSERT_TRUE(C.connect(Path)) << C.lastError();
+  for (const char *Name : {"rdft", "dct2"}) {
+    const transforms::TransformInfo *TI = transforms::lookup(Name);
+    ASSERT_NE(TI, nullptr) << Name;
+    runtime::PlanSpec S = vmSpec(Name, 16);
+    auto PR = C.planRetryBusy(S);
+    ASSERT_TRUE(PR) << Name << ": " << C.lastError();
+    EXPECT_EQ(PR->VectorLen, 16) << Name; // Real in, N doubles out.
+
+    std::vector<double> X(16), Y(16, 0.0);
+    for (int I = 0; I != 16; ++I)
+      X[I] = 0.25 * (I % 5) - 0.5;
+    ASSERT_TRUE(C.executeRetryBusy(S, Y.data(), X.data(), 1, 16, 1))
+        << Name << ": " << C.lastError();
+
+    Matrix M = transforms::oracleMatrix(*TI, {16});
+    std::vector<Cplx> In(16);
+    for (int I = 0; I != 16; ++I)
+      In[I] = Cplx(X[I], 0.0);
+    std::vector<Cplx> Ref = M.apply(In);
+    for (int I = 0; I != 16; ++I)
+      EXPECT_NEAR(Y[I], Ref[I].real(), 1e-10) << Name << " element " << I;
+  }
 }
 
 TEST_F(ServiceTest, DegradesUnderInjectedFaultInsteadOfFailing) {

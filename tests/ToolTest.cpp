@@ -348,11 +348,108 @@ TEST(Splrun, DegradationChainSurvivesInjectedFaults) {
                       "--no-wisdom");
   EXPECT_EQ(exitStatus(R), 0) << R.Output;
   EXPECT_NE(R.Output.find("backend oracle"), std::string::npos) << R.Output;
-  EXPECT_NE(R.Output.find("oracle backend vs dense oracle"),
+  EXPECT_NE(R.Output.find("oracle backend vs dense fft oracle"),
             std::string::npos)
       << R.Output;
   EXPECT_NE(R.Output.find("OK"), std::string::npos) << R.Output;
   EXPECT_EQ(R.Output.find("FAIL"), std::string::npos) << R.Output;
+}
+
+TEST(Splc, UnknownTransformIsUsageError) {
+  // Acceptance criterion: --transform dct5 names the supported set and
+  // exits with the usage code on both tools.
+  auto R = runCommand(splcPath() + " --best-fft 8 --transform dct5");
+  EXPECT_EQ(exitStatus(R), 2) << R.Output;
+  EXPECT_NE(R.Output.find("unknown transform 'dct5'"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("supported:"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("rdft"), std::string::npos) << R.Output;
+}
+
+TEST(Splrun, UnknownTransformIsUsageError) {
+  auto R = runCommand(splrunPath() + " --size 8 --transform dct5");
+  EXPECT_EQ(exitStatus(R), 2) << R.Output;
+  EXPECT_NE(R.Output.find("unknown transform 'dct5'"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("supported:"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("dct4"), std::string::npos) << R.Output;
+}
+
+TEST(Splc, RuleTransformsEmitSubroutines) {
+  auto R = runCommand(splcPath() + " --best-fft 8 --transform dct3");
+  EXPECT_EQ(exitStatus(R), 0) << R.Output;
+  EXPECT_NE(R.Output.find("void dct38"), std::string::npos) << R.Output;
+  // wht is registered but enumerated, not rule-expanded; search mode
+  // refuses it up front rather than emitting a wrong kernel.
+  auto W = runCommand(splcPath() + " --best-fft 8 --transform wht");
+  EXPECT_EQ(exitStatus(W), 2) << W.Output;
+  EXPECT_NE(W.Output.find("no emit rule"), std::string::npos) << W.Output;
+}
+
+TEST(Splrun, RegistryTransformsVerifyAgainstOracles) {
+  for (const char *Name : {"rdft", "dct2", "dct3", "dct4"}) {
+    auto R = runCommand(splrunPath() + " --transform " + Name +
+                        " --size 16 --batch 4 --backend vm --verify "
+                        "--no-wisdom");
+    EXPECT_EQ(exitStatus(R), 0) << Name << ": " << R.Output;
+    EXPECT_NE(R.Output.find(std::string("dense ") + Name + " oracle"),
+              std::string::npos)
+        << R.Output;
+    EXPECT_NE(R.Output.find("OK"), std::string::npos) << R.Output;
+    EXPECT_EQ(R.Output.find("FAIL"), std::string::npos) << R.Output;
+  }
+}
+
+TEST(Splrun, ShapedPlansVerifyAgainstKronOracles) {
+  auto R = runCommand(splrunPath() + " --shape 8x4 --batch 2 --backend vm "
+                                     "--verify --no-wisdom");
+  EXPECT_EQ(exitStatus(R), 0) << R.Output;
+  EXPECT_NE(R.Output.find("fft 8x4"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("dense fft oracle"), std::string::npos)
+      << R.Output;
+  EXPECT_EQ(R.Output.find("FAIL"), std::string::npos) << R.Output;
+
+  auto D = runCommand(splrunPath() + " --transform dct2 --shape 4x4 "
+                                     "--batch 2 --backend vm --verify "
+                                     "--no-wisdom");
+  EXPECT_EQ(exitStatus(D), 0) << D.Output;
+  EXPECT_NE(D.Output.find("dct2 4x4"), std::string::npos) << D.Output;
+  EXPECT_EQ(D.Output.find("FAIL"), std::string::npos) << D.Output;
+}
+
+TEST(Splrun, StridedOddBatchVerifies) {
+  // The odd-batch strided case from the issue: howmany 7 at stride 3,
+  // halfcomplex layout, gathered vectors checked against dense execution.
+  auto R = runCommand(splrunPath() + " --transform rdft --size 8 "
+                                     "--howmany 7 --stride 3 --backend vm "
+                                     "--verify --no-wisdom");
+  EXPECT_EQ(exitStatus(R), 0) << R.Output;
+  EXPECT_NE(R.Output.find("(strided)"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("strided batch of 7"), std::string::npos)
+      << R.Output;
+  EXPECT_EQ(R.Output.find("FAIL"), std::string::npos) << R.Output;
+
+  // Strided layouts are a local-execution feature; the wire ships dense
+  // batches only.
+  auto C = runCommand(splrunPath() + " --transform rdft --size 8 "
+                                     "--howmany 7 --stride 3 "
+                                     "--connect /tmp/never-bound.sock");
+  EXPECT_EQ(exitStatus(C), 2) << C.Output;
+}
+
+TEST(Splrun, RegistryTransformsDegradeUnderInjectedFaults) {
+  // SPL_FAULT=native-compile must demote every registry transform to the
+  // VM tier and still verify against its dense oracle.
+  for (const char *Name : {"rdft", "dct4"}) {
+    auto R = runCommand("SPL_FAULT=native-compile " + splrunPath() +
+                        " --transform " + Name +
+                        " --size 16 --batch 4 --backend native --verify "
+                        "--no-wisdom");
+    EXPECT_EQ(exitStatus(R), 0) << Name << ": " << R.Output;
+    EXPECT_NE(R.Output.find("backend vm"), std::string::npos) << R.Output;
+    EXPECT_NE(R.Output.find("fell back"), std::string::npos) << R.Output;
+    EXPECT_EQ(R.Output.find("FAIL"), std::string::npos) << R.Output;
+  }
 }
 
 TEST(Splc, OutputFileOption) {

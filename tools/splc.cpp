@@ -25,6 +25,10 @@
 ///   Search mode (instead of an input file):
 ///     --best-fft <n>     DP-search the FFT space for size n and emit the
 ///                        winning subroutine
+///     --transform <t>    with --best-fft: which registry transform to
+///                        emit (default fft). fft runs the DP search;
+///                        rdft/dct2/dct3/dct4 expand their recursive rule
+///                        (docs/WORKLOADS.md)
 ///     --codegen <m>      auto (default) | scalar | vector: which codegen
 ///                        variant to emit for the winner. auto follows the
 ///                        searched winner (timed evaluators race both);
@@ -62,6 +66,7 @@
 #include "support/Deadline.h"
 #include "support/Diagnostics.h"
 #include "telemetry/Metrics.h"
+#include "transforms/Registry.h"
 
 #include <cerrno>
 #include <cstdio>
@@ -81,7 +86,8 @@ void printUsage() {
                "usage: splc [-o out] [-B n] [-u k] [-O0|-O1|-O2] "
                "[-l c|fortran] [--sparc] [--print-icode] [--stats] "
                "[--profile] [file.spl]\n"
-               "       splc --best-fft n [--codegen auto|scalar|vector] "
+               "       splc --best-fft n [--transform t] "
+               "[--codegen auto|scalar|vector] "
                "[--search-eval opcount|vmtime|native] "
                "[--search-threads t] [--search-leaf n] [--deadline-ms n] "
                "[--wisdom file] [--no-wisdom] [--kernel-cache dir] "
@@ -104,6 +110,7 @@ int main(int Argc, char **Argv) {
   std::int64_t DeadlineMs = 0;
   std::string SearchEval = "opcount";
   std::string CodegenArg = "auto";
+  std::string Transform = "fft";
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -143,6 +150,18 @@ int main(int Argc, char **Argv) {
       BestFFT = std::atoll(Argv[++I]);
       if (BestFFT < 2) {
         std::fprintf(stderr, "splc: error: --best-fft size must be >= 2\n");
+        return tools::ExitUsage;
+      }
+    } else if (Arg == "--transform" && I + 1 < Argc) {
+      Transform = Argv[++I];
+      // A bad transform name is a usage error (exit 2): the registry knows
+      // the full menu, so say it.
+      if (!transforms::lookup(Transform)) {
+        std::fprintf(stderr,
+                     "splc: error: unknown transform '%s' (supported: "
+                     "%s)\n",
+                     Transform.c_str(),
+                     transforms::supportedNames().c_str());
         return tools::ExitUsage;
       }
     } else if (Arg == "--codegen" && I + 1 < Argc) {
@@ -198,7 +217,8 @@ int main(int Argc, char **Argv) {
       }
       InputPath = Arg;
     } else if (Arg == "-o" || Arg == "-B" || Arg == "-u" || Arg == "-l" ||
-               Arg == "--best-fft" || Arg == "--codegen" ||
+               Arg == "--best-fft" || Arg == "--transform" ||
+               Arg == "--codegen" ||
                Arg == "--search-eval" || Arg == "--search-threads" ||
                Arg == "--search-leaf" || Arg == "--deadline-ms" ||
                Arg == "--wisdom") {
@@ -223,6 +243,58 @@ int main(int Argc, char **Argv) {
                    "splc: error: --best-fft does not take an input file\n");
       return tools::ExitUsage;
     }
+    const transforms::TransformInfo *TI = transforms::lookup(Transform);
+    if (Transform != "fft") {
+      // Non-fft transforms expand their registry rule instead of running
+      // the DP search: the recursion is the known-good factorization.
+      if (!TI->Rule) {
+        std::fprintf(stderr,
+                     "splc: error: '%s' has no emit rule; search mode "
+                     "supports fft and the rule-based transforms\n",
+                     Transform.c_str());
+        return tools::ExitUsage;
+      }
+      if (!TI->ValidSize(BestFFT, SearchLeaf)) {
+        std::fprintf(stderr, "splc: error: %s sizes must be %s; got %lld\n",
+                     Transform.c_str(), TI->SizeRule,
+                     static_cast<long long>(BestFFT));
+        return tools::ExitUsage;
+      }
+      FormulaRef F = TI->Rule(BestFFT);
+      codegen::CodegenVariant Variant = CodegenArg == "vector"
+                                            ? codegen::CodegenVariant::Vector
+                                            : codegen::CodegenVariant::Scalar;
+      DirectiveState Dirs;
+      Dirs.SubName = Transform + std::to_string(BestFFT);
+      Dirs.Datatype = TI->KernelDatatype;
+      Dirs.Language =
+          Opts.LanguageOverride.empty() ? "c" : Opts.LanguageOverride;
+      if (Variant == codegen::CodegenVariant::Vector &&
+          Dirs.Language != "c") {
+        std::fprintf(stderr,
+                     "splc: error: --codegen vector emits C only (got -l "
+                     "%s)\n",
+                     Dirs.Language.c_str());
+        return tools::ExitUsage;
+      }
+      auto Unit = Compiler.compileFormula(F, Dirs, Opts);
+      if (!Unit) {
+        std::fputs(Diags.dump().c_str(), stderr);
+        return tools::ExitCompile;
+      }
+      if (Variant == codegen::CodegenVariant::Vector) {
+        codegen::VectorEmitOptions VO;
+        VO.ISA = codegen::detectISA();
+        VO.HeaderComment = "rule " + F->print();
+        Unit->Code = codegen::emitVectorC(Unit->Final, VO);
+      }
+      if (Stats)
+        std::fprintf(stderr, "%s: rule %s (codegen %s)\n",
+                     Dirs.SubName.c_str(), F->print().c_str(),
+                     codegen::variantName(Variant));
+      Units.emplace();
+      Units->push_back(std::move(*Unit));
+    } else {
     if (BestFFT > SearchLeaf && (BestFFT & (BestFFT - 1)) != 0) {
       std::fprintf(stderr,
                    "splc: error: sizes above --search-leaf must be powers "
@@ -325,6 +397,7 @@ int main(int Argc, char **Argv) {
     }
     Units.emplace();
     Units->push_back(std::move(*Unit));
+    }
   } else {
     std::string Source;
     if (InputPath.empty() || InputPath == "-") {

@@ -11,10 +11,20 @@
 /// native backend against the VM and 1-thread against N-thread batches.
 ///
 ///   splrun --transform fft --size 1024 --batch 4096 --threads 8 --verify
-///     --transform fft|wht   transform family (default fft)
-///     --size <n>            transform size (required)
+///     --transform <t>       transform kind from the registry: fft, wht,
+///                           rdft, dct2, dct3, dct4 (default fft;
+///                           docs/WORKLOADS.md)
+///     --size <n>            transform size (required unless --shape)
+///     --shape <n1xn2[x..]>  N-D row-column shape, e.g. 32x32 (the plan
+///                           transforms the row-major flattening)
 ///     --batch <b>           vectors per batch (default 1)
 ///     --threads <t>         batch worker threads (default 1)
+///     --howmany <m>         strided mode: batch count in the
+///                           FFTW-advanced layout (with --stride/--dist)
+///     --stride <s>          strided mode: doubles between consecutive
+///                           elements of one logical vector (default 1)
+///     --dist <d>            strided mode: doubles between vector starts
+///                           (default 0 = densely packed given the stride)
 ///     --deadline-ms <n>     end-to-end budget covering planning plus the
 ///                           timed batch (0 = unbounded, the default);
 ///                           exit code 6 when it expires first. With
@@ -59,13 +69,16 @@
 #include "support/Deadline.h"
 #include "support/Timer.h"
 #include "telemetry/Trace.h"
+#include "transforms/Registry.h"
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <random>
 #include <string>
+#include <vector>
 
 using namespace spl;
 
@@ -74,8 +87,9 @@ namespace {
 void printUsage() {
   std::fprintf(
       stderr,
-      "usage: splrun --size n [--transform fft|wht] [--batch b] "
+      "usage: splrun --size n|--shape n1xn2 [--transform t] [--batch b] "
       "[--threads t]\n"
+      "              [--howmany m --stride s [--dist d]]\n"
       "              [--deadline-ms n] [--backend auto|native|vm|oracle]\n"
       "              [--codegen auto|scalar|vector] [--unroll n] [--leaf n]\n"
       "              [--eval opcount|vmtime|native] [--search-threads t]\n"
@@ -114,6 +128,28 @@ double maxAbsDiff(const double *A, const double *B, std::int64_t Len) {
   return M;
 }
 
+/// Parses "32x32" / "8x4x2" into dims; false on anything malformed.
+bool parseShape(const char *Text, std::vector<std::int64_t> &Out) {
+  Out.clear();
+  const char *P = Text;
+  while (*P) {
+    char *End = nullptr;
+    long long V = std::strtoll(P, &End, 10);
+    if (End == P || V < 1)
+      return false;
+    Out.push_back(V);
+    P = End;
+    if (*P == 'x' || *P == 'X') {
+      ++P;
+      if (!*P)
+        return false;
+    } else if (*P) {
+      return false;
+    }
+  }
+  return !Out.empty();
+}
+
 /// Reports a daemon-side failure and maps its typed status onto the
 /// documented CLI exit stage.
 int clientFail(const service::Client &C, const char *What) {
@@ -137,7 +173,7 @@ int runConnected(const std::string &Socket, const runtime::PlanSpec &Spec,
   if (!Client.connect(Socket))
     return clientFail(Client, "cannot connect");
 
-  if (Spec.Size != 0) {
+  if (Spec.Size != 0 || !Spec.Shape.empty()) {
     Timer PlanWall;
     auto PR = Client.planRetryBusy(Spec);
     if (!PR)
@@ -233,6 +269,10 @@ int main(int Argc, char **Argv) {
   std::int64_t Batch = 1;
   int Threads = 1;
   std::int64_t DeadlineMs = 0;
+  std::int64_t HowMany = 0; // 0 = not set; strided mode uses Batch then.
+  std::int64_t Stride = 1;
+  std::int64_t Dist = 0;
+  bool Strided = false;
   bool Verify = false;
   bool Stats = false;
   std::string StatsJsonPath;
@@ -251,8 +291,37 @@ int main(int Argc, char **Argv) {
     };
     if (Arg == "--transform") {
       Spec.Transform = Next("--transform");
+      // Unknown transform names are a usage error (exit 2), distinct from
+      // a structurally invalid spec (exit 3): the flag value itself is
+      // wrong, and the registry knows the full menu.
+      if (!transforms::lookup(Spec.Transform)) {
+        std::fprintf(stderr,
+                     "splrun: error: unknown transform '%s' (supported: "
+                     "%s)\n",
+                     Spec.Transform.c_str(),
+                     transforms::supportedNames().c_str());
+        return tools::ExitUsage;
+      }
     } else if (Arg == "--size") {
       Spec.Size = std::atoll(Next("--size"));
+    } else if (Arg == "--shape") {
+      const char *Text = Next("--shape");
+      if (!parseShape(Text, Spec.Shape)) {
+        std::fprintf(stderr,
+                     "splrun: error: --shape wants n1xn2[x...] with every "
+                     "dimension >= 1 (got '%s')\n",
+                     Text);
+        return tools::ExitUsage;
+      }
+    } else if (Arg == "--howmany") {
+      HowMany = std::atoll(Next("--howmany"));
+      Strided = true;
+    } else if (Arg == "--stride") {
+      Stride = std::atoll(Next("--stride"));
+      Strided = true;
+    } else if (Arg == "--dist") {
+      Dist = std::atoll(Next("--dist"));
+      Strided = true;
     } else if (Arg == "--batch") {
       Batch = std::atoll(Next("--batch"));
     } else if (Arg == "--threads") {
@@ -332,11 +401,11 @@ int main(int Argc, char **Argv) {
     return tools::ExitUsage;
   }
   // In connect mode a size-less invocation is still useful (stats scrape,
-  // shutdown); otherwise a size is mandatory.
+  // shutdown); otherwise a size (or a shape) is mandatory.
   bool SizelessConnect =
-      !ConnectPath.empty() && Spec.Size == 0 &&
+      !ConnectPath.empty() && Spec.Size == 0 && Spec.Shape.empty() &&
       (Shutdown || Stats || !StatsJsonPath.empty());
-  if (Spec.Size < 2 && !SizelessConnect) {
+  if (Spec.Size < 2 && Spec.Shape.empty() && !SizelessConnect) {
     std::fprintf(stderr, "splrun: error: --size must be >= 2\n");
     return tools::ExitUsage;
   }
@@ -345,6 +414,24 @@ int main(int Argc, char **Argv) {
                  "splrun: error: --batch, --threads and --search-threads "
                  "must be >= 1\n");
     return tools::ExitUsage;
+  }
+  if (Strided) {
+    if (!ConnectPath.empty()) {
+      // The wire protocol ships densely packed batches only; gather on the
+      // client side instead of teaching the daemon every layout.
+      std::fprintf(stderr,
+                   "splrun: error: --stride/--dist/--howmany need a local "
+                   "plan (not --connect)\n");
+      return tools::ExitUsage;
+    }
+    if (HowMany == 0)
+      HowMany = Batch;
+    if (HowMany < 1 || Stride < 1 || Dist < 0) {
+      std::fprintf(stderr,
+                   "splrun: error: --howmany and --stride must be >= 1, "
+                   "--dist >= 0\n");
+      return tools::ExitUsage;
+    }
   }
 
   Diagnostics Diags;
@@ -398,19 +485,46 @@ int main(int Argc, char **Argv) {
               1e-3 / Single);
 
   // Batched throughput at the requested thread count, bounded by whatever
-  // the planning pass left of the deadline budget.
+  // the planning pass left of the deadline budget. Strided mode times the
+  // FFTW-advanced layout instead of the dense one.
+  runtime::BatchLayout BL;
+  runtime::AlignedBuffer SX(0), SY(0);
+  if (Strided) {
+    BL.HowMany = HowMany;
+    BL.StrideX = BL.StrideY = Stride;
+    BL.DistX = BL.DistY = Dist;
+    const std::int64_t Span = (Len - 1) * Stride + 1;
+    const std::int64_t D = Dist ? Dist : Span;
+    if (Dist && Dist < Span) {
+      std::fprintf(stderr,
+                   "splrun: error: --dist %lld overlaps vectors of span "
+                   "%lld (stride %lld)\n",
+                   static_cast<long long>(Dist), static_cast<long long>(Span),
+                   static_cast<long long>(Stride));
+      return tools::ExitUsage;
+    }
+    const std::int64_t Total = (HowMany - 1) * D + Span;
+    SX.resize(static_cast<size_t>(Total));
+    SY.resize(static_cast<size_t>(Total));
+    fillRandom(SX.data(), Total, 11);
+  }
+
   Timer BatchWall;
-  if (Plan->executeBatch(Y.data(), X.data(), Batch, DL, Threads) ==
-      runtime::ExecStatus::DeadlineExceeded) {
+  runtime::ExecStatus BS =
+      Strided ? Plan->executeBatch(SY.data(), SX.data(), BL, DL, Threads)
+              : Plan->executeBatch(Y.data(), X.data(), Batch, DL, Threads);
+  if (BS == runtime::ExecStatus::DeadlineExceeded) {
     std::fprintf(stderr, "splrun: error: the --deadline-ms budget expired "
                          "before the batch finished\n");
     return tools::ExitDeadline;
   }
   double BatchSeconds = BatchWall.seconds();
-  std::printf("batch %lld @ %d thread%s: %.3f s (%.1f kvec/s)\n",
-              static_cast<long long>(Batch), Threads,
+  const std::int64_t Timed = Strided ? HowMany : Batch;
+  std::printf("batch %lld%s @ %d thread%s: %.3f s (%.1f kvec/s)\n",
+              static_cast<long long>(Timed),
+              Strided ? " (strided)" : "", Threads,
               Threads == 1 ? "" : "s", BatchSeconds,
-              1e-3 * static_cast<double>(Batch) / BatchSeconds);
+              1e-3 * static_cast<double>(Timed) / BatchSeconds);
 
   if (Stats) {
     auto RS = Registry.stats();
@@ -488,15 +602,22 @@ int main(int Argc, char **Argv) {
       Failures += !OK;
     }
 
-    // Independent dense-oracle check: the winning formula's matrix is
-    // recomputed from scratch here, so whatever tier the degradation chain
-    // landed on, the plan's numbers are checked against the transform's
-    // exact semantics. Bounded: the dense apply is O(N^2).
-    const FormulaRef &F = Plan->formula();
-    if (Plan->size() <= 4096 && F && F->hasDenseSemantics()) {
-      Matrix M = F->toMatrix();
+    // Independent dense-oracle check against the registry's matrix (the
+    // Kronecker product of per-dimension oracles for N-D plans), so
+    // whatever tier the degradation chain landed on — and whatever
+    // formula/layout adapter produced the kernel — the plan's numbers are
+    // checked against the transform's exact semantics. Bounded: the dense
+    // apply is O(N^2).
+    const transforms::TransformInfo *TI =
+        transforms::lookup(Plan->spec().Transform);
+    if (Plan->size() <= 4096 && TI) {
+      std::vector<std::int64_t> Dims = Plan->spec().Shape;
+      if (Dims.empty())
+        Dims.push_back(Plan->size());
+      Matrix M = transforms::oracleMatrix(*TI, Dims);
       const size_t N = M.cols();
-      const bool ComplexData = Plan->program().LoweredToReal;
+      const bool ComplexData =
+          Plan->layout() == runtime::Plan::Layout::Interleaved;
       std::vector<Cplx> In(N);
       for (size_t I = 0; I != N; ++I)
         In[I] = ComplexData ? Cplx(X.data()[2 * I], X.data()[2 * I + 1])
@@ -514,9 +635,37 @@ int main(int Argc, char **Argv) {
           Delta = std::max(Delta, std::fabs(Y.data()[I] - Ref[I].real()));
         }
       bool OK = Delta <= Tol;
-      std::printf("verify: %s backend vs dense oracle: max |delta| = %.3g "
-                  "(tol %g): %s\n",
-                  runtime::backendName(Plan->backend()), Delta, Tol,
+      std::printf("verify: %s backend vs dense %s oracle: max |delta| = "
+                  "%.3g (tol %g): %s\n",
+                  runtime::backendName(Plan->backend()), TI->Name, Delta,
+                  Tol, OK ? "OK" : "FAIL");
+      Failures += !OK;
+    }
+
+    // Strided layout check: every gathered vector of the strided batch
+    // must match a dense execute of the same gathered input.
+    if (Strided) {
+      const std::int64_t Span = (Len - 1) * Stride + 1;
+      const std::int64_t D = Dist ? Dist : Span;
+      runtime::AlignedBuffer DIn(static_cast<size_t>(Len));
+      runtime::AlignedBuffer DOut(static_cast<size_t>(Len));
+      double Delta = 0;
+      for (std::int64_t V = 0; V != HowMany; ++V) {
+        const double *Base = SX.data() + V * D;
+        for (std::int64_t I = 0; I != Len; ++I)
+          DIn.data()[I] = Base[I * Stride];
+        Plan->execute(DOut.data(), DIn.data());
+        const double *Got = SY.data() + V * D;
+        for (std::int64_t I = 0; I != Len; ++I)
+          Delta = std::max(Delta,
+                           std::fabs(Got[I * Stride] - DOut.data()[I]));
+      }
+      bool OK = Delta <= Tol;
+      std::printf("verify: strided batch of %lld (stride %lld, dist %lld) "
+                  "vs dense: max |delta| = %.3g (tol %g): %s\n",
+                  static_cast<long long>(HowMany),
+                  static_cast<long long>(Stride),
+                  static_cast<long long>(Dist ? Dist : D), Delta, Tol,
                   OK ? "OK" : "FAIL");
       Failures += !OK;
     }
